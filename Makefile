@@ -1,0 +1,42 @@
+# Developer conveniences. Everything here is plain go tooling; the
+# targets only save typing.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt examples tables fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure plus measured claims.
+tables:
+	$(GO) run ./cmd/benchtab -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ecommerce-audit
+	$(GO) run ./examples/intrusion-detection
+	$(GO) run ./examples/membership
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/query/
+
+clean:
+	rm -rf bin provision

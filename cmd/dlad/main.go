@@ -1,0 +1,172 @@
+// Command dlad is the DLA node daemon. It has two modes:
+//
+//	dlad provision -out <dir> [-nodes 4] [-undefined 4] [-paper]
+//	    [-addr-base 127.0.0.1:7100]
+//		generate cluster keys, accumulator parameters, the attribute
+//		partition, and the TCP address book, writing one common file,
+//		one private file per node, and the ticket-issuer key.
+//
+//	dlad run -dir <dir> -id P0
+//		start one DLA node: fragment store, glsn sequencer/voter,
+//		audit executor, and integrity responder, serving over TCP
+//		until interrupted.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+
+	"confaudit/internal/audit"
+	"confaudit/internal/cluster"
+	"confaudit/internal/integrity"
+	"confaudit/internal/logmodel"
+	"confaudit/internal/mathx"
+	"confaudit/internal/transport"
+	"confaudit/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlad: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "provision":
+		err = provision(os.Args[2:])
+	case "run":
+		err = run(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dlad provision|run [flags]")
+	os.Exit(2)
+}
+
+func provision(args []string) error {
+	fs := flag.NewFlagSet("provision", flag.ExitOnError)
+	var (
+		out       = fs.String("out", "provision", "output directory")
+		nodes     = fs.Int("nodes", 4, "DLA cluster size")
+		undefined = fs.Int("undefined", 4, "number of undefined attributes C1..Cn")
+		paper     = fs.Bool("paper", false, "use the paper's exact Tables 2-5 partition instead of a generated one")
+		addrBase  = fs.String("addr-base", "127.0.0.1:7100", "first node address; subsequent nodes use consecutive ports")
+		groupBits = fs.Int("group-bits", 1024, "commutative-crypto group size (768, 1024, 1536, 2048)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var part *logmodel.Partition
+	if *paper {
+		ex, err := logmodel.NewPaperExample()
+		if err != nil {
+			return err
+		}
+		part = ex.Partition
+	} else {
+		schema, err := workload.ECommerceSchema(*undefined)
+		if err != nil {
+			return err
+		}
+		if part, err = workload.RoundRobinPartition(schema, *nodes); err != nil {
+			return err
+		}
+	}
+	group, err := mathx.StandardGroup(*groupBits)
+	if err != nil {
+		return err
+	}
+	log.Printf("generating keys for %d nodes (RSA 1024, accumulator 512)...", len(part.Nodes()))
+	boot, err := cluster.NewBootstrap(rand.Reader, part, group, cluster.BootstrapOptions{})
+	if err != nil {
+		return err
+	}
+	host, portStr, err := net.SplitHostPort(*addrBase)
+	if err != nil {
+		return fmt.Errorf("bad -addr-base: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("bad -addr-base port: %w", err)
+	}
+	addrs := make(map[string]string, len(boot.Roster))
+	for i, id := range boot.Roster {
+		addrs[id] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	common, nodeProv, issuer := boot.Provision(addrs)
+	if err := cluster.SaveProvision(*out, common, nodeProv, issuer); err != nil {
+		return err
+	}
+	log.Printf("provisioned cluster %v into %s", boot.Roster, *out)
+	for id, a := range addrs {
+		log.Printf("  %s -> %s", id, a)
+	}
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		dir  = fs.String("dir", "provision", "provisioning directory")
+		id   = fs.String("id", "", "this node's ID (required)")
+		data = fs.String("data", "", "data directory for durable state (empty = in-memory only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	common, err := cluster.LoadCommon(*dir)
+	if err != nil {
+		return err
+	}
+	nodeProv, err := cluster.LoadNode(*dir, *id)
+	if err != nil {
+		return err
+	}
+	boot, err := cluster.RestoreBootstrap(common, map[string]*cluster.NodeProvision{*id: nodeProv}, nil)
+	if err != nil {
+		return err
+	}
+	tcp := transport.NewTCPNetwork(common.Addresses)
+	ep, err := tcp.Endpoint(*id)
+	if err != nil {
+		return err
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	cfg := boot.NodeConfig(*id)
+	cfg.DataDir = *data
+	node, err := cluster.New(cfg, mb)
+	if err != nil {
+		return err
+	}
+	defer node.CloseStorage() //nolint:errcheck
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	node.Start(ctx)
+	go audit.Serve(ctx, node)
+	go integrity.Serve(ctx, mb, boot.Roster, boot.AccParams, node)                     //nolint:errcheck
+	go integrity.ServeRequests(ctx, mb, boot.Roster, boot.AccParams, node, node.GLSNs) //nolint:errcheck
+	log.Printf("node %s serving on %s (roster %v)", *id, common.Addresses[*id], boot.Roster)
+	<-ctx.Done()
+	log.Printf("shutting down")
+	node.Wait()
+	return nil
+}

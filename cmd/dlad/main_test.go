@@ -1,0 +1,75 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"confaudit/internal/cluster"
+	"confaudit/internal/logmodel"
+)
+
+func TestProvisionPaperLayout(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prov")
+	err := provision([]string{"-out", dir, "-paper", "-addr-base", "127.0.0.1:7500", "-group-bits", "768"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, err := cluster.LoadCommon(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(common.Roster) != 4 || common.Roster[0] != "P0" {
+		t.Fatalf("roster = %v", common.Roster)
+	}
+	if common.Addresses["P3"] != "127.0.0.1:7503" {
+		t.Fatalf("addresses = %v", common.Addresses)
+	}
+	if common.GroupBits != 768 {
+		t.Fatalf("group bits = %d", common.GroupBits)
+	}
+	part, err := logmodel.FromSpec(common.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Owner("Tid") != "P2" {
+		t.Fatalf("paper partition not preserved: Tid on %q", part.Owner("Tid"))
+	}
+	for _, id := range common.Roster {
+		if _, err := cluster.LoadNode(dir, id); err != nil {
+			t.Fatalf("node file for %s: %v", id, err)
+		}
+	}
+	if _, err := cluster.LoadIssuer(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvisionGenerated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prov")
+	err := provision([]string{"-out", dir, "-nodes", "3", "-undefined", "2", "-addr-base", "127.0.0.1:7600"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, err := cluster.LoadCommon(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(common.Roster) != 3 {
+		t.Fatalf("roster = %v", common.Roster)
+	}
+}
+
+func TestProvisionBadFlags(t *testing.T) {
+	if err := provision([]string{"-out", t.TempDir(), "-addr-base", "not-an-addr"}); err == nil {
+		t.Fatal("bad addr-base accepted")
+	}
+	if err := provision([]string{"-out", t.TempDir(), "-group-bits", "123"}); err == nil {
+		t.Fatal("bad group bits accepted")
+	}
+}
+
+func TestRunRequiresID(t *testing.T) {
+	if err := run([]string{"-dir", t.TempDir()}); err == nil {
+		t.Fatal("run without -id accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module confaudit
+
+go 1.22

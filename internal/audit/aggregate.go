@@ -1,0 +1,85 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"confaudit/internal/logmodel"
+)
+
+// fragmentReader is the narrow store surface aggregation needs.
+type fragmentReader interface {
+	Fragment(logmodel.GLSN) (logmodel.Fragment, bool)
+}
+
+// computeAggregate folds an aggregate over the named attribute of the
+// matched records, on the attribute's owner node. Only the final scalar
+// leaves the node — the confidential-statistics flow of the paper's
+// secret-counting reference [7].
+func computeAggregate(node fragmentReader, kind AggKind, attr logmodel.Attr, glsns []string) (float64, error) {
+	var (
+		sum   float64
+		count int
+		maxV  = math.Inf(-1)
+		minV  = math.Inf(1)
+	)
+	for _, s := range glsns {
+		g, err := logmodel.ParseGLSN(s)
+		if err != nil {
+			return 0, err
+		}
+		frag, ok := node.Fragment(g)
+		if !ok {
+			continue
+		}
+		v, ok := frag.Values[attr]
+		if !ok {
+			continue
+		}
+		var f float64
+		switch v.Kind {
+		case logmodel.KindInt:
+			f = float64(v.I)
+		case logmodel.KindFloat:
+			f = v.F
+		default:
+			// Counting does not need a numeric value.
+			if kind == AggCount {
+				count++
+				continue
+			}
+			return 0, fmt.Errorf("audit: aggregate %q over non-numeric attribute %q", kind, attr)
+		}
+		count++
+		sum += f
+		if f > maxV {
+			maxV = f
+		}
+		if f < minV {
+			minV = f
+		}
+	}
+	switch kind {
+	case AggCount:
+		return float64(count), nil
+	case AggSum:
+		return sum, nil
+	case AggAvg:
+		if count == 0 {
+			return 0, nil
+		}
+		return sum / float64(count), nil
+	case AggMax:
+		if count == 0 {
+			return 0, fmt.Errorf("audit: max over empty match set")
+		}
+		return maxV, nil
+	case AggMin:
+		if count == 0 {
+			return 0, fmt.Errorf("audit: min over empty match set")
+		}
+		return minV, nil
+	default:
+		return 0, fmt.Errorf("audit: unknown aggregate %q", kind)
+	}
+}

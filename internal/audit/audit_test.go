@@ -1,0 +1,436 @@
+package audit
+
+import (
+	"context"
+	"crypto/rand"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/cluster"
+	"confaudit/internal/logmodel"
+	"confaudit/internal/mathx"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+// rig is a full DLA cluster running the audit service, loaded with the
+// paper's Table 1 data.
+type rig struct {
+	boot    *cluster.Bootstrap
+	net     *transport.MemNetwork
+	nodes   map[string]*cluster.Node
+	auditor *Auditor
+}
+
+var (
+	bootOnce sync.Once
+	bootVal  *cluster.Bootstrap
+	bootErr  error
+)
+
+func sharedBootstrap(t testing.TB) *cluster.Bootstrap {
+	t.Helper()
+	bootOnce.Do(func() {
+		ex, err := logmodel.NewPaperExample()
+		if err != nil {
+			bootErr = err
+			return
+		}
+		bootVal, bootErr = cluster.NewBootstrap(rand.Reader, ex.Partition, mathx.Oakley768, cluster.BootstrapOptions{})
+	})
+	if bootErr != nil {
+		t.Fatalf("bootstrap: %v", bootErr)
+	}
+	return bootVal
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	boot := sharedBootstrap(t)
+	net := transport.NewMemNetwork()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &rig{boot: boot, net: net, nodes: make(map[string]*cluster.Node)}
+	var wg sync.WaitGroup
+	for _, id := range boot.Roster {
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb := transport.NewMailbox(ep)
+		node, err := cluster.New(boot.NodeConfig(id), mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start(ctx)
+		wg.Add(1)
+		go func(node *cluster.Node) {
+			defer wg.Done()
+			Serve(ctx, node)
+		}(node)
+		r.nodes[id] = node
+	}
+	t.Cleanup(func() {
+		cancel()
+		net.Close() //nolint:errcheck
+		for _, n := range r.nodes {
+			n.Wait()
+		}
+		wg.Wait()
+	})
+
+	// Load the Table 1 records under a writer ticket.
+	loadCtx, loadCancel := context.WithTimeout(ctx, 60*time.Second)
+	defer loadCancel()
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wep, err := net.Endpoint("writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmb := transport.NewMailbox(wep)
+	t.Cleanup(func() { wmb.Close() }) //nolint:errcheck
+	wtk, err := boot.Issuer.Issue("TW", "writer", ticket.OpWrite, ticket.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := cluster.NewClient(wmb, boot.Roster, boot.Partition, boot.AccParams, wtk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.RegisterTicket(loadCtx); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range ex.Records {
+		if _, err := wc.Log(loadCtx, rec.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Auditor with a read-capable ticket.
+	aep, err := net.Endpoint("auditor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := transport.NewMailbox(aep)
+	t.Cleanup(func() { amb.Close() }) //nolint:errcheck
+	atk, err := boot.Issuer.Issue("TAud", "auditor", ticket.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := cluster.NewClient(amb, boot.Roster, boot.Partition, boot.AccParams, atk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.RegisterTicket(loadCtx); err != nil {
+		t.Fatal(err)
+	}
+	r.auditor = NewAuditor(amb, boot.Roster[0], atk.ID)
+	return r
+}
+
+func testCtx(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// glsnsOf maps 0-based Table 1 row indices to glsn values as assigned
+// (sequential from 0x139aef78).
+func glsnsOf(rows ...int) []logmodel.GLSN {
+	out := make([]logmodel.GLSN, len(rows))
+	for i, r := range rows {
+		out[i] = logmodel.GLSN(0x139aef78 + uint64(r))
+	}
+	return out
+}
+
+func assertGLSNs(t *testing.T, got, want []logmodel.GLSN) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLocalPredicateQuery(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// C1 > 30 matches rows 1 (34), 2 (45), 4 (53).
+	got, err := r.auditor.Query(ctx, `C1 > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(1, 2, 4))
+}
+
+func TestConjunctionAcrossNodes(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// protocl = "UDP" (P3) AND id = "U1" (P1): rows 0, 2.
+	got, err := r.auditor.Query(ctx, `protocl = "UDP" AND id = "U1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(0, 2))
+}
+
+func TestThreeWayConjunction(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// Tid = T1100265 (P2) AND C1 < 30 (P3) AND id = "U1" (P1): row 0 only
+	// (row 3 has C1=18 id=U2; row 0 C1=20 id=U1 Tid=..265).
+	got, err := r.auditor.Query(ctx, `Tid = "T1100265" AND C1 < 30 AND id = "U1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(0))
+}
+
+func TestCrossNodeDisjunction(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// id = "U3" (P1, row 4) OR C1 = 20 (P3, row 0): union across nodes.
+	got, err := r.auditor.Query(ctx, `id = "U3" OR C1 = 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(0, 4))
+}
+
+func TestNegationQuery(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// NOT (protocl = "UDP"): TCP rows 3, 4.
+	got, err := r.auditor.Query(ctx, `NOT (protocl = "UDP")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(3, 4))
+}
+
+func TestStarQuery(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	got, err := r.auditor.Query(ctx, "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(0, 1, 2, 3, 4))
+}
+
+func TestEmptyResult(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	got, err := r.auditor.Query(ctx, `id = "U9"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestCrossEqualityPredicate(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// id (P1) = C3 (P2): no Table 1 row has id == C3, so empty; then log
+	// one matching record and re-query.
+	got, err := r.auditor.Query(ctx, `id = C3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+
+	wep, err := r.net.Endpoint("writer2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmb := transport.NewMailbox(wep)
+	defer wmb.Close() //nolint:errcheck
+	wtk, err := r.boot.Issuer.Issue("TW2", "writer2", ticket.OpWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := cluster.NewClient(wmb, r.boot.Roster, r.boot.Partition, r.boot.AccParams, wtk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g, err := wc.Log(ctx, map[logmodel.Attr]logmodel.Value{
+		"id": logmodel.String("match"),
+		"C3": logmodel.String("match"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.auditor.Query(ctx, `id = C3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, []logmodel.GLSN{g})
+}
+
+func TestCrossComparisonPredicate(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// C1 (P3, int) < C2 (P1, float): C1 vs C2 per row:
+	// 20<23.45 T, 34<345.11 T, 45<235.00 T, 18<45.02 T, 53<678.75 T.
+	got, err := r.auditor.Query(ctx, `C1 < C2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(0, 1, 2, 3, 4))
+
+	// C1 > C2 matches nothing.
+	got, err = r.auditor.Query(ctx, `C1 > C2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	cases := []struct {
+		name     string
+		criteria string
+		kind     AggKind
+		attr     logmodel.Attr
+		want     float64
+	}{
+		{"count all", "*", AggCount, "", 5},
+		{"count udp", `protocl = "UDP"`, AggCount, "", 3},
+		{"sum C1", "*", AggSum, "C1", 20 + 34 + 45 + 18 + 53},
+		{"sum C2 over tcp", `protocl = "TCP"`, AggSum, "C2", 45.02 + 678.75},
+		{"max C1", "*", AggMax, "C1", 53},
+		{"min C1", "*", AggMin, "C1", 18},
+		{"avg C1", "*", AggAvg, "C1", 34},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := r.auditor.Aggregate(ctx, tc.criteria, tc.kind, tc.attr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQueryDeniedWithoutTicket(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	ep, err := r.net.Endpoint("stranger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	a := NewAuditor(mb, r.boot.Roster[0], "TNone")
+	_, err = a.Query(ctx, `C1 > 0`)
+	if err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("err = %v, want denial", err)
+	}
+}
+
+func TestQueryDeniedWriteOnlyTicket(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	ep, err := r.net.Endpoint("wo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	tk, err := r.boot.Issuer.Issue("TWO", "wo", ticket.OpWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.NewClient(mb, r.boot.Roster, r.boot.Partition, r.boot.AccParams, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAuditor(mb, r.boot.Roster[0], tk.ID)
+	if _, err := a.Query(ctx, `C1 > 0`); err == nil {
+		t.Fatal("write-only ticket ran a query")
+	}
+}
+
+func TestMalformedCriteriaRejected(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	if _, err := r.auditor.Query(ctx, `C1 >`); err == nil {
+		t.Fatal("malformed criteria accepted")
+	}
+	if _, err := r.auditor.Query(ctx, `nosuchattr = 1`); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestUnsupportedCrossShapeRejected(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// A disjunction containing a node-spanning predicate is outside the
+	// engine's repertoire and must fail loudly, not silently misreport.
+	_, err := r.auditor.Query(ctx, `id = C3 OR C1 = 20`)
+	if err == nil {
+		t.Fatal("unsupported criteria accepted")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := r.auditor.Query(ctx, `protocl = "UDP" AND id = "U1"`)
+			if err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+			if len(got) != 2 {
+				t.Errorf("got %v", got)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAggregateOverUnknownAttr(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	if _, err := r.auditor.Aggregate(ctx, "*", AggSum, "nosuch"); err == nil {
+		t.Fatal("aggregate over unknown attribute accepted")
+	}
+	if _, err := r.auditor.Aggregate(ctx, "*", AggKind("median"), "C1"); err == nil {
+		t.Fatal("unknown aggregate kind accepted")
+	}
+	// Sum over a string attribute fails at the owner.
+	if _, err := r.auditor.Aggregate(ctx, "*", AggSum, "id"); err == nil {
+		t.Fatal("sum over string attribute accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package audit
+
+import (
+	"sort"
+	"sync"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/query"
+)
+
+// Centralized is the paper's Figure 1 baseline: a single trusted
+// auditor that holds every complete log record and evaluates criteria
+// directly. It exists as the comparison point for the DLA architecture —
+// fast and simple, but it "puts the absolute trust to the single
+// auditor" and concentrates the full log in one place.
+type Centralized struct {
+	mu      sync.RWMutex
+	records map[logmodel.GLSN]logmodel.Record
+}
+
+// NewCentralized creates an empty centralized log repository.
+func NewCentralized() *Centralized {
+	return &Centralized{records: make(map[logmodel.GLSN]logmodel.Record)}
+}
+
+// Store ingests a full record.
+func (c *Centralized) Store(rec logmodel.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records[rec.GLSN] = rec.Clone()
+}
+
+// Len returns the number of stored records.
+func (c *Centralized) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.records)
+}
+
+// Query evaluates an auditing criterion over the full log.
+func (c *Centralized) Query(criteria string) ([]logmodel.GLSN, error) {
+	var norm *query.Normalized
+	if criteria != "*" {
+		expr, err := query.Parse(criteria)
+		if err != nil {
+			return nil, err
+		}
+		if norm, err = query.Normalize(expr); err != nil {
+			return nil, err
+		}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]logmodel.GLSN, 0)
+	for g, rec := range c.records {
+		if norm == nil {
+			out = append(out, g)
+			continue
+		}
+		ok, err := norm.Eval(rec.Values)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Aggregate folds an aggregate over the matching records.
+func (c *Centralized) Aggregate(criteria string, kind AggKind, attr logmodel.Attr) (float64, error) {
+	glsns, err := c.Query(criteria)
+	if err != nil {
+		return 0, err
+	}
+	if kind == AggCount {
+		return float64(len(glsns)), nil
+	}
+	strs := make([]string, len(glsns))
+	for i, g := range glsns {
+		strs[i] = g.String()
+	}
+	return computeAggregate(centralizedState{c}, kind, attr, strs)
+}
+
+// centralizedState adapts Centralized to the fragment-reading surface
+// aggregation needs.
+type centralizedState struct{ c *Centralized }
+
+var _ fragmentReader = centralizedState{}
+
+func (s centralizedState) Fragment(g logmodel.GLSN) (logmodel.Fragment, bool) {
+	s.c.mu.RLock()
+	defer s.c.mu.RUnlock()
+	rec, ok := s.c.records[g]
+	if !ok {
+		return logmodel.Fragment{}, false
+	}
+	return logmodel.Fragment{GLSN: g, Node: "centralized", Values: rec.Values}, true
+}

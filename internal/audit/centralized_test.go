@@ -1,0 +1,115 @@
+package audit
+
+import (
+	"math"
+	"testing"
+
+	"confaudit/internal/logmodel"
+)
+
+func loadCentralized(t *testing.T) *Centralized {
+	t.Helper()
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCentralized()
+	for _, rec := range ex.Records {
+		c.Store(rec)
+	}
+	return c
+}
+
+func TestCentralizedQuery(t *testing.T) {
+	c := loadCentralized(t)
+	got, err := c.Query(`protocl = "UDP" AND id = "U1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0x139aef78 || got[1] != 0x139aef80 {
+		t.Fatalf("got %v", got)
+	}
+	all, err := c.Query("*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("star query = %v", all)
+	}
+	if _, err := c.Query(`bad ~`); err == nil {
+		t.Fatal("malformed criteria accepted")
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCentralizedAggregate(t *testing.T) {
+	c := loadCentralized(t)
+	sum, err := c.Aggregate("*", AggSum, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 170 {
+		t.Fatalf("sum = %v, want 170", sum)
+	}
+	n, err := c.Aggregate(`protocl = "TCP"`, AggCount, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %v, want 2", n)
+	}
+	avg, err := c.Aggregate("*", AggAvg, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg-34) > 1e-9 {
+		t.Fatalf("avg = %v, want 34", avg)
+	}
+}
+
+// TestCentralizedMatchesDLASemantics cross-checks the two
+// architectures' answers on the same criteria set — the semantic
+// equivalence behind the Figure 1 vs Figure 2 benchmark comparison.
+func TestCentralizedMatchesDLASemantics(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	// Rebuild the centralized store under the same sequential glsns the
+	// DLA sequencer assigned (the paper's printed glsns skip values).
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCentralized()
+	for i, rec := range ex.Records {
+		r := rec.Clone()
+		r.GLSN = logmodel.GLSN(0x139aef78 + uint64(i))
+		c.Store(r)
+	}
+	for _, criteria := range []string{
+		`protocl = "UDP"`,
+		`C1 > 30`,
+		`protocl = "UDP" AND id = "U1"`,
+		`id = "U3" OR C1 = 20`,
+		`NOT (protocl = "UDP")`,
+		"*",
+	} {
+		want, err := c.Query(criteria)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.auditor.Query(ctx, criteria)
+		if err != nil {
+			t.Fatalf("DLA %q: %v", criteria, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: DLA %v vs centralized %v", criteria, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q: DLA %v vs centralized %v", criteria, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"confaudit/internal/crypto/blind"
+	"confaudit/internal/logmodel"
+)
+
+// Result certification: the paper has DLA nodes use "threshold
+// signature and distributed majority agreement to provide trusted and
+// reliable auditing". In this engine, every node responsible for a
+// subquery also receives the final conjunction (they are all ∩s
+// receivers) and signs a digest of the result. The auditor can then
+// verify that every responsible node — not just the one that answered —
+// stands behind the glsn list, so a single compromised responder cannot
+// forge audit results.
+
+// ErrBadResultCert indicates a certificate that fails verification.
+var ErrBadResultCert = errors.New("audit: invalid result certificate")
+
+// ResultCert certifies a query result.
+type ResultCert struct {
+	// Ring lists the nodes that were responsible for subqueries (and
+	// therefore know the result).
+	Ring []string `json:"ring"`
+	// Sigs maps each ring node to its signature over the result digest.
+	Sigs map[string]*big.Int `json:"sigs"`
+}
+
+// certStatement is the byte string ring nodes sign: a hash of the
+// session and the sorted glsn list.
+func certStatement(session string, glsns []string) []byte {
+	h := sha256.New()
+	h.Write([]byte("auditres|"))
+	h.Write([]byte(session))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strings.Join(glsns, ",")))
+	return h.Sum(nil)
+}
+
+// VerifyResult checks a certified query result: every ring node signed
+// the digest of exactly these glsns.
+func VerifyResult(keys map[string]blind.PublicKey, session string, glsns []logmodel.GLSN, cert *ResultCert) error {
+	if cert == nil || len(cert.Ring) == 0 {
+		return fmt.Errorf("%w: missing certificate", ErrBadResultCert)
+	}
+	strs := make([]string, len(glsns))
+	for i, g := range glsns {
+		strs[i] = g.String()
+	}
+	stmt := certStatement(session, strs)
+	for _, node := range cert.Ring {
+		sig, ok := cert.Sigs[node]
+		if !ok {
+			return fmt.Errorf("%w: node %s did not sign", ErrBadResultCert, node)
+		}
+		pub, ok := keys[node]
+		if !ok {
+			return fmt.Errorf("%w: unknown signer %s", ErrBadResultCert, node)
+		}
+		if err := blind.Verify(pub, stmt, sig); err != nil {
+			return fmt.Errorf("%w: signature of %s rejected", ErrBadResultCert, node)
+		}
+	}
+	return nil
+}

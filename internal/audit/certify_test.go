@@ -1,0 +1,104 @@
+package audit
+
+import (
+	"math/big"
+	"testing"
+
+	"confaudit/internal/logmodel"
+)
+
+// TestCertifiedQuery verifies the trusted-auditing path: every node
+// responsible for a subquery countersigns the result, and the auditor
+// can verify the certificate against the cluster public keys.
+func TestCertifiedQuery(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	glsns, session, cert, err := r.auditor.QueryCertified(ctx, `protocl = "UDP" AND id = "U1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(glsns) != 2 {
+		t.Fatalf("glsns = %v", glsns)
+	}
+	if cert == nil {
+		t.Fatal("no certificate returned")
+	}
+	// The criteria spans P1 (id) and P3 (protocl): both must have signed.
+	if len(cert.Ring) != 2 || len(cert.Sigs) != 2 {
+		t.Fatalf("cert ring %v, %d sigs", cert.Ring, len(cert.Sigs))
+	}
+	if err := VerifyResult(r.boot.PeerKeys, session, glsns, cert); err != nil {
+		t.Fatalf("VerifyResult: %v", err)
+	}
+}
+
+func TestCertifiedQuerySingleNode(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	glsns, session, cert, err := r.auditor.QueryCertified(ctx, `C1 > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert == nil || len(cert.Ring) != 1 {
+		t.Fatalf("cert = %+v", cert)
+	}
+	if err := VerifyResult(r.boot.PeerKeys, session, glsns, cert); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyResultRejectsForgery(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	glsns, session, cert, err := r.auditor.QueryCertified(ctx, `protocl = "UDP"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("tampered result", func(t *testing.T) {
+		forged := append([]logmodel.GLSN(nil), glsns...)
+		forged = append(forged, 0xdeadbeef)
+		if err := VerifyResult(r.boot.PeerKeys, session, forged, cert); err == nil {
+			t.Fatal("tampered glsn list verified")
+		}
+	})
+	t.Run("dropped result", func(t *testing.T) {
+		if len(glsns) == 0 {
+			t.Skip("empty result")
+		}
+		if err := VerifyResult(r.boot.PeerKeys, session, glsns[:len(glsns)-1], cert); err == nil {
+			t.Fatal("truncated glsn list verified")
+		}
+	})
+	t.Run("wrong session", func(t *testing.T) {
+		if err := VerifyResult(r.boot.PeerKeys, "other-session", glsns, cert); err == nil {
+			t.Fatal("replayed certificate verified under a different session")
+		}
+	})
+	t.Run("mauled signature", func(t *testing.T) {
+		bad := &ResultCert{Ring: cert.Ring, Sigs: map[string]*big.Int{}}
+		for n, s := range cert.Sigs {
+			bad.Sigs[n] = new(big.Int).Add(s, big.NewInt(1))
+		}
+		if err := VerifyResult(r.boot.PeerKeys, session, glsns, bad); err == nil {
+			t.Fatal("mauled signatures verified")
+		}
+	})
+	t.Run("missing signer", func(t *testing.T) {
+		bad := &ResultCert{Ring: cert.Ring, Sigs: map[string]*big.Int{}}
+		if err := VerifyResult(r.boot.PeerKeys, session, glsns, bad); err == nil {
+			t.Fatal("certificate without signatures verified")
+		}
+	})
+	t.Run("nil cert", func(t *testing.T) {
+		if err := VerifyResult(r.boot.PeerKeys, session, glsns, nil); err == nil {
+			t.Fatal("nil certificate verified")
+		}
+	})
+	t.Run("unknown signer", func(t *testing.T) {
+		bad := &ResultCert{Ring: []string{"mallory"}, Sigs: map[string]*big.Int{"mallory": big.NewInt(7)}}
+		if err := VerifyResult(r.boot.PeerKeys, session, glsns, bad); err == nil {
+			t.Fatal("unknown signer verified")
+		}
+	})
+}

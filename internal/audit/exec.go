@@ -1,0 +1,712 @@
+package audit
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+	"strings"
+	"time"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/query"
+	"confaudit/internal/smc"
+	"confaudit/internal/smc/compare"
+	"confaudit/internal/smc/intersect"
+	"confaudit/internal/smc/union"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+// queryTimeout bounds one distributed query execution end to end.
+const queryTimeout = 2 * time.Minute
+
+// cmpMaxAbs bounds the absolute value of order-encoded attributes in
+// cross comparisons.
+var cmpMaxAbs = new(big.Int).Lsh(big.NewInt(1), 62)
+
+// Serve runs the node-side audit service: a coordinator loop accepting
+// auditor queries and an executor loop joining distributed plans. It
+// blocks until ctx is cancelled or the mailbox closes.
+func Serve(ctx context.Context, node NodeState) {
+	done := make(chan struct{}, 2)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		serveQueries(ctx, node)
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		serveExec(ctx, node)
+	}()
+	<-done
+	<-done
+}
+
+func serveQueries(ctx context.Context, node NodeState) {
+	mb := node.Mailbox()
+	for {
+		msg, err := mb.ExpectType(ctx, MsgQuery)
+		if err != nil {
+			return
+		}
+		go handleQuery(ctx, node, msg)
+	}
+}
+
+func serveExec(ctx context.Context, node NodeState) {
+	mb := node.Mailbox()
+	for {
+		msg, err := mb.ExpectType(ctx, MsgExec)
+		if err != nil {
+			return
+		}
+		go handleExec(ctx, node, msg)
+	}
+}
+
+// handleQuery is the coordinator role for one query.
+func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
+	ctx, cancel := context.WithTimeout(ctx, queryTimeout)
+	defer cancel()
+	mb := node.Mailbox()
+	reply := func(res resultBody) {
+		out, err := transport.NewMessage(msg.From, MsgResult, msg.Session, res)
+		if err != nil {
+			return
+		}
+		mb.Send(ctx, out) //nolint:errcheck // auditor timeout covers loss
+	}
+
+	var body queryBody
+	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+		reply(resultBody{Error: err.Error()})
+		return
+	}
+	if err := node.TicketAllows(body.TicketID, ticket.OpRead); err != nil {
+		reply(resultBody{Error: fmt.Errorf("%w: %v", ErrDenied, err).Error()})
+		return
+	}
+	part := node.Partition()
+	plans, err := buildPlans(body.Criteria, part)
+	if err != nil {
+		reply(resultBody{Error: err.Error()})
+		return
+	}
+	exec := execBody{
+		Plans:       plans,
+		Coordinator: node.ID(),
+	}
+	if body.AggKind != "" {
+		switch body.AggKind {
+		case AggCount, AggSum, AggMax, AggMin, AggAvg:
+		default:
+			reply(resultBody{Error: fmt.Sprintf("audit: unknown aggregate %q", body.AggKind)})
+			return
+		}
+		exec.AggKind = body.AggKind
+		exec.AggAttr = body.AggAttr
+		if body.AggKind != AggCount {
+			owner := part.Owner(body.AggAttr)
+			if owner == "" {
+				reply(resultBody{Error: fmt.Sprintf("audit: aggregate attribute %q not supported by any node", body.AggAttr)})
+				return
+			}
+			exec.AggOwner = owner
+		}
+	}
+	// Final conjunction ring: one responsible node per subquery.
+	ringSet := make(map[string]struct{})
+	for i := range plans {
+		ringSet[plans[i].responsible()] = struct{}{}
+	}
+	exec.FinalRing = make([]string, 0, len(ringSet))
+	for n := range ringSet {
+		exec.FinalRing = append(exec.FinalRing, n)
+	}
+	sort.Strings(exec.FinalRing)
+	exec.FinalReceiver = exec.FinalRing[0]
+
+	// Dispatch to every involved node.
+	involved := make(map[string]struct{})
+	for i := range plans {
+		for _, n := range plans[i].involved() {
+			involved[n] = struct{}{}
+		}
+	}
+	if exec.AggOwner != "" {
+		involved[exec.AggOwner] = struct{}{}
+	}
+	for n := range involved {
+		out, err := transport.NewMessage(n, MsgExec, msg.Session, exec)
+		if err != nil {
+			reply(resultBody{Error: err.Error()})
+			return
+		}
+		if err := mb.Send(ctx, out); err != nil {
+			reply(resultBody{Error: err.Error()})
+			return
+		}
+	}
+
+	// Await the final verdict (or the first reported error) and relay.
+	fin, err := mb.Expect(ctx, MsgFinal, msg.Session)
+	if err != nil {
+		reply(resultBody{Error: fmt.Sprintf("audit: query timed out or failed: %v", err)})
+		return
+	}
+	var final finalBody
+	if err := transport.Unmarshal(fin.Payload, &final); err != nil {
+		reply(resultBody{Error: err.Error()})
+		return
+	}
+	if final.Error != "" {
+		reply(resultBody{Error: final.Error})
+		return
+	}
+	if final.IsAgg {
+		reply(resultBody{Agg: final.Agg})
+		return
+	}
+	sort.Strings(final.GLSNs)
+	reply(resultBody{GLSNs: final.GLSNs, Cert: final.Cert})
+}
+
+// handleExec is one node's participation in a distributed plan.
+func handleExec(ctx context.Context, node NodeState, msg transport.Message) {
+	ctx, cancel := context.WithTimeout(ctx, queryTimeout)
+	defer cancel()
+	var body execBody
+	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+		return
+	}
+	if err := execute(ctx, node, msg.Session, &body); err != nil {
+		// Report the failure to the coordinator so the auditor gets a
+		// verdict instead of a timeout.
+		fail := finalBody{Error: err.Error()}
+		out, mErr := transport.NewMessage(body.Coordinator, MsgFinal, msg.Session, fail)
+		if mErr == nil {
+			node.Mailbox().Send(ctx, out) //nolint:errcheck
+		}
+	}
+}
+
+// execute runs every role this node has in the plan, in ascending plan
+// order (the global order that keeps multi-node subprotocols free of
+// cross-plan deadlock).
+func execute(ctx context.Context, node NodeState, session string, body *execBody) error {
+	self := node.ID()
+	mb := node.Mailbox()
+
+	// results holds the glsn sets this node is responsible for.
+	var mySets []map[string]struct{}
+	for i := range body.Plans {
+		plan := &body.Plans[i]
+		if !smc.Contains(plan.involved(), self) {
+			continue
+		}
+		set, responsible, err := executePlan(ctx, node, session, plan)
+		if err != nil {
+			return fmt.Errorf("subquery %d (%s): %w", plan.Index, plan.Kind, err)
+		}
+		if responsible {
+			mySets = append(mySets, set)
+		}
+	}
+
+	inFinalRing := smc.Contains(body.FinalRing, self)
+	var finalSet map[string]struct{}
+	if inFinalRing {
+		// Conjunction of this node's own subquery results. Every ring
+		// member receives the final set so it can countersign the
+		// result (trusted auditing via majority certification).
+		myInput := intersectSets(mySets)
+		if len(body.FinalRing) > 1 {
+			elems := make([][]byte, 0, len(myInput))
+			for g := range myInput {
+				elems = append(elems, []byte(g))
+			}
+			cfg := intersect.Config{
+				Group:     node.Group(),
+				Ring:      body.FinalRing,
+				Receivers: body.FinalRing,
+				Session:   session + "/final",
+			}
+			res, err := intersect.Run(ctx, mb, cfg, elems)
+			if err != nil {
+				return fmt.Errorf("final conjunction: %w", err)
+			}
+			finalSet = make(map[string]struct{}, len(res.Plaintext))
+			for _, el := range res.Plaintext {
+				finalSet[string(el)] = struct{}{}
+			}
+		} else {
+			finalSet = myInput
+		}
+	}
+
+	// Result certification: every ring node signs the digest of the
+	// final glsn list; non-receivers ship their signatures to the
+	// receiver, which assembles the certificate.
+	var cert *ResultCert
+	if inFinalRing {
+		glsns := sortedKeys(finalSet)
+		sig, err := node.Sign(certStatement(session, glsns))
+		if err != nil {
+			return fmt.Errorf("certifying result: %w", err)
+		}
+		if self != body.FinalReceiver {
+			out, err := transport.NewMessage(body.FinalReceiver, MsgSig, session, sigBody{Sig: sig})
+			if err != nil {
+				return err
+			}
+			if err := mb.Send(ctx, out); err != nil {
+				return err
+			}
+		} else {
+			cert = &ResultCert{
+				Ring: append([]string(nil), body.FinalRing...),
+				Sigs: map[string]*big.Int{self: sig},
+			}
+			for len(cert.Sigs) < len(body.FinalRing) {
+				msg, err := mb.Expect(ctx, MsgSig, session)
+				if err != nil {
+					return fmt.Errorf("collecting result signatures: %w", err)
+				}
+				if !smc.Contains(body.FinalRing, msg.From) {
+					continue
+				}
+				var sb sigBody
+				if err := transport.Unmarshal(msg.Payload, &sb); err != nil {
+					return err
+				}
+				cert.Sigs[msg.From] = sb.Sig
+			}
+		}
+	}
+
+	// Result delivery.
+	if self == body.FinalReceiver {
+		glsns := sortedKeys(finalSet)
+		switch {
+		case body.AggKind == AggCount:
+			return sendFinal(ctx, mb, body.Coordinator, session, finalBody{IsAgg: true, Agg: float64(len(glsns))})
+		case body.AggKind != "":
+			if self == body.AggOwner {
+				val, err := computeAggregate(node, body.AggKind, body.AggAttr, glsns)
+				if err != nil {
+					return err
+				}
+				return sendFinal(ctx, mb, body.Coordinator, session, finalBody{IsAgg: true, Agg: val})
+			}
+			out, err := transport.NewMessage(body.AggOwner, MsgAggReq, session, finalBody{GLSNs: glsns})
+			if err != nil {
+				return err
+			}
+			return mb.Send(ctx, out)
+		default:
+			return sendFinal(ctx, mb, body.Coordinator, session, finalBody{GLSNs: glsns, Cert: cert})
+		}
+	}
+
+	// Aggregate owner that is not the final receiver: await the matched
+	// glsn set and fold the aggregate.
+	if body.AggKind != "" && body.AggKind != AggCount && self == body.AggOwner {
+		msg, err := mb.Expect(ctx, MsgAggReq, session)
+		if err != nil {
+			return fmt.Errorf("awaiting aggregate request: %w", err)
+		}
+		var req finalBody
+		if err := transport.Unmarshal(msg.Payload, &req); err != nil {
+			return err
+		}
+		val, err := computeAggregate(node, body.AggKind, body.AggAttr, req.GLSNs)
+		if err != nil {
+			return err
+		}
+		return sendFinal(ctx, mb, body.Coordinator, session, finalBody{IsAgg: true, Agg: val})
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sendFinal(ctx context.Context, mb *transport.Mailbox, coordinator, session string, body finalBody) error {
+	out, err := transport.NewMessage(coordinator, MsgFinal, session, body)
+	if err != nil {
+		return err
+	}
+	return mb.Send(ctx, out)
+}
+
+// executePlan runs one subquery role. It returns the resulting glsn set
+// and whether this node is the set's responsible holder.
+func executePlan(ctx context.Context, node NodeState, session string, plan *wirePlan) (map[string]struct{}, bool, error) {
+	self := node.ID()
+	sqSession := session + "/sq" + fmt.Sprint(plan.Index)
+	responsible := plan.responsible() == self
+
+	switch plan.Kind {
+	case kindAll:
+		set := make(map[string]struct{})
+		for _, g := range node.GLSNs() {
+			set[g.String()] = struct{}{}
+		}
+		if len(plan.Nodes) == 1 {
+			return set, responsible, nil
+		}
+		out, err := runGLSNIntersect(ctx, node, sqSession, plan, set)
+		return out, responsible, err
+
+	case kindLocal:
+		clause, err := parseClause(plan.Clause)
+		if err != nil {
+			return nil, false, err
+		}
+		set, err := evalClauseLocal(node, clause)
+		return set, responsible, err
+
+	case kindCrossUnion:
+		clause, err := parseClause(plan.Clause)
+		if err != nil {
+			return nil, false, err
+		}
+		sub := subClauseForNode(clause, node.Partition(), self)
+		local, err := evalClauseLocal(node, sub)
+		if err != nil {
+			return nil, false, err
+		}
+		elems := make([][]byte, 0, len(local))
+		for g := range local {
+			elems = append(elems, []byte(g))
+		}
+		cfg := union.Config{
+			Group:     node.Group(),
+			Ring:      plan.Nodes,
+			Receivers: []string{plan.responsible()},
+			Session:   sqSession,
+		}
+		res, err := union.Run(ctx, node.Mailbox(), cfg, elems)
+		if err != nil {
+			return nil, false, err
+		}
+		if !responsible {
+			return nil, false, nil
+		}
+		set := make(map[string]struct{}, len(res))
+		for _, el := range res {
+			set[string(el)] = struct{}{}
+		}
+		return set, true, nil
+
+	case kindCrossEq:
+		clause, err := parseClause(plan.Clause)
+		if err != nil {
+			return nil, false, err
+		}
+		pred := clause.Preds[0]
+		myAttr, err := ownedAttr(node, pred)
+		if err != nil {
+			return nil, false, err
+		}
+		elems := make([][]byte, 0)
+		for _, g := range node.GLSNs() {
+			frag, ok := node.Fragment(g)
+			if !ok {
+				continue
+			}
+			v, ok := frag.Values[myAttr]
+			if !ok {
+				continue
+			}
+			elems = append(elems, []byte(g.String()+"|"+v.Render()))
+		}
+		cfg := intersect.Config{
+			Group:     node.Group(),
+			Ring:      plan.Nodes,
+			Receivers: []string{plan.responsible()},
+			Session:   sqSession,
+		}
+		res, err := intersect.Run(ctx, node.Mailbox(), cfg, elems)
+		if err != nil {
+			return nil, false, err
+		}
+		if !responsible {
+			return nil, false, nil
+		}
+		set := make(map[string]struct{}, len(res.Plaintext))
+		for _, el := range res.Plaintext {
+			s := string(el)
+			if i := strings.IndexByte(s, '|'); i > 0 {
+				set[s[:i]] = struct{}{}
+			}
+		}
+		return set, true, nil
+
+	case kindCrossCmp:
+		return executeCrossCmp(ctx, node, sqSession, plan)
+
+	default:
+		return nil, false, fmt.Errorf("%w: plan kind %q", ErrUnsupported, plan.Kind)
+	}
+}
+
+// runGLSNIntersect intersects plain glsn sets across the plan nodes (the
+// "*" criteria path).
+func runGLSNIntersect(ctx context.Context, node NodeState, session string, plan *wirePlan, local map[string]struct{}) (map[string]struct{}, error) {
+	elems := make([][]byte, 0, len(local))
+	for g := range local {
+		elems = append(elems, []byte(g))
+	}
+	cfg := intersect.Config{
+		Group:     node.Group(),
+		Ring:      plan.Nodes,
+		Receivers: []string{plan.responsible()},
+		Session:   session,
+	}
+	res, err := intersect.Run(ctx, node.Mailbox(), cfg, elems)
+	if err != nil {
+		return nil, err
+	}
+	if plan.responsible() != node.ID() {
+		return nil, nil
+	}
+	set := make(map[string]struct{}, len(res.Plaintext))
+	for _, el := range res.Plaintext {
+		set[string(el)] = struct{}{}
+	}
+	return set, nil
+}
+
+// executeCrossCmp evaluates attrL ⊗ attrR across two nodes via the
+// blind-TTP batch comparison.
+func executeCrossCmp(ctx context.Context, node NodeState, session string, plan *wirePlan) (map[string]struct{}, bool, error) {
+	self := node.ID()
+	clause, err := parseClause(plan.Clause)
+	if err != nil {
+		return nil, false, err
+	}
+	pred := clause.Preds[0]
+	part := node.Partition()
+	leftOwner := part.Owner(pred.Left.Attr)
+	rightOwner := part.Owner(pred.Right.Attr)
+	cfg := compare.BatchConfig{
+		Holders: [2]string{leftOwner, rightOwner},
+		TTP:     plan.TTP,
+		MaxAbs:  cmpMaxAbs,
+		Session: session + "/cmp",
+	}
+	if self == plan.TTP {
+		return nil, false, compare.ServeBatchCompare(ctx, node.Mailbox(), cfg)
+	}
+	var myAttr logmodel.Attr
+	var peer string
+	switch self {
+	case leftOwner:
+		myAttr, peer = pred.Left.Attr, rightOwner
+	case rightOwner:
+		myAttr, peer = pred.Right.Attr, leftOwner
+	default:
+		return nil, false, fmt.Errorf("%w: %s not a holder of %s", ErrUnsupported, self, pred)
+	}
+
+	// Align keys: exchange sorted glsn lists, take the common prefix-
+	// free intersection. glsn lists are "aggregated information" the
+	// relaxed model permits to flow between the two holders.
+	mine := make(map[string]*big.Int)
+	for _, g := range node.GLSNs() {
+		frag, ok := node.Fragment(g)
+		if !ok {
+			continue
+		}
+		v, ok := frag.Values[myAttr]
+		if !ok {
+			continue
+		}
+		enc, err := orderedInt(v)
+		if err != nil {
+			return nil, false, fmt.Errorf("attribute %q: %w", myAttr, err)
+		}
+		mine[g.String()] = enc
+	}
+	myKeys := make([]string, 0, len(mine))
+	for k := range mine {
+		myKeys = append(myKeys, k)
+	}
+	sort.Strings(myKeys)
+	keysMsg, err := transport.NewMessage(peer, MsgKeys, session, myKeys)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := node.Mailbox().Send(ctx, keysMsg); err != nil {
+		return nil, false, err
+	}
+	peerMsg, err := node.Mailbox().ExpectFrom(ctx, peer, MsgKeys, session)
+	if err != nil {
+		return nil, false, fmt.Errorf("awaiting key alignment: %w", err)
+	}
+	var peerKeys []string
+	if err := transport.Unmarshal(peerMsg.Payload, &peerKeys); err != nil {
+		return nil, false, err
+	}
+	peerSet := make(map[string]struct{}, len(peerKeys))
+	for _, k := range peerKeys {
+		peerSet[k] = struct{}{}
+	}
+	common := make([]string, 0, len(myKeys))
+	values := make([]*big.Int, 0, len(myKeys))
+	for _, k := range myKeys {
+		if _, ok := peerSet[k]; ok {
+			common = append(common, k)
+			values = append(values, mine[k])
+		}
+	}
+
+	signs, err := compare.BatchCompare(ctx, node.Mailbox(), cfg, common, values)
+	if err != nil {
+		return nil, false, err
+	}
+	if plan.responsible() != self {
+		return nil, false, nil
+	}
+	set := make(map[string]struct{})
+	for k, sign := range signs {
+		if opSatisfied(pred.Op, sign) {
+			set[k] = struct{}{}
+		}
+	}
+	return set, true, nil
+}
+
+// opSatisfied maps a comparison sign (left vs right) onto the operator.
+func opSatisfied(op query.Op, sign int) bool {
+	switch op {
+	case query.OpEQ:
+		return sign == 0
+	case query.OpNE:
+		return sign != 0
+	case query.OpLT:
+		return sign < 0
+	case query.OpLE:
+		return sign <= 0
+	case query.OpGT:
+		return sign > 0
+	case query.OpGE:
+		return sign >= 0
+	default:
+		return false
+	}
+}
+
+// orderedInt maps a numeric attribute value to an order-preserving
+// integer: integers map to themselves, floats are scaled by 1e6 (the
+// documented precision of cross-node float comparison). Strings support
+// only equality, which routes through kindCrossEq instead.
+func orderedInt(v logmodel.Value) (*big.Int, error) {
+	switch v.Kind {
+	case logmodel.KindInt:
+		return big.NewInt(v.I), nil
+	case logmodel.KindFloat:
+		return big.NewInt(int64(math.Round(v.F * 1e6))), nil
+	default:
+		return nil, fmt.Errorf("%w: order comparison on non-numeric value", ErrUnsupported)
+	}
+}
+
+// parseClause re-parses a clause rendered by query.Clause.String. The
+// rendering is itself valid criteria syntax, so Parse∘Normalize yields
+// one clause back.
+func parseClause(src string) (query.Clause, error) {
+	if src == "*" {
+		return query.Clause{}, nil
+	}
+	expr, err := query.Parse(src)
+	if err != nil {
+		return query.Clause{}, err
+	}
+	norm, err := query.Normalize(expr)
+	if err != nil {
+		return query.Clause{}, err
+	}
+	if len(norm.Clauses) != 1 {
+		return query.Clause{}, fmt.Errorf("audit: clause %q re-normalized into %d clauses", src, len(norm.Clauses))
+	}
+	return norm.Clauses[0], nil
+}
+
+// evalClauseLocal evaluates a clause over every stored fragment.
+func evalClauseLocal(node NodeState, clause query.Clause) (map[string]struct{}, error) {
+	set := make(map[string]struct{})
+	if len(clause.Preds) == 0 {
+		return set, nil
+	}
+	for _, g := range node.GLSNs() {
+		frag, ok := node.Fragment(g)
+		if !ok {
+			continue
+		}
+		match, err := clause.Eval(frag.Values)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			set[g.String()] = struct{}{}
+		}
+	}
+	return set, nil
+}
+
+// subClauseForNode keeps the predicates whose attributes this node owns.
+func subClauseForNode(clause query.Clause, part *logmodel.Partition, self string) query.Clause {
+	out := query.Clause{}
+	for _, p := range clause.Preds {
+		ownsAll := true
+		for _, a := range p.ReferencedAttrs() {
+			if part.Owner(a) != self {
+				ownsAll = false
+				break
+			}
+		}
+		if ownsAll {
+			out.Preds = append(out.Preds, p)
+		}
+	}
+	return out
+}
+
+// intersectSets intersects glsn sets held locally.
+func intersectSets(sets []map[string]struct{}) map[string]struct{} {
+	if len(sets) == 0 {
+		return map[string]struct{}{}
+	}
+	out := make(map[string]struct{}, len(sets[0]))
+	for g := range sets[0] {
+		out[g] = struct{}{}
+	}
+	for _, s := range sets[1:] {
+		for g := range out {
+			if _, ok := s[g]; !ok {
+				delete(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// ownedAttr returns the predicate attribute this node owns.
+func ownedAttr(node NodeState, pred query.Pred) (logmodel.Attr, error) {
+	part := node.Partition()
+	for _, a := range pred.ReferencedAttrs() {
+		if part.Owner(a) == node.ID() {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %s owns neither side of %s", ErrUnsupported, node.ID(), pred)
+}

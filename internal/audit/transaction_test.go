@@ -1,0 +1,88 @@
+package audit
+
+import (
+	"testing"
+)
+
+// TestCheckTransactionConforming audits transaction T1100267 (Table 1
+// rows 2 and 4) against rules it satisfies.
+func TestCheckTransactionConforming(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	report, err := r.auditor.CheckTransaction(ctx, "Tid", "T1100267", []string{
+		`C1 > 40`,     // rows 2 (45) and 4 (53) both pass
+		`C2 >= 235.0`, // 235.00 and 678.75 both pass
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Records) != 2 {
+		t.Fatalf("transaction has %d records, want 2", len(report.Records))
+	}
+	if !report.Conforms() {
+		t.Fatalf("conforming transaction flagged: %+v", report.Violations)
+	}
+}
+
+// TestCheckTransactionViolations audits T1100265 (rows 0, 1, 3) against
+// a rule row 3 violates.
+func TestCheckTransactionViolations(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	report, err := r.auditor.CheckTransaction(ctx, "Tid", "T1100265", []string{
+		`protocl = "UDP"`, // row 3 is TCP -> violation
+		`C1 >= 18`,        // all pass
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Records) != 3 {
+		t.Fatalf("transaction has %d records, want 3", len(report.Records))
+	}
+	if report.Conforms() {
+		t.Fatal("violating transaction reported conforming")
+	}
+	v := report.Violations[`protocl = "UDP"`]
+	if len(v) != 1 || v[0] != glsnsOf(3)[0] {
+		t.Fatalf("violations = %v, want row 3", v)
+	}
+	if len(report.Violations[`C1 >= 18`]) != 0 {
+		t.Fatalf("clean rule reported violations: %v", report.Violations[`C1 >= 18`])
+	}
+}
+
+// TestCheckTransactionCrossNodeRule uses a rule spanning DLA nodes (the
+// §4.2 distributed-events case): C1 on P3 vs C2 on P1.
+func TestCheckTransactionCrossNodeRule(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	report, err := r.auditor.CheckTransaction(ctx, "Tid", "T1100265", []string{
+		`C1 < C2`, // true for all three records of the transaction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Conforms() {
+		t.Fatalf("cross-node rule flagged conforming records: %+v", report.Violations)
+	}
+}
+
+func TestCheckTransactionUnknownTid(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	report, err := r.auditor.CheckTransaction(ctx, "Tid", "T9999999", []string{`C1 > 0`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Records) != 0 || !report.Conforms() {
+		t.Fatalf("empty transaction misreported: %+v", report)
+	}
+}
+
+func TestCheckTransactionBadRule(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+	if _, err := r.auditor.CheckTransaction(ctx, "Tid", "T1100265", []string{`C1 >`}); err == nil {
+		t.Fatal("malformed rule accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"confaudit/internal/crypto/accumulator"
+	"confaudit/internal/crypto/blind"
+	"confaudit/internal/logmodel"
+	"confaudit/internal/mathx"
+	"confaudit/internal/ticket"
+)
+
+// Bootstrap holds the cluster-wide agreed material a deployment
+// provisions out of band: node signing keys, the ticket issuer, and the
+// accumulator parameters (which the paper requires to be "agreed upon in
+// advance" by U and P).
+type Bootstrap struct {
+	// Roster is the node order (Roster[0] is the sequencer leader).
+	Roster []string
+	// Partition is the attribute partition.
+	Partition *logmodel.Partition
+	// Group is the shared commutative-crypto group.
+	Group *mathx.Group
+	// AccParams are the one-way accumulator parameters.
+	AccParams *accumulator.Params
+	// Issuer mints tickets. It is nil on restored node-side bootstraps
+	// (nodes verify tickets with IssuerPub; only the issuing party holds
+	// the private key).
+	Issuer *ticket.Issuer
+	// IssuerPub is the ticket verification key.
+	IssuerPub blind.PublicKey
+	// Signers holds each node's private signing key.
+	Signers map[string]*blind.Authority
+	// PeerKeys holds each node's public verification key.
+	PeerKeys map[string]blind.PublicKey
+	// FirstGLSN seeds the sequencer.
+	FirstGLSN logmodel.GLSN
+}
+
+// BootstrapOptions tune provisioning.
+type BootstrapOptions struct {
+	// KeyBits is the RSA modulus size for node/CA keys (default 1024).
+	KeyBits int
+	// AccBits is the accumulator modulus size (default 512).
+	AccBits int
+	// FirstGLSN seeds the sequencer (default 0x139aef78, the paper's
+	// first example glsn).
+	FirstGLSN logmodel.GLSN
+}
+
+// NewBootstrap provisions a cluster over the partition's node roster.
+func NewBootstrap(rng io.Reader, part *logmodel.Partition, group *mathx.Group, opts BootstrapOptions) (*Bootstrap, error) {
+	if part == nil || group == nil {
+		return nil, fmt.Errorf("cluster: nil partition or group")
+	}
+	keyBits := opts.KeyBits
+	if keyBits == 0 {
+		keyBits = 1024
+	}
+	accBits := opts.AccBits
+	if accBits == 0 {
+		accBits = 512
+	}
+	first := opts.FirstGLSN
+	if first == 0 {
+		first = 0x139aef78
+	}
+	acc, err := accumulator.GenerateParams(rng, accBits)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: accumulator params: %w", err)
+	}
+	ca, err := blind.NewAuthority(rng, keyBits)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: ticket issuer key: %w", err)
+	}
+	b := &Bootstrap{
+		Roster:    part.Nodes(),
+		Partition: part,
+		Group:     group,
+		AccParams: acc,
+		Issuer:    ticket.NewIssuer(ca),
+		IssuerPub: ca.Public(),
+		Signers:   make(map[string]*blind.Authority),
+		PeerKeys:  make(map[string]blind.PublicKey),
+		FirstGLSN: first,
+	}
+	for _, node := range b.Roster {
+		signer, err := blind.NewAuthority(rng, keyBits)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: signing key for %s: %w", node, err)
+		}
+		b.Signers[node] = signer
+		b.PeerKeys[node] = signer.Public()
+	}
+	return b, nil
+}
+
+// NodeConfig assembles the Config for one roster node.
+func (b *Bootstrap) NodeConfig(id string) Config {
+	return Config{
+		ID:           id,
+		Roster:       append([]string(nil), b.Roster...),
+		Partition:    b.Partition,
+		Group:        b.Group,
+		Signer:       b.Signers[id],
+		PeerKeys:     b.PeerKeys,
+		TicketIssuer: b.IssuerPub,
+		AccParams:    b.AccParams,
+		FirstGLSN:    b.FirstGLSN,
+	}
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"strconv"
+	"sync/atomic"
+
+	"confaudit/internal/crypto/accumulator"
+	"confaudit/internal/crypto/blind"
+	"confaudit/internal/logmodel"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+// Client is an application-subsystem node u_j's handle on the DLA
+// cluster: it registers its ticket, obtains glsns from the sequencer,
+// splits records into per-node fragments, and distributes them together
+// with the one-way-accumulator digest (paper §2, §4.1).
+type Client struct {
+	mb     *transport.Mailbox
+	roster []string
+	part   *logmodel.Partition
+	acc    *accumulator.Params
+	tk     *ticket.Ticket
+	// signer, when set, signs every stored record's digest so the
+	// record is non-repudiable (paper §2: "non-repudiation of
+	// transactions").
+	signer *blind.Authority
+
+	session atomic.Uint64
+}
+
+// SetSigner installs a non-repudiation signing key; subsequent Log and
+// StoreRecord calls attach provenance signatures.
+func (c *Client) SetSigner(signer *blind.Authority) { c.signer = signer }
+
+// NewClient builds a cluster client for the holder of the ticket.
+func NewClient(mb *transport.Mailbox, roster []string, part *logmodel.Partition, acc *accumulator.Params, tk *ticket.Ticket) (*Client, error) {
+	if mb == nil || part == nil || acc == nil || tk == nil {
+		return nil, errors.New("cluster: nil client dependency")
+	}
+	if len(roster) == 0 {
+		return nil, errors.New("cluster: empty roster")
+	}
+	return &Client{
+		mb:     mb,
+		roster: append([]string(nil), roster...),
+		part:   part,
+		acc:    acc,
+		tk:     tk,
+	}, nil
+}
+
+// Ticket returns the client's ticket.
+func (c *Client) Ticket() *ticket.Ticket { return c.tk }
+
+func (c *Client) nextSession(prefix string) string {
+	return prefix + "/" + c.mb.ID() + "/" + strconv.FormatUint(c.session.Add(1), 10)
+}
+
+// RegisterTicket registers the client's ticket on every DLA node.
+func (c *Client) RegisterTicket(ctx context.Context) error {
+	session := c.nextSession("reg")
+	body := ticketRegisterBody{Ticket: ToWire(c.tk)}
+	for _, node := range c.roster {
+		msg, err := transport.NewMessage(node, MsgTicketRegister, session, body)
+		if err != nil {
+			return err
+		}
+		if err := c.mb.Send(ctx, msg); err != nil {
+			return fmt.Errorf("cluster: registering ticket on %s: %w", node, err)
+		}
+	}
+	for range c.roster {
+		msg, err := c.mb.Expect(ctx, MsgTicketAck, session)
+		if err != nil {
+			return fmt.Errorf("cluster: awaiting ticket ack: %w", err)
+		}
+		var ack ackBody
+		if err := transport.Unmarshal(msg.Payload, &ack); err != nil {
+			return err
+		}
+		if !ack.OK {
+			return fmt.Errorf("cluster: node %s refused ticket: %s", msg.From, ack.Error)
+		}
+	}
+	return nil
+}
+
+// RequestGLSN obtains the next glsn from the sequencer leader.
+func (c *Client) RequestGLSN(ctx context.Context) (logmodel.GLSN, error) {
+	session := c.nextSession("glsn")
+	msg, err := transport.NewMessage(c.roster[0], MsgGLSNRequest, session, glsnRequestBody{TicketID: c.tk.ID})
+	if err != nil {
+		return 0, err
+	}
+	if err := c.mb.Send(ctx, msg); err != nil {
+		return 0, fmt.Errorf("cluster: requesting glsn: %w", err)
+	}
+	resp, err := c.mb.Expect(ctx, MsgGLSNResponse, session)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: awaiting glsn: %w", err)
+	}
+	var body glsnResponseBody
+	if err := transport.Unmarshal(resp.Payload, &body); err != nil {
+		return 0, err
+	}
+	if body.Error != "" {
+		return 0, fmt.Errorf("cluster: sequencer refused: %s", body.Error)
+	}
+	return body.GLSN, nil
+}
+
+// Log writes one event record to the cluster: obtain a glsn, fragment
+// the record per the partition, compute the record's accumulator digest
+// over all fragments, and store each fragment (with the digest) on its
+// node. Returns the assigned glsn.
+func (c *Client) Log(ctx context.Context, values map[logmodel.Attr]logmodel.Value) (logmodel.GLSN, error) {
+	g, err := c.RequestGLSN(ctx)
+	if err != nil {
+		return 0, err
+	}
+	rec := logmodel.Record{GLSN: g, Values: values}
+	if err := c.StoreRecord(ctx, rec); err != nil {
+		return 0, err
+	}
+	return g, nil
+}
+
+// StoreRecord fragments and stores a record under an already-assigned
+// glsn.
+func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
+	frags := c.part.Split(rec)
+	digest := c.RecordDigest(rec)
+	var prov *big.Int
+	if c.signer != nil {
+		var err error
+		if prov, err = c.signer.Sign(ProvenanceStatement(rec.GLSN, digest)); err != nil {
+			return fmt.Errorf("cluster: signing provenance: %w", err)
+		}
+	}
+	session := c.nextSession("store")
+	for node, frag := range frags {
+		body := storeBody{TicketID: c.tk.ID, Fragment: frag, Digest: digest, Provenance: prov}
+		msg, err := transport.NewMessage(node, MsgLogStore, session, body)
+		if err != nil {
+			return err
+		}
+		if err := c.mb.Send(ctx, msg); err != nil {
+			return fmt.Errorf("cluster: storing fragment on %s: %w", node, err)
+		}
+	}
+	for range frags {
+		msg, err := c.mb.Expect(ctx, MsgLogAck, session)
+		if err != nil {
+			return fmt.Errorf("cluster: awaiting store ack: %w", err)
+		}
+		var ack ackBody
+		if err := transport.Unmarshal(msg.Payload, &ack); err != nil {
+			return err
+		}
+		if !ack.OK {
+			return fmt.Errorf("cluster: node %s refused fragment: %s", msg.From, ack.Error)
+		}
+	}
+	return nil
+}
+
+// RecordDigest computes A(x0, Log_0, ..., Log_{n-1}) over the record's
+// fragments — the digest every DLA node receives for later integrity
+// circulation. Accumulation is order independent (eq. 9), so node order
+// does not matter.
+func (c *Client) RecordDigest(rec logmodel.Record) *big.Int {
+	frags := c.part.Split(rec)
+	items := make([][]byte, 0, len(frags))
+	for _, node := range c.part.Nodes() {
+		items = append(items, frags[node].Canonical())
+	}
+	return c.acc.AccumulateAll(items)
+}
+
+// Delete removes the client's record from every node. Requires the
+// ticket to carry the delete operation and the per-glsn grant.
+func (c *Client) Delete(ctx context.Context, g logmodel.GLSN) error {
+	session := c.nextSession("del")
+	for _, node := range c.roster {
+		msg, err := transport.NewMessage(node, MsgLogDelete, session, readBody{TicketID: c.tk.ID, GLSN: g})
+		if err != nil {
+			return err
+		}
+		if err := c.mb.Send(ctx, msg); err != nil {
+			return fmt.Errorf("cluster: deleting on %s: %w", node, err)
+		}
+	}
+	for range c.roster {
+		msg, err := c.mb.Expect(ctx, MsgLogAck, session)
+		if err != nil {
+			return fmt.Errorf("cluster: awaiting delete ack: %w", err)
+		}
+		var ack ackBody
+		if err := transport.Unmarshal(msg.Payload, &ack); err != nil {
+			return err
+		}
+		if !ack.OK {
+			return fmt.Errorf("cluster: node %s refused delete: %s", msg.From, ack.Error)
+		}
+	}
+	return nil
+}
+
+// Read fetches the client's own record back from the cluster by reading
+// every node's fragment and reassembling (requires per-glsn read
+// authorization, i.e. the record was logged under this ticket).
+func (c *Client) Read(ctx context.Context, g logmodel.GLSN) (logmodel.Record, error) {
+	session := c.nextSession("read")
+	for _, node := range c.roster {
+		msg, err := transport.NewMessage(node, MsgLogRead, session, readBody{TicketID: c.tk.ID, GLSN: g})
+		if err != nil {
+			return logmodel.Record{}, err
+		}
+		if err := c.mb.Send(ctx, msg); err != nil {
+			return logmodel.Record{}, fmt.Errorf("cluster: reading from %s: %w", node, err)
+		}
+	}
+	frags := make([]logmodel.Fragment, 0, len(c.roster))
+	for range c.roster {
+		msg, err := c.mb.Expect(ctx, MsgLogFragment, session)
+		if err != nil {
+			return logmodel.Record{}, fmt.Errorf("cluster: awaiting fragment: %w", err)
+		}
+		var resp fragResponseBody
+		if err := transport.Unmarshal(msg.Payload, &resp); err != nil {
+			return logmodel.Record{}, err
+		}
+		if resp.Error != "" {
+			return logmodel.Record{}, fmt.Errorf("cluster: node %s refused read: %s", msg.From, resp.Error)
+		}
+		frags = append(frags, resp.Fragment)
+	}
+	return logmodel.Reassemble(frags)
+}

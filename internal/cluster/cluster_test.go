@@ -1,0 +1,561 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"math/big"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/mathx"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+// testCluster is a running in-memory DLA cluster plus helpers.
+type testCluster struct {
+	boot   *Bootstrap
+	net    *transport.MemNetwork
+	nodes  map[string]*Node
+	cancel context.CancelFunc
+}
+
+var (
+	bootOnce sync.Once
+	bootVal  *Bootstrap
+	bootErr  error
+)
+
+// sharedBootstrap amortizes RSA keygen across tests.
+func sharedBootstrap(t testing.TB) *Bootstrap {
+	t.Helper()
+	bootOnce.Do(func() {
+		ex, err := logmodel.NewPaperExample()
+		if err != nil {
+			bootErr = err
+			return
+		}
+		bootVal, bootErr = NewBootstrap(rand.Reader, ex.Partition, mathx.Oakley768, BootstrapOptions{})
+	})
+	if bootErr != nil {
+		t.Fatalf("bootstrap: %v", bootErr)
+	}
+	return bootVal
+}
+
+func startCluster(t *testing.T) *testCluster {
+	t.Helper()
+	boot := sharedBootstrap(t)
+	net := transport.NewMemNetwork()
+	ctx, cancel := context.WithCancel(context.Background())
+	tc := &testCluster{boot: boot, net: net, nodes: make(map[string]*Node), cancel: cancel}
+	for _, id := range boot.Roster {
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb := transport.NewMailbox(ep)
+		node, err := New(boot.NodeConfig(id), mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start(ctx)
+		tc.nodes[id] = node
+	}
+	t.Cleanup(func() {
+		cancel()
+		net.Close() //nolint:errcheck
+		for _, n := range tc.nodes {
+			n.Wait()
+		}
+	})
+	return tc
+}
+
+func (tc *testCluster) client(t *testing.T, clientID, ticketID string, ops ...ticket.Op) *Client {
+	t.Helper()
+	ep, err := tc.net.Endpoint(clientID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	t.Cleanup(func() { mb.Close() }) //nolint:errcheck
+	tk, err := tc.boot.Issuer.Issue(ticketID, clientID, ops...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(mb, tc.boot.Roster, tc.boot.Partition, tc.boot.AccParams, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestEndToEndLogAndRead(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "u0", "T1", ticket.OpWrite, ticket.OpRead)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	values := map[logmodel.Attr]logmodel.Value{
+		"time":    logmodel.String("20:18:35/05/12/2002"),
+		"id":      logmodel.String("U1"),
+		"protocl": logmodel.String("UDP"),
+		"Tid":     logmodel.String("T1100265"),
+		"C1":      logmodel.Int(20),
+		"C2":      logmodel.Float(23.45),
+		"C3":      logmodel.String("signature"),
+	}
+	g, err := c.Log(ctx, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0x139aef78 {
+		t.Fatalf("first glsn = %s, want 139aef78 (paper's first example)", g)
+	}
+	rec, err := c.Read(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Values) != len(values) {
+		t.Fatalf("read back %d attrs, want %d", len(rec.Values), len(values))
+	}
+	for a, v := range values {
+		if !rec.Values[a].Equal(v) {
+			t.Fatalf("attr %q = %v, want %v", a, rec.Values[a], v)
+		}
+	}
+}
+
+func TestGLSNMonotonicAcrossClients(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c1 := tc.client(t, "u1", "TA", ticket.OpWrite)
+	c2 := tc.client(t, "u2", "TB", ticket.OpWrite)
+	if err := c1.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[logmodel.GLSN]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, c := range []*Client{c1, c2} {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				g, err := c.RequestGLSN(ctx)
+				if err != nil {
+					t.Errorf("RequestGLSN: %v", err)
+					return
+				}
+				mu.Lock()
+				if seen[g] {
+					t.Errorf("duplicate glsn %s", g)
+				}
+				seen[g] = true
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if len(seen) != 20 {
+		t.Fatalf("assigned %d distinct glsns, want 20", len(seen))
+	}
+}
+
+func TestStoreRejectsForeignGLSN(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	honest := tc.client(t, "u3", "TH", ticket.OpWrite, ticket.OpRead)
+	attacker := tc.client(t, "mallory", "TM", ticket.OpWrite)
+	if err := honest.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := attacker.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g, err := honest.Log(ctx, map[logmodel.Attr]logmodel.Value{"id": logmodel.String("U1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker tries to overwrite the honest record under its own glsn
+	// grant — but the glsn belongs to the honest ticket.
+	rec := logmodel.Record{GLSN: g, Values: map[logmodel.Attr]logmodel.Value{"id": logmodel.String("FORGED")}}
+	err = attacker.StoreRecord(ctx, rec)
+	if err == nil {
+		t.Fatal("store under a foreign glsn accepted")
+	}
+	if !strings.Contains(err.Error(), "not assigned") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestReadRequiresGrant(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	owner := tc.client(t, "u4", "TO", ticket.OpWrite, ticket.OpRead)
+	snoop := tc.client(t, "snoop", "TS", ticket.OpWrite, ticket.OpRead)
+	if err := owner.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := snoop.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g, err := owner.Log(ctx, map[logmodel.Attr]logmodel.Value{"C1": logmodel.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snoop.Read(ctx, g); err == nil {
+		t.Fatal("read of a foreign record accepted")
+	}
+	if _, err := owner.Read(ctx, g); err != nil {
+		t.Fatalf("owner read failed: %v", err)
+	}
+}
+
+func TestWriteRequiresWriteOp(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	reader := tc.client(t, "u5", "TR", ticket.OpRead)
+	if err := reader.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.RequestGLSN(ctx); err == nil {
+		t.Fatal("read-only ticket obtained a glsn")
+	}
+}
+
+func TestUnregisteredTicketRefused(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	ghost := tc.client(t, "u6", "TGhost", ticket.OpWrite)
+	// Never registers; sequencer must refuse.
+	if _, err := ghost.RequestGLSN(ctx); err == nil {
+		t.Fatal("unregistered ticket obtained a glsn")
+	}
+}
+
+func TestForgedTicketRefusedAtRegistration(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	ep, err := tc.net.Endpoint("forger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	forged := &ticket.Ticket{ID: "TF", Holder: "forger", Ops: []ticket.Op{ticket.OpWrite}, Sig: big.NewInt(99)}
+	c, err := NewClient(mb, tc.boot.Roster, tc.boot.Partition, tc.boot.AccParams, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterTicket(ctx); err == nil {
+		t.Fatal("forged ticket registered")
+	}
+}
+
+func TestFragmentsStayWithinNodeAttrs(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "u7", "TFrag", ticket.OpWrite, ticket.OpRead)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Log(ctx, map[logmodel.Attr]logmodel.Value{
+		"time": logmodel.String("t0"),
+		"id":   logmodel.String("U9"),
+		"C1":   logmodel.Int(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each node stores only its own attribute slice.
+	for id, node := range tc.nodes {
+		frag, ok := node.Fragment(g)
+		if !ok {
+			t.Fatalf("node %s missing fragment for %s", id, g)
+		}
+		allowed := make(map[logmodel.Attr]bool)
+		for _, a := range tc.boot.Partition.NodeAttrs(id) {
+			allowed[a] = true
+		}
+		for a := range frag.Values {
+			if !allowed[a] {
+				t.Fatalf("node %s stores attribute %q outside A_i", id, a)
+			}
+		}
+		if d, ok := node.Digest(g); !ok || d == nil {
+			t.Fatalf("node %s missing record digest", id)
+		}
+	}
+}
+
+func TestAccessTableConsistencyAcrossNodes(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "u8", "TCons", ticket.OpWrite)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Log(ctx, map[logmodel.Attr]logmodel.Value{"C1": logmodel.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All nodes converge to identical consistency elements (§4.1).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var want string
+		consistent := true
+		for _, id := range tc.boot.Roster {
+			rows := tc.nodes[id].AccessTable().ConsistencyElements()
+			var sb strings.Builder
+			for _, r := range rows {
+				sb.Write(r)
+				sb.WriteByte('\n')
+			}
+			if want == "" {
+				want = sb.String()
+			} else if sb.String() != want {
+				consistent = false
+			}
+		}
+		if consistent {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("access tables never converged")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCertificateVerification(t *testing.T) {
+	boot := sharedBootstrap(t)
+	stmt := glsnStatement(0x139aef78, "T1")
+	sig0, err := boot.Signers[boot.Roster[0]].Sign(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig1, err := boot.Signers[boot.Roster[1]].Sign(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := boot.Signers[boot.Roster[2]].Sign(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := &Certificate{
+		Statement: stmt,
+		Votes: map[string]*big.Int{
+			boot.Roster[0]: sig0,
+			boot.Roster[1]: sig1,
+			boot.Roster[2]: sig2,
+		},
+	}
+	quorum := Quorum(len(boot.Roster))
+	if err := VerifyCertificate(boot.PeerKeys, quorum, cert); err != nil {
+		t.Fatalf("valid certificate rejected: %v", err)
+	}
+	// Too few votes.
+	thin := &Certificate{Statement: stmt, Votes: map[string]*big.Int{boot.Roster[0]: sig0}}
+	if err := VerifyCertificate(boot.PeerKeys, quorum, thin); err == nil {
+		t.Fatal("sub-quorum certificate accepted")
+	}
+	// Unknown voter.
+	alien := &Certificate{Statement: stmt, Votes: map[string]*big.Int{"mallory": sig0}}
+	if err := VerifyCertificate(boot.PeerKeys, quorum, alien); err == nil {
+		t.Fatal("certificate with unknown voter accepted")
+	}
+	// Tampered statement.
+	bad := &Certificate{Statement: []byte("glsn|ffff|T1"), Votes: cert.Votes}
+	if err := VerifyCertificate(boot.PeerKeys, quorum, bad); err == nil {
+		t.Fatal("certificate with mismatched statement accepted")
+	}
+	// Empty.
+	if err := VerifyCertificate(boot.PeerKeys, quorum, nil); err == nil {
+		t.Fatal("nil certificate accepted")
+	}
+	if Quorum(4) != 3 || Quorum(5) != 3 || Quorum(1) != 1 {
+		t.Fatal("Quorum math wrong")
+	}
+}
+
+func TestGLSNStatementRoundTrip(t *testing.T) {
+	stmt := glsnStatement(0x139aef78, "T1")
+	g, tid, err := parseGLSNStatement(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0x139aef78 || tid != "T1" {
+		t.Fatalf("parsed %s %s", g, tid)
+	}
+	if _, _, err := parseGLSNStatement([]byte("garbage")); err == nil {
+		t.Fatal("garbage statement parsed")
+	}
+	if _, _, err := parseGLSNStatement([]byte("glsn|zz!|T1")); err == nil {
+		t.Fatal("bad glsn parsed")
+	}
+}
+
+func TestTamperFragmentHook(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "u9", "TT", ticket.OpWrite)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Log(ctx, map[logmodel.Attr]logmodel.Value{"C1": logmodel.Int(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := tc.nodes["P3"] // C1 owner
+	if !p3.TamperFragment(g, "C1", logmodel.Int(9999)) {
+		t.Fatal("tamper hook failed")
+	}
+	frag, _ := p3.Fragment(g)
+	if frag.Values["C1"].I != 9999 {
+		t.Fatal("tampering did not take effect")
+	}
+	if p3.TamperFragment(999999, "C1", logmodel.Int(1)) {
+		t.Fatal("tampering an unknown glsn succeeded")
+	}
+	if p3.TamperFragment(g, "nosuch", logmodel.Int(1)) {
+		t.Fatal("tampering an absent attribute succeeded")
+	}
+}
+
+// TestSequencerToleratesMinorityPartition checks the distributed
+// majority agreement: with one of four followers unreachable, glsn
+// assignment still reaches quorum (3 of 4) and proceeds.
+func TestSequencerToleratesMinorityPartition(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "quorum-u", "TQ", ticket.OpWrite)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Cut P3 off after registration. The leader P0 still gathers votes
+	// from P1 and P2 plus its own: 3 >= quorum(4).
+	tc.net.Partition("P3")
+	defer tc.net.Partition()
+	g, err := c.RequestGLSN(ctx)
+	if err != nil {
+		t.Fatalf("glsn under minority partition: %v", err)
+	}
+	if g == 0 {
+		t.Fatal("zero glsn")
+	}
+}
+
+// TestSequencerBlocksWithoutQuorum checks the other side: with two of
+// four nodes unreachable no majority exists, and the assignment fails
+// rather than diverging.
+func TestSequencerBlocksWithoutQuorum(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "noq-u", "TNQ", ticket.OpWrite)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tc.net.Partition("P2", "P3")
+	defer tc.net.Partition()
+	shortCtx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	if _, err := c.RequestGLSN(shortCtx); err == nil {
+		t.Fatal("glsn assigned without a majority")
+	}
+}
+
+// TestFollowerCatchesUpAfterHeal partitions a follower through several
+// sequencer rounds, heals the partition, and verifies the follower
+// syncs missed grants from the leader and votes again.
+func TestFollowerCatchesUpAfterHeal(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "heal-u", "THEAL", ticket.OpWrite)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// P3 misses three assignments.
+	tc.net.Partition("P3")
+	for i := 0; i < 3; i++ {
+		if _, err := c.RequestGLSN(ctx); err != nil {
+			t.Fatalf("glsn during partition: %v", err)
+		}
+	}
+	tc.net.Partition() // heal
+
+	// The next assignments require P3 to catch up (quorum still works
+	// without it, but P3's vote proves the sync happened when the
+	// cluster later depends on it). Run enough rounds and then assert
+	// P3's access table converged to the leader's.
+	for i := 0; i < 3; i++ {
+		if _, err := c.RequestGLSN(ctx); err != nil {
+			t.Fatalf("glsn after heal: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lead := tc.nodes["P0"].AccessTable().Glsns("THEAL")
+		p3 := tc.nodes["P3"].AccessTable().Glsns("THEAL")
+		if len(lead) == 6 && len(p3) == len(lead) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("P3 never caught up: leader %d grants, P3 %d", len(lead), len(p3))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	boot := sharedBootstrap(t)
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	ep, err := net.Endpoint("P0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+
+	good := boot.NodeConfig("P0")
+	if _, err := New(good, nil); err == nil {
+		t.Fatal("nil mailbox accepted")
+	}
+	bad := good
+	bad.ID = "PX"
+	if _, err := New(bad, mb); err == nil {
+		t.Fatal("node outside roster accepted")
+	}
+	bad = good
+	bad.Partition = nil
+	if _, err := New(bad, mb); err == nil {
+		t.Fatal("nil partition accepted")
+	}
+	bad = good
+	bad.PeerKeys = nil
+	if _, err := New(bad, mb); err == nil {
+		t.Fatal("missing peer keys accepted")
+	}
+	bad = good
+	bad.ID = ""
+	if _, err := New(bad, mb); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+}

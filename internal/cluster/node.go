@@ -1,0 +1,721 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"confaudit/internal/crypto/accumulator"
+	"confaudit/internal/crypto/blind"
+	"confaudit/internal/logmodel"
+	"confaudit/internal/mathx"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+// Message types of the node's client-facing protocol.
+const (
+	MsgTicketRegister = "ticket.register"
+	MsgTicketAck      = "ticket.ack"
+	MsgGLSNRequest    = "glsn.request"
+	MsgGLSNResponse   = "glsn.response"
+	MsgLogStore       = "log.store"
+	MsgLogAck         = "log.ack"
+	MsgLogRead        = "log.read"
+	MsgLogFragment    = "log.frag"
+	MsgLogDelete      = "log.delete"
+)
+
+// Errors reported by node operations.
+var (
+	// ErrNotLeader indicates a sequencer request sent to a follower.
+	ErrNotLeader = errors.New("cluster: not the sequencer leader")
+	// ErrUnknownGLSN indicates a glsn with no stored fragment.
+	ErrUnknownGLSN = errors.New("cluster: unknown glsn")
+	// ErrGLSNNotAssigned indicates a store for an unassigned glsn.
+	ErrGLSNNotAssigned = errors.New("cluster: glsn not assigned")
+)
+
+// Config assembles a DLA node.
+type Config struct {
+	// ID is the node's cluster identity (must appear in Roster).
+	ID string
+	// Roster lists every DLA node in canonical order; Roster[0] is the
+	// glsn sequencer leader.
+	Roster []string
+	// Partition is the attribute partition (this node serves
+	// Partition.NodeAttrs(ID)).
+	Partition *logmodel.Partition
+	// Group is the shared commutative-crypto group for SMC protocols.
+	Group *mathx.Group
+	// Signer is the node's signing key for agreement votes.
+	Signer *blind.Authority
+	// PeerKeys maps every roster node (including self) to its
+	// verification key.
+	PeerKeys map[string]blind.PublicKey
+	// TicketIssuer is the verification key tickets are checked under.
+	TicketIssuer blind.PublicKey
+	// AccParams are the cluster-agreed one-way-accumulator parameters.
+	AccParams *accumulator.Params
+	// FirstGLSN is the first sequence number the leader assigns.
+	FirstGLSN logmodel.GLSN
+	// DataDir, when set, enables durable state: every mutation is
+	// journaled to DataDir/node.wal and replayed on restart.
+	DataDir string
+}
+
+func (c *Config) validate() error {
+	if c.ID == "" {
+		return errors.New("cluster: empty node ID")
+	}
+	found := false
+	for _, r := range c.Roster {
+		if r == c.ID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: node %q not in roster %v", c.ID, c.Roster)
+	}
+	if c.Partition == nil || c.Group == nil || c.Signer == nil || c.AccParams == nil {
+		return errors.New("cluster: missing partition, group, signer, or accumulator params")
+	}
+	if len(c.PeerKeys) < len(c.Roster) {
+		return errors.New("cluster: missing peer keys")
+	}
+	return nil
+}
+
+// Node is one DLA cluster member. Create with New, start with Start,
+// stop by cancelling the context passed to Start.
+type Node struct {
+	id        string
+	roster    []string
+	part      *logmodel.Partition
+	group     *mathx.Group
+	signer    *blind.Authority
+	peerKeys  map[string]blind.PublicKey
+	accParams *accumulator.Params
+	mb        *transport.Mailbox
+
+	mu       sync.RWMutex
+	frags    map[logmodel.GLSN]logmodel.Fragment
+	digests  map[logmodel.GLSN]*big.Int
+	provs    map[logmodel.GLSN]*big.Int
+	acl      *ticket.AccessTable
+	nextGLSN logmodel.GLSN
+	seqMu    sync.Mutex // serializes leader sequencer rounds
+
+	wal *WAL
+
+	wg sync.WaitGroup
+}
+
+// New builds a node bound to the mailbox.
+func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if mb == nil || mb.ID() != cfg.ID {
+		return nil, fmt.Errorf("cluster: mailbox identity mismatch")
+	}
+	first := cfg.FirstGLSN
+	if first == 0 {
+		first = 1
+	}
+	n := &Node{
+		id:        cfg.ID,
+		roster:    append([]string(nil), cfg.Roster...),
+		part:      cfg.Partition,
+		group:     cfg.Group,
+		signer:    cfg.Signer,
+		peerKeys:  cfg.PeerKeys,
+		accParams: cfg.AccParams,
+		mb:        mb,
+		frags:     make(map[logmodel.GLSN]logmodel.Fragment),
+		digests:   make(map[logmodel.GLSN]*big.Int),
+		provs:     make(map[logmodel.GLSN]*big.Int),
+		acl:       ticket.NewAccessTable(cfg.TicketIssuer),
+		nextGLSN:  first,
+	}
+	if cfg.DataDir != "" {
+		if err := n.restore(cfg.DataDir); err != nil {
+			return nil, err
+		}
+		wal, err := OpenWAL(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		n.wal = wal
+	}
+	return n, nil
+}
+
+// CloseStorage flushes and closes the node's journal (no-op without a
+// data directory). Call after the node's server loops have stopped.
+func (n *Node) CloseStorage() error { return n.wal.Close() }
+
+// ID returns the node's cluster identity.
+func (n *Node) ID() string { return n.id }
+
+// Roster returns the cluster roster (copy).
+func (n *Node) Roster() []string { return append([]string(nil), n.roster...) }
+
+// Partition returns the attribute partition.
+func (n *Node) Partition() *logmodel.Partition { return n.part }
+
+// Group returns the shared crypto group.
+func (n *Node) Group() *mathx.Group { return n.group }
+
+// Mailbox returns the node's mailbox, for subsystem servers (integrity,
+// audit) that share it.
+func (n *Node) Mailbox() *transport.Mailbox { return n.mb }
+
+// AccParams returns the cluster accumulator parameters.
+func (n *Node) AccParams() *accumulator.Params { return n.accParams }
+
+// isLeader reports whether this node is the glsn sequencer.
+func (n *Node) isLeader() bool { return n.roster[0] == n.id }
+
+func (n *Node) peers() []string {
+	out := make([]string, 0, len(n.roster)-1)
+	for _, r := range n.roster {
+		if r != n.id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Start launches the node's server loops. They stop when ctx is
+// cancelled; Wait blocks until they have exited.
+func (n *Node) Start(ctx context.Context) {
+	loops := []func(context.Context){
+		n.serveAgreement,
+		n.serveCommits,
+		n.serveTickets,
+		n.serveGLSN,
+		n.serveStore,
+		n.serveRead,
+		n.serveDelete,
+		n.serveACLCheck,
+		n.serveACLRequests,
+		n.serveSync,
+	}
+	n.wg.Add(len(loops))
+	for _, loop := range loops {
+		go func(loop func(context.Context)) {
+			defer n.wg.Done()
+			loop(ctx)
+		}(loop)
+	}
+}
+
+// Wait blocks until every server loop has exited.
+func (n *Node) Wait() { n.wg.Wait() }
+
+// --- statement handling (glsn assignment agreement) ---
+
+// glsnStatement renders the sequencer statement "glsn|<seq>|<ticket>".
+func glsnStatement(g logmodel.GLSN, ticketID string) []byte {
+	return []byte("glsn|" + strconv.FormatUint(uint64(g), 16) + "|" + ticketID)
+}
+
+func parseGLSNStatement(stmt []byte) (logmodel.GLSN, string, error) {
+	parts := strings.Split(string(stmt), "|")
+	if len(parts) != 3 || parts[0] != "glsn" {
+		return 0, "", fmt.Errorf("cluster: not a glsn statement: %q", stmt)
+	}
+	g, err := logmodel.ParseGLSN(parts[1])
+	if err != nil {
+		return 0, "", err
+	}
+	return g, parts[2], nil
+}
+
+// validateStatement is the voter-side admission check. A follower may
+// receive the proposal for glsn g+1 before it has processed the commit
+// for g, so statements ahead of local state wait briefly for catch-up
+// before being refused.
+func (n *Node) validateStatement(ctx context.Context, stmt []byte) error {
+	g, ticketID, err := parseGLSNStatement(stmt)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	syncAfter := time.Now().Add(300 * time.Millisecond)
+	synced := false
+	for {
+		n.mu.RLock()
+		next := n.nextGLSN
+		_, ticketKnown := n.acl.Ticket(ticketID)
+		n.mu.RUnlock()
+		switch {
+		case g < next:
+			return fmt.Errorf("cluster: statement assigns glsn %s, already past %s", g, next)
+		case g == next && ticketKnown:
+			return nil
+		case g == next:
+			return fmt.Errorf("%w: %q", ticket.ErrUnknownTicket, ticketID)
+		}
+		// Behind by several glsns — or behind at all for longer than a
+		// commit normally takes — means commits were lost (e.g. this
+		// node was partitioned); pull missed grants from the leader.
+		if !synced && (g > next+1 || time.Now().After(syncAfter)) {
+			synced = true
+			n.syncFromLeader(ctx) //nolint:errcheck // loop re-checks state
+			continue
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: statement assigns glsn %s, expected %s", g, next)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// errGLSNGap indicates a certified statement ahead of local state:
+// earlier commits were missed and must be synced first.
+var errGLSNGap = errors.New("cluster: glsn gap, sync required")
+
+// applyStatement applies a certified statement to local state. It is
+// strict: applying glsn g requires every grant below g to be present,
+// otherwise the follower would silently skip assignments it missed.
+func (n *Node) applyStatement(stmt []byte) error {
+	g, ticketID, err := parseGLSNStatement(stmt)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if g < n.nextGLSN {
+		return nil // already applied
+	}
+	if g > n.nextGLSN {
+		return fmt.Errorf("%w: statement %s, local state at %s", errGLSNGap, g, n.nextGLSN)
+	}
+	if err := n.acl.Grant(ticketID, g); err != nil {
+		return err
+	}
+	n.nextGLSN = g + 1
+	return n.wal.append(walEntry{Kind: "grant", TicketID: ticketID, GLSN: g})
+}
+
+// --- ticket registration ---
+
+type ticketRegisterBody struct {
+	Ticket wireTicket `json:"ticket"`
+}
+
+// wireTicket is the JSON form of a ticket.
+type wireTicket struct {
+	ID     string   `json:"id"`
+	Holder string   `json:"holder"`
+	Ops    []int    `json:"ops"`
+	Sig    *big.Int `json:"sig"`
+}
+
+// ToWire converts a ticket for transmission.
+func ToWire(t *ticket.Ticket) wireTicket {
+	ops := make([]int, len(t.Ops))
+	for i, o := range t.Ops {
+		ops[i] = int(o)
+	}
+	return wireTicket{ID: t.ID, Holder: t.Holder, Ops: ops, Sig: t.Sig}
+}
+
+func (w wireTicket) ticket() *ticket.Ticket {
+	ops := make([]ticket.Op, len(w.Ops))
+	for i, o := range w.Ops {
+		ops[i] = ticket.Op(o)
+	}
+	return &ticket.Ticket{ID: w.ID, Holder: w.Holder, Ops: ops, Sig: w.Sig}
+}
+
+type ackBody struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// registerTicket admits and journals a ticket; the node lock serializes
+// the journal append against CompactStorage.
+func (n *Node) registerTicket(body *ticketRegisterBody) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.acl.Register(body.Ticket.ticket()); err != nil {
+		return err
+	}
+	return n.wal.append(walEntry{Kind: "ticket", Ticket: &body.Ticket})
+}
+
+func (n *Node) serveTickets(ctx context.Context) {
+	for {
+		msg, err := n.mb.ExpectType(ctx, MsgTicketRegister)
+		if err != nil {
+			return
+		}
+		var body ticketRegisterBody
+		ack := ackBody{OK: true}
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			ack = ackBody{Error: err.Error()}
+		} else if err := n.registerTicket(&body); err != nil {
+			ack = ackBody{Error: err.Error()}
+		}
+		n.send(ctx, msg.From, MsgTicketAck, msg.Session, ack) //nolint:errcheck // client timeout handles loss
+	}
+}
+
+// --- glsn sequencing ---
+
+type glsnRequestBody struct {
+	TicketID string `json:"ticket_id"`
+}
+
+type glsnResponseBody struct {
+	GLSN  logmodel.GLSN `json:"glsn"`
+	Error string        `json:"error,omitempty"`
+}
+
+func (n *Node) serveGLSN(ctx context.Context) {
+	for {
+		msg, err := n.mb.ExpectType(ctx, MsgGLSNRequest)
+		if err != nil {
+			return
+		}
+		var body glsnRequestBody
+		resp := glsnResponseBody{}
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			resp.Error = err.Error()
+		} else if !n.isLeader() {
+			resp.Error = ErrNotLeader.Error()
+		} else if g, err := n.assignGLSN(ctx, msg.Session, body.TicketID); err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.GLSN = g
+		}
+		n.send(ctx, msg.From, MsgGLSNResponse, msg.Session, resp) //nolint:errcheck
+	}
+}
+
+// assignGLSN runs one sequencer round: majority agreement on the next
+// glsn for the ticket, then local application (followers apply on
+// commit).
+func (n *Node) assignGLSN(ctx context.Context, session, ticketID string) (logmodel.GLSN, error) {
+	n.seqMu.Lock()
+	defer n.seqMu.Unlock()
+	n.mu.RLock()
+	g := n.nextGLSN
+	n.mu.RUnlock()
+	if err := n.acl.Authorize(ticketID, ticket.OpWrite, g); err != nil {
+		return 0, err
+	}
+	stmt := glsnStatement(g, ticketID)
+	if _, err := n.propose(ctx, "seq/"+session, stmt); err != nil {
+		return 0, err
+	}
+	if err := n.applyStatement(stmt); err != nil {
+		return 0, err
+	}
+	return g, nil
+}
+
+// --- fragment storage ---
+
+type storeBody struct {
+	TicketID string            `json:"ticket_id"`
+	Fragment logmodel.Fragment `json:"fragment"`
+	Digest   *big.Int          `json:"digest"`
+	// Provenance optionally carries the writer's signature over the
+	// record digest (see ProvenanceStatement), making the record
+	// non-repudiable: the writer cannot later deny having logged it.
+	Provenance *big.Int `json:"provenance,omitempty"`
+}
+
+// ProvenanceStatement is the byte string a writer signs to make a
+// record non-repudiable.
+func ProvenanceStatement(g logmodel.GLSN, digest *big.Int) []byte {
+	return []byte("prov|" + g.String() + "|" + digest.Text(62))
+}
+
+func (n *Node) serveStore(ctx context.Context) {
+	for {
+		msg, err := n.mb.ExpectType(ctx, MsgLogStore)
+		if err != nil {
+			return
+		}
+		// Handle each store in its own goroutine: a fragment can arrive
+		// moments before this follower processes the sequencer commit
+		// that grants its glsn, and the retry must not block the loop.
+		n.wg.Add(1)
+		go func(msg transport.Message) {
+			defer n.wg.Done()
+			n.handleStore(ctx, msg)
+		}(msg)
+	}
+}
+
+func (n *Node) handleStore(ctx context.Context, msg transport.Message) {
+	var body storeBody
+	ack := ackBody{OK: true}
+	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+		ack = ackBody{Error: err.Error()}
+	} else {
+		var err error
+		for attempt := 0; attempt < 200; attempt++ {
+			if err = n.storeFragment(body); err == nil || !errors.Is(err, ErrGLSNNotAssigned) {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		if err != nil {
+			ack = ackBody{Error: err.Error()}
+		}
+	}
+	n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
+}
+
+func (n *Node) storeFragment(body storeBody) error {
+	if err := n.acl.Authorize(body.TicketID, ticket.OpWrite, body.Fragment.GLSN); err != nil {
+		return err
+	}
+	// Only accept fragments for glsns the cluster has assigned to this
+	// ticket, preventing overwrites of foreign records.
+	granted := false
+	for _, g := range n.acl.Glsns(body.TicketID) {
+		if g == body.Fragment.GLSN {
+			granted = true
+			break
+		}
+	}
+	if !granted {
+		return fmt.Errorf("%w: %s for ticket %q", ErrGLSNNotAssigned, body.Fragment.GLSN, body.TicketID)
+	}
+	// Restrict to this node's attribute set A_i.
+	allowed := make(map[logmodel.Attr]struct{})
+	for _, a := range n.part.NodeAttrs(n.id) {
+		allowed[a] = struct{}{}
+	}
+	for a := range body.Fragment.Values {
+		if _, ok := allowed[a]; !ok {
+			return fmt.Errorf("cluster: fragment carries attribute %q outside A_%s", a, n.id)
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	frag := body.Fragment
+	frag.Node = n.id
+	n.frags[frag.GLSN] = frag
+	if body.Digest != nil {
+		n.digests[frag.GLSN] = body.Digest
+	}
+	if body.Provenance != nil {
+		n.provs[frag.GLSN] = body.Provenance
+	}
+	return n.wal.append(walEntry{Kind: "frag", Fragment: &frag, Digest: body.Digest, Prov: body.Provenance})
+}
+
+// --- fragment reads ---
+
+type readBody struct {
+	TicketID string        `json:"ticket_id"`
+	GLSN     logmodel.GLSN `json:"glsn"`
+}
+
+type fragResponseBody struct {
+	Fragment logmodel.Fragment `json:"fragment"`
+	Error    string            `json:"error,omitempty"`
+}
+
+func (n *Node) serveRead(ctx context.Context) {
+	for {
+		msg, err := n.mb.ExpectType(ctx, MsgLogRead)
+		if err != nil {
+			return
+		}
+		var body readBody
+		var resp fragResponseBody
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			resp.Error = err.Error()
+		} else if frag, err := n.readFragment(body.TicketID, body.GLSN); err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Fragment = frag
+		}
+		n.send(ctx, msg.From, MsgLogFragment, msg.Session, resp) //nolint:errcheck
+	}
+}
+
+func (n *Node) readFragment(ticketID string, g logmodel.GLSN) (logmodel.Fragment, error) {
+	if err := n.acl.Authorize(ticketID, ticket.OpRead, g); err != nil {
+		return logmodel.Fragment{}, err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	frag, ok := n.frags[g]
+	if !ok {
+		return logmodel.Fragment{}, fmt.Errorf("%w: %s", ErrUnknownGLSN, g)
+	}
+	return frag, nil
+}
+
+// --- fragment deletion ---
+
+func (n *Node) serveDelete(ctx context.Context) {
+	for {
+		msg, err := n.mb.ExpectType(ctx, MsgLogDelete)
+		if err != nil {
+			return
+		}
+		var body readBody // same shape: ticket + glsn
+		ack := ackBody{OK: true}
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			ack = ackBody{Error: err.Error()}
+		} else if err := n.deleteFragment(body.TicketID, body.GLSN); err != nil {
+			ack = ackBody{Error: err.Error()}
+		}
+		n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
+	}
+}
+
+func (n *Node) deleteFragment(ticketID string, g logmodel.GLSN) error {
+	if err := n.acl.Authorize(ticketID, ticket.OpDelete, g); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.frags[g]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGLSN, g)
+	}
+	delete(n.frags, g)
+	delete(n.digests, g)
+	delete(n.provs, g)
+	return n.wal.append(walEntry{Kind: "delete", GLSN: g})
+}
+
+// --- store access for sibling subsystems (integrity, audit) ---
+
+// Fragment returns the stored fragment for a glsn.
+func (n *Node) Fragment(g logmodel.GLSN) (logmodel.Fragment, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	f, ok := n.frags[g]
+	return f, ok
+}
+
+// Digest returns the user-supplied record digest for a glsn.
+func (n *Node) Digest(g logmodel.GLSN) (*big.Int, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	d, ok := n.digests[g]
+	return d, ok
+}
+
+// Provenance returns the writer's non-repudiation signature for a glsn,
+// when the writer supplied one.
+func (n *Node) Provenance(g logmodel.GLSN) (*big.Int, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	p, ok := n.provs[g]
+	return p, ok
+}
+
+// VerifyProvenance checks a writer's non-repudiation signature: the
+// digest stored for the record, signed under the writer's public key.
+// Returns an error if the record, digest, or signature is missing or
+// the signature does not verify.
+func (n *Node) VerifyProvenance(g logmodel.GLSN, writer blind.PublicKey) error {
+	n.mu.RLock()
+	digest, haveDigest := n.digests[g]
+	sig, haveSig := n.provs[g]
+	n.mu.RUnlock()
+	if !haveDigest {
+		return fmt.Errorf("%w: no digest for %s", ErrUnknownGLSN, g)
+	}
+	if !haveSig {
+		return fmt.Errorf("cluster: record %s carries no provenance signature", g)
+	}
+	if err := blind.Verify(writer, ProvenanceStatement(g, digest), sig); err != nil {
+		return fmt.Errorf("cluster: provenance of %s does not verify: %w", g, err)
+	}
+	return nil
+}
+
+// GLSNs returns every stored glsn in ascending order.
+func (n *Node) GLSNs() []logmodel.GLSN {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]logmodel.GLSN, 0, len(n.frags))
+	for g := range n.frags {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TamperFragment overwrites a stored fragment's attribute value without
+// any authorization — a test-only hook simulating a compromised node
+// (paper §4.1). It returns false if the glsn or attribute is absent.
+func (n *Node) TamperFragment(g logmodel.GLSN, attr logmodel.Attr, v logmodel.Value) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	frag, ok := n.frags[g]
+	if !ok {
+		return false
+	}
+	if _, ok := frag.Values[attr]; !ok {
+		return false
+	}
+	frag.Values[attr] = v
+	n.frags[g] = frag
+	return true
+}
+
+// AccessTable exposes the node's replicated ACL for consistency checks.
+func (n *Node) AccessTable() *ticket.AccessTable { return n.acl }
+
+// Sign signs arbitrary bytes under the node's cluster signing key; used
+// by the audit engine to certify query results.
+func (n *Node) Sign(data []byte) (*big.Int, error) { return n.signer.Sign(data) }
+
+// PeerKeys returns the cluster verification keys (shared map; treat as
+// read-only).
+func (n *Node) PeerKeys() map[string]blind.PublicKey { return n.peerKeys }
+
+// TicketAllows checks that a registered ticket permits the operation
+// class, without reference to a particular glsn. The audit engine uses
+// it to admit query requests.
+func (n *Node) TicketAllows(ticketID string, op ticket.Op) error {
+	tk, ok := n.acl.Ticket(ticketID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ticket.ErrUnknownTicket, ticketID)
+	}
+	if !tk.Allows(op) {
+		return fmt.Errorf("%w: ticket %q lacks %v", ticket.ErrNotAuthorized, ticketID, op)
+	}
+	return nil
+}
+
+func (n *Node) send(ctx context.Context, to, typ, session string, body any) error {
+	msg, err := transport.NewMessage(to, typ, session, body)
+	if err != nil {
+		return err
+	}
+	if err := n.mb.Send(ctx, msg); err != nil {
+		return fmt.Errorf("cluster: sending %s to %s: %w", typ, to, err)
+	}
+	return nil
+}

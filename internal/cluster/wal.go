@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"confaudit/internal/logmodel"
+)
+
+// Durable node state. A DLA node journals every state mutation — ticket
+// registrations, certified glsn grants, fragment stores/deletes — to an
+// append-only log, and replays it on restart. Without a WAL a node
+// restart silently loses its fragment slice, breaking both integrity
+// circulation and audit completeness for every record it held.
+
+// walEntry is one journaled mutation.
+type walEntry struct {
+	Kind string `json:"kind"` // "ticket" | "grant" | "frag" | "delete"
+
+	Ticket   *wireTicket        `json:"ticket,omitempty"`
+	TicketID string             `json:"ticket_id,omitempty"`
+	GLSN     logmodel.GLSN      `json:"glsn,omitempty"`
+	Fragment *logmodel.Fragment `json:"fragment,omitempty"`
+	Digest   *big.Int           `json:"digest,omitempty"`
+	Prov     *big.Int           `json:"prov,omitempty"`
+}
+
+// WAL is an append-only JSON-lines journal of node state.
+type WAL struct {
+	mu  sync.Mutex
+	dir string
+	f   *os.File
+	bw  *bufio.Writer
+}
+
+// walFile names the journal inside a node data directory.
+const walFile = "node.wal"
+
+// OpenWAL opens (creating if necessary) the journal in dir.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: creating data dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening WAL: %w", err)
+	}
+	return &WAL{dir: dir, f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// rewrite atomically replaces the journal with a snapshot of entries.
+func (w *WAL) rewrite(entries []walEntry) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tmpPath := filepath.Join(w.dir, walFile+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("cluster: creating snapshot: %w", err)
+	}
+	bw := bufio.NewWriter(tmp)
+	for _, e := range entries {
+		data, err := json.Marshal(e)
+		if err != nil {
+			tmp.Close() //nolint:errcheck
+			return fmt.Errorf("cluster: encoding snapshot entry: %w", err)
+		}
+		if _, err := bw.Write(append(data, '\n')); err != nil {
+			tmp.Close() //nolint:errcheck
+			return fmt.Errorf("cluster: writing snapshot: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close() //nolint:errcheck
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //nolint:errcheck
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(w.dir, walFile)); err != nil {
+		return fmt.Errorf("cluster: swapping snapshot: %w", err)
+	}
+	// Reopen the live handle on the new file.
+	w.bw.Flush() //nolint:errcheck // old file is obsolete
+	w.f.Close()  //nolint:errcheck
+	f, err := os.OpenFile(filepath.Join(w.dir, walFile), os.O_APPEND|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("cluster: reopening WAL: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriter(f)
+	return nil
+}
+
+// append journals one entry. Errors are returned so callers can refuse
+// the mutation rather than diverge from disk.
+func (w *WAL) append(e walEntry) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding WAL entry: %w", err)
+	}
+	if _, err := w.bw.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("cluster: appending WAL entry: %w", err)
+	}
+	return w.bw.Flush()
+}
+
+// Close flushes and closes the journal.
+func (w *WAL) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReplayWAL streams the journal in dir (if any) to fn in append order.
+// A missing journal is not an error (fresh node).
+func ReplayWAL(dir string, fn func(walEntry) error) error {
+	f, err := os.Open(filepath.Join(dir, walFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: opening WAL for replay: %w", err)
+	}
+	defer f.Close() //nolint:errcheck
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var e walEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("cluster: corrupt WAL entry: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}
+
+// CompactStorage rewrites the journal as a snapshot of the node's
+// current state, discarding superseded entries (overwritten fragments,
+// delete tombstones). It holds the node's state lock across snapshot
+// and swap, so no mutation can land in the discarded journal.
+func (n *Node) CompactStorage() error {
+	if n.wal == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	entries := make([]walEntry, 0, len(n.frags)+64)
+	for _, id := range n.acl.TicketIDs() {
+		tk, _ := n.acl.Ticket(id)
+		wt := ToWire(tk)
+		entries = append(entries, walEntry{Kind: "ticket", Ticket: &wt})
+	}
+	for _, id := range n.acl.TicketIDs() {
+		for _, g := range n.acl.Glsns(id) {
+			entries = append(entries, walEntry{Kind: "grant", TicketID: id, GLSN: g})
+		}
+	}
+	for g := range n.frags {
+		frag := n.frags[g]
+		e := walEntry{Kind: "frag", Fragment: &frag}
+		if d, ok := n.digests[g]; ok {
+			e.Digest = d
+		}
+		if p, ok := n.provs[g]; ok {
+			e.Prov = p
+		}
+		entries = append(entries, e)
+	}
+	return n.wal.rewrite(entries)
+}
+
+// restore applies the journal in dir to the node's in-memory state.
+// Called from New before the node serves traffic.
+func (n *Node) restore(dir string) error {
+	return ReplayWAL(dir, func(e walEntry) error {
+		switch e.Kind {
+		case "ticket":
+			if e.Ticket == nil {
+				return errors.New("cluster: WAL ticket entry without ticket")
+			}
+			if err := n.acl.Register(e.Ticket.ticket()); err != nil {
+				return fmt.Errorf("cluster: replaying ticket: %w", err)
+			}
+		case "grant":
+			if err := n.acl.Grant(e.TicketID, e.GLSN); err != nil {
+				return fmt.Errorf("cluster: replaying grant: %w", err)
+			}
+			if e.GLSN >= n.nextGLSN {
+				n.nextGLSN = e.GLSN + 1
+			}
+		case "frag":
+			if e.Fragment == nil {
+				return errors.New("cluster: WAL frag entry without fragment")
+			}
+			n.frags[e.Fragment.GLSN] = *e.Fragment
+			if e.Digest != nil {
+				n.digests[e.Fragment.GLSN] = e.Digest
+			}
+			if e.Prov != nil {
+				n.provs[e.Fragment.GLSN] = e.Prov
+			}
+		case "delete":
+			delete(n.frags, e.GLSN)
+			delete(n.digests, e.GLSN)
+			delete(n.provs, e.GLSN)
+		default:
+			return fmt.Errorf("cluster: unknown WAL entry kind %q", e.Kind)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"confaudit/internal/audit"
+	"confaudit/internal/logmodel"
+	"confaudit/internal/transport"
+)
+
+// TestDeploymentOverTCP runs the full system over real TCP loopback:
+// the same integration as the in-memory tests, through actual sockets.
+func TestDeploymentOverTCP(t *testing.T) {
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[string]string{
+		"P0": "127.0.0.1:0", "P1": "127.0.0.1:0",
+		"P2": "127.0.0.1:0", "P3": "127.0.0.1:0",
+		"u0": "127.0.0.1:0", "aud": "127.0.0.1:0",
+	}
+	net := transport.NewTCPNetwork(addrs)
+	d, err := Deploy(Options{Partition: ex.Partition, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	user, err := d.NewUser(ctx, "u0", "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var glsns []logmodel.GLSN
+	for _, rec := range ex.Records {
+		g, err := user.Log(ctx, rec.Values)
+		if err != nil {
+			t.Fatalf("log over TCP: %v", err)
+		}
+		glsns = append(glsns, g)
+	}
+	rec, err := user.Read(ctx, glsns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Values) != len(ex.Records[0].Values) {
+		t.Fatalf("read back %d attrs", len(rec.Values))
+	}
+
+	auditor, err := d.NewAuditor(ctx, "aud", "TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := auditor.Query(ctx, `protocl = "UDP" AND id = "U1"`)
+	if err != nil {
+		t.Fatalf("query over TCP: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("query = %v", got)
+	}
+	sum, err := auditor.Aggregate(ctx, "*", audit.AggSum, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 170 {
+		t.Fatalf("sum = %v", sum)
+	}
+	rep, err := d.CheckIntegrity(ctx, "P0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("integrity over TCP: %+v", rep)
+	}
+}

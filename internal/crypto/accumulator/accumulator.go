@@ -1,0 +1,161 @@
+// Package accumulator implements the one-way accumulator of the paper's
+// §4.1 (references [26][27]): A(x, y) = x^y mod n for an RSA modulus n.
+//
+// The accumulator is "like a one-way hash function, except that it is
+// commutative" (paper eq. 9): accumulating a set of items yields the
+// same digest regardless of order, i.e.
+//
+//	A(A(A(x0,y1),y2),y3) = A(A(A(x0,y2),y3),y1)
+//
+// which is what lets DLA nodes circulate partial accumulations in any
+// ring order and still verify the user-supplied digest (paper §4.1).
+//
+// Items are mapped to exponents by hashing to odd 256-bit integers, the
+// standard quasi-prime representative trick from Benaloh-de Mare.
+package accumulator
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Errors reported by the package.
+var (
+	// ErrBadParams indicates malformed accumulator parameters.
+	ErrBadParams = errors.New("accumulator: invalid parameters")
+)
+
+// Params holds the public accumulator parameters that, per the paper,
+// "must be agreed upon in advance" by the application nodes U and the
+// DLA cluster P: the RSA modulus n and the base x0.
+type Params struct {
+	// N is the RSA modulus (product of two primes, factors discarded).
+	N *big.Int
+	// X0 is the agreed starting value of every accumulation.
+	X0 *big.Int
+}
+
+// GenerateParams creates fresh parameters with a modulus of the given
+// bit length. The prime factors are generated and immediately discarded
+// so no party knows the trapdoor, making the accumulator one-way for
+// everyone.
+func GenerateParams(rng io.Reader, bits int) (*Params, error) {
+	if bits < 32 {
+		return nil, fmt.Errorf("%w: modulus must be at least 32 bits, got %d", ErrBadParams, bits)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	half := bits / 2
+	p, err := rand.Prime(rng, half)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: generating prime: %w", err)
+	}
+	q, err := rand.Prime(rng, bits-half)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: generating prime: %w", err)
+	}
+	for p.Cmp(q) == 0 {
+		if q, err = rand.Prime(rng, bits-half); err != nil {
+			return nil, fmt.Errorf("accumulator: generating prime: %w", err)
+		}
+	}
+	n := new(big.Int).Mul(p, q)
+	x0, err := randUnit(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Params{N: n, X0: x0}, nil
+}
+
+func randUnit(rng io.Reader, n *big.Int) (*big.Int, error) {
+	g := new(big.Int)
+	for {
+		x, err := rand.Int(rng, n)
+		if err != nil {
+			return nil, fmt.Errorf("accumulator: sampling base: %w", err)
+		}
+		if x.Cmp(big.NewInt(2)) < 0 {
+			continue
+		}
+		if g.GCD(nil, nil, x, n); g.Cmp(big.NewInt(1)) == 0 {
+			return x, nil
+		}
+	}
+}
+
+// Validate checks structural sanity of the parameters.
+func (p *Params) Validate() error {
+	if p == nil || p.N == nil || p.X0 == nil {
+		return fmt.Errorf("%w: nil fields", ErrBadParams)
+	}
+	if p.N.Cmp(big.NewInt(6)) < 0 {
+		return fmt.Errorf("%w: modulus too small", ErrBadParams)
+	}
+	if p.X0.Sign() <= 0 || p.X0.Cmp(p.N) >= 0 {
+		return fmt.Errorf("%w: base out of range", ErrBadParams)
+	}
+	return nil
+}
+
+// HashItem maps arbitrary item bytes to the odd 256-bit exponent used in
+// accumulation. Odd exponents are coprime to the (even) group order's
+// power-of-two part, avoiding degenerate short cycles.
+func HashItem(data []byte) *big.Int {
+	sum := sha256.Sum256(data)
+	e := new(big.Int).SetBytes(sum[:])
+	e.SetBit(e, 0, 1)   // force odd
+	e.SetBit(e, 255, 1) // force full width so exponents are uniformly large
+	return e
+}
+
+// Accumulate computes A(x, item) = x^H(item) mod n.
+func (p *Params) Accumulate(x *big.Int, item []byte) *big.Int {
+	return new(big.Int).Exp(x, HashItem(item), p.N)
+}
+
+// AccumulateAll folds every item into the digest starting from X0. Per
+// eq. (9) the result is independent of item order.
+func (p *Params) AccumulateAll(items [][]byte) *big.Int {
+	acc := new(big.Int).Set(p.X0)
+	for _, it := range items {
+		acc = p.Accumulate(acc, it)
+	}
+	return acc
+}
+
+// Verify reports whether the digest matches the accumulation of items.
+func (p *Params) Verify(digest *big.Int, items [][]byte) bool {
+	return digest != nil && p.AccumulateAll(items).Cmp(digest) == 0
+}
+
+// Witness returns the membership witness for items[i]: the accumulation
+// of every other item. A verifier can then check
+// Accumulate(witness, items[i]) == digest without seeing the rest of the
+// set, which is how a single DLA node proves its fragment belongs to the
+// record digest.
+func (p *Params) Witness(items [][]byte, i int) (*big.Int, error) {
+	if i < 0 || i >= len(items) {
+		return nil, fmt.Errorf("accumulator: witness index %d out of range [0,%d)", i, len(items))
+	}
+	acc := new(big.Int).Set(p.X0)
+	for j, it := range items {
+		if j == i {
+			continue
+		}
+		acc = p.Accumulate(acc, it)
+	}
+	return acc, nil
+}
+
+// VerifyWitness checks a single-item membership proof.
+func (p *Params) VerifyWitness(digest, witness *big.Int, item []byte) bool {
+	if digest == nil || witness == nil {
+		return false
+	}
+	return p.Accumulate(witness, item).Cmp(digest) == 0
+}

@@ -1,0 +1,184 @@
+package accumulator
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	crand "crypto/rand"
+)
+
+func testParams(t testing.TB) *Params {
+	t.Helper()
+	p, err := GenerateParams(crand.Reader, 256)
+	if err != nil {
+		t.Fatalf("GenerateParams: %v", err)
+	}
+	return p
+}
+
+func TestGenerateParamsValid(t *testing.T) {
+	p := testParams(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.N.BitLen() < 250 {
+		t.Fatalf("modulus only %d bits", p.N.BitLen())
+	}
+	if _, err := GenerateParams(crand.Reader, 8); err == nil {
+		t.Fatal("tiny modulus accepted")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	good := testParams(t)
+	cases := []struct {
+		name string
+		p    *Params
+	}{
+		{"nil", nil},
+		{"nil N", &Params{X0: big.NewInt(2)}},
+		{"nil X0", &Params{N: good.N}},
+		{"small N", &Params{N: big.NewInt(4), X0: big.NewInt(2)}},
+		{"zero base", &Params{N: good.N, X0: big.NewInt(0)}},
+		{"base >= N", &Params{N: good.N, X0: new(big.Int).Set(good.N)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); err == nil {
+				t.Fatal("Validate accepted bad params")
+			}
+		})
+	}
+}
+
+// TestOrderIndependenceEq9 verifies the paper's eq. (9): accumulation is
+// order independent.
+func TestOrderIndependenceEq9(t *testing.T) {
+	p := testParams(t)
+	items := [][]byte{[]byte("y1"), []byte("y2"), []byte("y3"), []byte("y4")}
+	want := p.AccumulateAll(items)
+
+	perm := [][]byte{items[2], items[0], items[3], items[1]}
+	if got := p.AccumulateAll(perm); got.Cmp(want) != 0 {
+		t.Fatal("eq. (9) violated: permuted accumulation differs")
+	}
+}
+
+func TestOrderIndependenceQuick(t *testing.T) {
+	p := testParams(t)
+	f := func(seed uint64, a, b, c, d []byte) bool {
+		items := [][]byte{a, b, c, d}
+		want := p.AccumulateAll(items)
+		r := rand.New(rand.NewPCG(seed, 1))
+		r.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		return p.AccumulateAll(items).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	p := testParams(t)
+	items := [][]byte{[]byte("frag P0"), []byte("frag P1"), []byte("frag P2")}
+	digest := p.AccumulateAll(items)
+	if !p.Verify(digest, items) {
+		t.Fatal("Verify rejected honest digest")
+	}
+	tampered := [][]byte{[]byte("frag P0"), []byte("frag P1 MODIFIED"), []byte("frag P2")}
+	if p.Verify(digest, tampered) {
+		t.Fatal("Verify accepted tampered fragment")
+	}
+	if p.Verify(digest, items[:2]) {
+		t.Fatal("Verify accepted dropped fragment")
+	}
+	if p.Verify(nil, items) {
+		t.Fatal("Verify accepted nil digest")
+	}
+}
+
+func TestHashItemProperties(t *testing.T) {
+	a := HashItem([]byte("x"))
+	b := HashItem([]byte("x"))
+	if a.Cmp(b) != 0 {
+		t.Fatal("HashItem not deterministic")
+	}
+	if a.Bit(0) != 1 {
+		t.Fatal("HashItem output not odd")
+	}
+	if a.BitLen() != 256 {
+		t.Fatalf("HashItem output %d bits, want 256", a.BitLen())
+	}
+	if HashItem([]byte("y")).Cmp(a) == 0 {
+		t.Fatal("distinct items collided")
+	}
+}
+
+func TestWitness(t *testing.T) {
+	p := testParams(t)
+	items := [][]byte{[]byte("log0"), []byte("log1"), []byte("log2"), []byte("log3")}
+	digest := p.AccumulateAll(items)
+	for i, it := range items {
+		w, err := p.Witness(items, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.VerifyWitness(digest, w, it) {
+			t.Fatalf("witness for item %d rejected", i)
+		}
+		if p.VerifyWitness(digest, w, []byte("forged")) {
+			t.Fatalf("witness for item %d accepted a forged item", i)
+		}
+	}
+	if _, err := p.Witness(items, -1); err == nil {
+		t.Fatal("negative witness index accepted")
+	}
+	if _, err := p.Witness(items, len(items)); err == nil {
+		t.Fatal("out-of-range witness index accepted")
+	}
+	if p.VerifyWitness(nil, big.NewInt(2), items[0]) {
+		t.Fatal("nil digest accepted")
+	}
+	if p.VerifyWitness(digest, nil, items[0]) {
+		t.Fatal("nil witness accepted")
+	}
+}
+
+func TestAccumulateAllEmpty(t *testing.T) {
+	p := testParams(t)
+	if p.AccumulateAll(nil).Cmp(p.X0) != 0 {
+		t.Fatal("empty accumulation should equal the base X0")
+	}
+}
+
+func BenchmarkAccumulate(b *testing.B) {
+	p, err := GenerateParams(crand.Reader, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	item := []byte("glsn=139aef78|time=20:18:35|id=U1")
+	x := new(big.Int).Set(p.X0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = p.Accumulate(x, item)
+	}
+}
+
+func BenchmarkAccumulateAll16(b *testing.B) {
+	p, err := GenerateParams(crand.Reader, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([][]byte, 16)
+	for i := range items {
+		items[i] = []byte{byte(i), 0xA5}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AccumulateAll(items)
+	}
+}

@@ -1,0 +1,182 @@
+package blind
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// testAuthority caches one CA key; RSA keygen dominates test time
+// otherwise.
+var (
+	testCAOnce sync.Once
+	testCA     *Authority
+)
+
+func authority(t testing.TB) *Authority {
+	t.Helper()
+	testCAOnce.Do(func() {
+		ca, err := NewAuthority(rand.Reader, 1024)
+		if err != nil {
+			t.Fatalf("NewAuthority: %v", err)
+		}
+		testCA = ca
+	})
+	return testCA
+}
+
+func TestBlindSignRoundTrip(t *testing.T) {
+	ca := authority(t)
+	msg := []byte("DLA membership token for anonymous node")
+
+	b, err := Blind(rand.Reader, ca.Public(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindSig, err := ca.SignBlinded(b.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := b.Unblind(ca.Public(), blindSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(ca.Public(), msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestBlindnessHidesMessage verifies the CA-side view (the blinded
+// message) is not equal to the raw hash and differs across sessions for
+// the same message, i.e. the CA cannot link issuance to the token.
+func TestBlindnessHidesMessage(t *testing.T) {
+	ca := authority(t)
+	msg := []byte("same token text")
+	b1, err := Blind(rand.Reader, ca.Public(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Blind(rand.Reader, ca.Public(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Msg.Cmp(b2.Msg) == 0 {
+		t.Fatal("two blinding sessions produced identical blinded messages")
+	}
+}
+
+func TestVerifyRejectsForgery(t *testing.T) {
+	ca := authority(t)
+	msg := []byte("honest token")
+
+	b, err := Blind(rand.Reader, ca.Public(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindSig, err := ca.SignBlinded(b.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := b.Unblind(ca.Public(), blindSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(ca.Public(), []byte("other message"), sig); err == nil {
+		t.Fatal("signature verified for a different message")
+	}
+	forged := new(big.Int).Add(sig, big.NewInt(1))
+	if err := Verify(ca.Public(), msg, forged); err == nil {
+		t.Fatal("mauled signature verified")
+	}
+	if err := Verify(ca.Public(), msg, nil); err == nil {
+		t.Fatal("nil signature verified")
+	}
+	if err := Verify(ca.Public(), msg, big.NewInt(0)); err == nil {
+		t.Fatal("zero signature verified")
+	}
+	if err := Verify(ca.Public(), msg, ca.Public().N); err == nil {
+		t.Fatal("out-of-range signature verified")
+	}
+}
+
+func TestSignBlindedValidation(t *testing.T) {
+	ca := authority(t)
+	for _, m := range []*big.Int{nil, big.NewInt(0), big.NewInt(-1), ca.Public().N} {
+		if _, err := ca.SignBlinded(m); err == nil {
+			t.Fatalf("SignBlinded(%v) accepted out-of-range input", m)
+		}
+	}
+}
+
+func TestUnblindValidation(t *testing.T) {
+	ca := authority(t)
+	b, err := Blind(rand.Reader, ca.Public(), []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Unblind(ca.Public(), nil); err == nil {
+		t.Fatal("nil blind signature accepted")
+	}
+	empty := &Blinded{Msg: big.NewInt(1)}
+	if _, err := empty.Unblind(ca.Public(), big.NewInt(1)); err == nil {
+		t.Fatal("missing unblinder accepted")
+	}
+}
+
+func TestDirectSign(t *testing.T) {
+	ca := authority(t)
+	msg := []byte("signed agreement vote: glsn block 42")
+	sig, err := ca.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(ca.Public(), msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := Verify(ca.Public(), []byte("tampered vote"), sig); err == nil {
+		t.Fatal("direct signature verified for different message")
+	}
+}
+
+// TestCrossAuthorityRejected ensures a token from one CA does not verify
+// under another CA's key (a forged credential authority).
+func TestCrossAuthorityRejected(t *testing.T) {
+	ca1 := authority(t)
+	ca2, err := NewAuthority(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("token")
+	sig, err := ca1.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(ca2.Public(), msg, sig); err == nil {
+		t.Fatal("signature verified under an unrelated CA key")
+	}
+}
+
+func BenchmarkBlindSignVerify(b *testing.B) {
+	ca := authority(b)
+	msg := []byte("bench token")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl, err := Blind(rand.Reader, ca.Public(), msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs, err := ca.SignBlinded(bl.Msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig, err := bl.Unblind(ca.Public(), bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Verify(ca.Public(), msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

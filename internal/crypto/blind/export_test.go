@@ -1,0 +1,73 @@
+package blind
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"math/big"
+	"testing"
+)
+
+func TestKeyMaterialRoundTrip(t *testing.T) {
+	a := authority(t)
+	km := a.Export()
+	// Through JSON, as provisioning does.
+	data, err := json.Marshal(km)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back KeyMaterial
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewAuthorityFromKey(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signatures by the restored key verify under the original public
+	// key, and vice versa.
+	msg := []byte("restored key signs")
+	sig, err := restored.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(a.Public(), msg, sig); err != nil {
+		t.Fatalf("restored signature rejected: %v", err)
+	}
+	sig2, err := a.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(restored.Public(), msg, sig2); err != nil {
+		t.Fatalf("original signature rejected under restored key: %v", err)
+	}
+	// Blind signing also works through a restored key.
+	b, err := Blind(rand.Reader, restored.Public(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := restored.SignBlinded(b.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unb, err := b.Unblind(restored.Public(), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(a.Public(), msg, unb); err != nil {
+		t.Fatalf("blind signature via restored key rejected: %v", err)
+	}
+}
+
+func TestNewAuthorityFromKeyValidation(t *testing.T) {
+	cases := []KeyMaterial{
+		{},
+		{N: big.NewInt(1), E: big.NewInt(3)},
+		{N: big.NewInt(1), D: big.NewInt(3)},
+		{E: big.NewInt(1), D: big.NewInt(3)},
+	}
+	for i, km := range cases {
+		if _, err := NewAuthorityFromKey(km); err == nil {
+			t.Fatalf("case %d: incomplete key material accepted", i)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package commutative implements the commutative encryption schemes the
+// paper builds its relaxed secure-multiparty primitives on (§3):
+//
+//   - the Pohlig-Hellman exponentiation cipher over a safe-prime group
+//     (paper reference [21]), satisfying eq. (6) order independence and
+//     the eq. (7) collision bound; and
+//   - the XOR one-time-pad cipher, which the paper notes is commutative
+//     because XOR commutes.
+//
+// A cipher E is commutative when, for keys K1..Kn and any permutations
+// i, j of 1..n:
+//
+//	E_Ki1(...E_Kin(M)) = E_Kj1(...E_Kjn(M))            (eq. 6)
+//
+// which lets a group of DLA nodes route an encrypted message in any
+// order and still compare or decrypt the result.
+package commutative
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"confaudit/internal/mathx"
+)
+
+// Cipher is a deterministic commutative block cipher. Blocks are
+// fixed-width byte strings; Encrypt and Decrypt are inverse bijections
+// on the block space, and encryptions under independent keys commute.
+type Cipher interface {
+	// Encrypt maps a block to a block of the same size.
+	Encrypt(block []byte) ([]byte, error)
+	// Decrypt inverts Encrypt for the same key.
+	Decrypt(block []byte) ([]byte, error)
+	// BlockSize reports the fixed block width in bytes.
+	BlockSize() int
+}
+
+// Errors reported by cipher operations.
+var (
+	// ErrBlockSize indicates an input block of the wrong width.
+	ErrBlockSize = errors.New("commutative: wrong block size")
+	// ErrNotInGroup indicates a block whose integer value is outside
+	// [1, p-1] and therefore not a valid group element.
+	ErrNotInGroup = errors.New("commutative: block is not a group element")
+)
+
+// PHKey is a Pohlig-Hellman key pair (e, d) over a safe-prime group:
+// encryption is M^e mod p, decryption M^d mod p, with e*d = 1 mod p-1.
+// The construct mirrors RSA but with a public prime modulus and both
+// exponents secret.
+type PHKey struct {
+	group *mathx.Group
+	e, d  *big.Int
+}
+
+var _ Cipher = (*PHKey)(nil)
+
+// NewPHKey samples a fresh Pohlig-Hellman key over the group. The
+// encryption exponent is drawn coprime to p-1 so the inverse exponent
+// exists (d = e^-1 mod p-1).
+func NewPHKey(rng io.Reader, g *mathx.Group) (*PHKey, error) {
+	pm1 := new(big.Int).Sub(g.P, big.NewInt(1))
+	e, err := mathx.RandCoprime(rng, pm1)
+	if err != nil {
+		return nil, fmt.Errorf("commutative: sampling exponent: %w", err)
+	}
+	d, err := mathx.InverseMod(e, pm1)
+	if err != nil {
+		return nil, fmt.Errorf("commutative: inverting exponent: %w", err)
+	}
+	return &PHKey{group: g, e: e, d: d}, nil
+}
+
+// Group returns the group the key operates in.
+func (k *PHKey) Group() *mathx.Group { return k.group }
+
+// EncryptInt computes M^e mod p for a group element M in [1, p-1].
+func (k *PHKey) EncryptInt(m *big.Int) (*big.Int, error) {
+	if err := k.checkElement(m); err != nil {
+		return nil, err
+	}
+	return new(big.Int).Exp(m, k.e, k.group.P), nil
+}
+
+// DecryptInt computes C^d mod p, inverting EncryptInt.
+func (k *PHKey) DecryptInt(c *big.Int) (*big.Int, error) {
+	if err := k.checkElement(c); err != nil {
+		return nil, err
+	}
+	return new(big.Int).Exp(c, k.d, k.group.P), nil
+}
+
+func (k *PHKey) checkElement(m *big.Int) error {
+	if m == nil || m.Sign() <= 0 || m.Cmp(k.group.P) >= 0 {
+		return ErrNotInGroup
+	}
+	return nil
+}
+
+// BlockSize returns the byte width of a serialized group element.
+func (k *PHKey) BlockSize() int { return (k.group.P.BitLen() + 7) / 8 }
+
+// Encrypt implements Cipher over fixed-width big-endian group elements.
+func (k *PHKey) Encrypt(block []byte) ([]byte, error) {
+	m, err := k.parseBlock(block)
+	if err != nil {
+		return nil, err
+	}
+	c, err := k.EncryptInt(m)
+	if err != nil {
+		return nil, err
+	}
+	return k.marshalBlock(c), nil
+}
+
+// Decrypt implements Cipher over fixed-width big-endian group elements.
+func (k *PHKey) Decrypt(block []byte) ([]byte, error) {
+	c, err := k.parseBlock(block)
+	if err != nil {
+		return nil, err
+	}
+	m, err := k.DecryptInt(c)
+	if err != nil {
+		return nil, err
+	}
+	return k.marshalBlock(m), nil
+}
+
+func (k *PHKey) parseBlock(block []byte) (*big.Int, error) {
+	if len(block) != k.BlockSize() {
+		return nil, fmt.Errorf("%w: got %d bytes, want %d", ErrBlockSize, len(block), k.BlockSize())
+	}
+	m := new(big.Int).SetBytes(block)
+	if err := k.checkElement(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (k *PHKey) marshalBlock(v *big.Int) []byte {
+	return v.FillBytes(make([]byte, k.BlockSize()))
+}
+
+// EncodeElement maps arbitrary bytes into the cipher's block space by
+// hashing into the quadratic-residue subgroup. Two DLA nodes encoding
+// the same plaintext obtain the same block, which is what makes the
+// secure set-intersection comparison of eq. (6)/(7) sound.
+func (k *PHKey) EncodeElement(data []byte) []byte {
+	return k.marshalBlock(k.group.HashToQR(data))
+}
+
+// XORKey is the XOR one-time-pad commutative cipher the paper cites as
+// the simplest example of commutativity. It is only secure when each
+// key is used for a single message; it is provided as a cheap
+// commutative transport for short-lived protocol rounds and as a
+// baseline in benchmarks.
+type XORKey struct {
+	pad []byte
+}
+
+var _ Cipher = (*XORKey)(nil)
+
+// NewXORKey samples a random pad of the given byte width.
+func NewXORKey(rng io.Reader, size int) (*XORKey, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("commutative: invalid XOR block size %d", size)
+	}
+	pad := make([]byte, size)
+	if _, err := io.ReadFull(rng, pad); err != nil {
+		return nil, fmt.Errorf("commutative: sampling pad: %w", err)
+	}
+	return &XORKey{pad: pad}, nil
+}
+
+// BlockSize reports the pad width.
+func (k *XORKey) BlockSize() int { return len(k.pad) }
+
+// Encrypt XORs the block with the pad.
+func (k *XORKey) Encrypt(block []byte) ([]byte, error) { return k.xor(block) }
+
+// Decrypt XORs the block with the pad (its own inverse).
+func (k *XORKey) Decrypt(block []byte) ([]byte, error) { return k.xor(block) }
+
+func (k *XORKey) xor(block []byte) ([]byte, error) {
+	if len(block) != len(k.pad) {
+		return nil, fmt.Errorf("%w: got %d bytes, want %d", ErrBlockSize, len(block), len(k.pad))
+	}
+	out := make([]byte, len(block))
+	subtle.XORBytes(out, block, k.pad)
+	return out, nil
+}
+
+// parallelThreshold is the batch size above which EncryptAll/DecryptAll
+// fan out across CPUs. Modular exponentiation dominates every relayed
+// set in the DLA protocols, so batches parallelize almost perfectly;
+// tiny batches stay sequential to avoid goroutine overhead.
+const parallelThreshold = 4
+
+// EncryptAll encrypts every block, preserving order. All protocols that
+// relay whole sets between DLA nodes use this helper; large batches are
+// encrypted in parallel across CPUs.
+func EncryptAll(c Cipher, blocks [][]byte) ([][]byte, error) {
+	return mapBlocks(blocks, c.Encrypt, "encrypting")
+}
+
+// DecryptAll decrypts every block, preserving order.
+func DecryptAll(c Cipher, blocks [][]byte) ([][]byte, error) {
+	return mapBlocks(blocks, c.Decrypt, "decrypting")
+}
+
+func mapBlocks(blocks [][]byte, op func([]byte) ([]byte, error), verb string) ([][]byte, error) {
+	out := make([][]byte, len(blocks))
+	if len(blocks) <= parallelThreshold {
+		for i, b := range blocks {
+			res, err := op(b)
+			if err != nil {
+				return nil, fmt.Errorf("commutative: %s block %d: %w", verb, i, err)
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		frr  error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) {
+					return
+				}
+				res, err := op(blocks[i])
+				if err != nil {
+					mu.Lock()
+					if frr == nil {
+						frr = fmt.Errorf("commutative: %s block %d: %w", verb, i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if frr != nil {
+		return nil, frr
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package commutative_test
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"confaudit/internal/crypto/commutative"
+	"confaudit/internal/mathx"
+)
+
+// Example demonstrates the eq. (6) commutativity that the paper's
+// secure set intersection rests on: the element "e" encrypted by three
+// parties yields the same ciphertext whatever the order.
+func Example() {
+	g := mathx.Oakley768
+	k1, _ := commutative.NewPHKey(rand.Reader, g)
+	k2, _ := commutative.NewPHKey(rand.Reader, g)
+	k3, _ := commutative.NewPHKey(rand.Reader, g)
+
+	m := g.HashToQR([]byte("e"))
+	e321, _ := k1.EncryptInt(m)
+	e321, _ = k2.EncryptInt(e321)
+	e321, _ = k3.EncryptInt(e321)
+
+	e213, _ := k3.EncryptInt(m)
+	e213, _ = k1.EncryptInt(e213)
+	e213, _ = k2.EncryptInt(e213)
+
+	fmt.Println(e321.Cmp(e213) == 0)
+	// Output: true
+}

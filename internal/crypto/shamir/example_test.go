@@ -1,0 +1,64 @@
+package shamir_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"confaudit/internal/crypto/shamir"
+)
+
+// Example demonstrates (k, n) secret sharing: a secret split into five
+// shares, any three of which reconstruct it.
+func Example() {
+	p := big.NewInt(2147483647) // field modulus
+	secret := big.NewInt(170)   // e.g. the Table 1 C1 column total
+
+	shares, err := shamir.Split(rand.Reader, p, secret, 3, 5)
+	if err != nil {
+		panic(err)
+	}
+	// Any three shares suffice.
+	got, err := shamir.Combine(p, []shamir.Share{shares[4], shares[0], shares[2]}, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(got)
+	// Output: 170
+}
+
+// Example_secureSum shows the paper's §3.5 secure sum: each party deals
+// shares of its private value; pointwise-added shares reconstruct the
+// total and nothing else.
+func Example_secureSum() {
+	p := big.NewInt(2147483647)
+	private := []*big.Int{big.NewInt(20), big.NewInt(34), big.NewInt(45)}
+
+	const parties, k = 3, 2
+	dealt := make([][]shamir.Share, parties)
+	for i, v := range private {
+		shares, err := shamir.Split(rand.Reader, p, v, k, parties)
+		if err != nil {
+			panic(err)
+		}
+		dealt[i] = shares
+	}
+	// Party j adds the shares it received from everyone.
+	agg := make([]shamir.Share, parties)
+	for j := 0; j < parties; j++ {
+		col := make([]shamir.Share, parties)
+		for i := 0; i < parties; i++ {
+			col[i] = dealt[i][j]
+		}
+		var err error
+		if agg[j], err = shamir.AddShares(p, col); err != nil {
+			panic(err)
+		}
+	}
+	total, err := shamir.Combine(p, agg[:k], k)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(total)
+	// Output: 99
+}

@@ -1,0 +1,148 @@
+// Package shamir implements (k, n) secret sharing over Z_p, the
+// building block of the paper's secure sum protocol (§3.5): each DLA
+// node P_i constructs a polynomial f_i of degree at most k-1 with
+// f_i(0) = a_i (its secret) and deals the share s_ij = f_i(x_j) to node
+// P_j. Any k shares of the summed polynomial F = Σ f_i reconstruct the
+// total Σ a_i without revealing any individual a_i.
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"confaudit/internal/mathx"
+)
+
+// Errors reported by the package.
+var (
+	// ErrThreshold indicates an invalid (k, n) combination.
+	ErrThreshold = errors.New("shamir: invalid threshold")
+	// ErrTooFewShares indicates fewer shares than the threshold allows.
+	ErrTooFewShares = errors.New("shamir: not enough shares")
+)
+
+// Share is one point (x, y) on the sharing polynomial.
+type Share struct {
+	X *big.Int
+	Y *big.Int
+}
+
+// Clone returns a deep copy of the share.
+func (s Share) Clone() Share {
+	return Share{X: new(big.Int).Set(s.X), Y: new(big.Int).Set(s.Y)}
+}
+
+// DefaultAbscissae returns the canonical evaluation points x_j = j+1 for
+// n parties. The paper has the x_i "predetermined by P_0..P_{n-1}";
+// consecutive integers are the conventional choice.
+func DefaultAbscissae(n int) []*big.Int {
+	xs := make([]*big.Int, n)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(i + 1))
+	}
+	return xs
+}
+
+// Split shares the secret among n parties with reconstruction threshold
+// k, using abscissae 1..n.
+func Split(rng io.Reader, p, secret *big.Int, k, n int) ([]Share, error) {
+	return SplitAt(rng, p, secret, k, DefaultAbscissae(n))
+}
+
+// SplitAt shares the secret at the given abscissae with threshold k. The
+// abscissae must be distinct and nonzero modulo p; degree of the random
+// polynomial is k-1 and its constant term is the secret, exactly the
+// f_i(z) construction of paper §3.5.
+func SplitAt(rng io.Reader, p, secret *big.Int, k int, xs []*big.Int) ([]Share, error) {
+	n := len(xs)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w: k=%d with n=%d", ErrThreshold, k, n)
+	}
+	if secret == nil {
+		return nil, errors.New("shamir: nil secret")
+	}
+	coeffs := make([]*big.Int, k)
+	coeffs[0] = new(big.Int).Mod(secret, p)
+	for i := 1; i < k; i++ {
+		c, err := mathx.RandScalar(rng, p)
+		if err != nil {
+			return nil, fmt.Errorf("shamir: sampling coefficient: %w", err)
+		}
+		coeffs[i] = c
+	}
+	seen := make(map[string]struct{}, n)
+	shares := make([]Share, n)
+	for i, x := range xs {
+		if x == nil || mathx.CmpZero(x, p) {
+			return nil, fmt.Errorf("shamir: abscissa %d is zero modulo p", i)
+		}
+		key := new(big.Int).Mod(x, p).String()
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("shamir: duplicate abscissa %v", x)
+		}
+		seen[key] = struct{}{}
+		shares[i] = Share{X: new(big.Int).Set(x), Y: mathx.EvalPoly(p, coeffs, x)}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least k shares. Extra shares
+// are used too (they must be consistent points of the same polynomial;
+// inconsistent extras yield garbage, detection is the caller's job via
+// the integrity layer).
+func Combine(p *big.Int, shares []Share, k int) (*big.Int, error) {
+	if len(shares) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), k)
+	}
+	use := shares[:k]
+	xs := make([]*big.Int, k)
+	ys := make([]*big.Int, k)
+	for i, s := range use {
+		if s.X == nil || s.Y == nil {
+			return nil, fmt.Errorf("shamir: share %d has nil coordinates", i)
+		}
+		xs[i], ys[i] = s.X, s.Y
+	}
+	secret, err := mathx.LagrangeZero(p, xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("shamir: interpolating: %w", err)
+	}
+	return secret, nil
+}
+
+// AddShares pointwise-adds shares of distinct secrets held at the same
+// abscissa. Because sharing is linear, the result is a share of the sum
+// of the secrets — the heart of the paper's secure sum: F(x_j) = Σ_i
+// f_i(x_j).
+func AddShares(p *big.Int, shares []Share) (Share, error) {
+	if len(shares) == 0 {
+		return Share{}, errors.New("shamir: no shares to add")
+	}
+	x := shares[0].X
+	sum := new(big.Int)
+	for i, s := range shares {
+		if s.X == nil || s.Y == nil {
+			return Share{}, fmt.Errorf("shamir: share %d has nil coordinates", i)
+		}
+		if s.X.Cmp(x) != 0 {
+			return Share{}, fmt.Errorf("shamir: share %d has abscissa %v, want %v", i, s.X, x)
+		}
+		sum.Add(sum, s.Y)
+		sum.Mod(sum, p)
+	}
+	return Share{X: new(big.Int).Set(x), Y: sum}, nil
+}
+
+// ScaleShare multiplies a share by a public constant α. Linearity makes
+// the result a share of α·secret, used by the paper's weighted secure
+// sum Σ α_i a_i.
+func ScaleShare(p *big.Int, s Share, alpha *big.Int) (Share, error) {
+	if s.X == nil || s.Y == nil {
+		return Share{}, errors.New("shamir: share has nil coordinates")
+	}
+	y := new(big.Int).Mul(s.Y, alpha)
+	y.Mod(y, p)
+	return Share{X: new(big.Int).Set(s.X), Y: y}, nil
+}

@@ -1,0 +1,251 @@
+package shamir
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+var testPrime = big.NewInt(2147483647) // 2^31 - 1
+
+func TestSplitCombineRoundTrip(t *testing.T) {
+	secret := big.NewInt(123456789)
+	shares, err := Split(rand.Reader, testPrime, secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 5 {
+		t.Fatalf("got %d shares, want 5", len(shares))
+	}
+	got, err := Combine(testPrime, shares[:3], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatalf("Combine = %v, want %v", got, secret)
+	}
+	// Any other subset of size 3 also works.
+	subset := []Share{shares[1], shares[3], shares[4]}
+	got, err = Combine(testPrime, subset, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatalf("Combine(subset) = %v, want %v", got, secret)
+	}
+}
+
+func TestCombineTooFewShares(t *testing.T) {
+	secret := big.NewInt(42)
+	shares, err := Split(rand.Reader, testPrime, secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Combine(testPrime, shares[:2], 3); err == nil {
+		t.Fatal("Combine accepted fewer than k shares")
+	}
+}
+
+// TestFewerThanKSharesRevealNothing checks the hiding property: with
+// k-1 shares, every candidate secret remains consistent with some
+// polynomial, so reconstruction from k-1 points plus a guessed point at
+// zero can produce any value.
+func TestFewerThanKSharesRevealNothing(t *testing.T) {
+	p := big.NewInt(97)
+	secret := big.NewInt(55)
+	// Run many splits; the k-1=1 visible share should take many values.
+	values := make(map[int64]struct{})
+	for i := 0; i < 60; i++ {
+		shares, err := Split(rand.Reader, p, secret, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values[shares[0].Y.Int64()] = struct{}{}
+	}
+	if len(values) < 20 {
+		t.Fatalf("single share took only %d distinct values over 60 trials; shares leak", len(values))
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	if _, err := Split(rand.Reader, testPrime, big.NewInt(1), 0, 3); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Split(rand.Reader, testPrime, big.NewInt(1), 4, 3); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := Split(rand.Reader, testPrime, nil, 2, 3); err == nil {
+		t.Fatal("nil secret accepted")
+	}
+	dup := []*big.Int{big.NewInt(1), big.NewInt(1)}
+	if _, err := SplitAt(rand.Reader, testPrime, big.NewInt(1), 2, dup); err == nil {
+		t.Fatal("duplicate abscissae accepted")
+	}
+	zero := []*big.Int{big.NewInt(0), big.NewInt(2)}
+	if _, err := SplitAt(rand.Reader, testPrime, big.NewInt(1), 2, zero); err == nil {
+		t.Fatal("zero abscissa accepted (would leak the secret)")
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	bad := []Share{{X: big.NewInt(1)}} // nil Y
+	if _, err := Combine(testPrime, bad, 1); err == nil {
+		t.Fatal("nil-coordinate share accepted")
+	}
+}
+
+// TestSecureSumLinearity reproduces the core of paper §3.5: shares of
+// individual secrets added pointwise reconstruct the sum of secrets.
+func TestSecureSumLinearity(t *testing.T) {
+	const (
+		parties = 5
+		k       = 3
+	)
+	secrets := []*big.Int{
+		big.NewInt(20), big.NewInt(34), big.NewInt(45), big.NewInt(18), big.NewInt(53),
+	}
+	// dealt[i][j] = share of secret i at abscissa j.
+	dealt := make([][]Share, parties)
+	for i, s := range secrets {
+		shares, err := Split(rand.Reader, testPrime, s, k, parties)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dealt[i] = shares
+	}
+	// Each party j sums the shares it received.
+	sumShares := make([]Share, parties)
+	for j := 0; j < parties; j++ {
+		col := make([]Share, parties)
+		for i := 0; i < parties; i++ {
+			col[i] = dealt[i][j]
+		}
+		var err error
+		sumShares[j], err = AddShares(testPrime, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Combine(testPrime, sumShares[:k], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 170 {
+		t.Fatalf("secure sum = %v, want 170", got)
+	}
+}
+
+// TestWeightedSumLinearity covers the paper's weighted variant
+// Σ α_i a_i with public constants α_i.
+func TestWeightedSumLinearity(t *testing.T) {
+	const k = 2
+	secrets := []*big.Int{big.NewInt(7), big.NewInt(11)}
+	alphas := []*big.Int{big.NewInt(3), big.NewInt(5)}
+	want := int64(3*7 + 5*11)
+
+	dealt := make([][]Share, len(secrets))
+	for i, s := range secrets {
+		shares, err := Split(rand.Reader, testPrime, s, k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range shares {
+			shares[j], err = ScaleShare(testPrime, shares[j], alphas[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		dealt[i] = shares
+	}
+	sumShares := make([]Share, 3)
+	for j := 0; j < 3; j++ {
+		var err error
+		sumShares[j], err = AddShares(testPrime, []Share{dealt[0][j], dealt[1][j]})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Combine(testPrime, sumShares[:k], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != want {
+		t.Fatalf("weighted sum = %v, want %v", got, want)
+	}
+}
+
+func TestAddSharesValidation(t *testing.T) {
+	if _, err := AddShares(testPrime, nil); err == nil {
+		t.Fatal("empty share list accepted")
+	}
+	mismatched := []Share{
+		{X: big.NewInt(1), Y: big.NewInt(2)},
+		{X: big.NewInt(2), Y: big.NewInt(3)},
+	}
+	if _, err := AddShares(testPrime, mismatched); err == nil {
+		t.Fatal("mismatched abscissae accepted")
+	}
+	withNil := []Share{{X: big.NewInt(1)}}
+	if _, err := AddShares(testPrime, withNil); err == nil {
+		t.Fatal("nil Y accepted")
+	}
+}
+
+func TestScaleShareValidation(t *testing.T) {
+	if _, err := ScaleShare(testPrime, Share{}, big.NewInt(2)); err == nil {
+		t.Fatal("nil-coordinate share accepted")
+	}
+}
+
+func TestShareClone(t *testing.T) {
+	s := Share{X: big.NewInt(4), Y: big.NewInt(9)}
+	c := s.Clone()
+	c.X.SetInt64(99)
+	c.Y.SetInt64(99)
+	if s.X.Int64() != 4 || s.Y.Int64() != 9 {
+		t.Fatal("Clone aliases the original share")
+	}
+}
+
+func TestSplitCombineQuick(t *testing.T) {
+	f := func(secret uint32, kSeed, nSeed uint8) bool {
+		n := int(nSeed%8) + 2 // 2..9
+		k := int(kSeed)%n + 1 // 1..n
+		s := new(big.Int).Mod(big.NewInt(int64(secret)), testPrime)
+		shares, err := Split(rand.Reader, testPrime, s, k, n)
+		if err != nil {
+			return false
+		}
+		got, err := Combine(testPrime, shares, k)
+		return err == nil && got.Cmp(s) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSplit8of16(b *testing.B) {
+	secret := big.NewInt(987654321)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(rand.Reader, testPrime, secret, 8, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombine8(b *testing.B) {
+	secret := big.NewInt(987654321)
+	shares, err := Split(rand.Reader, testPrime, secret, 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Combine(testPrime, shares[:8], 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

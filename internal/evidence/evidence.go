@@ -1,0 +1,308 @@
+// Package evidence implements the paper's undeniable evidence chain for
+// anonymous-yet-authenticated DLA membership (§4.2, Figures 6 and 7).
+//
+// Model:
+//
+//   - every prospective DLA node generates a pseudonym key pair and
+//     obtains a credential token from the credential authority via a
+//     BLIND signature over the pseudonym, so the CA cannot link the
+//     pseudonym to a real identity, yet the token is unforgeable
+//     ("anonymous yet verifiable");
+//
+//   - membership grows by a three-way handshake (Figure 7): the current
+//     chain tail P_y sends a policy proposal (PP) to the candidate P_x;
+//     P_x answers with a service commitment (SC) and its signature over
+//     the candidate evidence piece; P_y completes the piece with its own
+//     signature (RE), making P_x a member and passing the authority to
+//     invite further nodes to P_x;
+//
+//   - each evidence piece hash-chains to its predecessor and binds the
+//     negotiated service terms (the r-binding/x-binding of the paper's
+//     companion reference [30], realized here as signature-bound terms),
+//     so neither side can deny or alter the agreement;
+//
+//   - the invite authority moves strictly down the chain: a verifier
+//     accepts piece i+1 only if its inviter is piece i's joiner. A node
+//     that invites twice produces two countersigned pieces with the same
+//     inviter — self-incriminating evidence of misconduct, which is
+//     exactly the paper's deterrent ("doing so will subject P_y to
+//     exposure ... and its misconduct").
+package evidence
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"confaudit/internal/crypto/blind"
+)
+
+// Errors reported by the package.
+var (
+	// ErrBadToken indicates a credential token that fails verification.
+	ErrBadToken = errors.New("evidence: invalid credential token")
+	// ErrBadChain indicates a chain that fails verification.
+	ErrBadChain = errors.New("evidence: invalid chain")
+	// ErrMisconduct indicates detected double-invite misconduct.
+	ErrMisconduct = errors.New("evidence: double-invite misconduct")
+)
+
+// Pseudonym is a node's anonymous verification key.
+type Pseudonym struct {
+	// N and E form the RSA verification key of the pseudonymous node.
+	N *big.Int `json:"n"`
+	E *big.Int `json:"e"`
+}
+
+// Bytes returns the canonical encoding signed by the CA and hashed into
+// evidence pieces.
+func (p Pseudonym) Bytes() []byte {
+	return []byte("pseudonym|" + p.N.Text(62) + "|" + p.E.Text(62))
+}
+
+// Equal reports pseudonym equality.
+func (p Pseudonym) Equal(o Pseudonym) bool {
+	return p.N != nil && o.N != nil && p.N.Cmp(o.N) == 0 && p.E.Cmp(o.E) == 0
+}
+
+func (p Pseudonym) key() blind.PublicKey { return blind.PublicKey{N: p.N, E: p.E} }
+
+// Member is one node's private membership state: its pseudonym signing
+// key and CA token.
+type Member struct {
+	signer *blind.Authority
+	token  *big.Int
+	ca     blind.PublicKey
+}
+
+// NewMember generates a pseudonym key pair and obtains a blind credential
+// token from the CA. The issue callback is the CA's SignBlinded
+// operation; because the request is blinded, the CA never sees the
+// pseudonym it certifies.
+func NewMember(rng io.Reader, bits int, ca blind.PublicKey, issue func(*big.Int) (*big.Int, error)) (*Member, error) {
+	signer, err := blind.NewAuthority(rng, bits)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: generating pseudonym: %w", err)
+	}
+	m := &Member{signer: signer, ca: ca}
+	blinded, err := blind.Blind(rng, ca, m.Pseudonym().Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("evidence: blinding token request: %w", err)
+	}
+	blindSig, err := issue(blinded.Msg)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: CA refused token: %w", err)
+	}
+	token, err := blinded.Unblind(ca, blindSig)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: unblinding token: %w", err)
+	}
+	if err := blind.Verify(ca, m.Pseudonym().Bytes(), token); err != nil {
+		return nil, fmt.Errorf("%w: freshly issued token does not verify", ErrBadToken)
+	}
+	m.token = token
+	return m, nil
+}
+
+// Pseudonym returns the member's public pseudonym.
+func (m *Member) Pseudonym() Pseudonym {
+	pub := m.signer.Public()
+	return Pseudonym{N: pub.N, E: pub.E}
+}
+
+// Token returns the CA credential over the pseudonym (g(t) = 1 in
+// Figure 7's verification).
+func (m *Member) Token() *big.Int { return new(big.Int).Set(m.token) }
+
+// sign signs arbitrary bytes under the pseudonym key.
+func (m *Member) sign(data []byte) (*big.Int, error) { return m.signer.Sign(data) }
+
+// Terms are the negotiated logging/auditing service terms bound into an
+// evidence piece: the inviter's policy proposal and the joiner's service
+// commitment (Figure 7's PP and SC payloads).
+type Terms struct {
+	// Proposal is the inviter's policy proposal text.
+	Proposal string `json:"proposal"`
+	// Services is the joiner's committed service list.
+	Services []string `json:"services"`
+}
+
+func (t Terms) canonical() string {
+	return t.Proposal + "\x1f" + strings.Join(t.Services, "\x1e")
+}
+
+// Piece is one evidence piece e_i of the chain (Figure 6).
+type Piece struct {
+	// Index is the piece's position in the chain.
+	Index int `json:"index"`
+	// Inviter and Joiner are the two pseudonyms.
+	Inviter Pseudonym `json:"inviter"`
+	Joiner  Pseudonym `json:"joiner"`
+	// InviterToken and JoinerToken are the CA credentials.
+	InviterToken *big.Int `json:"inviter_token"`
+	JoinerToken  *big.Int `json:"joiner_token"`
+	// Terms are the bound service terms.
+	Terms Terms `json:"terms"`
+	// PrevHash chains to the previous piece (nil for the first).
+	PrevHash []byte `json:"prev_hash"`
+	// JoinerSig and InviterSig are the two countersignatures over the
+	// piece body; together they make the agreement undeniable.
+	JoinerSig  *big.Int `json:"joiner_sig"`
+	InviterSig *big.Int `json:"inviter_sig"`
+}
+
+// body is the byte string both parties sign.
+func (p *Piece) body() []byte {
+	var sb strings.Builder
+	sb.WriteString("evidence|")
+	sb.WriteString(strconv.Itoa(p.Index))
+	sb.WriteByte('|')
+	sb.Write(p.Inviter.Bytes())
+	sb.WriteByte('|')
+	sb.Write(p.Joiner.Bytes())
+	sb.WriteByte('|')
+	sb.WriteString(p.Terms.canonical())
+	sb.WriteByte('|')
+	sb.WriteString(fmt.Sprintf("%x", p.PrevHash))
+	return []byte(sb.String())
+}
+
+// Hash returns the chain-link hash of a completed piece.
+func (p *Piece) Hash() []byte {
+	h := sha256.New()
+	h.Write(p.body())
+	if p.JoinerSig != nil {
+		h.Write(p.JoinerSig.Bytes())
+	}
+	if p.InviterSig != nil {
+		h.Write(p.InviterSig.Bytes())
+	}
+	return h.Sum(nil)
+}
+
+// Verify checks a single piece: both tokens under the CA (g(t)=1), both
+// countersignatures under the pseudonyms (f(e)=1), distinct parties.
+func (p *Piece) Verify(ca blind.PublicKey) error {
+	if p.Inviter.Equal(p.Joiner) {
+		return fmt.Errorf("%w: piece %d has identical inviter and joiner", ErrBadChain, p.Index)
+	}
+	if err := blind.Verify(ca, p.Inviter.Bytes(), p.InviterToken); err != nil {
+		return fmt.Errorf("%w: piece %d inviter token: %v", ErrBadToken, p.Index, err)
+	}
+	if err := blind.Verify(ca, p.Joiner.Bytes(), p.JoinerToken); err != nil {
+		return fmt.Errorf("%w: piece %d joiner token: %v", ErrBadToken, p.Index, err)
+	}
+	body := p.body()
+	if err := blind.Verify(p.Joiner.key(), body, p.JoinerSig); err != nil {
+		return fmt.Errorf("%w: piece %d joiner signature: %v", ErrBadChain, p.Index, err)
+	}
+	if err := blind.Verify(p.Inviter.key(), body, p.InviterSig); err != nil {
+		return fmt.Errorf("%w: piece %d inviter signature: %v", ErrBadChain, p.Index, err)
+	}
+	return nil
+}
+
+// Chain is the DLA membership evidence chain (Figure 6).
+type Chain struct {
+	// CA is the credential authority key all tokens verify under.
+	CA blind.PublicKey
+	// Pieces are the evidence pieces e_1..e_n in join order.
+	Pieces []Piece
+}
+
+// Verify checks the whole chain: every piece verifies, hash links hold,
+// invite authority moved strictly down the chain, and no pseudonym
+// joined twice.
+func (c *Chain) Verify() error {
+	if len(c.Pieces) == 0 {
+		return fmt.Errorf("%w: empty chain", ErrBadChain)
+	}
+	seen := make(map[string]struct{}, len(c.Pieces)+1)
+	seen[string(c.Pieces[0].Inviter.Bytes())] = struct{}{}
+	for i := range c.Pieces {
+		p := &c.Pieces[i]
+		if p.Index != i {
+			return fmt.Errorf("%w: piece %d carries index %d", ErrBadChain, i, p.Index)
+		}
+		if err := p.Verify(c.CA); err != nil {
+			return err
+		}
+		if i == 0 {
+			if len(p.PrevHash) != 0 {
+				return fmt.Errorf("%w: first piece has a predecessor hash", ErrBadChain)
+			}
+		} else {
+			prev := &c.Pieces[i-1]
+			if fmt.Sprintf("%x", p.PrevHash) != fmt.Sprintf("%x", prev.Hash()) {
+				return fmt.Errorf("%w: piece %d hash link broken", ErrBadChain, i)
+			}
+			// Invite authority: only the previous joiner may invite.
+			if !p.Inviter.Equal(prev.Joiner) {
+				return fmt.Errorf("%w: piece %d invited by a node without authority", ErrMisconduct, i)
+			}
+		}
+		key := string(p.Joiner.Bytes())
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("%w: pseudonym joined twice at piece %d", ErrBadChain, i)
+		}
+		seen[key] = struct{}{}
+	}
+	return nil
+}
+
+// Members returns the pseudonyms in join order: the founding inviter
+// followed by every joiner.
+func (c *Chain) Members() []Pseudonym {
+	if len(c.Pieces) == 0 {
+		return nil
+	}
+	out := make([]Pseudonym, 0, len(c.Pieces)+1)
+	out = append(out, c.Pieces[0].Inviter)
+	for i := range c.Pieces {
+		out = append(out, c.Pieces[i].Joiner)
+	}
+	return out
+}
+
+// Tail returns the pseudonym currently holding invite authority.
+func (c *Chain) Tail() (Pseudonym, error) {
+	if len(c.Pieces) == 0 {
+		return Pseudonym{}, fmt.Errorf("%w: empty chain", ErrBadChain)
+	}
+	return c.Pieces[len(c.Pieces)-1].Joiner, nil
+}
+
+// DetectDoubleInvite scans a set of countersigned pieces (possibly from
+// competing forks) for two distinct pieces sharing an inviter — the
+// self-incriminating trace a misbehaving P_y leaves. Returns the
+// offending pseudonym and the two pieces, or nil if the set is clean.
+func DetectDoubleInvite(pieces []Piece) *Misconduct {
+	byInviter := make(map[string]int, len(pieces))
+	for i := range pieces {
+		key := string(pieces[i].Inviter.Bytes()) + "@" + strconv.Itoa(pieces[i].Index)
+		if j, dup := byInviter[key]; dup {
+			if string(pieces[i].Joiner.Bytes()) != string(pieces[j].Joiner.Bytes()) {
+				return &Misconduct{
+					Offender: pieces[i].Inviter,
+					PieceA:   pieces[j],
+					PieceB:   pieces[i],
+				}
+			}
+			continue
+		}
+		byInviter[key] = i
+	}
+	return nil
+}
+
+// Misconduct is the undeniable record of a double invite.
+type Misconduct struct {
+	// Offender is the pseudonym that invited twice.
+	Offender Pseudonym
+	// PieceA and PieceB are the two countersigned pieces proving it.
+	PieceA, PieceB Piece
+}

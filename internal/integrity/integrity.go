@@ -1,0 +1,193 @@
+// Package integrity implements the paper's distributed integrity
+// cross-checking algorithm (§4.1): when a user logs a record it sends
+// every DLA node the one-way-accumulator digest A(x0, Log_0..Log_{n-1})
+// over all fragments; any node can later verify the record by
+// circulating a partial accumulation around the ring — each node folds
+// in the canonical encoding of its own stored fragment — and comparing
+// the value that returns with the stored digest. Commutativity (eq. 9)
+// makes the ring order irrelevant, and no node reveals its fragment to
+// the others: only accumulator values travel.
+package integrity
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"strconv"
+	"sync/atomic"
+
+	"confaudit/internal/crypto/accumulator"
+	"confaudit/internal/logmodel"
+	"confaudit/internal/smc"
+	"confaudit/internal/transport"
+)
+
+// Message types: relays travel as MsgCirculate; the full-circle value
+// returns to the initiator as MsgResult so responder loops never consume
+// it.
+const (
+	MsgCirculate = "integrity.circulate"
+	MsgResult    = "integrity.result"
+)
+
+// Errors reported by integrity checking.
+var (
+	// ErrNoDigest indicates a record with no stored digest to verify
+	// against.
+	ErrNoDigest = errors.New("integrity: no stored digest")
+	// ErrFragmentMissing indicates a ring node without the fragment.
+	ErrFragmentMissing = errors.New("integrity: fragment missing on a node")
+)
+
+// Store is the node-local state the protocol reads: the fragment and
+// the user-supplied record digest for a glsn.
+type Store interface {
+	Fragment(g logmodel.GLSN) (logmodel.Fragment, bool)
+	Digest(g logmodel.GLSN) (*big.Int, bool)
+}
+
+type circulateBody struct {
+	GLSN      logmodel.GLSN `json:"glsn"`
+	Initiator string        `json:"initiator"`
+	Hops      int           `json:"hops"`
+	Value     *big.Int      `json:"value"`
+	// Missing is set when some ring node had no fragment for the glsn.
+	Missing string `json:"missing,omitempty"`
+}
+
+// Serve runs the responder loop: fold the local fragment into incoming
+// partial accumulations and forward them along the ring. It returns when
+// ctx is cancelled or the mailbox closes. Every ring node (including
+// check initiators) must run Serve.
+func Serve(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store) error {
+	self := mb.ID()
+	next, err := smc.NextInRing(ring, self)
+	if err != nil {
+		return err
+	}
+	n := len(ring)
+	for {
+		msg, err := mb.ExpectType(ctx, MsgCirculate)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		var body circulateBody
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			continue
+		}
+		if body.Hops >= n {
+			continue // stale loop remnant; drop
+		}
+		if body.Missing == "" {
+			if frag, ok := store.Fragment(body.GLSN); ok {
+				body.Value = params.Accumulate(body.Value, frag.Canonical())
+			} else {
+				body.Missing = self
+			}
+		}
+		body.Hops++
+		typ, to := MsgCirculate, next
+		if body.Hops == n {
+			// Full circle: hand the result back to the initiator.
+			typ, to = MsgResult, body.Initiator
+		}
+		out, err := transport.NewMessage(to, typ, msg.Session, body)
+		if err != nil {
+			continue
+		}
+		mb.Send(ctx, out) //nolint:errcheck // broken ring surfaces as initiator timeout
+	}
+}
+
+// checkSeq makes concurrent checks from one node collision-free.
+var checkSeq atomic.Uint64
+
+// Check circulates the accumulator for one glsn around the ring and
+// compares the result with the stored digest. The caller's node must be
+// a ring member running Serve (for other initiators' checks); its own
+// fragment is folded in locally before the first hop.
+func Check(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store, g logmodel.GLSN) error {
+	self := mb.ID()
+	next, err := smc.NextInRing(ring, self)
+	if err != nil {
+		return err
+	}
+	want, ok := store.Digest(g)
+	if !ok {
+		return fmt.Errorf("%w: glsn %s", ErrNoDigest, g)
+	}
+	frag, ok := store.Fragment(g)
+	if !ok {
+		return fmt.Errorf("%w: glsn %s on %s", ErrFragmentMissing, g, self)
+	}
+	session := "ichk/" + self + "/" + g.String() + "/" + strconv.FormatUint(checkSeq.Add(1), 10)
+	body := circulateBody{
+		GLSN:      g,
+		Initiator: self,
+		Hops:      1,
+		Value:     params.Accumulate(params.X0, frag.Canonical()),
+	}
+	out, err := transport.NewMessage(next, MsgCirculate, session, body)
+	if err != nil {
+		return err
+	}
+	if err := mb.Send(ctx, out); err != nil {
+		return fmt.Errorf("integrity: starting circulation: %w", err)
+	}
+	// The full-circle value comes back as MsgResult, which responder
+	// loops never consume, so queuing order cannot lose it.
+	res, err := mb.Expect(ctx, MsgResult, session)
+	if err != nil {
+		return fmt.Errorf("integrity: awaiting circulation: %w", err)
+	}
+	var final circulateBody
+	if err := transport.Unmarshal(res.Payload, &final); err != nil {
+		return err
+	}
+	if final.Missing != "" {
+		return fmt.Errorf("%w: glsn %s on %s", ErrFragmentMissing, g, final.Missing)
+	}
+	if final.Hops != len(ring) {
+		return fmt.Errorf("integrity: circulation returned after %d of %d hops", final.Hops, len(ring))
+	}
+	if final.Value == nil || final.Value.Cmp(want) != 0 {
+		return fmt.Errorf("integrity: digest mismatch for glsn %s: record tampered or corrupted", g)
+	}
+	return nil
+}
+
+// Report summarizes a sweep over many records.
+type Report struct {
+	// Checked counts records examined.
+	Checked int
+	// Corrupted lists glsns whose circulation did not match the digest.
+	Corrupted []logmodel.GLSN
+	// Errors maps glsns to non-verdict failures (missing fragments,
+	// transport errors).
+	Errors map[logmodel.GLSN]error
+}
+
+// Clean reports whether the sweep found no problems.
+func (r *Report) Clean() bool { return len(r.Corrupted) == 0 && len(r.Errors) == 0 }
+
+// CheckAll sweeps the given glsns. Mismatches are collected rather than
+// aborting the sweep.
+func CheckAll(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store, glsns []logmodel.GLSN) *Report {
+	rep := &Report{Errors: make(map[logmodel.GLSN]error)}
+	for _, g := range glsns {
+		rep.Checked++
+		err := Check(ctx, mb, ring, params, store, g)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrNoDigest) || errors.Is(err, ErrFragmentMissing):
+			rep.Errors[g] = err
+		default:
+			rep.Corrupted = append(rep.Corrupted, g)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,300 @@
+package integrity
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/crypto/accumulator"
+	"confaudit/internal/logmodel"
+	"confaudit/internal/transport"
+)
+
+// memStore is a minimal Store for tests.
+type memStore struct {
+	mu      sync.RWMutex
+	frags   map[logmodel.GLSN]logmodel.Fragment
+	digests map[logmodel.GLSN]*big.Int
+}
+
+func newMemStore() *memStore {
+	return &memStore{
+		frags:   make(map[logmodel.GLSN]logmodel.Fragment),
+		digests: make(map[logmodel.GLSN]*big.Int),
+	}
+}
+
+func (s *memStore) Fragment(g logmodel.GLSN) (logmodel.Fragment, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.frags[g]
+	return f, ok
+}
+
+func (s *memStore) Digest(g logmodel.GLSN) (*big.Int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.digests[g]
+	return d, ok
+}
+
+type rig struct {
+	ring   []string
+	params *accumulator.Params
+	stores map[string]*memStore
+	mbs    map[string]*transport.Mailbox
+	net    *transport.MemNetwork
+	cancel context.CancelFunc
+}
+
+// clientMailbox attaches an external client to the rig's network.
+func (r *rig) clientMailbox(t *testing.T) *transport.Mailbox {
+	t.Helper()
+	ep, err := r.net.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	t.Cleanup(func() { mb.Close() }) //nolint:errcheck
+	return mb
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	params, err := accumulator.GenerateParams(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNetwork()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &rig{
+		params: params,
+		stores: make(map[string]*memStore),
+		mbs:    make(map[string]*transport.Mailbox),
+		net:    net,
+		cancel: cancel,
+	}
+	for i := 0; i < n; i++ {
+		id := "P" + string(rune('0'+i))
+		r.ring = append(r.ring, id)
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.mbs[id] = transport.NewMailbox(ep)
+		r.stores[id] = newMemStore()
+	}
+	var wg sync.WaitGroup
+	for _, id := range r.ring {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			Serve(ctx, r.mbs[id], r.ring, params, r.stores[id]) //nolint:errcheck
+		}(id)
+	}
+	t.Cleanup(func() {
+		cancel()
+		for _, mb := range r.mbs {
+			mb.Close() //nolint:errcheck
+		}
+		net.Close() //nolint:errcheck
+		wg.Wait()
+	})
+	return r
+}
+
+// logRecord fragments a record across the rig and installs the digest
+// everywhere, mimicking the client's §4.1 behaviour.
+func (r *rig) logRecord(t *testing.T, ex *logmodel.PaperExample, rec logmodel.Record) {
+	t.Helper()
+	frags := ex.Partition.Split(rec)
+	items := make([][]byte, 0, len(frags))
+	for _, node := range ex.Partition.Nodes() {
+		items = append(items, frags[node].Canonical())
+	}
+	digest := r.params.AccumulateAll(items)
+	for node, frag := range frags {
+		s := r.stores[node]
+		s.mu.Lock()
+		s.frags[rec.GLSN] = frag
+		s.digests[rec.GLSN] = digest
+		s.mu.Unlock()
+	}
+}
+
+func testCtx(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestCheckCleanRecord(t *testing.T) {
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, 4)
+	ctx := testCtx(t)
+	for _, rec := range ex.Records {
+		r.logRecord(t, ex, rec)
+	}
+	// Any node can initiate the check, for any record.
+	for _, initiator := range r.ring {
+		for _, rec := range ex.Records {
+			if err := Check(ctx, r.mbs[initiator], r.ring, r.params, r.stores[initiator], rec.GLSN); err != nil {
+				t.Fatalf("clean record %s flagged from %s: %v", rec.GLSN, initiator, err)
+			}
+		}
+	}
+}
+
+func TestCheckDetectsTamperedFragment(t *testing.T) {
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, 4)
+	ctx := testCtx(t)
+	rec := ex.Records[0]
+	r.logRecord(t, ex, rec)
+
+	// A compromised P2 silently modifies its fragment (changes the
+	// transaction ID).
+	s := r.stores["P2"]
+	s.mu.Lock()
+	frag := s.frags[rec.GLSN]
+	frag.Values["Tid"] = logmodel.String("T9999999")
+	s.frags[rec.GLSN] = frag
+	s.mu.Unlock()
+
+	err = Check(ctx, r.mbs["P0"], r.ring, r.params, r.stores["P0"], rec.GLSN)
+	if err == nil {
+		t.Fatal("tampered fragment not detected")
+	}
+	if errors.Is(err, ErrNoDigest) || errors.Is(err, ErrFragmentMissing) {
+		t.Fatalf("wrong failure class: %v", err)
+	}
+}
+
+func TestCheckDetectsDeletedFragment(t *testing.T) {
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, 4)
+	ctx := testCtx(t)
+	rec := ex.Records[1]
+	r.logRecord(t, ex, rec)
+
+	s := r.stores["P3"]
+	s.mu.Lock()
+	delete(s.frags, rec.GLSN)
+	s.mu.Unlock()
+
+	err = Check(ctx, r.mbs["P0"], r.ring, r.params, r.stores["P0"], rec.GLSN)
+	if !errors.Is(err, ErrFragmentMissing) {
+		t.Fatalf("err = %v, want ErrFragmentMissing", err)
+	}
+}
+
+func TestCheckNoDigest(t *testing.T) {
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, 4)
+	ctx := testCtx(t)
+	rec := ex.Records[2]
+	// Install fragments but no digests.
+	frags := ex.Partition.Split(rec)
+	for node, frag := range frags {
+		s := r.stores[node]
+		s.mu.Lock()
+		s.frags[rec.GLSN] = frag
+		s.mu.Unlock()
+	}
+	err = Check(ctx, r.mbs["P1"], r.ring, r.params, r.stores["P1"], rec.GLSN)
+	if !errors.Is(err, ErrNoDigest) {
+		t.Fatalf("err = %v, want ErrNoDigest", err)
+	}
+}
+
+func TestCheckAllSweep(t *testing.T) {
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, 4)
+	ctx := testCtx(t)
+	glsns := make([]logmodel.GLSN, 0, len(ex.Records))
+	for _, rec := range ex.Records {
+		r.logRecord(t, ex, rec)
+		glsns = append(glsns, rec.GLSN)
+	}
+	// Tamper with exactly one record on one node.
+	s := r.stores["P1"]
+	s.mu.Lock()
+	frag := s.frags[ex.Records[3].GLSN]
+	frag.Values["C2"] = logmodel.Float(0.01)
+	s.frags[ex.Records[3].GLSN] = frag
+	s.mu.Unlock()
+
+	rep := CheckAll(ctx, r.mbs["P0"], r.ring, r.params, r.stores["P0"], glsns)
+	if rep.Checked != 5 {
+		t.Fatalf("checked %d, want 5", rep.Checked)
+	}
+	if len(rep.Corrupted) != 1 || rep.Corrupted[0] != ex.Records[3].GLSN {
+		t.Fatalf("corrupted = %v, want [%s]", rep.Corrupted, ex.Records[3].GLSN)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", rep.Errors)
+	}
+	if rep.Clean() {
+		t.Fatal("report with corruption claims clean")
+	}
+}
+
+func TestConcurrentChecksFromAllNodes(t *testing.T) {
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, 4)
+	ctx := testCtx(t)
+	for _, rec := range ex.Records {
+		r.logRecord(t, ex, rec)
+	}
+	var wg sync.WaitGroup
+	for _, initiator := range r.ring {
+		wg.Add(1)
+		go func(initiator string) {
+			defer wg.Done()
+			for _, rec := range ex.Records {
+				if err := Check(ctx, r.mbs[initiator], r.ring, r.params, r.stores[initiator], rec.GLSN); err != nil {
+					t.Errorf("%s checking %s: %v", initiator, rec.GLSN, err)
+				}
+			}
+		}(initiator)
+	}
+	wg.Wait()
+}
+
+func TestCheckNotInRing(t *testing.T) {
+	r := newRig(t, 3)
+	ctx := testCtx(t)
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	ep, err := net.Endpoint("outsider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	if err := Check(ctx, mb, r.ring, r.params, newMemStore(), 1); err == nil {
+		t.Fatal("outsider check accepted")
+	}
+}

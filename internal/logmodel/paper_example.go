@@ -1,0 +1,79 @@
+package logmodel
+
+// This file reproduces the paper's worked example exactly: the global
+// event log of Table 1, the attribute partition behind the fragment
+// Tables 2-5, and the access-control grants of Table 6. It is used by
+// cmd/benchtab to regenerate those tables and by tests as a known-good
+// fixture.
+
+// PaperExample bundles the fixture.
+type PaperExample struct {
+	Schema    *Schema
+	Partition *Partition
+	Records   []Record
+	// TicketGrants maps ticket ID to the glsns it authorizes (Table 6).
+	TicketGrants map[string][]GLSN
+}
+
+// Paper table column sets. P0-P3 support attributes beyond those the
+// example records populate (EID, ip, C4, C5, C6), exactly as the paper's
+// fragment tables show empty columns.
+var (
+	paperNodes = []string{"P0", "P1", "P2", "P3"}
+
+	paperNodeAttrs = map[string][]Attr{
+		"P0": {"time", "C4"},
+		"P1": {"id", "EID", "C2", "C5"},
+		"P2": {"Tid", "C3", "C6"},
+		"P3": {"protocl", "ip", "C1"},
+	}
+)
+
+// NewPaperExample constructs the fixture. It never fails on the
+// embedded data; errors would indicate a programming mistake and are
+// surfaced for the caller to treat as fatal.
+func NewPaperExample() (*PaperExample, error) {
+	schema, err := NewSchema(
+		[]Attr{"time", "id", "protocl", "Tid", "C1", "C2", "C3", "EID", "ip", "C4", "C5", "C6"},
+		"C1", "C2", "C3", "C4", "C5", "C6",
+	)
+	if err != nil {
+		return nil, err
+	}
+	part, err := NewPartition(schema, paperNodes, paperNodeAttrs)
+	if err != nil {
+		return nil, err
+	}
+	row := func(glsn uint64, ts, id, proto, tid string, c1 int64, c2 float64, c3 string) Record {
+		return Record{
+			GLSN: GLSN(glsn),
+			Values: map[Attr]Value{
+				"time":    String(ts),
+				"id":      String(id),
+				"protocl": String(proto),
+				"Tid":     String(tid),
+				"C1":      Int(c1),
+				"C2":      Float(c2),
+				"C3":      String(c3),
+			},
+		}
+	}
+	records := []Record{
+		row(0x139aef78, "20:18:35/05/12/2002", "U1", "UDP", "T1100265", 20, 23.45, "signature"),
+		row(0x139aef79, "20:20:35/05/12/2002", "U2", "UDP", "T1100265", 34, 345.11, "evidence."),
+		row(0x139aef80, "20:23:35/05/12/2002", "U1", "UDP", "T1100267", 45, 235.00, "bank"),
+		row(0x139aef81, "20:23:38/05/12/2002", "U2", "TCP", "T1100265", 18, 45.02, "salary"),
+		row(0x139aef82, "20:25:35/05/12/2002", "U3", "TCP", "T1100267", 53, 678.75, "account"),
+	}
+	grants := map[string][]GLSN{
+		"T1": {0x139aef78, 0x139aef80},
+		"T2": {0x139aef79, 0x139aef81},
+		"T3": {0x139aef82},
+	}
+	return &PaperExample{
+		Schema:       schema,
+		Partition:    part,
+		Records:      records,
+		TicketGrants: grants,
+	}, nil
+}

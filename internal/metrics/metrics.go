@@ -1,0 +1,102 @@
+// Package metrics implements the paper's degree-of-auditing-
+// confidentiality measures (§5, eqs. 10-13):
+//
+//	C_store(Log)   = v·u / w                          (eq. 10)
+//	C_auditing(Q)  = (t + q) / (s + q)                (eq. 11)
+//	C_query(Q,Log) = C_auditing(Q) · C_store(Log)     (eq. 12)
+//	C_DLA(I,P)     = mean over (Q, Log) of C_query    (eq. 13)
+//
+// where, for a log record: w is the number of audit attributes used,
+// v the number of undefined attributes used, and u the minimum number
+// of DLA nodes whose attribute sets cover the record; and, for a
+// normalized criterion Q_N: s is the total number of atomic auditing
+// predicates, t the number of cross predicates, and q the number of
+// conjunctive predicates.
+//
+// Intuition: records spread across more nodes (large u) with more
+// application-private attributes (large v) are harder for any single
+// DLA node to interpret; queries dominated by cross predicates reveal
+// less to each individual node.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/query"
+)
+
+// ErrNoData indicates an empty averaging domain.
+var ErrNoData = errors.New("metrics: no records or queries to average over")
+
+// Store computes C_store(Log) (eq. 10) for a record under a partition.
+// Records with no attributes have zero confidentiality by convention.
+func Store(part *logmodel.Partition, rec logmodel.Record) float64 {
+	w := len(rec.Values)
+	if w == 0 {
+		return 0
+	}
+	schema := part.Schema()
+	v := 0
+	for a := range rec.Values {
+		if schema.Undefined[a] {
+			v++
+		}
+	}
+	u := part.CoverCount(rec)
+	return float64(v) * float64(u) / float64(w)
+}
+
+// Auditing computes C_auditing(Q) (eq. 11) for a normalized criterion.
+func Auditing(n *query.Normalized, part *logmodel.Partition) float64 {
+	s, t, q := n.Counts(part)
+	if s+q == 0 {
+		return 0
+	}
+	return float64(t+q) / float64(s+q)
+}
+
+// AuditingCriteria parses, normalizes, and scores a criteria string.
+func AuditingCriteria(criteria string, part *logmodel.Partition) (float64, error) {
+	expr, err := query.Parse(criteria)
+	if err != nil {
+		return 0, err
+	}
+	n, err := query.Normalize(expr)
+	if err != nil {
+		return 0, err
+	}
+	return Auditing(n, part), nil
+}
+
+// Query computes C_query(Q, Log) (eq. 12).
+func Query(n *query.Normalized, part *logmodel.Partition, rec logmodel.Record) float64 {
+	return Auditing(n, part) * Store(part, rec)
+}
+
+// DLA computes C_DLA(I, P) (eq. 13): the mean query confidentiality over
+// a workload of criteria and a body of records.
+func DLA(part *logmodel.Partition, records []logmodel.Record, criteria []string) (float64, error) {
+	if len(records) == 0 || len(criteria) == 0 {
+		return 0, ErrNoData
+	}
+	total := 0.0
+	count := 0
+	for _, c := range criteria {
+		expr, err := query.Parse(c)
+		if err != nil {
+			return 0, fmt.Errorf("metrics: criteria %q: %w", c, err)
+		}
+		n, err := query.Normalize(expr)
+		if err != nil {
+			return 0, fmt.Errorf("metrics: criteria %q: %w", c, err)
+		}
+		ca := Auditing(n, part)
+		for _, rec := range records {
+			total += ca * Store(part, rec)
+			count++
+		}
+	}
+	return total / float64(count), nil
+}

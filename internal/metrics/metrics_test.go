@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/query"
+)
+
+func paperRig(t *testing.T) *logmodel.PaperExample {
+	t.Helper()
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func normalize(t *testing.T, src string) *query.Normalized {
+	t.Helper()
+	e, err := query.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := query.Normalize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestStoreEq10(t *testing.T) {
+	ex := paperRig(t)
+	// Table 1 rows: w=7 attributes, v=3 undefined (C1,C2,C3), u=4 nodes.
+	got := Store(ex.Partition, ex.Records[0])
+	want := 3.0 * 4.0 / 7.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("C_store = %v, want %v", got, want)
+	}
+}
+
+func TestStoreNoUndefined(t *testing.T) {
+	ex := paperRig(t)
+	rec := logmodel.Record{GLSN: 1, Values: map[logmodel.Attr]logmodel.Value{
+		"time": logmodel.String("t"),
+		"id":   logmodel.String("U1"),
+	}}
+	// v=0 => zero store confidentiality, per eq. 10.
+	if got := Store(ex.Partition, rec); got != 0 {
+		t.Fatalf("C_store = %v, want 0", got)
+	}
+}
+
+func TestStoreEmptyRecord(t *testing.T) {
+	ex := paperRig(t)
+	if got := Store(ex.Partition, logmodel.Record{GLSN: 1}); got != 0 {
+		t.Fatalf("C_store(empty) = %v, want 0", got)
+	}
+}
+
+func TestStoreMoreNodesMoreConfidential(t *testing.T) {
+	ex := paperRig(t)
+	// Same undefined ratio, spread over more nodes => higher C_store.
+	narrow := logmodel.Record{GLSN: 1, Values: map[logmodel.Attr]logmodel.Value{
+		"C1": logmodel.Int(1), // P3 only
+	}}
+	wide := logmodel.Record{GLSN: 2, Values: map[logmodel.Attr]logmodel.Value{
+		"C1": logmodel.Int(1),   // P3
+		"C2": logmodel.Float(2), // P1
+	}}
+	if Store(ex.Partition, wide) <= Store(ex.Partition, narrow) {
+		t.Fatal("spreading undefined attributes over more nodes should raise C_store")
+	}
+}
+
+func TestAuditingEq11(t *testing.T) {
+	ex := paperRig(t)
+	// Two local clauses + one cross clause with two predicates:
+	// s=4, t=2, q=3 => (2+3)/(4+3) = 5/7.
+	n := normalize(t, `C1 > 30 AND Tid = "T1100265" AND (time = "x" OR id = "U1")`)
+	got := Auditing(n, ex.Partition)
+	want := 5.0 / 7.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("C_auditing = %v, want %v", got, want)
+	}
+}
+
+func TestAuditingAllLocal(t *testing.T) {
+	ex := paperRig(t)
+	// One local predicate: s=1, t=0, q=1 => 1/2.
+	n := normalize(t, `C1 > 30`)
+	if got := Auditing(n, ex.Partition); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("C_auditing = %v, want 0.5", got)
+	}
+}
+
+func TestAuditingCriteriaHelper(t *testing.T) {
+	ex := paperRig(t)
+	got, err := AuditingCriteria(`C1 > 30`, ex.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := AuditingCriteria(`C1 >`, ex.Partition); err == nil {
+		t.Fatal("malformed criteria accepted")
+	}
+}
+
+func TestQueryEq12(t *testing.T) {
+	ex := paperRig(t)
+	n := normalize(t, `C1 > 30`)
+	got := Query(n, ex.Partition, ex.Records[0])
+	want := Auditing(n, ex.Partition) * Store(ex.Partition, ex.Records[0])
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("C_query = %v, want %v", got, want)
+	}
+}
+
+func TestDLAEq13(t *testing.T) {
+	ex := paperRig(t)
+	criteria := []string{`C1 > 30`, `protocl = "UDP" AND id = "U1"`}
+	got, err := DLA(ex.Partition, ex.Records, criteria)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got > 1*4 { // u can exceed 1, so C in [0, u_max]
+		t.Fatalf("C_DLA = %v out of plausible range", got)
+	}
+	// Hand-average cross-check.
+	want := 0.0
+	count := 0
+	for _, c := range criteria {
+		n := normalize(t, c)
+		for _, rec := range ex.Records {
+			want += Query(n, ex.Partition, rec)
+			count++
+		}
+	}
+	want /= float64(count)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("C_DLA = %v, want %v", got, want)
+	}
+}
+
+func TestDLAErrors(t *testing.T) {
+	ex := paperRig(t)
+	if _, err := DLA(ex.Partition, nil, []string{`C1 > 0`}); err == nil {
+		t.Fatal("empty record set accepted")
+	}
+	if _, err := DLA(ex.Partition, ex.Records, nil); err == nil {
+		t.Fatal("empty criteria set accepted")
+	}
+	if _, err := DLA(ex.Partition, ex.Records, []string{`bad ~`}); err == nil {
+		t.Fatal("malformed criteria accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package query_test
+
+import (
+	"fmt"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/query"
+)
+
+// Example shows parsing an auditing criterion, normalizing it to the
+// paper's conjunctive form, and classifying each subquery against the
+// Tables 2-5 partition.
+func Example() {
+	ex, _ := logmodel.NewPaperExample()
+	expr, _ := query.Parse(`C1 > 30 AND (time = "t0" OR id = "U1")`)
+	norm, _ := query.Normalize(expr)
+	plans, _ := query.Classify(norm, ex.Partition)
+	for _, p := range plans {
+		kind := "local"
+		if p.Cross {
+			kind = "cross"
+		}
+		fmt.Printf("%s  %s  %v\n", p.Clause, kind, p.Nodes)
+	}
+	// Output:
+	// (C1 > 30)  local  [P3]
+	// (time = "t0" OR id = "U1")  cross  [P0 P1]
+}

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParse hammers the criteria parser: it must never panic, and
+// anything it accepts must render and re-parse to an equally
+// normalizable expression. Run with `go test -fuzz=FuzzParse`; the
+// seeds below execute as ordinary tests.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`id = "U1"`,
+		`C1 > 30 AND Tid = "T1100265"`,
+		`NOT (a < 1 OR b = 2)`,
+		`(a = 1 AND b = 2) OR c = 3`,
+		`a != 1 || b <= 2 && c >= 3`,
+		`x = 'single quoted'`,
+		`f = -12.5`,
+		``,
+		`((((`,
+		`a = `,
+		`= b`,
+		`a ~ b`,
+		`"lone string"`,
+		`a = "unterminated`,
+		`🦀 = 1`,
+		`a = 1 AND`,
+		`NOT NOT NOT a = 1`,
+		`a=1AND b=2`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := expr.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, rendered, err)
+		}
+		// Normalization must succeed or fail identically for both.
+		_, err1 := Normalize(expr)
+		_, err2 := Normalize(back)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("normalization of %q and its rendering disagree: %v vs %v", src, err1, err2)
+		}
+	})
+}

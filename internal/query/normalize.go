@@ -1,0 +1,290 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"confaudit/internal/logmodel"
+)
+
+// maxClauses caps CNF expansion; criteria whose conjunctive form exceeds
+// it are rejected rather than silently truncated.
+const maxClauses = 4096
+
+// Clause is one subquery SQ_i of the conjunctive form: a disjunction of
+// atomic auditing predicates.
+type Clause struct {
+	Preds []Pred
+}
+
+// String renders the clause.
+func (c Clause) String() string {
+	parts := make([]string, len(c.Preds))
+	for i, p := range c.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Eval evaluates the disjunction against a valuation.
+func (c Clause) Eval(values map[logmodel.Attr]logmodel.Value) (bool, error) {
+	for _, p := range c.Preds {
+		ok, err := p.Eval(values)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Attrs returns the attributes the clause references, sorted.
+func (c Clause) Attrs() []logmodel.Attr {
+	set := make(map[logmodel.Attr]struct{})
+	for _, p := range c.Preds {
+		p.attrs(set)
+	}
+	out := make([]logmodel.Attr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Normalized is the conjunctive form Q_N = (SQ_1) ∧ ... ∧ (SQ_m).
+type Normalized struct {
+	Clauses []Clause
+}
+
+// String renders the conjunctive form.
+func (n *Normalized) String() string {
+	parts := make([]string, len(n.Clauses))
+	for i, c := range n.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Eval evaluates the conjunction against a valuation.
+func (n *Normalized) Eval(values map[logmodel.Attr]logmodel.Value) (bool, error) {
+	for _, c := range n.Clauses {
+		ok, err := c.Eval(values)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Counts returns the inputs of the paper's auditing-confidentiality
+// metric (eq. 11) relative to a partition: s = total atomic predicates
+// in Q_N, t = cross (global) predicates, q = conjunctive predicates
+// (clauses). A predicate is cross when its attributes span more than one
+// DLA node, or when it lives in a clause that spans nodes (the clause
+// must then be evaluated collaboratively).
+func (n *Normalized) Counts(part *logmodel.Partition) (s, t, q int) {
+	q = len(n.Clauses)
+	for _, c := range n.Clauses {
+		s += len(c.Preds)
+		clauseNodes := ownerNodes(part, c.Attrs())
+		for _, p := range c.Preds {
+			set := make(map[logmodel.Attr]struct{})
+			p.attrs(set)
+			attrs := make([]logmodel.Attr, 0, len(set))
+			for a := range set {
+				attrs = append(attrs, a)
+			}
+			if len(ownerNodes(part, attrs)) > 1 || len(clauseNodes) > 1 {
+				t++
+			}
+		}
+	}
+	return s, t, q
+}
+
+func ownerNodes(part *logmodel.Partition, attrs []logmodel.Attr) []string {
+	set := make(map[string]struct{})
+	for _, a := range attrs {
+		if node := part.Owner(a); node != "" {
+			set[node] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize converts a criterion to conjunctive form: negations pushed
+// onto predicates (operators flip, De Morgan over ∧/∨), then ∨
+// distributed over ∧. Duplicate predicates and clauses are removed.
+func Normalize(e Expr) (*Normalized, error) {
+	nnf, err := toNNF(e, false)
+	if err != nil {
+		return nil, err
+	}
+	clauses, err := toCNF(nnf)
+	if err != nil {
+		return nil, err
+	}
+	out := &Normalized{Clauses: make([]Clause, 0, len(clauses))}
+	seen := make(map[string]struct{}, len(clauses))
+	for _, preds := range clauses {
+		cl := dedupeClause(preds)
+		key := cl.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out.Clauses = append(out.Clauses, cl)
+	}
+	return out, nil
+}
+
+// toNNF pushes negation down to predicates. neg tracks parity.
+func toNNF(e Expr, neg bool) (Expr, error) {
+	switch x := e.(type) {
+	case Pred:
+		if neg {
+			return Pred{Left: x.Left, Op: x.Op.Negate(), Right: x.Right}, nil
+		}
+		return x, nil
+	case Not:
+		return toNNF(x.X, !neg)
+	case And:
+		l, err := toNNF(x.L, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toNNF(x.R, neg)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return Or{L: l, R: r}, nil
+		}
+		return And{L: l, R: r}, nil
+	case Or:
+		l, err := toNNF(x.L, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toNNF(x.R, neg)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return And{L: l, R: r}, nil
+		}
+		return Or{L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("query: unknown expression %T", e)
+	}
+}
+
+// toCNF distributes ∨ over ∧ on an NNF expression.
+func toCNF(e Expr) ([][]Pred, error) {
+	switch x := e.(type) {
+	case Pred:
+		return [][]Pred{{x}}, nil
+	case And:
+		l, err := toCNF(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toCNF(x.R)
+		if err != nil {
+			return nil, err
+		}
+		out := append(l, r...)
+		if len(out) > maxClauses {
+			return nil, fmt.Errorf("query: conjunctive form exceeds %d clauses", maxClauses)
+		}
+		return out, nil
+	case Or:
+		l, err := toCNF(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toCNF(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if len(l)*len(r) > maxClauses {
+			return nil, fmt.Errorf("query: conjunctive form exceeds %d clauses", maxClauses)
+		}
+		out := make([][]Pred, 0, len(l)*len(r))
+		for _, cl := range l {
+			for _, cr := range r {
+				merged := make([]Pred, 0, len(cl)+len(cr))
+				merged = append(merged, cl...)
+				merged = append(merged, cr...)
+				out = append(out, merged)
+			}
+		}
+		return out, nil
+	case Not:
+		return nil, fmt.Errorf("query: negation survived NNF conversion: %s", x)
+	default:
+		return nil, fmt.Errorf("query: unknown expression %T", e)
+	}
+}
+
+func dedupeClause(preds []Pred) Clause {
+	seen := make(map[string]struct{}, len(preds))
+	out := make([]Pred, 0, len(preds))
+	for _, p := range preds {
+		key := p.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, p)
+	}
+	return Clause{Preds: out}
+}
+
+// SubqueryPlan assigns one clause to the DLA nodes that must evaluate
+// it (Figure 3): a local subquery has a single owner node; a cross
+// subquery spans several and requires the relaxed secure computation.
+type SubqueryPlan struct {
+	// Clause is the subquery.
+	Clause Clause
+	// Attrs are the referenced attributes.
+	Attrs []logmodel.Attr
+	// Nodes are the owner DLA nodes, sorted.
+	Nodes []string
+	// Cross reports whether the subquery spans nodes.
+	Cross bool
+}
+
+// Classify maps each clause of the conjunctive form onto the partition,
+// failing on attributes no DLA node supports.
+func Classify(n *Normalized, part *logmodel.Partition) ([]SubqueryPlan, error) {
+	plans := make([]SubqueryPlan, 0, len(n.Clauses))
+	for _, c := range n.Clauses {
+		attrs := c.Attrs()
+		for _, a := range attrs {
+			if part.Owner(a) == "" {
+				return nil, fmt.Errorf("query: attribute %q not supported by any DLA node", a)
+			}
+		}
+		nodes := ownerNodes(part, attrs)
+		plans = append(plans, SubqueryPlan{
+			Clause: c,
+			Attrs:  attrs,
+			Nodes:  nodes,
+			Cross:  len(nodes) > 1,
+		})
+	}
+	return plans, nil
+}

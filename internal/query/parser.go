@@ -1,0 +1,338 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"confaudit/internal/logmodel"
+)
+
+// ErrParse indicates a syntactically invalid criterion.
+var ErrParse = errors.New("query: parse error")
+
+// token kinds.
+type tokKind int
+
+const (
+	tokIdent tokKind = iota + 1
+	tokString
+	tokNumber
+	tokOp  // = != < <= > >=
+	tokAnd // AND / &&
+	tokOr  // OR / ||
+	tokNot // NOT / !
+	tokLParen
+	tokRParen
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '=':
+			l.emit(tokOp, "=")
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, "!=")
+			} else {
+				l.emit(tokNot, "!")
+			}
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, "<=")
+			} else if l.peek(1) == '>' {
+				l.emit2(tokOp, "!=")
+			} else {
+				l.emit(tokOp, "<")
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, ">=")
+			} else {
+				l.emit(tokOp, ">")
+			}
+		case c == '&':
+			if l.peek(1) == '&' {
+				l.emit2(tokAnd, "&&")
+			} else {
+				return nil, fmt.Errorf("%w: stray '&' at %d", ErrParse, l.pos)
+			}
+		case c == '|':
+			if l.peek(1) == '|' {
+				l.emit2(tokOr, "||")
+			} else {
+				return nil, fmt.Errorf("%w: stray '|' at %d", ErrParse, l.pos)
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9' || c == '-' || c == '.':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q at %d", ErrParse, c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+	l.pos++
+}
+
+func (l *lexer) emit2(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+	l.pos += 2
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("%w: unterminated string at %d", ErrParse, start)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			digits = true
+			l.pos++
+		} else if c == '.' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	if !digits {
+		return fmt.Errorf("%w: malformed number at %d", ErrParse, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	switch strings.ToUpper(text) {
+	case "AND":
+		l.toks = append(l.toks, token{kind: tokAnd, text: text, pos: start})
+	case "OR":
+		l.toks = append(l.toks, token{kind: tokOr, text: text, pos: start})
+	case "NOT":
+		l.toks = append(l.toks, token{kind: tokNot, text: text, pos: start})
+	default:
+		l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == ':' || r == '/'
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses an auditing criterion.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("%w: trailing input at %d", ErrParse, p.cur().pos)
+	}
+	return e, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOr {
+		p.advance()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokAnd {
+		p.advance()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().kind {
+	case tokNot:
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, fmt.Errorf("%w: expected ')' at %d", ErrParse, p.cur().pos)
+		}
+		p.advance()
+		return e, nil
+	default:
+		return p.predicate()
+	}
+}
+
+func (p *parser) predicate() (Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokOp {
+		return nil, fmt.Errorf("%w: expected comparison operator at %d", ErrParse, p.cur().pos)
+	}
+	var op Op
+	switch p.cur().text {
+	case "=":
+		op = OpEQ
+	case "!=":
+		op = OpNE
+	case "<":
+		op = OpLT
+	case "<=":
+		op = OpLE
+	case ">":
+		op = OpGT
+	case ">=":
+		op = OpGE
+	}
+	p.advance()
+	right, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if !left.IsAttr && !right.IsAttr {
+		return nil, fmt.Errorf("%w: predicate %s compares two constants", ErrParse, Pred{Left: left, Op: op, Right: right})
+	}
+	return Pred{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) term() (Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		p.advance()
+		return AttrTerm(logmodel.Attr(t.text)), nil
+	case tokString:
+		p.advance()
+		return ConstTerm(logmodel.String(t.text)), nil
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Term{}, fmt.Errorf("%w: bad float %q at %d", ErrParse, t.text, t.pos)
+			}
+			return ConstTerm(logmodel.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("%w: bad integer %q at %d", ErrParse, t.text, t.pos)
+		}
+		return ConstTerm(logmodel.Int(i)), nil
+	default:
+		return Term{}, fmt.Errorf("%w: expected attribute or literal at %d", ErrParse, t.pos)
+	}
+}

@@ -1,0 +1,237 @@
+// Package circuit provides boolean circuits over XOR/AND/NOT gates plus
+// builders for the comparison and arithmetic circuits the classical-SMC
+// baseline needs (equality, unsigned less-than, ripple-carry addition).
+// Circuits are consumed by the garbled-circuit evaluator in
+// internal/smc/garbled and by its plaintext reference evaluator here.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GateKind discriminates gate types.
+type GateKind int
+
+// Gate kinds. Start at one so the zero value is invalid.
+const (
+	GateXOR GateKind = iota + 1
+	GateAND
+	GateNOT
+)
+
+// Gate is one boolean gate. Wires are integer indices; NOT ignores B.
+type Gate struct {
+	Kind GateKind
+	A    int
+	B    int
+	Out  int
+}
+
+// Circuit is a boolean circuit with two input bundles (one per party)
+// followed by gate-defined wires.
+//
+// Wire layout: wires [0, NIn1) are party-1 inputs, [NIn1, NIn1+NIn2) are
+// party-2 inputs, and gates append further wires.
+type Circuit struct {
+	// NIn1 and NIn2 are the input widths of the two parties.
+	NIn1, NIn2 int
+	// NWires is the total wire count.
+	NWires int
+	// Gates are in topological order.
+	Gates []Gate
+	// Outputs lists the output wire indices.
+	Outputs []int
+}
+
+// Errors reported by the package.
+var (
+	// ErrBadInput indicates an input vector of the wrong width.
+	ErrBadInput = errors.New("circuit: wrong input width")
+	// ErrMalformed indicates a structurally invalid circuit.
+	ErrMalformed = errors.New("circuit: malformed circuit")
+)
+
+// Validate checks structural sanity: gates in topological order reading
+// only earlier wires, every output wire defined.
+func (c *Circuit) Validate() error {
+	if c.NIn1 < 0 || c.NIn2 < 0 {
+		return fmt.Errorf("%w: negative input width", ErrMalformed)
+	}
+	defined := c.NIn1 + c.NIn2
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case GateXOR, GateAND:
+			if g.A >= defined || g.B >= defined || g.A < 0 || g.B < 0 {
+				return fmt.Errorf("%w: gate %d reads undefined wire", ErrMalformed, i)
+			}
+		case GateNOT:
+			if g.A >= defined || g.A < 0 {
+				return fmt.Errorf("%w: gate %d reads undefined wire", ErrMalformed, i)
+			}
+		default:
+			return fmt.Errorf("%w: gate %d has unknown kind %d", ErrMalformed, i, g.Kind)
+		}
+		if g.Out != defined {
+			return fmt.Errorf("%w: gate %d writes wire %d, want %d", ErrMalformed, i, g.Out, defined)
+		}
+		defined++
+	}
+	if defined != c.NWires {
+		return fmt.Errorf("%w: %d wires defined, NWires=%d", ErrMalformed, defined, c.NWires)
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || o >= c.NWires {
+			return fmt.Errorf("%w: output wire %d undefined", ErrMalformed, o)
+		}
+	}
+	return nil
+}
+
+// Eval runs the circuit in plaintext; the reference semantics for both
+// tests and the garbled evaluator.
+func (c *Circuit) Eval(in1, in2 []bool) ([]bool, error) {
+	if len(in1) != c.NIn1 || len(in2) != c.NIn2 {
+		return nil, fmt.Errorf("%w: got %d+%d, want %d+%d", ErrBadInput, len(in1), len(in2), c.NIn1, c.NIn2)
+	}
+	wires := make([]bool, c.NWires)
+	copy(wires, in1)
+	copy(wires[c.NIn1:], in2)
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case GateXOR:
+			wires[g.Out] = wires[g.A] != wires[g.B]
+		case GateAND:
+			wires[g.Out] = wires[g.A] && wires[g.B]
+		case GateNOT:
+			wires[g.Out] = !wires[g.A]
+		default:
+			return nil, fmt.Errorf("%w: unknown gate kind %d", ErrMalformed, g.Kind)
+		}
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = wires[o]
+	}
+	return out, nil
+}
+
+// CountAND returns the number of AND gates, the conventional cost metric
+// for garbled circuits.
+func (c *Circuit) CountAND() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == GateAND {
+			n++
+		}
+	}
+	return n
+}
+
+// builder incrementally constructs circuits.
+type builder struct {
+	c *Circuit
+}
+
+func newBuilder(nIn1, nIn2 int) *builder {
+	return &builder{c: &Circuit{NIn1: nIn1, NIn2: nIn2, NWires: nIn1 + nIn2}}
+}
+
+func (b *builder) gate(kind GateKind, a, bw int) int {
+	out := b.c.NWires
+	b.c.Gates = append(b.c.Gates, Gate{Kind: kind, A: a, B: bw, Out: out})
+	b.c.NWires++
+	return out
+}
+
+func (b *builder) xor(a, c int) int { return b.gate(GateXOR, a, c) }
+func (b *builder) and(a, c int) int { return b.gate(GateAND, a, c) }
+func (b *builder) not(a int) int    { return b.gate(GateNOT, a, 0) }
+
+// or computes a∨b = (a⊕b)⊕(a∧b).
+func (b *builder) or(a, c int) int {
+	return b.xor(b.xor(a, c), b.and(a, c))
+}
+
+// xnor computes equality of two bits.
+func (b *builder) xnor(a, c int) int { return b.not(b.xor(a, c)) }
+
+// Equality builds a circuit with one output that is 1 iff the two
+// bits-wide inputs are equal.
+func Equality(bits int) *Circuit {
+	b := newBuilder(bits, bits)
+	acc := -1
+	for i := 0; i < bits; i++ {
+		eq := b.xnor(i, bits+i)
+		if acc < 0 {
+			acc = eq
+		} else {
+			acc = b.and(acc, eq)
+		}
+	}
+	b.c.Outputs = []int{acc}
+	return b.c
+}
+
+// LessThan builds a circuit with one output that is 1 iff input1 <
+// input2 as unsigned bits-wide integers (bit 0 = LSB).
+func LessThan(bits int) *Circuit {
+	b := newBuilder(bits, bits)
+	lt := -1
+	for i := 0; i < bits; i++ { // LSB to MSB ripple
+		x, y := i, bits+i
+		xiLTyi := b.and(b.not(x), y)
+		if lt < 0 {
+			lt = xiLTyi
+			continue
+		}
+		eq := b.xnor(x, y)
+		lt = b.or(xiLTyi, b.and(eq, lt))
+	}
+	b.c.Outputs = []int{lt}
+	return b.c
+}
+
+// Adder builds a ripple-carry adder: inputs are two bits-wide unsigned
+// integers, outputs are bits+1 sum bits (LSB first, final carry last).
+func Adder(bits int) *Circuit {
+	b := newBuilder(bits, bits)
+	outs := make([]int, 0, bits+1)
+	carry := -1
+	for i := 0; i < bits; i++ {
+		x, y := i, bits+i
+		xXy := b.xor(x, y)
+		if carry < 0 {
+			outs = append(outs, xXy)
+			carry = b.and(x, y)
+			continue
+		}
+		s := b.xor(xXy, carry)
+		cout := b.xor(b.and(x, y), b.and(carry, xXy))
+		outs = append(outs, s)
+		carry = cout
+	}
+	outs = append(outs, carry)
+	b.c.Outputs = outs
+	return b.c
+}
+
+// Uint64ToBits converts v to its low `bits` bits, LSB first.
+func Uint64ToBits(v uint64, bits int) []bool {
+	out := make([]bool, bits)
+	for i := 0; i < bits; i++ {
+		out[i] = v&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+// BitsToUint64 converts LSB-first bits to an integer.
+func BitsToUint64(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,163 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualityCircuit(t *testing.T) {
+	c := Equality(8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, y uint64
+		want bool
+	}{
+		{0, 0, true},
+		{255, 255, true},
+		{1, 2, false},
+		{0x80, 0x00, false},
+		{42, 42, true},
+	}
+	for _, tc := range cases {
+		out, err := c.Eval(Uint64ToBits(tc.x, 8), Uint64ToBits(tc.y, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tc.want {
+			t.Fatalf("Equality(%d, %d) = %v, want %v", tc.x, tc.y, out[0], tc.want)
+		}
+	}
+}
+
+func TestLessThanCircuit(t *testing.T) {
+	c := LessThan(8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, y uint64
+		want bool
+	}{
+		{0, 0, false},
+		{0, 1, true},
+		{1, 0, false},
+		{127, 128, true},
+		{255, 0, false},
+		{200, 201, true},
+	}
+	for _, tc := range cases {
+		out, err := c.Eval(Uint64ToBits(tc.x, 8), Uint64ToBits(tc.y, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tc.want {
+			t.Fatalf("LessThan(%d, %d) = %v, want %v", tc.x, tc.y, out[0], tc.want)
+		}
+	}
+}
+
+func TestAdderCircuit(t *testing.T) {
+	c := Adder(8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, y uint64 }{
+		{0, 0}, {1, 1}, {255, 255}, {128, 127}, {200, 100},
+	}
+	for _, tc := range cases {
+		out, err := c.Eval(Uint64ToBits(tc.x, 8), Uint64ToBits(tc.y, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := BitsToUint64(out); got != tc.x+tc.y {
+			t.Fatalf("Adder(%d, %d) = %d, want %d", tc.x, tc.y, got, tc.x+tc.y)
+		}
+	}
+}
+
+func TestCircuitsQuick(t *testing.T) {
+	eq := Equality(16)
+	lt := LessThan(16)
+	add := Adder(16)
+	f := func(x, y uint16) bool {
+		bx, by := Uint64ToBits(uint64(x), 16), Uint64ToBits(uint64(y), 16)
+		oe, err := eq.Eval(bx, by)
+		if err != nil || oe[0] != (x == y) {
+			return false
+		}
+		ol, err := lt.Eval(bx, by)
+		if err != nil || ol[0] != (x < y) {
+			return false
+		}
+		oa, err := add.Eval(bx, by)
+		if err != nil || BitsToUint64(oa) != uint64(x)+uint64(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalInputWidth(t *testing.T) {
+	c := Equality(8)
+	if _, err := c.Eval(make([]bool, 7), make([]bool, 8)); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := c.Eval(make([]bool, 8), make([]bool, 9)); err == nil {
+		t.Fatal("long input accepted")
+	}
+}
+
+func TestValidateCatchesMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *Circuit
+	}{
+		{"forward ref", &Circuit{NIn1: 1, NIn2: 1, NWires: 3, Gates: []Gate{{Kind: GateAND, A: 0, B: 5, Out: 2}}}},
+		{"bad out wire", &Circuit{NIn1: 1, NIn2: 1, NWires: 3, Gates: []Gate{{Kind: GateAND, A: 0, B: 1, Out: 5}}}},
+		{"unknown kind", &Circuit{NIn1: 1, NIn2: 1, NWires: 3, Gates: []Gate{{Kind: GateKind(9), A: 0, B: 1, Out: 2}}}},
+		{"wire count", &Circuit{NIn1: 1, NIn2: 1, NWires: 9, Gates: []Gate{{Kind: GateXOR, A: 0, B: 1, Out: 2}}}},
+		{"bad output", &Circuit{NIn1: 1, NIn2: 1, NWires: 2, Outputs: []int{7}}},
+		{"negative input", &Circuit{NIn1: -1, NIn2: 1, NWires: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.c.Validate(); err == nil {
+				t.Fatal("malformed circuit validated")
+			}
+		})
+	}
+}
+
+func TestCountAND(t *testing.T) {
+	c := Equality(8)
+	// 8 XNORs (8 XOR + 8 NOT) + 7 ANDs in the tree.
+	if got := c.CountAND(); got != 7 {
+		t.Fatalf("CountAND = %d, want 7", got)
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return BitsToUint64(Uint64ToBits(uint64(v), 32)) == uint64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEval32BitLessThan(b *testing.B) {
+	c := LessThan(32)
+	x := Uint64ToBits(123456, 32)
+	y := Uint64ToBits(654321, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Eval(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package garbled
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"confaudit/internal/mathx"
+	"confaudit/internal/smc/circuit"
+	"confaudit/internal/transport"
+)
+
+func twoParties(t testing.TB) (garbler, evaluator *transport.Mailbox) {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	t.Cleanup(func() { net.Close() }) //nolint:errcheck
+	gEp, err := net.Endpoint("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eEp, err := net.Endpoint("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, e := transport.NewMailbox(gEp), transport.NewMailbox(eEp)
+	t.Cleanup(func() { g.Close(); e.Close() }) //nolint:errcheck
+	return g, e
+}
+
+func run2PC(t *testing.T, session string, c *circuit.Circuit, x, y []bool) []bool {
+	t.Helper()
+	gMB, eMB := twoParties(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := Config{Group: mathx.Oakley768, Garbler: "G", Evaluator: "E", Session: session}
+	var (
+		wg         sync.WaitGroup
+		gOut, eOut []bool
+		gErr, eErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		gOut, gErr = Garble(ctx, gMB, cfg, c, x)
+	}()
+	go func() {
+		defer wg.Done()
+		eOut, eErr = Evaluate(ctx, eMB, cfg, c, y)
+	}()
+	wg.Wait()
+	if gErr != nil {
+		t.Fatalf("garbler: %v", gErr)
+	}
+	if eErr != nil {
+		t.Fatalf("evaluator: %v", eErr)
+	}
+	if len(gOut) != len(eOut) {
+		t.Fatal("parties received different output widths")
+	}
+	for i := range gOut {
+		if gOut[i] != eOut[i] {
+			t.Fatal("parties received different outputs")
+		}
+	}
+	return eOut
+}
+
+// TestMillionaire runs the paper's cited millionaire protocol [10]: two
+// parties learn who is richer without revealing their wealth.
+func TestMillionaire(t *testing.T) {
+	c := circuit.LessThan(32)
+	cases := []struct {
+		alice, bob uint64
+		aliceLess  bool
+	}{
+		{1_000_000, 2_000_000, true},
+		{2_000_000, 1_000_000, false},
+		{500, 500, false},
+	}
+	for i, tc := range cases {
+		out := run2PC(t, fmt.Sprintf("mill-%d", i), c,
+			circuit.Uint64ToBits(tc.alice, 32), circuit.Uint64ToBits(tc.bob, 32))
+		if out[0] != tc.aliceLess {
+			t.Fatalf("millionaire(%d, %d) = %v, want %v", tc.alice, tc.bob, out[0], tc.aliceLess)
+		}
+	}
+}
+
+func TestGarbledEquality(t *testing.T) {
+	c := circuit.Equality(16)
+	cases := []struct {
+		x, y uint64
+		want bool
+	}{
+		{1234, 1234, true},
+		{1234, 1235, false},
+		{0, 0, true},
+		{0xFFFF, 0xFFFE, false},
+	}
+	for i, tc := range cases {
+		out := run2PC(t, fmt.Sprintf("eq-%d", i), c,
+			circuit.Uint64ToBits(tc.x, 16), circuit.Uint64ToBits(tc.y, 16))
+		if out[0] != tc.want {
+			t.Fatalf("equality(%d, %d) = %v, want %v", tc.x, tc.y, out[0], tc.want)
+		}
+	}
+}
+
+func TestGarbledAdder(t *testing.T) {
+	c := circuit.Adder(16)
+	out := run2PC(t, "add", c, circuit.Uint64ToBits(40000, 16), circuit.Uint64ToBits(30000, 16))
+	if got := circuit.BitsToUint64(out); got != 70000 {
+		t.Fatalf("garbled adder = %d, want 70000", got)
+	}
+}
+
+// TestGarbledMatchesPlaintextQuick cross-checks the garbled evaluation
+// against the plaintext reference evaluator on random inputs.
+func TestGarbledMatchesPlaintextQuick(t *testing.T) {
+	c := circuit.LessThan(8)
+	i := 0
+	f := func(x, y uint8) bool {
+		i++
+		bx := circuit.Uint64ToBits(uint64(x), 8)
+		by := circuit.Uint64ToBits(uint64(y), 8)
+		want, err := c.Eval(bx, by)
+		if err != nil {
+			return false
+		}
+		got := run2PC(t, fmt.Sprintf("q-%d", i), c, bx, by)
+		return got[0] == want[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGarbledInputValidation(t *testing.T) {
+	gMB, _ := twoParties(t)
+	ctx := context.Background()
+	cfg := Config{Group: mathx.Oakley768, Garbler: "G", Evaluator: "E", Session: "v"}
+	c := circuit.Equality(8)
+	if _, err := Garble(ctx, gMB, cfg, c, make([]bool, 7)); err == nil {
+		t.Fatal("wrong garbler input width accepted")
+	}
+	if _, err := Evaluate(ctx, gMB, cfg, c, make([]bool, 9)); err == nil {
+		t.Fatal("wrong evaluator input width accepted")
+	}
+	bad := Config{Garbler: "G", Evaluator: "E", Session: "v"}
+	if _, err := Garble(ctx, gMB, bad, c, make([]bool, 8)); err == nil {
+		t.Fatal("nil group accepted")
+	}
+	same := Config{Group: mathx.Oakley768, Garbler: "G", Evaluator: "G", Session: "v"}
+	if _, err := Garble(ctx, gMB, same, c, make([]bool, 8)); err == nil {
+		t.Fatal("same garbler/evaluator accepted")
+	}
+	malformed := &circuit.Circuit{NIn1: 8, NIn2: 8, NWires: 5}
+	if _, err := Garble(ctx, gMB, cfg, malformed, make([]bool, 8)); err == nil {
+		t.Fatal("malformed circuit accepted")
+	}
+}
+
+// BenchmarkGarbledEquality32 measures the classical-SMC cost of one
+// 32-bit equality — the direct baseline for the relaxed TTP equality
+// of internal/smc/compare (paper claim C1/C2).
+func BenchmarkGarbledEquality32(b *testing.B) {
+	benchGarbled(b, circuit.Equality(32))
+}
+
+// BenchmarkGarbledLessThan32 measures classical secure comparison (the
+// millionaire protocol).
+func BenchmarkGarbledLessThan32(b *testing.B) {
+	benchGarbled(b, circuit.LessThan(32))
+}
+
+func benchGarbled(b *testing.B, c *circuit.Circuit) {
+	gMB, eMB := twoParties(b)
+	ctx := context.Background()
+	x := circuit.Uint64ToBits(123456789, 32)
+	y := circuit.Uint64ToBits(987654321, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Group: mathx.Oakley768, Garbler: "G", Evaluator: "E", Session: fmt.Sprintf("b%d", i)}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := Garble(ctx, gMB, cfg, c, x); err != nil {
+				b.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := Evaluate(ctx, eMB, cfg, c, y); err != nil {
+				b.Error(err)
+			}
+		}()
+		wg.Wait()
+	}
+}

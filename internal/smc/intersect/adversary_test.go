@@ -1,0 +1,125 @@
+package intersect
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/mathx"
+	"confaudit/internal/transport"
+)
+
+// TestForgedFinalRejected has a malicious party publish a final set
+// claiming another node's origin; the receiver must reject it instead
+// of folding forged data into the intersection.
+func TestForgedFinalRejected(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+
+	cfg := Config{
+		Group:     mathx.Oakley768,
+		Ring:      []string{"P1", "P2"},
+		Receivers: []string{"P1"},
+		Session:   "forge",
+	}
+	mbs := make(map[string]*transport.Mailbox)
+	for _, id := range []string{"P1", "P2", "M"} {
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbs[id] = transport.NewMailbox(ep)
+		defer mbs[id].Close() //nolint:errcheck
+	}
+
+	var (
+		wg    sync.WaitGroup
+		p1Err error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, p1Err = Run(ctx, mbs["P1"], cfg, [][]byte{[]byte("a")})
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := Run(ctx, mbs["P2"], cfg, [][]byte{[]byte("a")}); err != nil {
+			t.Errorf("P2: %v", err)
+		}
+	}()
+	// Mallory races a forged "final" claiming to be P2's set.
+	forged, err := transport.NewMessage("P1", "intersect.final", "forge", finalBody{
+		Origin: "P2",
+		Blocks: [][]byte{[]byte("forged-block")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mbs["M"].Send(ctx, forged); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if p1Err == nil {
+		t.Fatal("receiver accepted a final set whose sender does not match its claimed origin")
+	}
+}
+
+// TestWrongHopCountRejected delivers a relay that claims to have been
+// fully encrypted after too few hops; the origin must reject it.
+func TestWrongHopCountRejected(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	mbs := make(map[string]*transport.Mailbox)
+	for _, id := range []string{"P1", "M"} {
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbs[id] = transport.NewMailbox(ep)
+		defer mbs[id].Close() //nolint:errcheck
+	}
+	cfg := Config{
+		Group:     mathx.Oakley768,
+		Ring:      []string{"P1", "M"},
+		Receivers: []string{"P1"},
+		Session:   "hops",
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, mbs["P1"], cfg, [][]byte{[]byte("x")})
+		errc <- err
+	}()
+	// Mallory (the ring peer) "returns" P1's set claiming only 1 hop.
+	msg, err := mbs["M"].Expect(ctx, "intersect.relay", "hops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body relayBody
+	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := transport.NewMessage("P1", "intersect.relay", "hops", relayBody{
+		Origin: body.Origin,
+		Hops:   body.Hops, // not incremented: claims full circle too early
+		Blocks: body.Blocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mbs["M"].Send(ctx, reply); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("origin accepted an under-encrypted returning set")
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("origin never decided")
+	}
+}

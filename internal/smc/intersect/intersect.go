@@ -1,0 +1,297 @@
+// Package intersect implements the paper's secure set intersection ∩s
+// (§3.1, Figure 4): each DLA node P_i holds a private set S_i; the
+// protocol computes S_1 ∩ ... ∩ S_n such that only the designated
+// receiver set P_w learns the intersection, and no node learns another
+// node's non-common elements.
+//
+// Mechanics (exactly the paper's): every node encodes its elements into
+// the commutative group, encrypts them under its own Pohlig-Hellman key,
+// and sends the set around the ring. Each hop re-encrypts with the local
+// key and forwards, so after the set traverses the whole ring it returns
+// to its origin encrypted by every party. Under commutative encryption
+// two fully-encrypted elements are equal iff their plaintexts are equal
+// (eqs. 6-7), so the receivers can intersect the n fully-encrypted sets
+// by plain equality — the E132(e)=E321(e)=E213(e) observation of
+// Figure 4.
+//
+// Relaxation (Definition 1): set sizes and match positions are the
+// "secondary information" the relaxed model deliberately does not hide.
+// A receiver that also holds raw data maps matched positions of its own
+// returned set back to plaintext.
+package intersect
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"confaudit/internal/crypto/commutative"
+	"confaudit/internal/mathx"
+	"confaudit/internal/smc"
+	"confaudit/internal/transport"
+)
+
+// Message types on the wire.
+const (
+	msgRelay = "intersect.relay"
+	msgFinal = "intersect.final"
+)
+
+// Config describes one protocol run. All parties must use identical
+// configuration.
+type Config struct {
+	// Group is the shared commutative-encryption group.
+	Group *mathx.Group
+	// Ring lists the participating node IDs in ring order.
+	Ring []string
+	// Receivers is P_w, the set of nodes authorized to learn the result.
+	// Receivers must be ring members (they need their own encrypted sets
+	// to map the result to plaintext).
+	Receivers []string
+	// Observers optionally names nodes outside the ring that receive
+	// every fully-encrypted set and therefore learn only the
+	// intersection SIZE — the "secure computation of the size of set
+	// intersection" the paper cites from [20]. Observers call Observe.
+	Observers []string
+	// Session disambiguates concurrent runs.
+	Session string
+	// Rand is the entropy source; nil means crypto/rand.
+	Rand io.Reader
+}
+
+func (c *Config) validate() error {
+	if c.Group == nil {
+		return fmt.Errorf("%w: nil group", smc.ErrProtocol)
+	}
+	if err := smc.ValidateRing(c.Ring, 2); err != nil {
+		return err
+	}
+	if len(c.Receivers) == 0 {
+		return fmt.Errorf("%w: no receivers", smc.ErrProtocol)
+	}
+	for _, r := range c.Receivers {
+		if !smc.Contains(c.Ring, r) {
+			return fmt.Errorf("%w: receiver %q is not a ring member", smc.ErrProtocol, r)
+		}
+	}
+	if c.Session == "" {
+		return fmt.Errorf("%w: empty session", smc.ErrProtocol)
+	}
+	return nil
+}
+
+// Result is one party's view after the protocol.
+type Result struct {
+	// Encrypted holds the fully-encrypted common elements; only
+	// populated for receivers.
+	Encrypted [][]byte
+	// Plaintext holds the intersection in plaintext, recovered by
+	// matching the receiver's own set positions; only populated for
+	// receivers.
+	Plaintext [][]byte
+}
+
+type relayBody struct {
+	Origin string   `json:"origin"`
+	Hops   int      `json:"hops"`
+	Blocks [][]byte `json:"blocks"`
+}
+
+type finalBody struct {
+	Origin string   `json:"origin"`
+	Blocks [][]byte `json:"blocks"`
+}
+
+// Run executes one party's role in the protocol. Every ring member must
+// call Run concurrently with its own mailbox and local set.
+func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]byte) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	self := mb.ID()
+	if _, err := smc.IndexOf(cfg.Ring, self); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Ring)
+	next, err := smc.NextInRing(cfg.Ring, self)
+	if err != nil {
+		return nil, err
+	}
+	key, err := commutative.NewPHKey(cfg.Rand, cfg.Group)
+	if err != nil {
+		return nil, fmt.Errorf("intersect: generating key: %w", err)
+	}
+
+	// Deduplicate and encode the local set, remembering which original
+	// elements produced each block so plaintext can be recovered later.
+	blocks, owners := encodeSet(key, localSet)
+
+	// Round 1: encrypt own set and send it into the ring.
+	myEnc, err := commutative.EncryptAll(key, blocks)
+	if err != nil {
+		return nil, fmt.Errorf("intersect: encrypting local set: %w", err)
+	}
+	if err := send(ctx, mb, next, msgRelay, cfg.Session, relayBody{Origin: self, Hops: 1, Blocks: myEnc}); err != nil {
+		return nil, err
+	}
+
+	// Relay loop: each party handles exactly n inbound relays — n-1 sets
+	// from other origins (encrypt and forward) and its own returning
+	// fully-encrypted set.
+	var myFinal [][]byte
+	for i := 0; i < n; i++ {
+		msg, err := mb.Expect(ctx, msgRelay, cfg.Session)
+		if err != nil {
+			return nil, fmt.Errorf("intersect: awaiting relay: %w", err)
+		}
+		var body relayBody
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			return nil, err
+		}
+		if body.Origin == self {
+			if body.Hops != n {
+				return nil, fmt.Errorf("%w: own set returned after %d of %d encryptions", smc.ErrProtocol, body.Hops, n)
+			}
+			myFinal = body.Blocks
+			continue
+		}
+		enc, err := commutative.EncryptAll(key, body.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("intersect: re-encrypting set from %s: %w", body.Origin, err)
+		}
+		fwd := relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc}
+		if err := send(ctx, mb, next, msgRelay, cfg.Session, fwd); err != nil {
+			return nil, err
+		}
+	}
+	if myFinal == nil {
+		return nil, fmt.Errorf("%w: own set never returned", smc.ErrProtocol)
+	}
+
+	// Publish the fully-encrypted set to every receiver and observer.
+	for _, r := range cfg.Receivers {
+		if err := send(ctx, mb, r, msgFinal, cfg.Session, finalBody{Origin: self, Blocks: myFinal}); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range cfg.Observers {
+		if err := send(ctx, mb, o, msgFinal, cfg.Session, finalBody{Origin: self, Blocks: myFinal}); err != nil {
+			return nil, err
+		}
+	}
+	if !smc.Contains(cfg.Receivers, self) {
+		return &Result{}, nil
+	}
+
+	// Receiver: gather all n fully-encrypted sets and intersect.
+	finals := make(map[string][][]byte, n)
+	finals[self] = myFinal
+	for len(finals) < n {
+		msg, err := mb.Expect(ctx, msgFinal, cfg.Session)
+		if err != nil {
+			return nil, fmt.Errorf("intersect: awaiting final sets: %w", err)
+		}
+		var body finalBody
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			return nil, err
+		}
+		if msg.From != body.Origin {
+			return nil, fmt.Errorf("%w: node %s published a set claiming origin %s", smc.ErrProtocol, msg.From, body.Origin)
+		}
+		finals[body.Origin] = body.Blocks
+	}
+
+	common := intersectAll(cfg.Ring, finals)
+	res := &Result{Encrypted: make([][]byte, 0, len(common))}
+	// Map common encrypted values back through this receiver's own set
+	// order to plaintext.
+	for pos, blk := range myFinal {
+		if _, ok := common[string(blk)]; ok {
+			res.Encrypted = append(res.Encrypted, blk)
+			res.Plaintext = append(res.Plaintext, owners[pos])
+		}
+	}
+	return res, nil
+}
+
+// Observe runs the observer role: collect every party's fully-encrypted
+// set and return the intersection cardinality. The observer learns set
+// sizes and the match count — Definition 1's permitted secondary
+// information — but no plaintext elements, since it holds no decryption
+// keys and no raw data to align positions against.
+func Observe(ctx context.Context, mb *transport.Mailbox, cfg Config) (int, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if !smc.Contains(cfg.Observers, mb.ID()) {
+		return 0, fmt.Errorf("%w: %q is not an observer", smc.ErrProtocol, mb.ID())
+	}
+	n := len(cfg.Ring)
+	finals := make(map[string][][]byte, n)
+	for len(finals) < n {
+		msg, err := mb.Expect(ctx, msgFinal, cfg.Session)
+		if err != nil {
+			return 0, fmt.Errorf("intersect: observing final sets: %w", err)
+		}
+		var body finalBody
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			return 0, err
+		}
+		if msg.From != body.Origin {
+			return 0, fmt.Errorf("%w: node %s published a set claiming origin %s", smc.ErrProtocol, msg.From, body.Origin)
+		}
+		finals[body.Origin] = body.Blocks
+	}
+	return len(intersectAll(cfg.Ring, finals)), nil
+}
+
+// encodeSet deduplicates and encodes elements, returning parallel slices
+// of encoded blocks and the originating plaintext elements.
+func encodeSet(key *commutative.PHKey, set [][]byte) (blocks [][]byte, owners [][]byte) {
+	seen := make(map[string]struct{}, len(set))
+	blocks = make([][]byte, 0, len(set))
+	owners = make([][]byte, 0, len(set))
+	for _, el := range set {
+		k := string(el)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		blocks = append(blocks, key.EncodeElement(el))
+		owners = append(owners, el)
+	}
+	return blocks, owners
+}
+
+// intersectAll returns the set of block values present in every party's
+// fully-encrypted set.
+func intersectAll(ring []string, finals map[string][][]byte) map[string]struct{} {
+	common := make(map[string]struct{})
+	for i, node := range ring {
+		cur := make(map[string]struct{}, len(finals[node]))
+		for _, b := range finals[node] {
+			cur[string(b)] = struct{}{}
+		}
+		if i == 0 {
+			common = cur
+			continue
+		}
+		for k := range common {
+			if _, ok := cur[k]; !ok {
+				delete(common, k)
+			}
+		}
+	}
+	return common
+}
+
+func send(ctx context.Context, mb *transport.Mailbox, to, typ, session string, body any) error {
+	msg, err := transport.NewMessage(to, typ, session, body)
+	if err != nil {
+		return err
+	}
+	if err := mb.Send(ctx, msg); err != nil {
+		return fmt.Errorf("intersect: sending %s to %s: %w", typ, to, err)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package intersect
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/mathx"
+	"confaudit/internal/transport"
+)
+
+// TestObserveCardinality checks the size-only variant: an observer that
+// holds no raw data learns |S1 ∩ S2 ∩ S3| and nothing else.
+func TestObserveCardinality(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+
+	cfg := Config{
+		Group:     mathx.Oakley768,
+		Ring:      []string{"P1", "P2", "P3"},
+		Receivers: []string{"P1"},
+		Observers: []string{"O"},
+		Session:   "obs",
+	}
+	sets := map[string][][]byte{
+		"P1": {[]byte("c"), []byte("d"), []byte("e")},
+		"P2": {[]byte("d"), []byte("e"), []byte("f")},
+		"P3": {[]byte("e"), []byte("f"), []byte("g"), []byte("d")},
+	}
+	mbs := make(map[string]*transport.Mailbox)
+	for _, id := range []string{"P1", "P2", "P3", "O"} {
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbs[id] = transport.NewMailbox(ep)
+		defer mbs[id].Close() //nolint:errcheck
+	}
+	var (
+		wg    sync.WaitGroup
+		size  int
+		obErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		size, obErr = Observe(ctx, mbs["O"], cfg)
+	}()
+	for _, node := range cfg.Ring {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			if _, err := Run(ctx, mbs[node], cfg, sets[node]); err != nil {
+				t.Errorf("%s: %v", node, err)
+			}
+		}(node)
+	}
+	wg.Wait()
+	if obErr != nil {
+		t.Fatal(obErr)
+	}
+	// {d, e} is common to all three sets.
+	if size != 2 {
+		t.Fatalf("observed cardinality %d, want 2", size)
+	}
+}
+
+func TestObserveRejectsNonObserver(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	ep, err := net.Endpoint("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	cfg := Config{
+		Group:     mathx.Oakley768,
+		Ring:      []string{"P1", "P2"},
+		Receivers: []string{"P1"},
+		Observers: []string{"O"},
+		Session:   "obs2",
+	}
+	if _, err := Observe(context.Background(), mb, cfg); err == nil {
+		t.Fatal("non-observer accepted")
+	}
+}

@@ -1,0 +1,213 @@
+package ot
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/mathx"
+	"confaudit/internal/transport"
+)
+
+func runOT(t *testing.T, session string, pairs [][2][]byte, choices []bool) ([][]byte, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	sEp, err := net.Endpoint("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rEp, err := net.Endpoint("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMB, rMB := transport.NewMailbox(sEp), transport.NewMailbox(rEp)
+	defer sMB.Close() //nolint:errcheck
+	defer rMB.Close() //nolint:errcheck
+
+	cfg := Config{Group: mathx.Oakley768, Sender: "S", Receiver: "R", Session: session}
+	var (
+		wg      sync.WaitGroup
+		sendErr error
+		got     [][]byte
+		recvErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sendErr = Send(ctx, sMB, cfg, pairs)
+	}()
+	go func() {
+		defer wg.Done()
+		got, recvErr = Receive(ctx, rMB, cfg, choices)
+	}()
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatalf("sender: %v", sendErr)
+	}
+	return got, recvErr
+}
+
+func TestOTChoices(t *testing.T) {
+	pairs := [][2][]byte{
+		{[]byte("zero-0"), []byte("one--0")},
+		{[]byte("zero-1"), []byte("one--1")},
+		{[]byte("zero-2"), []byte("one--2")},
+		{[]byte("zero-3"), []byte("one--3")},
+	}
+	choices := []bool{false, true, true, false}
+	got, err := runOT(t, "ot-basic", pairs, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"zero-0", "one--1", "one--2", "zero-3"}
+	for i := range choices {
+		if string(got[i]) != want[i] {
+			t.Fatalf("index %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOTEmptyBatch(t *testing.T) {
+	got, err := runOT(t, "ot-empty", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d messages for empty batch", len(got))
+	}
+}
+
+func TestOTBinaryMessages(t *testing.T) {
+	m0 := []byte{0x00, 0x00, 0xFF, 0x01}
+	m1 := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	got, err := runOT(t, "ot-bin", [][2][]byte{{m0, m1}}, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0], m1) {
+		t.Fatalf("got %x, want %x", got[0], m1)
+	}
+}
+
+func TestOTLargeBatch(t *testing.T) {
+	const n = 64
+	pairs := make([][2][]byte, n)
+	choices := make([]bool, n)
+	for i := range pairs {
+		pairs[i] = [2][]byte{
+			[]byte(fmt.Sprintf("m0-%02d", i)),
+			[]byte(fmt.Sprintf("m1-%02d", i)),
+		}
+		choices[i] = i%3 == 0
+	}
+	got, err := runOT(t, "ot-large", pairs, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := pairs[i][0]
+		if choices[i] {
+			want = pairs[i][1]
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("index %d: got %q, want %q", i, got[i], want)
+		}
+	}
+}
+
+func TestOTMismatchedPair(t *testing.T) {
+	ctx := context.Background()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	ep, err := net.Endpoint("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("R"); err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	cfg := Config{Group: mathx.Oakley768, Sender: "S", Receiver: "R", Session: "bad"}
+	pairs := [][2][]byte{{[]byte("ab"), []byte("abc")}}
+	if err := Send(ctx, mb, cfg, pairs); err == nil {
+		t.Fatal("mismatched message lengths accepted")
+	}
+}
+
+func TestOTConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	ep, err := net.Endpoint("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	cases := []Config{
+		{Sender: "S", Receiver: "R", Session: "s"},                         // nil group
+		{Group: mathx.Oakley768, Sender: "S", Receiver: "S", Session: "s"}, // same ends
+		{Group: mathx.Oakley768, Sender: "", Receiver: "R", Session: "s"},  // empty sender
+		{Group: mathx.Oakley768, Sender: "S", Receiver: "R"},               // no session
+	}
+	for i, cfg := range cases {
+		if err := Send(ctx, mb, cfg, nil); err == nil {
+			t.Fatalf("case %d: invalid config accepted by Send", i)
+		}
+		if _, err := Receive(ctx, mb, cfg, nil); err == nil {
+			t.Fatalf("case %d: invalid config accepted by Receive", i)
+		}
+	}
+}
+
+func BenchmarkOT32(b *testing.B) {
+	ctx := context.Background()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	sEp, err := net.Endpoint("S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rEp, err := net.Endpoint("R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sMB, rMB := transport.NewMailbox(sEp), transport.NewMailbox(rEp)
+	defer sMB.Close() //nolint:errcheck
+	defer rMB.Close() //nolint:errcheck
+
+	const n = 32
+	pairs := make([][2][]byte, n)
+	choices := make([]bool, n)
+	for i := range pairs {
+		pairs[i] = [2][]byte{make([]byte, 16), make([]byte, 16)}
+		choices[i] = i%2 == 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Group: mathx.Oakley768, Sender: "S", Receiver: "R", Session: fmt.Sprintf("b%d", i)}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := Send(ctx, sMB, cfg, pairs); err != nil {
+				b.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := Receive(ctx, rMB, cfg, choices); err != nil {
+				b.Error(err)
+			}
+		}()
+		wg.Wait()
+	}
+}

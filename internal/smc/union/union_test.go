@@ -1,0 +1,280 @@
+package union
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/mathx"
+	"confaudit/internal/transport"
+)
+
+func runParties(t *testing.T, cfg Config, sets map[string][][]byte) map[string][][]byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+
+	results := make(map[string][][]byte, len(cfg.Ring))
+	errs := make(map[string]error, len(cfg.Ring))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, node := range cfg.Ring {
+		ep, err := net.Endpoint(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb := transport.NewMailbox(ep)
+		defer mb.Close() //nolint:errcheck
+		wg.Add(1)
+		go func(node string, mb *transport.Mailbox) {
+			defer wg.Done()
+			res, err := Run(ctx, mb, cfg, sets[node])
+			mu.Lock()
+			defer mu.Unlock()
+			results[node] = res
+			errs[node] = err
+		}(node, mb)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("party %s: %v", node, err)
+		}
+	}
+	return results
+}
+
+func asStrings(bs [][]byte) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestUnionBasic(t *testing.T) {
+	cfg := Config{
+		Group:     mathx.Oakley768,
+		Ring:      []string{"P1", "P2", "P3"},
+		Receivers: []string{"P1", "P2", "P3"},
+		Session:   "u1",
+	}
+	// The Figure 4 sets: union must be {c,d,e,f,g}.
+	sets := map[string][][]byte{
+		"P1": {[]byte("c"), []byte("d"), []byte("e")},
+		"P2": {[]byte("d"), []byte("e"), []byte("f")},
+		"P3": {[]byte("e"), []byte("f"), []byte("g")},
+	}
+	want := []string{"c", "d", "e", "f", "g"}
+	results := runParties(t, cfg, sets)
+	for node, res := range results {
+		got := asStrings(res)
+		if len(got) != len(want) {
+			t.Fatalf("%s union = %v, want %v", node, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s union = %v, want %v", node, got, want)
+			}
+		}
+	}
+}
+
+func TestUnionShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		sets map[string][][]byte
+		want []string
+	}{
+		{
+			name: "disjoint",
+			sets: map[string][][]byte{
+				"P1": {[]byte("a")},
+				"P2": {[]byte("b")},
+				"P3": {[]byte("c")},
+			},
+			want: []string{"a", "b", "c"},
+		},
+		{
+			name: "identical",
+			sets: map[string][][]byte{
+				"P1": {[]byte("x")},
+				"P2": {[]byte("x")},
+				"P3": {[]byte("x")},
+			},
+			want: []string{"x"},
+		},
+		{
+			name: "with empties and dups",
+			sets: map[string][][]byte{
+				"P1": {},
+				"P2": {[]byte("q"), []byte("q")},
+				"P3": {[]byte("q"), []byte("r")},
+			},
+			want: []string{"q", "r"},
+		},
+		{
+			name: "all empty",
+			sets: map[string][][]byte{"P1": {}, "P2": {}, "P3": {}},
+			want: []string{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				Group:     mathx.Oakley768,
+				Ring:      []string{"P1", "P2", "P3"},
+				Receivers: []string{"P3"},
+				Session:   "u-" + tc.name,
+			}
+			results := runParties(t, cfg, tc.sets)
+			got := asStrings(results["P3"])
+			if len(got) != len(tc.want) {
+				t.Fatalf("union = %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("union = %v, want %v", got, tc.want)
+				}
+			}
+			for _, other := range []string{"P1", "P2"} {
+				if results[other] != nil {
+					t.Fatalf("non-receiver %s obtained the union", other)
+				}
+			}
+		})
+	}
+}
+
+func TestUnionBinaryElementsSurvive(t *testing.T) {
+	cfg := Config{
+		Group:     mathx.Oakley768,
+		Ring:      []string{"A", "B"},
+		Receivers: []string{"A"},
+		Session:   "bin",
+	}
+	blob := []byte{0x00, 0xFF, 0x01, 0x00, 0x7F}
+	sets := map[string][][]byte{
+		"A": {blob},
+		"B": {[]byte("text")},
+	}
+	results := runParties(t, cfg, sets)
+	found := false
+	for _, el := range results["A"] {
+		if bytes.Equal(el, blob) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("binary element (with leading zero) not recovered: %q", results["A"])
+	}
+}
+
+func TestEmbedExtractRoundTrip(t *testing.T) {
+	g := mathx.Oakley768
+	cases := [][]byte{
+		[]byte(""),
+		[]byte("x"),
+		[]byte("a longer element with spaces"),
+		{0x00, 0x00, 0x01},
+		bytes.Repeat([]byte{0xAB}, 94), // max capacity for 96-byte blocks
+	}
+	for _, data := range cases {
+		blk, err := EmbedElement(g, data)
+		if err != nil {
+			t.Fatalf("EmbedElement(%q): %v", data, err)
+		}
+		back, err := ExtractElement(blk)
+		if err != nil {
+			t.Fatalf("ExtractElement: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip %q -> %q", data, back)
+		}
+	}
+	if _, err := EmbedElement(g, bytes.Repeat([]byte{1}, 95)); err == nil {
+		t.Fatal("oversized element accepted")
+	}
+	if _, err := ExtractElement(make([]byte, 4)); err == nil {
+		t.Fatal("all-zero block accepted")
+	}
+	if _, err := ExtractElement([]byte{0x02, 0x01}); err == nil {
+		t.Fatal("malformed prefix accepted")
+	}
+}
+
+func TestUnionConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	net := transport.NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	ep, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	cases := []Config{
+		{Ring: []string{"A", "B"}, Receivers: []string{"A"}, Session: "s"},                         // nil group
+		{Group: mathx.Oakley768, Ring: []string{"A"}, Receivers: []string{"A"}, Session: "s"},      // short ring
+		{Group: mathx.Oakley768, Ring: []string{"A", "B"}, Session: "s"},                           // no receivers
+		{Group: mathx.Oakley768, Ring: []string{"A", "B"}, Receivers: []string{"A"}},               // no session
+		{Group: mathx.Oakley768, Ring: []string{"B", "C"}, Receivers: []string{"B"}, Session: "s"}, // self absent
+		{Group: mathx.Oakley768, Ring: []string{"A", "A"}, Receivers: []string{"A"}, Session: "s"}, // dup ring
+	}
+	for i, cfg := range cases {
+		if _, err := Run(ctx, mb, cfg, nil); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func BenchmarkUnion3Party(b *testing.B) {
+	ctx := context.Background()
+	ring := []string{"P0", "P1", "P2"}
+	sets := make(map[string][][]byte, 3)
+	for i, node := range ring {
+		s := make([][]byte, 16)
+		for j := range s {
+			s[j] = []byte(fmt.Sprintf("el-%d-%02d", i, j))
+		}
+		sets[node] = s
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := transport.NewMemNetwork()
+		cfg := Config{
+			Group:     mathx.Oakley768,
+			Ring:      ring,
+			Receivers: []string{"P0"},
+			Session:   fmt.Sprintf("b%d", i),
+		}
+		var wg sync.WaitGroup
+		for _, node := range ring {
+			ep, err := net.Endpoint(node)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mb := transport.NewMailbox(ep)
+			wg.Add(1)
+			go func(node string, mb *transport.Mailbox) {
+				defer wg.Done()
+				defer mb.Close() //nolint:errcheck
+				if _, err := Run(ctx, mb, cfg, sets[node]); err != nil {
+					b.Error(err)
+				}
+			}(node, mb)
+		}
+		wg.Wait()
+		net.Close() //nolint:errcheck
+	}
+}

@@ -1,0 +1,264 @@
+package ticket
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+
+	"confaudit/internal/crypto/blind"
+	"confaudit/internal/logmodel"
+)
+
+var (
+	caOnce sync.Once
+	caKey  *blind.Authority
+)
+
+func issuer(t testing.TB) *Issuer {
+	t.Helper()
+	caOnce.Do(func() {
+		ca, err := blind.NewAuthority(rand.Reader, 1024)
+		if err != nil {
+			t.Fatalf("NewAuthority: %v", err)
+		}
+		caKey = ca
+	})
+	return NewIssuer(caKey)
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	iss := issuer(t)
+	tk, err := iss.Issue("T1", "u0", OpWrite, OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(iss.Public(), tk); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if tk.OpsString() != "W/R" {
+		t.Fatalf("OpsString = %q, want W/R (Table 6 format)", tk.OpsString())
+	}
+	if !tk.Allows(OpRead) || !tk.Allows(OpWrite) || tk.Allows(OpDelete) {
+		t.Fatal("Allows misreports the operation set")
+	}
+}
+
+func TestIssueValidation(t *testing.T) {
+	iss := issuer(t)
+	if _, err := iss.Issue("", "u0", OpRead); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if _, err := iss.Issue("T1", "", OpRead); err == nil {
+		t.Fatal("empty holder accepted")
+	}
+	if _, err := iss.Issue("T1", "u0"); err == nil {
+		t.Fatal("no-op ticket accepted")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	iss := issuer(t)
+	tk, err := iss.Issue("T1", "u0", OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Ticket)
+	}{
+		{"nil ticket", nil},
+		{"changed ID", func(x *Ticket) { x.ID = "T9" }},
+		{"changed holder", func(x *Ticket) { x.Holder = "attacker" }},
+		{"escalated ops", func(x *Ticket) { x.Ops = append(x.Ops, OpDelete) }},
+		{"mauled sig", func(x *Ticket) { x.Sig = new(big.Int).Add(x.Sig, big.NewInt(1)) }},
+		{"nil sig", func(x *Ticket) { x.Sig = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.mutate == nil {
+				if err := Verify(iss.Public(), nil); !errors.Is(err, ErrForged) {
+					t.Fatalf("err = %v, want ErrForged", err)
+				}
+				return
+			}
+			bad := *tk
+			bad.Ops = append([]Op(nil), tk.Ops...)
+			tc.mutate(&bad)
+			if err := Verify(iss.Public(), &bad); !errors.Is(err, ErrForged) {
+				t.Fatalf("err = %v, want ErrForged", err)
+			}
+		})
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" || OpDelete.String() != "D" {
+		t.Fatal("Op strings do not match Table 6 abbreviations")
+	}
+	if Op(0).String() != "?" {
+		t.Fatal("zero Op should render as unknown")
+	}
+}
+
+func TestAccessTableLifecycle(t *testing.T) {
+	iss := issuer(t)
+	tbl := NewAccessTable(iss.Public())
+	tk, err := iss.Issue("T1", "u0", OpWrite, OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Register(tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Register(tk); !errors.Is(err, ErrDuplicateTicket) {
+		t.Fatalf("duplicate register err = %v", err)
+	}
+
+	// Write is allowed before any grant (glsn is assigned during write).
+	if err := tbl.Authorize("T1", OpWrite, 0); err != nil {
+		t.Fatalf("write authorize: %v", err)
+	}
+	// Read requires a grant.
+	if err := tbl.Authorize("T1", OpRead, 0x139aef78); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("ungranted read err = %v", err)
+	}
+	if err := tbl.Grant("T1", 0x139aef78); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Authorize("T1", OpRead, 0x139aef78); err != nil {
+		t.Fatalf("granted read: %v", err)
+	}
+	// Delete not in the ticket's ops.
+	if err := tbl.Authorize("T1", OpDelete, 0x139aef78); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("delete err = %v", err)
+	}
+	// Unknown ticket.
+	if err := tbl.Authorize("TX", OpRead, 1); !errors.Is(err, ErrUnknownTicket) {
+		t.Fatalf("unknown ticket err = %v", err)
+	}
+	if err := tbl.Grant("TX", 1); !errors.Is(err, ErrUnknownTicket) {
+		t.Fatalf("grant unknown ticket err = %v", err)
+	}
+}
+
+func TestAccessTableRejectsForgedTicket(t *testing.T) {
+	iss := issuer(t)
+	tbl := NewAccessTable(iss.Public())
+	forged := &Ticket{ID: "T9", Holder: "mallory", Ops: []Op{OpRead, OpWrite, OpDelete}, Sig: big.NewInt(12345)}
+	if err := tbl.Register(forged); !errors.Is(err, ErrForged) {
+		t.Fatalf("err = %v, want ErrForged", err)
+	}
+}
+
+func TestGlsnsSortedAndTable6(t *testing.T) {
+	iss := issuer(t)
+	tbl := NewAccessTable(iss.Public())
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"T1", "T2", "T3"} {
+		tk, err := iss.Issue(id, "u-"+id, OpWrite, OpRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Register(tk); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range ex.TicketGrants[id] {
+			if err := tbl.Grant(id, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := tbl.Glsns("T1")
+	if len(got) != 2 || got[0].String() != "139aef78" || got[1].String() != "139aef80" {
+		t.Fatalf("T1 glsns = %v, want Table 6 row", got)
+	}
+	ids := tbl.TicketIDs()
+	if len(ids) != 3 || ids[0] != "T1" || ids[2] != "T3" {
+		t.Fatalf("TicketIDs = %v", ids)
+	}
+	if _, ok := tbl.Ticket("T2"); !ok {
+		t.Fatal("Ticket(T2) missing")
+	}
+	if _, ok := tbl.Ticket("T9"); ok {
+		t.Fatal("Ticket(T9) should be absent")
+	}
+}
+
+func TestConsistencyElements(t *testing.T) {
+	iss := issuer(t)
+	mk := func() *AccessTable {
+		tbl := NewAccessTable(iss.Public())
+		tk, err := iss.Issue("T1", "u0", OpWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Register(tk); err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	a, b := mk(), mk()
+	for _, g := range []logmodel.GLSN{5, 3, 9} {
+		if err := a.Grant("T1", g); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Grant("T1", g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ea, eb := a.ConsistencyElements(), b.ConsistencyElements()
+	if len(ea) != 3 || len(eb) != 3 {
+		t.Fatalf("element counts %d, %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if string(ea[i]) != string(eb[i]) {
+			t.Fatalf("consistent tables produced different elements: %s vs %s", ea[i], eb[i])
+		}
+	}
+	// Diverge one table; elements must differ.
+	if err := b.Grant("T1", 77); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ConsistencyElements()) == len(ea) {
+		t.Fatal("diverged table produced same element count")
+	}
+}
+
+func TestAccessTableConcurrency(t *testing.T) {
+	iss := issuer(t)
+	tbl := NewAccessTable(iss.Public())
+	tk, err := iss.Issue("T1", "u0", OpWrite, OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Register(tk); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g := logmodel.GLSN(base*1000 + j)
+				if err := tbl.Grant("T1", g); err != nil {
+					t.Errorf("Grant: %v", err)
+					return
+				}
+				if err := tbl.Authorize("T1", OpRead, g); err != nil {
+					t.Errorf("Authorize: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tbl.Glsns("T1")); got != 800 {
+		t.Fatalf("granted %d glsns, want 800", got)
+	}
+}

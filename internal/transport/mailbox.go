@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func immediateDeadline() time.Time { return time.Unix(1, 0) }
+func noDeadline() time.Time        { return time.Time{} }
+
+// maxQueuedMessages bounds the total number of messages parked in a
+// mailbox with no waiter. Long-running nodes accumulate stragglers from
+// completed protocol sessions (e.g. a late error report after the
+// result already went out); beyond the cap the oldest parked message is
+// dropped, which is safe because every protocol treats message loss as
+// a timeout.
+const maxQueuedMessages = 8192
+
+// Mailbox demultiplexes an endpoint's inbound stream by (Type, Session)
+// so independent protocol rounds can interleave without stealing each
+// other's messages. A single pump goroutine owns Recv; consumers wait on
+// typed queues.
+type Mailbox struct {
+	ep Endpoint
+
+	mu        sync.Mutex
+	queues    map[mailKey][]Message
+	order     []mailKey // arrival order of queued keys, for ExpectType
+	waits     map[mailKey][]chan Message
+	typeWaits map[string][]chan Message
+	err       error
+
+	closeOnce sync.Once
+	done      chan struct{}
+	pumped    sync.WaitGroup
+}
+
+type mailKey struct {
+	typ     string
+	session string
+}
+
+// NewMailbox wraps an endpoint and starts its pump goroutine. Close the
+// mailbox (not the raw endpoint) when done.
+func NewMailbox(ep Endpoint) *Mailbox {
+	m := &Mailbox{
+		ep:        ep,
+		queues:    make(map[mailKey][]Message),
+		waits:     make(map[mailKey][]chan Message),
+		typeWaits: make(map[string][]chan Message),
+		done:      make(chan struct{}),
+	}
+	m.pumped.Add(1)
+	go m.pump()
+	return m
+}
+
+// ID returns the underlying endpoint's node ID.
+func (m *Mailbox) ID() string { return m.ep.ID() }
+
+// Send forwards to the underlying endpoint.
+func (m *Mailbox) Send(ctx context.Context, msg Message) error {
+	return m.ep.Send(ctx, msg)
+}
+
+func (m *Mailbox) pump() {
+	defer m.pumped.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-m.done
+		cancel()
+	}()
+	for {
+		msg, err := m.ep.Recv(ctx)
+		if err != nil {
+			m.mu.Lock()
+			m.err = err
+			// Wake every waiter with a zero message; they observe err.
+			for k, ws := range m.waits {
+				for _, w := range ws {
+					close(w)
+				}
+				delete(m.waits, k)
+			}
+			for k, ws := range m.typeWaits {
+				for _, w := range ws {
+					close(w)
+				}
+				delete(m.typeWaits, k)
+			}
+			m.mu.Unlock()
+			return
+		}
+		key := mailKey{typ: msg.Type, session: msg.Session}
+		m.mu.Lock()
+		if ws := m.waits[key]; len(ws) > 0 {
+			w := ws[0]
+			if len(ws) == 1 {
+				delete(m.waits, key)
+			} else {
+				m.waits[key] = ws[1:]
+			}
+			w <- msg
+			close(w)
+		} else if tws := m.typeWaits[msg.Type]; len(tws) > 0 {
+			w := tws[0]
+			if len(tws) == 1 {
+				delete(m.typeWaits, msg.Type)
+			} else {
+				m.typeWaits[msg.Type] = tws[1:]
+			}
+			w <- msg
+			close(w)
+		} else {
+			if len(m.order) >= maxQueuedMessages {
+				// Evict the oldest parked message.
+				oldest := m.order[0]
+				m.popQueued(oldest)
+			}
+			m.queues[key] = append(m.queues[key], msg)
+			m.order = append(m.order, key)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// popQueued removes and returns the oldest queued message for key.
+// Caller holds m.mu and has checked the queue is non-empty.
+func (m *Mailbox) popQueued(key mailKey) Message {
+	q := m.queues[key]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(m.queues, key)
+	} else {
+		m.queues[key] = q[1:]
+	}
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(m.order[:i:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return msg
+}
+
+// Expect blocks until a message with the given type and session arrives
+// (or is already queued).
+func (m *Mailbox) Expect(ctx context.Context, typ, session string) (Message, error) {
+	key := mailKey{typ: typ, session: session}
+	m.mu.Lock()
+	if q := m.queues[key]; len(q) > 0 {
+		msg := m.popQueued(key)
+		m.mu.Unlock()
+		return msg, nil
+	}
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return Message{}, err
+	}
+	w := make(chan Message, 1)
+	m.waits[key] = append(m.waits[key], w)
+	m.mu.Unlock()
+
+	select {
+	case msg, ok := <-w:
+		if !ok {
+			m.mu.Lock()
+			err := m.err
+			m.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return Message{}, err
+		}
+		return msg, nil
+	case <-ctx.Done():
+		m.cancelWait(key, w)
+		return Message{}, ctx.Err()
+	}
+}
+
+func (m *Mailbox) cancelWait(key mailKey, w chan Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws := m.waits[key]
+	for i, cand := range ws {
+		if cand == w {
+			m.waits[key] = append(ws[:i:i], ws[i+1:]...)
+			if len(m.waits[key]) == 0 {
+				delete(m.waits, key)
+			}
+			return
+		}
+	}
+	// The pump may have delivered concurrently with cancellation; requeue
+	// the message so it is not lost.
+	select {
+	case msg, ok := <-w:
+		if ok {
+			m.queues[key] = append(m.queues[key], msg)
+			m.order = append(m.order, key)
+		}
+	default:
+	}
+}
+
+// ExpectType blocks until a message of the given type arrives, whatever
+// its session. This is the request-dispatch primitive for servers that
+// cannot know session IDs in advance; protocol handlers spawned from the
+// request then use Expect with the session carried by the request.
+func (m *Mailbox) ExpectType(ctx context.Context, typ string) (Message, error) {
+	m.mu.Lock()
+	// Oldest queued message of this type, across sessions.
+	for _, key := range m.order {
+		if key.typ == typ && len(m.queues[key]) > 0 {
+			msg := m.popQueued(key)
+			m.mu.Unlock()
+			return msg, nil
+		}
+	}
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return Message{}, err
+	}
+	w := make(chan Message, 1)
+	m.typeWaits[typ] = append(m.typeWaits[typ], w)
+	m.mu.Unlock()
+
+	select {
+	case msg, ok := <-w:
+		if !ok {
+			m.mu.Lock()
+			err := m.err
+			m.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return Message{}, err
+		}
+		return msg, nil
+	case <-ctx.Done():
+		m.cancelTypeWait(typ, w)
+		return Message{}, ctx.Err()
+	}
+}
+
+func (m *Mailbox) cancelTypeWait(typ string, w chan Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws := m.typeWaits[typ]
+	for i, cand := range ws {
+		if cand == w {
+			m.typeWaits[typ] = append(ws[:i:i], ws[i+1:]...)
+			if len(m.typeWaits[typ]) == 0 {
+				delete(m.typeWaits, typ)
+			}
+			return
+		}
+	}
+	select {
+	case msg, ok := <-w:
+		if ok {
+			key := mailKey{typ: msg.Type, session: msg.Session}
+			m.queues[key] = append(m.queues[key], msg)
+			m.order = append(m.order, key)
+		}
+	default:
+	}
+}
+
+// ExpectFrom waits for a message of the given type and session from a
+// specific sender, requeueing any interleaved messages from others.
+func (m *Mailbox) ExpectFrom(ctx context.Context, from, typ, session string) (Message, error) {
+	var stash []Message
+	defer func() {
+		if len(stash) == 0 {
+			return
+		}
+		key := mailKey{typ: typ, session: session}
+		m.mu.Lock()
+		m.queues[key] = append(stash, m.queues[key]...)
+		for range stash {
+			m.order = append(m.order, key)
+		}
+		m.mu.Unlock()
+	}()
+	for {
+		msg, err := m.Expect(ctx, typ, session)
+		if err != nil {
+			return Message{}, err
+		}
+		if msg.From == from {
+			return msg, nil
+		}
+		stash = append(stash, msg)
+	}
+}
+
+// Close stops the pump and closes the underlying endpoint.
+func (m *Mailbox) Close() error {
+	var err error
+	m.closeOnce.Do(func() {
+		close(m.done)
+		err = m.ep.Close()
+	})
+	m.pumped.Wait()
+	return err
+}

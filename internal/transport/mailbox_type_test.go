@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMailboxExpectTypeAnySession(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	aEp, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEp, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMailbox(bEp)
+	defer b.Close() //nolint:errcheck
+
+	// Queue requests under different, unknown sessions.
+	for _, session := range []string{"s-9", "s-1", "s-5"} {
+		msg, err := NewMessage("B", "req", session, session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aEp.Send(ctx, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ExpectType drains them in arrival order.
+	for _, want := range []string{"s-9", "s-1", "s-5"} {
+		got, err := b.ExpectType(ctx, "req")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Session != want {
+			t.Fatalf("session = %q, want %q", got.Session, want)
+		}
+	}
+}
+
+func TestMailboxExpectTypeDoesNotStealFromExpect(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	aEp, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEp, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMailbox(bEp)
+	defer b.Close() //nolint:errcheck
+
+	// A session-specific waiter is registered first; a type-level waiter
+	// second. The message must go to the session waiter.
+	sessionGot := make(chan Message, 1)
+	go func() {
+		msg, err := b.Expect(ctx, "proto", "known")
+		if err == nil {
+			sessionGot <- msg
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	typeCtx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	defer cancel()
+	typeGot := make(chan error, 1)
+	go func() {
+		_, err := b.ExpectType(typeCtx, "proto")
+		typeGot <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := aEp.Send(ctx, Message{To: "B", Type: "proto", Session: "known"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sessionGot:
+	case <-time.After(5 * time.Second):
+		t.Fatal("session waiter never received the message")
+	}
+	if err := <-typeGot; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("type waiter got %v, want deadline (message was for the session waiter)", err)
+	}
+}
+
+func TestMailboxExpectTypeBlocksUntilArrival(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	aEp, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEp, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMailbox(bEp)
+	defer b.Close() //nolint:errcheck
+
+	got := make(chan Message, 1)
+	go func() {
+		msg, err := b.ExpectType(ctx, "late")
+		if err == nil {
+			got <- msg
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := aEp.Send(ctx, Message{To: "B", Type: "late", Session: "whatever"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg.Session != "whatever" {
+			t.Fatalf("session = %q", msg.Session)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ExpectType never received")
+	}
+}
+
+func TestMailboxExpectTypeUnblocksOnClose(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	ep, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMailbox(ep)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.ExpectType(context.Background(), "never")
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("ExpectType returned nil after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ExpectType did not unblock on Close")
+	}
+}
+
+func TestMailboxExpectTypeInterleavedWithExpect(t *testing.T) {
+	ctx := testCtx(t)
+	net := NewMemNetwork()
+	defer net.Close() //nolint:errcheck
+	aEp, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEp, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMailbox(bEp)
+	defer b.Close() //nolint:errcheck
+
+	// Queue: req/s1, proto/s1, req/s2.
+	for _, m := range []Message{
+		{To: "B", Type: "req", Session: "s1"},
+		{To: "B", Type: "proto", Session: "s1"},
+		{To: "B", Type: "req", Session: "s2"},
+	} {
+		if err := aEp.Send(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Expect drains proto/s1; ExpectType drains the two reqs in order;
+	// the queues stay consistent.
+	if msg, err := b.Expect(ctx, "proto", "s1"); err != nil || msg.Type != "proto" {
+		t.Fatalf("Expect: %v %+v", err, msg)
+	}
+	first, err := b.ExpectType(ctx, "req")
+	if err != nil || first.Session != "s1" {
+		t.Fatalf("first req: %v %+v", err, first)
+	}
+	second, err := b.ExpectType(ctx, "req")
+	if err != nil || second.Session != "s2" {
+		t.Fatalf("second req: %v %+v", err, second)
+	}
+}

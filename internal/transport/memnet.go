@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-process network of channel-backed endpoints. It is
+// safe for concurrent use. Fault injection hooks support the failure
+// tests: per-network latency and a drop predicate.
+type MemNetwork struct {
+	mu        sync.RWMutex
+	endpoints map[string]*memEndpoint
+	latency   time.Duration
+	dropFn    func(Message) bool
+	closed    bool
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithLatency delays every delivery by d, simulating a WAN between
+// independent DLA organizations.
+func WithLatency(d time.Duration) MemOption {
+	return func(n *MemNetwork) { n.latency = d }
+}
+
+// WithDropFn installs a predicate that discards matching messages,
+// simulating loss or a partitioned node.
+func WithDropFn(fn func(Message) bool) MemOption {
+	return func(n *MemNetwork) { n.dropFn = fn }
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork(opts ...MemOption) *MemNetwork {
+	n := &MemNetwork{endpoints: make(map[string]*memEndpoint)}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+var _ Network = (*MemNetwork)(nil)
+
+// Endpoint attaches (or re-attaches) a node ID. Re-attaching an ID that
+// is still open fails, matching the invariant that a node ID is a single
+// process.
+func (n *MemNetwork) Endpoint(id string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if prev, ok := n.endpoints[id]; ok && !prev.isClosed() {
+		return nil, fmt.Errorf("transport: node %q already attached", id)
+	}
+	ep := &memEndpoint{
+		id:    id,
+		net:   n,
+		inbox: make(chan Message, 1024),
+		done:  make(chan struct{}),
+	}
+	n.endpoints[id] = ep
+	return ep, nil
+}
+
+// Close shuts the whole network down, closing every endpoint.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, ep := range n.endpoints {
+		ep.closeLocked()
+	}
+	return nil
+}
+
+// SetDropFn replaces the drop predicate at runtime (nil disables
+// dropping). Used by failure-injection tests.
+func (n *MemNetwork) SetDropFn(fn func(Message) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropFn = fn
+}
+
+// Partition simulates a network partition by dropping all messages to or
+// from the listed node IDs. Calling Partition() with no IDs heals it.
+func (n *MemNetwork) Partition(ids ...string) {
+	cut := make(map[string]struct{}, len(ids))
+	for _, id := range ids {
+		cut[id] = struct{}{}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(cut) == 0 {
+		n.dropFn = nil
+		return
+	}
+	n.dropFn = func(m Message) bool {
+		_, fromCut := cut[m.From]
+		_, toCut := cut[m.To]
+		return fromCut != toCut // only cross-partition traffic drops
+	}
+}
+
+func (n *MemNetwork) deliver(ctx context.Context, msg Message) error {
+	n.mu.RLock()
+	drop := n.dropFn
+	latency := n.latency
+	dst, ok := n.endpoints[msg.To]
+	closed := n.closed
+	n.mu.RUnlock()
+
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.To)
+	}
+	if drop != nil && drop(msg) {
+		return ErrDropped
+	}
+	if latency > 0 {
+		timer := time.NewTimer(latency)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	select {
+	case dst.inbox <- msg:
+		return nil
+	case <-dst.done:
+		return fmt.Errorf("%w: destination %q", ErrClosed, msg.To)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+type memEndpoint struct {
+	id    string
+	net   *MemNetwork
+	inbox chan Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+func (e *memEndpoint) ID() string { return e.id }
+
+func (e *memEndpoint) Send(ctx context.Context, msg Message) error {
+	if e.isClosed() {
+		return ErrClosed
+	}
+	msg.From = e.id
+	return e.net.deliver(ctx, msg)
+}
+
+func (e *memEndpoint) Recv(ctx context.Context) (Message, error) {
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-e.done:
+		// Drain anything already queued before reporting closed.
+		select {
+		case msg := <-e.inbox:
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.closeLocked()
+	return nil
+}
+
+func (e *memEndpoint) closeLocked() {
+	e.closeOnce.Do(func() { close(e.done) })
+}
+
+func (e *memEndpoint) isClosed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}

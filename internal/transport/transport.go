@@ -1,0 +1,98 @@
+// Package transport provides the messaging substrate the DLA protocols
+// run over. The paper assumes "message routing is handled by the lower
+// network layer" (§3.1); this package is that layer.
+//
+// Two interchangeable implementations are provided:
+//
+//   - MemNetwork: an in-process simulated network with optional latency
+//     and fault injection, used by tests, examples, and benchmarks;
+//   - TCPNetwork: real TCP with length-prefixed JSON frames, used by the
+//     cmd/dlad daemon.
+//
+// Protocols built on top use Mailbox, which demultiplexes incoming
+// messages by (type, session) so that independent protocol rounds can
+// interleave on one endpoint without stealing each other's messages.
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Errors reported by transport implementations.
+var (
+	// ErrClosed indicates use of a closed endpoint or network.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnknownNode indicates a send to an unregistered node ID.
+	ErrUnknownNode = errors.New("transport: unknown node")
+	// ErrDropped indicates a message discarded by fault injection.
+	ErrDropped = errors.New("transport: message dropped by fault injection")
+)
+
+// Message is the unit of communication between DLA participants.
+type Message struct {
+	// From is the sender node ID. Filled in by the endpoint on send.
+	From string `json:"from"`
+	// To is the destination node ID.
+	To string `json:"to"`
+	// Type discriminates the protocol (e.g. "intersect.relay",
+	// "sum.share", "integrity.circulate").
+	Type string `json:"type"`
+	// Session identifies one protocol run so concurrent runs do not mix.
+	Session string `json:"session"`
+	// Payload is the JSON-encoded protocol body.
+	Payload []byte `json:"payload,omitempty"`
+	// ReplyAddr optionally advertises the sender's listen address so
+	// receivers on address-book transports (TCP) can dial back to
+	// senders they did not know in advance — e.g. a client that joined
+	// with an ephemeral port. In-memory transport ignores it.
+	ReplyAddr string `json:"reply_addr,omitempty"`
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// ID returns the node ID this endpoint is registered under.
+	ID() string
+	// Send delivers the message to msg.To. The From field is stamped
+	// with this endpoint's ID.
+	Send(ctx context.Context, msg Message) error
+	// Recv blocks for the next inbound message.
+	Recv(ctx context.Context) (Message, error)
+	// Close releases the endpoint. Pending and future Recv calls fail
+	// with ErrClosed.
+	Close() error
+}
+
+// Network creates endpoints bound to node IDs.
+type Network interface {
+	// Endpoint attaches a node to the network under the given ID.
+	Endpoint(id string) (Endpoint, error)
+}
+
+// Marshal encodes a protocol body into a message payload.
+func Marshal(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encoding payload: %w", err)
+	}
+	return b, nil
+}
+
+// Unmarshal decodes a message payload into a protocol body.
+func Unmarshal(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("transport: decoding payload: %w", err)
+	}
+	return nil
+}
+
+// NewMessage builds a message with an encoded payload.
+func NewMessage(to, typ, session string, body any) (Message, error) {
+	payload, err := Marshal(body)
+	if err != nil {
+		return Message{}, err
+	}
+	return Message{To: to, Type: typ, Session: session, Payload: payload}, nil
+}

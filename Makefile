@@ -3,9 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt examples tables fuzz clean
+.PHONY: all build test race bench vet fmt check chaos examples tables fuzz clean
 
 all: build vet test
+
+# Pre-merge gate: static checks plus the race-enabled test suite.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Fault-schedule suite: crash/restart, seeded loss, degraded auditing.
+chaos:
+	$(GO) test -run Chaos -tags chaos -count=1 ./internal/chaos/
 
 build:
 	$(GO) build ./...

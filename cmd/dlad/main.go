@@ -29,6 +29,7 @@ import (
 	"confaudit/internal/integrity"
 	"confaudit/internal/logmodel"
 	"confaudit/internal/mathx"
+	"confaudit/internal/resilience"
 	"confaudit/internal/transport"
 	"confaudit/internal/workload"
 )
@@ -149,7 +150,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	mb := transport.NewMailbox(ep)
+	// Retrying sends with a per-peer circuit breaker: transient TCP
+	// failures are retried with backoff, and a down peer fails fast
+	// instead of stalling every protocol round on dial timeouts.
+	mb := transport.NewMailbox(resilience.Wrap(ep, resilience.Policy{}))
 	defer mb.Close() //nolint:errcheck
 	cfg := boot.NodeConfig(*id)
 	cfg.DataDir = *data

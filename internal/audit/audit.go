@@ -143,6 +143,10 @@ type resultBody struct {
 	Agg   float64     `json:"agg,omitempty"`
 	Cert  *ResultCert `json:"cert,omitempty"`
 	Error string      `json:"error,omitempty"`
+	// Unanswerable and Dead mark a degraded-mode result: the clauses
+	// that could not be evaluated and the dead nodes responsible.
+	Unanswerable []string `json:"unanswerable,omitempty"`
+	Dead         []string `json:"dead,omitempty"`
 }
 
 // buildPlans compiles a criterion into subquery assignments.
@@ -245,7 +249,9 @@ func (a *Auditor) nextSession() string {
 	return "q/" + a.mb.ID() + "/" + strconv.FormatUint(a.session.Add(1), 10)
 }
 
-// Query runs an auditing criterion and returns the matching glsns.
+// Query runs an auditing criterion and returns the matching glsns. A
+// degraded-mode result returns the partial glsn list together with a
+// *PartialResultError (check with errors.As).
 func (a *Auditor) Query(ctx context.Context, criteria string) ([]logmodel.GLSN, error) {
 	glsns, _, _, err := a.QueryCertified(ctx, criteria)
 	return glsns, err
@@ -256,6 +262,10 @@ func (a *Auditor) Query(ctx context.Context, criteria string) ([]logmodel.GLSN, 
 // subquery over the digest of the glsn list — and the session it binds.
 // Verify with VerifyResult against the cluster's public keys; a single
 // compromised responder cannot forge a certified result.
+//
+// When the cluster has dead nodes, a query touching their attributes
+// completes over the survivors and returns the partial glsn list
+// alongside a *PartialResultError naming the unanswerable clauses.
 func (a *Auditor) QueryCertified(ctx context.Context, criteria string) ([]logmodel.GLSN, string, *ResultCert, error) {
 	session := a.nextSession()
 	res, err := a.roundTripSession(ctx, session, queryBody{TicketID: a.ticketID, Criteria: criteria})
@@ -271,6 +281,13 @@ func (a *Auditor) QueryCertified(ctx context.Context, criteria string) ([]logmod
 		out = append(out, g)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(res.Unanswerable) > 0 {
+		return out, session, res.Cert, &PartialResultError{
+			GLSNs:        out,
+			Unanswerable: res.Unanswerable,
+			Dead:         res.Dead,
+		}
+	}
 	return out, session, res.Cert, nil
 }
 

@@ -1,0 +1,85 @@
+package audit
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func planNames(plans []wirePlan) []string {
+	out := make([]string, 0, len(plans))
+	for _, p := range plans {
+		out = append(out, p.Clause)
+	}
+	return out
+}
+
+func TestDegradePlansShrinksStarToSurvivors(t *testing.T) {
+	roster := []string{"P1", "P2", "P3"}
+	plans := []wirePlan{{Index: 0, Clause: "*", Nodes: roster, Kind: kindAll}}
+	live, unanswerable := degradePlans(plans, roster, []string{"P2"})
+	if len(unanswerable) != 0 {
+		t.Fatalf("star plan became unanswerable: %v", unanswerable)
+	}
+	if len(live) != 1 || !reflect.DeepEqual(live[0].Nodes, []string{"P1", "P3"}) {
+		t.Fatalf("star plan nodes = %v, want survivors [P1 P3]", live)
+	}
+}
+
+func TestDegradePlansCullsDeadHolders(t *testing.T) {
+	roster := []string{"P1", "P2", "P3"}
+	plans := []wirePlan{
+		{Index: 0, Clause: "a = 1", Nodes: []string{"P1"}, Kind: kindLocal},
+		{Index: 1, Clause: "b = 2", Nodes: []string{"P2"}, Kind: kindLocal},
+		{Index: 2, Clause: "a = b", Nodes: []string{"P1", "P2"}, Kind: kindCrossEq},
+	}
+	live, unanswerable := degradePlans(plans, roster, []string{"P2"})
+	if want := []string{"a = 1"}; !reflect.DeepEqual(planNames(live), want) {
+		t.Fatalf("live plans = %v, want %v", planNames(live), want)
+	}
+	if want := []string{"b = 2", "a = b"}; !reflect.DeepEqual(unanswerable, want) {
+		t.Fatalf("unanswerable = %v, want %v", unanswerable, want)
+	}
+	// The surviving plan keeps its original index for session naming.
+	if live[0].Index != 0 {
+		t.Fatalf("surviving plan index = %d, want 0", live[0].Index)
+	}
+}
+
+func TestDegradePlansRepicksDeadTTP(t *testing.T) {
+	roster := []string{"P1", "P2", "P3", "P4"}
+	plans := []wirePlan{
+		{Index: 0, Clause: "a < b", Nodes: []string{"P1", "P2"}, Kind: kindCrossCmp, TTP: "P3"},
+	}
+	live, unanswerable := degradePlans(plans, roster, []string{"P3"})
+	if len(unanswerable) != 0 {
+		t.Fatalf("comparison became unanswerable: %v", unanswerable)
+	}
+	if len(live) != 1 || live[0].TTP != "P4" {
+		t.Fatalf("TTP = %q, want P4", live[0].TTP)
+	}
+
+	// With no live third node left, the clause is unanswerable.
+	_, unanswerable = degradePlans(plans, roster[:3], []string{"P3"})
+	if want := []string{"a < b"}; !reflect.DeepEqual(unanswerable, want) {
+		t.Fatalf("unanswerable = %v, want %v", unanswerable, want)
+	}
+}
+
+func TestPartialResultErrorNamesClauses(t *testing.T) {
+	var err error = &PartialResultError{
+		Unanswerable: []string{"b = 2", "a = b"},
+		Dead:         []string{"P2"},
+	}
+	var pr *PartialResultError
+	if !errors.As(err, &pr) {
+		t.Fatal("errors.As failed to match *PartialResultError")
+	}
+	msg := err.Error()
+	for _, want := range []string{"b = 2", "a = b", "P2"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not name %q", msg, want)
+		}
+	}
+}

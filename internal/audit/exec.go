@@ -93,6 +93,16 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 		reply(resultBody{Error: err.Error()})
 		return
 	}
+	// Degraded mode: cull subqueries that cannot complete because a node
+	// they involve is dead, so the query answers over the survivors
+	// instead of hanging until the timeout.
+	var unanswerable, deadNodes []string
+	if hv, ok := node.(HealthViewer); ok {
+		if dead := hv.HealthView().Dead(); len(dead) > 0 {
+			deadNodes = dead
+			plans, unanswerable = degradePlans(plans, part.Nodes(), dead)
+		}
+	}
 	exec := execBody{
 		Plans:       plans,
 		Coordinator: node.ID(),
@@ -104,6 +114,14 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 			reply(resultBody{Error: fmt.Sprintf("audit: unknown aggregate %q", body.AggKind)})
 			return
 		}
+		if len(unanswerable) > 0 {
+			// A partial match set would silently skew the statistic;
+			// refuse rather than mislead.
+			reply(resultBody{Error: fmt.Sprintf(
+				"audit: aggregate unavailable in degraded mode: unanswerable clauses %q (dead nodes: %s)",
+				unanswerable, strings.Join(deadNodes, ", "))})
+			return
+		}
 		exec.AggKind = body.AggKind
 		exec.AggAttr = body.AggAttr
 		if body.AggKind != AggCount {
@@ -112,8 +130,17 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 				reply(resultBody{Error: fmt.Sprintf("audit: aggregate attribute %q not supported by any node", body.AggAttr)})
 				return
 			}
+			if smc.Contains(deadNodes, owner) {
+				reply(resultBody{Error: fmt.Sprintf("audit: aggregate attribute %q held by dead node %s", body.AggAttr, owner)})
+				return
+			}
 			exec.AggOwner = owner
 		}
+	}
+	if len(plans) == 0 {
+		// Every clause involved a dead node; nothing to dispatch.
+		reply(resultBody{Unanswerable: unanswerable, Dead: deadNodes})
+		return
 	}
 	// Final conjunction ring: one responsible node per subquery.
 	ringSet := make(map[string]struct{})
@@ -169,7 +196,7 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 		return
 	}
 	sort.Strings(final.GLSNs)
-	reply(resultBody{GLSNs: final.GLSNs, Cert: final.Cert})
+	reply(resultBody{GLSNs: final.GLSNs, Cert: final.Cert, Unanswerable: unanswerable, Dead: deadNodes})
 }
 
 // handleExec is one node's participation in a distributed plan.

@@ -1,0 +1,85 @@
+package audit
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/cluster"
+	"confaudit/internal/transport"
+)
+
+// awaitGoroutines polls until the live goroutine count falls back to
+// the baseline (with a small tolerance for runtime helpers).
+func awaitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeReleasesGoroutinesOnCancel accounts for every goroutine the
+// audit service spawns: after driving a query through Serve and then
+// cancelling the context, the process must return to its baseline
+// goroutine count — no leaked handler, coordinator, or executor loops.
+func TestServeReleasesGoroutinesOnCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	boot := sharedBootstrap(t)
+	net := transport.NewMemNetwork()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var nodes []*cluster.Node
+	for _, id := range boot.Roster {
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb := transport.NewMailbox(ep)
+		node, err := cluster.New(boot.NodeConfig(id), mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start(ctx)
+		wg.Add(1)
+		go func(n *cluster.Node) {
+			defer wg.Done()
+			Serve(ctx, n)
+		}(node)
+		nodes = append(nodes, node)
+	}
+
+	// Drive a (denied) query so coordinator handler goroutines spin up.
+	aep, err := net.Endpoint("aud-shutdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := transport.NewMailbox(aep)
+	auditor := NewAuditor(amb, boot.Roster[0], "no-such-ticket")
+	qctx, qcancel := context.WithTimeout(ctx, 30*time.Second)
+	if _, err := auditor.Query(qctx, "*"); err == nil {
+		t.Fatal("query under unregistered ticket succeeded")
+	}
+	qcancel()
+
+	cancel()
+	net.Close() //nolint:errcheck
+	wg.Wait()
+	for _, n := range nodes {
+		n.Wait()
+	}
+	amb.Close() //nolint:errcheck
+	awaitGoroutines(t, baseline)
+}

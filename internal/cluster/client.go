@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math/big"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"confaudit/internal/crypto/accumulator"
 	"confaudit/internal/crypto/blind"
 	"confaudit/internal/logmodel"
+	"confaudit/internal/resilience"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 )
@@ -19,6 +21,12 @@ import (
 // cluster: it registers its ticket, obtains glsns from the sequencer,
 // splits records into per-node fragments, and distributes them together
 // with the one-way-accumulator digest (paper §2, §4.1).
+//
+// A client can optionally run a failure detector (StartHealth) and a
+// durable outbox (EnableOutbox): fragments destined for a node the
+// detector considers dead are spooled instead of erroring, and replayed
+// when the node comes back, so Log degrades to eventual delivery under
+// node loss instead of failing.
 type Client struct {
 	mb     *transport.Mailbox
 	roster []string
@@ -30,7 +38,139 @@ type Client struct {
 	// transactions").
 	signer *blind.Authority
 
+	outbox *resilience.Outbox
+	det    *resilience.Detector
+	wg     sync.WaitGroup
+
 	session atomic.Uint64
+}
+
+// EnableOutbox opens a durable spool at path: fragments addressed to
+// dead or unreachable nodes are journaled there instead of failing the
+// store, and replayed when the failure detector sees the peer return.
+// Call before concurrent use of the client.
+func (c *Client) EnableOutbox(path string) error {
+	ob, err := resilience.OpenOutbox(path)
+	if err != nil {
+		return err
+	}
+	c.outbox = ob
+	return nil
+}
+
+// CloseOutbox flushes and closes the spool. Unacknowledged entries stay
+// on disk for the next process.
+func (c *Client) CloseOutbox() error {
+	if c.outbox == nil {
+		return nil
+	}
+	return c.outbox.Close()
+}
+
+// OutboxLen reports the number of spooled fragments (0 without an
+// outbox).
+func (c *Client) OutboxLen() int {
+	if c.outbox == nil {
+		return 0
+	}
+	return c.outbox.Len()
+}
+
+// StartHealth runs a heartbeat failure detector over the cluster roster
+// and — when an outbox is enabled — replays spooled fragments whenever
+// a peer transitions back to alive. Call before concurrent use of the
+// client; loops exit when ctx is cancelled or the mailbox closes, and
+// HealthWait blocks until they have.
+func (c *Client) StartHealth(ctx context.Context, cfg resilience.DetectorConfig) {
+	c.det = resilience.NewDetector(c.mb, c.roster, cfg)
+	trs := c.det.Subscribe(4 * len(c.roster))
+	c.det.Start(ctx)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.replayLoop(ctx, trs)
+	}()
+}
+
+// HealthWait blocks until the detector and replay loops have exited.
+func (c *Client) HealthWait() {
+	if c.det != nil {
+		c.det.Wait()
+	}
+	c.wg.Wait()
+}
+
+// HealthView snapshots the roster's liveness as seen by this client's
+// detector (nil if StartHealth was never called).
+func (c *Client) HealthView() resilience.HealthView {
+	if c.det == nil {
+		return nil
+	}
+	return c.det.View()
+}
+
+// replayLoop watches liveness transitions and replays the outbox to
+// peers that come back. A failed replay keeps its entries spooled; the
+// next alive transition (or an explicit ReplayOutbox call) retries.
+func (c *Client) replayLoop(ctx context.Context, trs <-chan resilience.Transition) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case tr := <-trs:
+			if tr.To != resilience.StatusAlive || c.outbox == nil {
+				continue
+			}
+			c.ReplayOutbox(ctx, tr.Peer) //nolint:errcheck // retried on next transition
+		}
+	}
+}
+
+// ReplayOutbox resends every spooled entry addressed to peer, removing
+// each one its recipient acknowledges. Returns the number delivered;
+// stops at the first failure, leaving the rest spooled.
+func (c *Client) ReplayOutbox(ctx context.Context, peer string) (int, error) {
+	if c.outbox == nil {
+		return 0, nil
+	}
+	delivered := 0
+	for _, e := range c.outbox.For(peer) {
+		session := c.nextSession("replay")
+		msg := transport.Message{To: e.To, Type: e.Type, Session: session, Payload: e.Payload}
+		if err := c.mb.Send(ctx, msg); err != nil {
+			return delivered, fmt.Errorf("cluster: replaying to %s: %w", peer, err)
+		}
+		resp, err := c.mb.Expect(ctx, MsgLogAck, session)
+		if err != nil {
+			return delivered, fmt.Errorf("cluster: awaiting replay ack from %s: %w", peer, err)
+		}
+		var ack ackBody
+		if err := transport.Unmarshal(resp.Payload, &ack); err != nil {
+			return delivered, err
+		}
+		if !ack.OK {
+			return delivered, fmt.Errorf("cluster: node %s refused replayed fragment: %s", peer, ack.Error)
+		}
+		if err := c.outbox.Remove(e.Seq); err != nil {
+			return delivered, err
+		}
+		delivered++
+	}
+	return delivered, nil
+}
+
+// spool journals one fragment store for later replay to node.
+func (c *Client) spool(node string, payload []byte, g logmodel.GLSN) error {
+	_, err := c.outbox.Append(resilience.OutboxEntry{
+		To:      node,
+		Type:    MsgLogStore,
+		Payload: payload,
+		Tag:     strconv.FormatUint(uint64(g), 10),
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: spooling fragment for %s: %w", node, err)
+	}
+	return nil
 }
 
 // SetSigner installs a non-repudiation signing key; subsequent Log and
@@ -131,7 +271,10 @@ func (c *Client) Log(ctx context.Context, values map[logmodel.Attr]logmodel.Valu
 }
 
 // StoreRecord fragments and stores a record under an already-assigned
-// glsn.
+// glsn. With an outbox enabled, fragments addressed to nodes the
+// failure detector marks dead — or whose send fails for a transient
+// reason — are spooled for later replay instead of failing the store;
+// acks are awaited only for the fragments actually sent.
 func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 	frags := c.part.Split(rec)
 	digest := c.RecordDigest(rec)
@@ -143,17 +286,33 @@ func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 		}
 	}
 	session := c.nextSession("store")
+	sent := 0
 	for node, frag := range frags {
 		body := storeBody{TicketID: c.tk.ID, Fragment: frag, Digest: digest, Provenance: prov}
 		msg, err := transport.NewMessage(node, MsgLogStore, session, body)
 		if err != nil {
 			return err
 		}
-		if err := c.mb.Send(ctx, msg); err != nil {
-			return fmt.Errorf("cluster: storing fragment on %s: %w", node, err)
+		if c.outbox != nil && c.det != nil && c.det.Status(node) == resilience.StatusDead {
+			if err := c.spool(node, msg.Payload, rec.GLSN); err != nil {
+				return err
+			}
+			continue
 		}
+		if err := c.mb.Send(ctx, msg); err != nil {
+			// Spool transient delivery failures; cancellation and
+			// misaddressing stay hard errors.
+			if c.outbox == nil || ctx.Err() != nil || errors.Is(err, transport.ErrUnknownNode) {
+				return fmt.Errorf("cluster: storing fragment on %s: %w", node, err)
+			}
+			if err := c.spool(node, msg.Payload, rec.GLSN); err != nil {
+				return err
+			}
+			continue
+		}
+		sent++
 	}
-	for range frags {
+	for i := 0; i < sent; i++ {
 		msg, err := c.mb.Expect(ctx, MsgLogAck, session)
 		if err != nil {
 			return fmt.Errorf("cluster: awaiting store ack: %w", err)

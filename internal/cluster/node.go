@@ -15,6 +15,7 @@ import (
 	"confaudit/internal/crypto/blind"
 	"confaudit/internal/logmodel"
 	"confaudit/internal/mathx"
+	"confaudit/internal/resilience"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 )
@@ -68,6 +69,9 @@ type Config struct {
 	// DataDir, when set, enables durable state: every mutation is
 	// journaled to DataDir/node.wal and replayed on restart.
 	DataDir string
+	// Health tunes the node's heartbeat failure detector (zero fields
+	// take the resilience package defaults).
+	Health resilience.DetectorConfig
 }
 
 func (c *Config) validate() error {
@@ -114,6 +118,7 @@ type Node struct {
 	seqMu    sync.Mutex // serializes leader sequencer rounds
 
 	wal *WAL
+	det *resilience.Detector
 
 	wg sync.WaitGroup
 }
@@ -155,6 +160,7 @@ func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
 		}
 		n.wal = wal
 	}
+	n.det = resilience.NewDetector(mb, n.roster, cfg.Health)
 	return n, nil
 }
 
@@ -216,7 +222,26 @@ func (n *Node) Start(ctx context.Context) {
 			loop(ctx)
 		}(loop)
 	}
+	n.det.Start(ctx)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.det.Wait()
+	}()
+	// A restarted follower may have missed sequencer commits while it
+	// was down; pull them eagerly instead of waiting for the next
+	// proposal to expose the gap.
+	if !n.isLeader() {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.syncFromLeader(ctx) //nolint:errcheck // best effort; gaps re-sync on demand
+		}()
+	}
 }
+
+// HealthView snapshots the node's view of roster liveness.
+func (n *Node) HealthView() resilience.HealthView { return n.det.View() }
 
 // Wait blocks until every server loop has exited.
 func (n *Node) Wait() { n.wg.Wait() }
@@ -474,6 +499,13 @@ func (n *Node) handleStore(ctx context.Context, msg transport.Message) {
 		for attempt := 0; attempt < 200; attempt++ {
 			if err = n.storeFragment(body); err == nil || !errors.Is(err, ErrGLSNNotAssigned) {
 				break
+			}
+			if attempt == 0 {
+				// An unassigned glsn may be a commit this node missed
+				// while partitioned or down (the fragment is being
+				// replayed from a client outbox); pull missed grants
+				// before waiting out the retry budget.
+				n.syncFromLeader(ctx) //nolint:errcheck // loop re-checks state
 			}
 			select {
 			case <-ctx.Done():

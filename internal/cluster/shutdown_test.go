@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+// awaitGoroutines polls until the live goroutine count falls back to
+// the baseline (with a small tolerance for runtime helpers).
+func awaitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNodeStartReleasesGoroutinesOnCancel accounts for every goroutine
+// Node.Start spawns — service loops, the failure detector, store
+// handlers: after a full log round-trip and context cancellation, the
+// process must return to its baseline goroutine count.
+func TestNodeStartReleasesGoroutinesOnCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	boot := sharedBootstrap(t)
+	net := transport.NewMemNetwork()
+	ctx, cancel := context.WithCancel(context.Background())
+	var nodes []*Node
+	for _, id := range boot.Roster {
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb := transport.NewMailbox(ep)
+		node, err := New(boot.NodeConfig(id), mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start(ctx)
+		nodes = append(nodes, node)
+	}
+
+	// Drive one full store so glsn-agreement and store handlers all run.
+	ep, err := net.Endpoint("u-shutdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	tk, err := boot.Issuer.Issue("TSD", "u-shutdown", ticket.OpWrite, ticket.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(mb, boot.Roster, boot.Partition, boot.AccParams, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opCtx, opCancel := context.WithTimeout(ctx, 30*time.Second)
+	if err := c.RegisterTicket(opCtx); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Log(opCtx, ex.Records[0].Values); err != nil {
+		t.Fatal(err)
+	}
+	opCancel()
+
+	cancel()
+	net.Close() //nolint:errcheck
+	for _, n := range nodes {
+		n.Wait()
+	}
+	mb.Close() //nolint:errcheck
+	awaitGoroutines(t, baseline)
+}

@@ -140,7 +140,12 @@ func (w *WAL) Close() error {
 }
 
 // ReplayWAL streams the journal in dir (if any) to fn in append order.
-// A missing journal is not an error (fresh node).
+// A missing journal is not an error (fresh node). A torn final record —
+// the node crashed mid-append, leaving a truncated trailing line —
+// stops the replay at the last intact entry instead of failing the
+// whole recovery; every complete entry was flushed before its mutation
+// was acknowledged, so the torn tail was never promised to anyone.
+// Corruption anywhere before the final line still fails the replay.
 func ReplayWAL(dir string, fn func(walEntry) error) error {
 	f, err := os.Open(filepath.Join(dir, walFile))
 	if errors.Is(err, os.ErrNotExist) {
@@ -150,17 +155,27 @@ func ReplayWAL(dir string, fn func(walEntry) error) error {
 		return fmt.Errorf("cluster: opening WAL for replay: %w", err)
 	}
 	defer f.Close() //nolint:errcheck
-	dec := json.NewDecoder(bufio.NewReader(f))
+	br := bufio.NewReader(f)
 	for {
-		var e walEntry
-		if err := dec.Decode(&e); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return fmt.Errorf("cluster: corrupt WAL entry: %w", err)
+		line, err := br.ReadBytes('\n')
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			return fmt.Errorf("cluster: reading WAL: %w", err)
 		}
-		if err := fn(e); err != nil {
-			return err
+		if len(line) > 0 {
+			var e walEntry
+			if jsonErr := json.Unmarshal(line, &e); jsonErr != nil {
+				if atEOF {
+					return nil // torn final append; recover up to here
+				}
+				return fmt.Errorf("cluster: corrupt WAL entry: %w", jsonErr)
+			}
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+		if atEOF {
+			return nil
 		}
 	}
 }

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"confaudit/internal/logmodel"
+)
+
+// writeTornTestWAL journals a few entries directly and returns the
+// file's bytes plus the number of entries.
+func writeTornTestWAL(t *testing.T, dir string) ([]byte, int) {
+	t.Helper()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []walEntry{
+		{Kind: "grant", TicketID: "T1", GLSN: 10},
+		{Kind: "grant", TicketID: "T1", GLSN: 11},
+		{Kind: "frag", Fragment: &logmodel.Fragment{
+			GLSN: 10, Node: "P1",
+			Values: map[logmodel.Attr]logmodel.Value{"id": logmodel.String("U1")},
+		}},
+		{Kind: "delete", GLSN: 11},
+	}
+	for _, e := range entries {
+		if err := w.append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, len(entries)
+}
+
+// TestReplayWALToleratesTornFinalRecord truncates the journal at every
+// byte offset inside the final entry — simulating a crash mid-append —
+// and verifies replay recovers every intact entry instead of failing.
+func TestReplayWALToleratesTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	data, total := writeTornTestWAL(t, dir)
+	lastStart := bytes.LastIndexByte(bytes.TrimRight(data, "\n"), '\n') + 1
+
+	for cut := lastStart; cut <= len(data); cut++ {
+		if err := os.WriteFile(filepath.Join(dir, walFile), data[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		var got []walEntry
+		err := ReplayWAL(dir, func(e walEntry) error {
+			got = append(got, e)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut at byte %d of %d: replay failed: %v", cut, len(data), err)
+		}
+		// The torn tail yields the intact prefix; an undamaged file (or
+		// one missing only the trailing newline) yields every entry.
+		want := total - 1
+		if cut >= len(data)-1 {
+			want = total
+		}
+		if len(got) != want {
+			t.Fatalf("cut at byte %d: replayed %d entries, want %d", cut, len(got), want)
+		}
+	}
+}
+
+// TestReplayWALStillRejectsMidFileCorruption keeps the strict failure
+// mode for damage that is not a torn tail.
+func TestReplayWALStillRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	data, _ := writeTornTestWAL(t, dir)
+	firstEnd := bytes.IndexByte(data, '\n')
+	corrupted := append([]byte(nil), data...)
+	copy(corrupted[firstEnd/2:], "garbage") // clobber inside the first line
+	if err := os.WriteFile(filepath.Join(dir, walFile), corrupted, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayWAL(dir, func(walEntry) error { return nil }); err == nil {
+		t.Fatal("replay accepted mid-file corruption")
+	}
+}

@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: sends flow normally; consecutive failures are
+	// counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: sends fail fast with ErrPeerDown until the cool-down
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe send is admitted; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-peer circuit breaker. The zero value is not usable;
+// create with NewBreaker. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	openFor   time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker creates a closed breaker that opens after threshold
+// consecutive failures and admits a probe openFor after opening.
+func NewBreaker(threshold int, openFor time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if openFor <= 0 {
+		openFor = time.Second
+	}
+	return &Breaker{threshold: threshold, openFor: openFor}
+}
+
+// Allow reports whether a send may proceed now. In the open state it
+// returns false until the cool-down elapses, then transitions to
+// half-open and admits exactly one probe until that probe reports an
+// outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.openFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful send, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed send. In the closed state it counts toward
+// the threshold; in half-open it re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+		}
+	case BreakerOpen:
+		// Already open; refresh nothing so the cool-down still elapses.
+	}
+}
+
+// State returns the breaker's current position (resolving an elapsed
+// open cool-down to half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.openFor {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

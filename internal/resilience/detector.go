@@ -1,0 +1,285 @@
+package resilience
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"confaudit/internal/transport"
+)
+
+// Message types of the liveness gossip. Every detector answers pings,
+// so any two roster members (and clients) can probe each other.
+const (
+	MsgPing = "health.ping"
+	MsgPong = "health.pong"
+)
+
+// Status classifies a peer's liveness.
+type Status int
+
+// Liveness classes: a peer is Alive while heartbeats flow, Suspect
+// once they stop for SuspectAfter, and Dead after DeadAfter.
+const (
+	StatusAlive Status = iota
+	StatusSuspect
+	StatusDead
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusSuspect:
+		return "suspect"
+	case StatusDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// PeerHealth is one peer's liveness record.
+type PeerHealth struct {
+	Status   Status
+	LastSeen time.Time
+}
+
+// HealthView is a snapshot of the roster's liveness.
+type HealthView map[string]PeerHealth
+
+// Dead returns the dead peers, sorted.
+func (v HealthView) Dead() []string {
+	var out []string
+	for id, ph := range v {
+		if ph.Status == StatusDead {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transition is a published liveness change.
+type Transition struct {
+	Peer string
+	From Status
+	To   Status
+}
+
+// DetectorConfig tunes the failure detector. Zero fields take defaults.
+type DetectorConfig struct {
+	// Interval between heartbeat rounds (default 1s).
+	Interval time.Duration
+	// SuspectAfter is the silence marking a peer suspect (default 3×
+	// Interval).
+	SuspectAfter time.Duration
+	// DeadAfter is the silence marking a peer dead (default 6×
+	// Interval).
+	DeadAfter time.Duration
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.Interval
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 6 * c.Interval
+	}
+	return c
+}
+
+// Detector is a heartbeat failure detector over one mailbox. It pings
+// every configured peer each Interval, answers peers' pings, and
+// classifies silence. Create with NewDetector, run with Start; loops
+// stop when the context is cancelled or the mailbox closes.
+type Detector struct {
+	mb    *transport.Mailbox
+	peers []string
+	cfg   DetectorConfig
+	seq   atomic.Uint64
+
+	mu       sync.Mutex
+	lastSeen map[string]time.Time
+	status   map[string]Status
+	subs     []chan Transition
+
+	wg sync.WaitGroup
+}
+
+// NewDetector builds a detector tracking peers (self is skipped if
+// listed) over the mailbox.
+func NewDetector(mb *transport.Mailbox, peers []string, cfg DetectorConfig) *Detector {
+	d := &Detector{
+		mb:       mb,
+		cfg:      cfg.withDefaults(),
+		lastSeen: make(map[string]time.Time),
+		status:   make(map[string]Status),
+	}
+	now := time.Now()
+	for _, p := range peers {
+		if p == mb.ID() {
+			continue
+		}
+		d.peers = append(d.peers, p)
+		// A fresh detector grants every peer a grace period of one full
+		// silence budget before declaring it dead.
+		d.lastSeen[p] = now
+		d.status[p] = StatusAlive
+	}
+	return d
+}
+
+// Start launches the ping, pong, and responder loops. Non-blocking;
+// Wait blocks until they exit.
+func (d *Detector) Start(ctx context.Context) {
+	d.wg.Add(3)
+	go func() { defer d.wg.Done(); d.pingLoop(ctx) }()
+	go func() { defer d.wg.Done(); d.pongLoop(ctx) }()
+	go func() { defer d.wg.Done(); d.serveLoop(ctx) }()
+}
+
+// Wait blocks until every detector loop has exited.
+func (d *Detector) Wait() { d.wg.Wait() }
+
+// Subscribe returns a channel receiving liveness transitions. Slow
+// subscribers drop transitions rather than blocking detection; size the
+// buffer for the expected burst (roster size is plenty).
+func (d *Detector) Subscribe(buf int) <-chan Transition {
+	ch := make(chan Transition, buf)
+	d.mu.Lock()
+	d.subs = append(d.subs, ch)
+	d.mu.Unlock()
+	return ch
+}
+
+// MarkAlive records proof of life for a peer (a pong, or any
+// application message a caller chooses to count).
+func (d *Detector) MarkAlive(peer string) {
+	d.mu.Lock()
+	if _, tracked := d.lastSeen[peer]; !tracked {
+		d.mu.Unlock()
+		return
+	}
+	d.lastSeen[peer] = time.Now()
+	trs := d.reclassifyLocked()
+	d.mu.Unlock()
+	d.publish(trs)
+}
+
+// Status returns one peer's class (dead if untracked).
+func (d *Detector) Status(peer string) Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen, ok := d.lastSeen[peer]
+	if !ok {
+		return StatusDead
+	}
+	return d.classify(seen)
+}
+
+// View snapshots the roster's liveness.
+func (d *Detector) View() HealthView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(HealthView, len(d.lastSeen))
+	for p, seen := range d.lastSeen {
+		out[p] = PeerHealth{Status: d.classify(seen), LastSeen: seen}
+	}
+	return out
+}
+
+func (d *Detector) classify(seen time.Time) Status {
+	silence := time.Since(seen)
+	switch {
+	case silence >= d.cfg.DeadAfter:
+		return StatusDead
+	case silence >= d.cfg.SuspectAfter:
+		return StatusSuspect
+	default:
+		return StatusAlive
+	}
+}
+
+// reclassifyLocked recomputes statuses and returns the transitions.
+// Caller holds d.mu.
+func (d *Detector) reclassifyLocked() []Transition {
+	var trs []Transition
+	for p, seen := range d.lastSeen {
+		now := d.classify(seen)
+		if prev := d.status[p]; prev != now {
+			d.status[p] = now
+			trs = append(trs, Transition{Peer: p, From: prev, To: now})
+		}
+	}
+	return trs
+}
+
+func (d *Detector) publish(trs []Transition) {
+	if len(trs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	subs := append([]chan Transition(nil), d.subs...)
+	d.mu.Unlock()
+	for _, tr := range trs {
+		for _, ch := range subs {
+			select {
+			case ch <- tr:
+			default: // slow subscriber: drop rather than stall detection
+			}
+		}
+	}
+}
+
+func (d *Detector) pingLoop(ctx context.Context) {
+	ticker := time.NewTicker(d.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		session := "hb/" + d.mb.ID() + "/" + strconv.FormatUint(d.seq.Add(1), 10)
+		for _, p := range d.peers {
+			msg := transport.Message{To: p, Type: MsgPing, Session: session}
+			d.mb.Send(ctx, msg) //nolint:errcheck // silence is the signal
+		}
+		d.mu.Lock()
+		trs := d.reclassifyLocked()
+		d.mu.Unlock()
+		d.publish(trs)
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// pongLoop consumes heartbeat replies, whatever their session.
+func (d *Detector) pongLoop(ctx context.Context) {
+	for {
+		msg, err := d.mb.ExpectType(ctx, MsgPong)
+		if err != nil {
+			return
+		}
+		d.MarkAlive(msg.From)
+	}
+}
+
+// serveLoop answers pings from anyone (roster peers and clients); a
+// ping is also proof of life for tracked peers.
+func (d *Detector) serveLoop(ctx context.Context) {
+	for {
+		msg, err := d.mb.ExpectType(ctx, MsgPing)
+		if err != nil {
+			return
+		}
+		d.MarkAlive(msg.From)
+		pong := transport.Message{To: msg.From, Type: MsgPong, Session: msg.Session}
+		d.mb.Send(ctx, pong) //nolint:errcheck // sender's detector tolerates loss
+	}
+}

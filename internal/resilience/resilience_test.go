@@ -1,0 +1,351 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"confaudit/internal/transport"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// --- breaker ---
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, 50*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused send %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a send inside the cool-down")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(1, 10*time.Millisecond)
+	b.Allow()
+	b.Failure() // opens
+	time.Sleep(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cool-down")
+	}
+	// Only one probe is admitted while it is in flight.
+	if b.Allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	b.Failure() // probe failed: re-open
+	if b.Allow() {
+		t.Fatal("breaker admitted a send right after a failed probe")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a send")
+	}
+}
+
+// --- reliable endpoint ---
+
+func TestReliableSendRetriesTransientLoss(t *testing.T) {
+	ctx := testCtx(t)
+	var drops atomic.Int32
+	net := transport.NewMemNetwork(transport.WithDropFn(func(m transport.Message) bool {
+		// Drop the first two attempts of application traffic.
+		return m.Type == "app" && drops.Add(1) <= 2
+	}))
+	a, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := Wrap(a, Policy{BaseDelay: time.Millisecond, Seed: 1})
+	if err := rel.Send(ctx, transport.Message{To: "B", Type: "app", Session: "s"}); err != nil {
+		t.Fatalf("send through transient loss: %v", err)
+	}
+	got, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != "app" || got.From != "A" {
+		t.Fatalf("delivered %+v", got)
+	}
+	if n := drops.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3 (two dropped, one through)", n)
+	}
+}
+
+func TestReliableSendFailsFastWhenCircuitOpen(t *testing.T) {
+	ctx := testCtx(t)
+	net := transport.NewMemNetwork(transport.WithDropFn(func(m transport.Message) bool {
+		return true // peer unreachable
+	}))
+	a, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("B"); err != nil {
+		t.Fatal(err)
+	}
+	rel := Wrap(a, Policy{
+		MaxAttempts:      2,
+		BaseDelay:        time.Millisecond,
+		FailureThreshold: 2,
+		OpenFor:          time.Minute,
+		Seed:             1,
+	})
+	if err := rel.Send(ctx, transport.Message{To: "B", Type: "app"}); err == nil {
+		t.Fatal("send to unreachable peer succeeded")
+	}
+	if st := rel.PeerState("B"); st != BreakerOpen {
+		t.Fatalf("breaker after exhausted retries = %v, want open", st)
+	}
+	start := time.Now()
+	err = rel.Send(ctx, transport.Message{To: "B", Type: "app"})
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("open-circuit send error = %v, want ErrPeerDown", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("open-circuit send took %v, want fast failure", d)
+	}
+}
+
+func TestReliableSendNoRetryOnUnknownNode(t *testing.T) {
+	ctx := testCtx(t)
+	net := transport.NewMemNetwork()
+	a, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := Wrap(a, Policy{BaseDelay: 50 * time.Millisecond, Seed: 1})
+	start := time.Now()
+	err = rel.Send(ctx, transport.Message{To: "nobody", Type: "app"})
+	if !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("error = %v, want ErrUnknownNode", err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("permanent error retried for %v", d)
+	}
+}
+
+// --- detector ---
+
+func fastDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 40 * time.Millisecond,
+		DeadAfter:    80 * time.Millisecond,
+	}
+}
+
+func TestDetectorMarksCrashedPeerDeadAndRecovered(t *testing.T) {
+	ctx, cancel := context.WithCancel(testCtx(t))
+	var waiters []func()
+	defer func() {
+		cancel()
+		for _, w := range waiters {
+			w()
+		}
+	}()
+	net := transport.NewMemNetwork()
+	epA, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbA := transport.NewMailbox(epA)
+	defer mbA.Close() //nolint:errcheck
+	epB, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbB := transport.NewMailbox(epB)
+
+	detA := NewDetector(mbA, []string{"A", "B"}, fastDetectorConfig())
+	detA.Start(ctx)
+	waiters = append(waiters, detA.Wait)
+	detB := NewDetector(mbB, []string{"A", "B"}, fastDetectorConfig())
+	bCtx, bCancel := context.WithCancel(ctx)
+	detB.Start(bCtx)
+
+	trs := detA.Subscribe(16)
+
+	waitStatus := func(want Status, desc string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for detA.Status("B") != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("B never became %s (%s); view %v", want, desc, detA.View())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	waitStatus(StatusAlive, "initial heartbeats")
+
+	// Crash B.
+	bCancel()
+	detB.Wait()
+	mbB.Close() //nolint:errcheck
+	waitStatus(StatusDead, "after crash")
+
+	// Restart B.
+	epB2, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbB2 := transport.NewMailbox(epB2)
+	defer mbB2.Close() //nolint:errcheck
+	detB2 := NewDetector(mbB2, []string{"A"}, fastDetectorConfig())
+	detB2.Start(ctx)
+	waiters = append(waiters, detB2.Wait)
+	waitStatus(StatusAlive, "after restart")
+
+	// The subscription saw B die and come back.
+	sawDead, sawAlive := false, false
+	for {
+		select {
+		case tr := <-trs:
+			if tr.Peer == "B" && tr.To == StatusDead {
+				sawDead = true
+			}
+			if tr.Peer == "B" && tr.To == StatusAlive && sawDead {
+				sawAlive = true
+			}
+		default:
+		}
+		if sawDead && sawAlive {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("transitions incomplete: dead=%v alive=%v", sawDead, sawAlive)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	view := detA.View()
+	if len(view.Dead()) != 0 {
+		t.Fatalf("dead peers after recovery: %v", view.Dead())
+	}
+}
+
+// --- outbox ---
+
+func TestOutboxAppendLoadRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "client.outbox")
+	o, err := OpenOutbox(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := o.Append(OutboxEntry{To: "P1", Type: "log.store", Payload: []byte(`{"a":1}`), Tag: "g1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := o.Append(OutboxEntry{To: "P2", Type: "log.store", Payload: []byte(`{"a":2}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1+1 {
+		t.Fatalf("sequence not monotonic: %d then %d", s1, s2)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new process sees both entries.
+	o2, err := OpenOutbox(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close() //nolint:errcheck
+	if o2.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", o2.Len())
+	}
+	got := o2.For("P1")
+	if len(got) != 1 || got[0].Tag != "g1" || string(got[0].Payload) != `{"a":1}` {
+		t.Fatalf("P1 entries = %+v", got)
+	}
+	if peers := o2.Peers(); len(peers) != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+	if err := o2.Remove(got[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	if o2.Len() != 1 {
+		t.Fatalf("after remove: %d entries", o2.Len())
+	}
+	// New appends after a rewrite keep advancing the sequence.
+	s3, err := o2.Append(OutboxEntry{To: "P3", Type: "log.store", Payload: []byte(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 <= s2 {
+		t.Fatalf("sequence reused after rewrite: %d after %d", s3, s2)
+	}
+}
+
+func TestOutboxToleratesTornFinalAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "client.outbox")
+	o, err := OpenOutbox(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Append(OutboxEntry{To: "P1", Type: "t", Payload: []byte(`{"a":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Append(OutboxEntry{To: "P2", Type: "t", Payload: []byte(`{"a":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final append at every byte offset of the last line.
+	last := len(data) - 1 // index of trailing newline
+	firstLineEnd := 0
+	for i, b := range data {
+		if b == '\n' {
+			firstLineEnd = i + 1
+			break
+		}
+	}
+	for cut := firstLineEnd + 1; cut < last; cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		o2, err := OpenOutbox(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if o2.Len() != 1 {
+			t.Fatalf("cut at %d: loaded %d entries, want 1", cut, o2.Len())
+		}
+		o2.Close() //nolint:errcheck
+	}
+}

@@ -68,9 +68,17 @@ func (m *Mailbox) pump() {
 	defer m.pumped.Done()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// The watcher must also exit when the pump returns on its own (the
+	// endpoint was closed underneath us without Mailbox.Close), or it
+	// would block on m.done forever — one leaked goroutine per mailbox.
+	stop := make(chan struct{})
+	defer close(stop)
 	go func() {
-		<-m.done
-		cancel()
+		select {
+		case <-m.done:
+			cancel()
+		case <-stop:
+		}
 	}()
 	for {
 		msg, err := m.ep.Recv(ctx)

@@ -3,19 +3,38 @@ package transport
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
 
 // MemNetwork is an in-process network of channel-backed endpoints. It is
-// safe for concurrent use. Fault injection hooks support the failure
-// tests: per-network latency and a drop predicate.
+// safe for concurrent use.
+//
+// Fault injection hooks support the failure and chaos tests:
+//
+//   - WithLatency / WithLatencyJitter delay deliveries (fixed base plus
+//     seeded random jitter);
+//   - WithDropRate discards a seeded-random fraction of messages, so a
+//     chaos run is reproducible from its seed;
+//   - SetDropFn installs (or clears, with nil) an arbitrary drop
+//     predicate at runtime — the general hook the others compose with;
+//   - Partition cuts the listed node IDs off from the rest of the
+//     network until healed with Partition() (no IDs).
+//
+// A message is dropped if the drop predicate or the drop rate selects
+// it; the sender sees ErrDropped, exactly as protocols observe loss.
 type MemNetwork struct {
 	mu        sync.RWMutex
 	endpoints map[string]*memEndpoint
 	latency   time.Duration
+	jitter    time.Duration
+	dropRate  float64
 	dropFn    func(Message) bool
 	closed    bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // MemOption configures a MemNetwork.
@@ -25,6 +44,30 @@ type MemOption func(*MemNetwork)
 // independent DLA organizations.
 func WithLatency(d time.Duration) MemOption {
 	return func(n *MemNetwork) { n.latency = d }
+}
+
+// WithLatencyJitter adds a uniformly random delay in [0, max) to every
+// delivery, drawn from the network's seeded RNG (see WithSeed), so
+// chaos schedules reorder messages deterministically.
+func WithLatencyJitter(max time.Duration) MemOption {
+	return func(n *MemNetwork) { n.jitter = max }
+}
+
+// WithDropRate discards the given fraction of deliveries (0 disables,
+// 1 drops everything) using a seeded RNG so chaos runs are reproducible:
+// the same seed yields the same loss pattern for the same message
+// sequence.
+func WithDropRate(rate float64, seed int64) MemOption {
+	return func(n *MemNetwork) {
+		n.dropRate = rate
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// WithSeed seeds the network's RNG (used by WithLatencyJitter, and by
+// WithDropRate unless it supplied its own seed).
+func WithSeed(seed int64) MemOption {
+	return func(n *MemNetwork) { n.rng = rand.New(rand.NewSource(seed)) }
 }
 
 // WithDropFn installs a predicate that discards matching messages,
@@ -38,6 +81,9 @@ func NewMemNetwork(opts ...MemOption) *MemNetwork {
 	n := &MemNetwork{endpoints: make(map[string]*memEndpoint)}
 	for _, opt := range opts {
 		opt(n)
+	}
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 	return n
 }
@@ -111,7 +157,9 @@ func (n *MemNetwork) Partition(ids ...string) {
 func (n *MemNetwork) deliver(ctx context.Context, msg Message) error {
 	n.mu.RLock()
 	drop := n.dropFn
+	dropRate := n.dropRate
 	latency := n.latency
+	jitter := n.jitter
 	dst, ok := n.endpoints[msg.To]
 	closed := n.closed
 	n.mu.RUnlock()
@@ -125,6 +173,19 @@ func (n *MemNetwork) deliver(ctx context.Context, msg Message) error {
 	if drop != nil && drop(msg) {
 		return ErrDropped
 	}
+	if dropRate > 0 {
+		n.rngMu.Lock()
+		dropped := n.rng.Float64() < dropRate
+		n.rngMu.Unlock()
+		if dropped {
+			return ErrDropped
+		}
+	}
+	if jitter > 0 {
+		n.rngMu.Lock()
+		latency += time.Duration(n.rng.Int63n(int64(jitter)))
+		n.rngMu.Unlock()
+	}
 	if latency > 0 {
 		timer := time.NewTimer(latency)
 		defer timer.Stop()
@@ -133,6 +194,13 @@ func (n *MemNetwork) deliver(ctx context.Context, msg Message) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+	}
+	// A closed destination must refuse the message rather than let it
+	// land in the dead endpoint's buffer: the inbox channel stays
+	// writable after close, and a select would nondeterministically
+	// prefer it, making sends to crashed nodes silently "succeed".
+	if dst.isClosed() {
+		return fmt.Errorf("%w: destination %q", ErrClosed, msg.To)
 	}
 	select {
 	case dst.inbox <- msg:

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestMemDropRateDeterministic verifies that two networks built with the
+// same seed drop exactly the same messages — the property chaos runs
+// rely on for reproducibility.
+func TestMemDropRateDeterministic(t *testing.T) {
+	run := func() []bool {
+		net := NewMemNetwork(WithDropRate(0.5, 42))
+		defer net.Close() //nolint:errcheck
+		a, err := net.Endpoint("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Endpoint("B"); err != nil {
+			t.Fatal(err)
+		}
+		ctx := testCtx(t)
+		out := make([]bool, 100)
+		for i := range out {
+			err := a.Send(ctx, Message{To: "B", Type: "t", Session: fmt.Sprint(i)})
+			switch {
+			case err == nil:
+				out[i] = true
+			case errors.Is(err, ErrDropped):
+			default:
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		return out
+	}
+	first, second := run(), run()
+	delivered := 0
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("drop pattern diverged at message %d despite equal seeds", i)
+		}
+		if first[i] {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == len(first) {
+		t.Fatalf("drop rate 0.5 delivered %d of %d", delivered, len(first))
+	}
+}
+
+// TestMemLatencyJitterDelivers exercises the jittered-latency path.
+func TestMemLatencyJitterDelivers(t *testing.T) {
+	net := NewMemNetwork(
+		WithLatency(time.Millisecond),
+		WithLatencyJitter(2*time.Millisecond),
+		WithSeed(7),
+	)
+	defer net.Close() //nolint:errcheck
+	a, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	for i := 0; i < 10; i++ {
+		if err := a.Send(ctx, Message{To: "B", Type: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := b.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMemLatencyJitterBoundedWait verifies jittered sends respect the
+// caller's context.
+func TestMemLatencyJitterBoundedWait(t *testing.T) {
+	net := NewMemNetwork(WithLatency(time.Hour), WithSeed(7))
+	defer net.Close() //nolint:errcheck
+	a, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("B"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.Send(ctx, Message{To: "B", Type: "t"}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("send under huge latency returned %v, want deadline exceeded", err)
+	}
+}

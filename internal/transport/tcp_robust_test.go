@@ -113,6 +113,53 @@ func TestFrameTooLargeOnWrite(t *testing.T) {
 	}
 }
 
+// TestTCPSendRecoversFromStaleCachedConn breaks the cached outbound
+// connection under the sender's feet and verifies the next Send
+// transparently redials and delivers instead of surfacing the write
+// error.
+func TestTCPSendRecoversFromStaleCachedConn(t *testing.T) {
+	ctx := testCtx(t)
+	tn := NewTCPNetwork(map[string]string{"A": "127.0.0.1:0", "B": "127.0.0.1:0"})
+	a, err := tn.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close() //nolint:errcheck
+	b, err := tn.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close() //nolint:errcheck
+
+	if err := a.Send(ctx, Message{To: "B", Type: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the cached connection so the next write fails.
+	ae := a.(*tcpEndpoint)
+	ae.connMu.Lock()
+	sc, ok := ae.conns["B"]
+	ae.connMu.Unlock()
+	if !ok {
+		t.Fatal("no cached connection after first send")
+	}
+	sc.conn.Close() //nolint:errcheck
+
+	if err := a.Send(ctx, Message{To: "B", Type: "second"}); err != nil {
+		t.Fatalf("send over severed cached conn: %v", err)
+	}
+	got, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != "second" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
 // TestTCPReconnectAfterPeerRestart restarts a peer endpoint on the same
 // address and verifies senders recover (the stale-connection redial
 // path).

@@ -163,10 +163,34 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 	}
 	msg.From = e.id
 	msg.ReplyAddr = e.ln.Addr().String()
-	sc, err := e.dial(ctx, msg.To)
+	sc, cached, err := e.dial(ctx, msg.To)
 	if err != nil {
 		return err
 	}
+	if err := e.writeTo(ctx, sc, msg); err != nil {
+		// Connection is broken; drop it so later sends redial.
+		e.dropConn(msg.To, sc)
+		if !cached || ctx.Err() != nil {
+			return fmt.Errorf("transport: sending to %q: %w", msg.To, err)
+		}
+		// The cached connection was stale (peer restarted since it was
+		// dialed); retry once over a fresh dial before surfacing the
+		// error.
+		sc, _, err = e.dial(ctx, msg.To)
+		if err != nil {
+			return err
+		}
+		if err := e.writeTo(ctx, sc, msg); err != nil {
+			e.dropConn(msg.To, sc)
+			return fmt.Errorf("transport: sending to %q: %w", msg.To, err)
+		}
+	}
+	return nil
+}
+
+// writeTo frames msg onto the connection under its write lock, bounded
+// by the context deadline.
+func (e *tcpEndpoint) writeTo(ctx context.Context, sc *sendConn, msg Message) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if deadline, ok := ctx.Deadline(); ok {
@@ -174,24 +198,21 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 	} else {
 		sc.conn.SetWriteDeadline(noDeadline()) //nolint:errcheck
 	}
-	if err := writeFrame(sc.bw, msg); err != nil {
-		// Connection is broken; drop it so the next send redials.
-		e.dropConn(msg.To, sc)
-		return fmt.Errorf("transport: sending to %q: %w", msg.To, err)
-	}
-	return nil
+	return writeFrame(sc.bw, msg)
 }
 
-func (e *tcpEndpoint) dial(ctx context.Context, to string) (*sendConn, error) {
+// dial returns a connection to the peer and whether it was served from
+// the connection cache (a cached connection may be stale).
+func (e *tcpEndpoint) dial(ctx context.Context, to string) (*sendConn, bool, error) {
 	addr, err := e.net.lookup(to)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.connMu.Lock()
 	if sc, ok := e.conns[to]; ok {
 		if sc.addr == addr {
 			e.connMu.Unlock()
-			return sc, nil
+			return sc, true, nil
 		}
 		// The peer moved; retire the stale connection.
 		delete(e.conns, to)
@@ -202,7 +223,7 @@ func (e *tcpEndpoint) dial(ctx context.Context, to string) (*sendConn, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dialing %q at %s: %w", to, addr, err)
+		return nil, false, fmt.Errorf("transport: dialing %q at %s: %w", to, addr, err)
 	}
 	sc := &sendConn{conn: conn, bw: bufio.NewWriter(conn), addr: addr}
 
@@ -210,7 +231,7 @@ func (e *tcpEndpoint) dial(ctx context.Context, to string) (*sendConn, error) {
 	if prev, ok := e.conns[to]; ok && prev.addr == addr {
 		e.connMu.Unlock()
 		conn.Close() //nolint:errcheck // lost the race; reuse existing
-		return prev, nil
+		return prev, true, nil
 	}
 	e.conns[to] = sc
 	e.connMu.Unlock()
@@ -225,7 +246,7 @@ func (e *tcpEndpoint) dial(ctx context.Context, to string) (*sendConn, error) {
 		conn.Read(buf[:]) //nolint:errcheck // only the unblocking matters
 		e.dropConn(to, sc)
 	}()
-	return sc, nil
+	return sc, false, nil
 }
 
 func (e *tcpEndpoint) dropConn(to string, sc *sendConn) {

@@ -5,7 +5,10 @@
 // Two interchangeable implementations are provided:
 //
 //   - MemNetwork: an in-process simulated network with optional latency
-//     and fault injection, used by tests, examples, and benchmarks;
+//     and fault injection — seeded drop rates and latency jitter at
+//     construction, plus the runtime SetDropFn and Partition hooks for
+//     scripted loss and partitions — used by tests, examples,
+//     benchmarks, and the chaos suite;
 //   - TCPNetwork: real TCP with length-prefixed JSON frames, used by the
 //     cmd/dlad daemon.
 //

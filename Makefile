@@ -3,12 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt check chaos examples tables fuzz clean
+.PHONY: all build test race bench bench-json bench-smoke vet fmt check chaos examples tables fuzz clean
 
 all: build vet test
 
-# Pre-merge gate: static checks plus the race-enabled test suite.
-check:
+# Pre-merge gate: static checks, the race-enabled test suite, and a
+# single-iteration pass over every benchmark so perf-path regressions
+# that only benchmarks exercise break the gate too.
+check: bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -33,6 +35,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: compiles and executes the perf
+# paths without measuring them. Cheap enough to run pre-merge.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Hot-path acceptance numbers -> BENCH_PR2.json (see scripts/bench.sh).
+bench-json:
+	./scripts/bench.sh
 
 # Regenerate every paper table and figure plus measured claims.
 tables:

@@ -6,19 +6,24 @@
 //		partition, and the TCP address book, writing one common file,
 //		one private file per node, and the ticket-issuer key.
 //
-//	dlad run -dir <dir> -id P0
+//	dlad run -dir <dir> -id P0 [-pprof 127.0.0.1:6060]
 //		start one DLA node: fragment store, glsn sequencer/voter,
 //		audit executor, and integrity responder, serving over TCP
-//		until interrupted.
+//		until interrupted. With -pprof, an HTTP server exposes
+//		net/http/pprof profiles and expvar counters for live
+//		performance diagnosis.
 package main
 
 import (
 	"context"
 	"crypto/rand"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"os/signal"
 	"strconv"
@@ -123,9 +128,10 @@ func provision(args []string) error {
 func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		dir  = fs.String("dir", "provision", "provisioning directory")
-		id   = fs.String("id", "", "this node's ID (required)")
-		data = fs.String("data", "", "data directory for durable state (empty = in-memory only)")
+		dir   = fs.String("dir", "provision", "provisioning directory")
+		id    = fs.String("id", "", "this node's ID (required)")
+		data  = fs.String("data", "", "data directory for durable state (empty = in-memory only)")
+		pprof = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,6 +170,20 @@ func run(args []string) error {
 	defer node.CloseStorage() //nolint:errcheck
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	if *pprof != "" {
+		expvar.NewString("dlad_node").Set(*id)
+		srv := &http.Server{Addr: *pprof} // DefaultServeMux: pprof + expvar
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			srv.Close() //nolint:errcheck
+		}()
+		log.Printf("pprof/expvar on http://%s/debug/pprof/", *pprof)
+	}
 	node.Start(ctx)
 	go audit.Serve(ctx, node)
 	go integrity.Serve(ctx, mb, boot.Roster, boot.AccParams, node)                     //nolint:errcheck

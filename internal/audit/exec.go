@@ -7,6 +7,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"confaudit/internal/logmodel"
@@ -164,13 +165,22 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	if exec.AggOwner != "" {
 		involved[exec.AggOwner] = struct{}{}
 	}
+	// Dispatch concurrently: one slow or unreachable node must not delay
+	// the others' plan start. The channel is buffered to the fan-out so
+	// a fail-fast return leaks no goroutine.
+	dispatchErr := make(chan error, len(involved))
 	for n := range involved {
-		out, err := transport.NewMessage(n, MsgExec, msg.Session, exec)
-		if err != nil {
-			reply(resultBody{Error: err.Error()})
-			return
-		}
-		if err := mb.Send(ctx, out); err != nil {
+		go func(n string) {
+			out, err := transport.NewMessage(n, MsgExec, msg.Session, exec)
+			if err != nil {
+				dispatchErr <- err
+				return
+			}
+			dispatchErr <- mb.Send(ctx, out)
+		}(n)
+	}
+	for range involved {
+		if err := <-dispatchErr; err != nil {
 			reply(resultBody{Error: err.Error()})
 			return
 		}
@@ -647,10 +657,18 @@ func orderedInt(v logmodel.Value) (*big.Int, error) {
 	}
 }
 
+// clauseCache memoizes parseClause: every node of a plan re-parses the
+// same rendered clause, and the audit hot path re-parses it per query.
+// Cached clauses are treated as read-only by all callers.
+var clauseCache sync.Map // string -> query.Clause
+
 // parseClause re-parses a clause rendered by query.Clause.String. The
 // rendering is itself valid criteria syntax, so Parse∘Normalize yields
 // one clause back.
 func parseClause(src string) (query.Clause, error) {
+	if c, ok := clauseCache.Load(src); ok {
+		return c.(query.Clause), nil
+	}
 	if src == "*" {
 		return query.Clause{}, nil
 	}
@@ -665,14 +683,33 @@ func parseClause(src string) (query.Clause, error) {
 	if len(norm.Clauses) != 1 {
 		return query.Clause{}, fmt.Errorf("audit: clause %q re-normalized into %d clauses", src, len(norm.Clauses))
 	}
+	clauseCache.Store(src, norm.Clauses[0])
 	return norm.Clauses[0], nil
 }
 
-// evalClauseLocal evaluates a clause over every stored fragment.
+// AttrIndexer is an optional NodeState capability: a store maintaining
+// per-attribute value indexes. IndexLookup returns the glsns whose
+// fragment stores exactly v for attr; ok is false when the index cannot
+// answer with scan-identical semantics and the caller must fall back to
+// the full scan.
+type AttrIndexer interface {
+	IndexLookup(attr logmodel.Attr, v logmodel.Value) ([]logmodel.GLSN, bool)
+}
+
+// evalClauseLocal evaluates a clause over the node's fragments. Pure
+// equality conjunctions answer from the store's attribute indexes when
+// the node maintains them; everything else — range or cross-attribute
+// predicates, or value distributions the index cannot represent
+// faithfully — scans every fragment.
 func evalClauseLocal(node NodeState, clause query.Clause) (map[string]struct{}, error) {
 	set := make(map[string]struct{})
 	if len(clause.Preds) == 0 {
 		return set, nil
+	}
+	if ix, ok := node.(AttrIndexer); ok {
+		if set, ok := evalClauseIndexed(ix, clause); ok {
+			return set, nil
+		}
 	}
 	for _, g := range node.GLSNs() {
 		frag, ok := node.Fragment(g)
@@ -688,6 +725,41 @@ func evalClauseLocal(node NodeState, clause query.Clause) (map[string]struct{}, 
 		}
 	}
 	return set, nil
+}
+
+// evalClauseIndexed answers a clause from attribute indexes. It applies
+// only when every predicate is an equality between one attribute and
+// one constant and every lookup is answerable; the result is then the
+// intersection of the per-predicate glsn sets. All lookups run before
+// intersecting, so a clause with any unanswerable predicate falls back
+// as a whole — the scan reproduces error and cross-class semantics.
+func evalClauseIndexed(ix AttrIndexer, clause query.Clause) (map[string]struct{}, bool) {
+	sets := make([]map[string]struct{}, 0, len(clause.Preds))
+	for _, p := range clause.Preds {
+		if p.Op != query.OpEQ {
+			return nil, false
+		}
+		var attr logmodel.Attr
+		var c logmodel.Value
+		switch {
+		case p.Left.IsAttr && !p.Right.IsAttr:
+			attr, c = p.Left.Attr, p.Right.Const
+		case !p.Left.IsAttr && p.Right.IsAttr:
+			attr, c = p.Right.Attr, p.Left.Const
+		default:
+			return nil, false // attr=attr or const=const: scan path
+		}
+		glsns, ok := ix.IndexLookup(attr, c)
+		if !ok {
+			return nil, false
+		}
+		set := make(map[string]struct{}, len(glsns))
+		for _, g := range glsns {
+			set[g.String()] = struct{}{}
+		}
+		sets = append(sets, set)
+	}
+	return intersectSets(sets), true
 }
 
 // subClauseForNode keeps the predicates whose attributes this node owns.

@@ -1,0 +1,111 @@
+package audit
+
+import (
+	"testing"
+
+	"confaudit/internal/logmodel"
+)
+
+// TestIndexScanEquivalence runs every query shape through the full
+// distributed query path twice — once answering equality predicates
+// from the nodes' attribute indexes, once with the indexes disabled so
+// every clause takes the scan path — and requires identical outcomes,
+// including identical error behaviour. The shapes cover plain and
+// reversed equality, int/float constant aliasing, same-node and
+// cross-node conjunctions, ranges, disjunction, negation, wildcard,
+// cross-attribute predicates, unknown attributes, and cross-class
+// comparisons that must surface errors.
+func TestIndexScanEquivalence(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+
+	setIndexes := func(off bool) {
+		for _, n := range r.nodes {
+			n.SetIndexDisabled(off)
+		}
+	}
+
+	criteria := []string{
+		`id = "U1"`,                             // string equality
+		`C1 = 20`,                               // int equality
+		`C1 = 20.0`,                             // float constant matching stored ints
+		`C2 = 23.45`,                            // float equality
+		`id = "U9"`,                             // equality with no matches
+		`Tid = "T1100265" AND C3 = "signature"`, // same-node equality conjunction
+		`protocl = "UDP" AND id = "U1"`,         // cross-node equality conjunction
+		`C1 > 30`,                               // range: scan path
+		`Tid = "T1100265" AND C1 < 30 AND id = "U1"`, // mixed equality + range
+		`id = "U3" OR C1 = 20`,                       // disjunction
+		`NOT (protocl = "UDP")`,                      // negation normalizes to !=
+		`*`,                                          // wildcard
+		`id = C3`,                                    // cross-attribute equality
+		`C1 < C2`,                                    // cross-attribute range
+		`id = 5`,                                     // cross-class: must error in both modes
+		`C1 = "x"`,                                   // cross-class the other way
+		`nosuchattr = 1`,                             // unknown attribute
+	}
+
+	for _, crit := range criteria {
+		t.Run(crit, func(t *testing.T) {
+			setIndexes(false)
+			indexed, idxErr := r.auditor.Query(ctx, crit)
+			setIndexes(true)
+			scanned, scanErr := r.auditor.Query(ctx, crit)
+			setIndexes(false)
+			if (idxErr == nil) != (scanErr == nil) {
+				t.Fatalf("error divergence: indexed err=%v, scanned err=%v", idxErr, scanErr)
+			}
+			if idxErr != nil {
+				return
+			}
+			assertGLSNs(t, indexed, scanned)
+		})
+	}
+
+	// Aggregates ride the same match-set machinery.
+	setIndexes(false)
+	aggIdx, err := r.auditor.Aggregate(ctx, `protocl = "UDP"`, AggSum, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setIndexes(true)
+	aggScan, err := r.auditor.Aggregate(ctx, `protocl = "UDP"`, AggSum, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setIndexes(false)
+	if aggIdx != aggScan {
+		t.Fatalf("aggregate divergence: indexed %v, scanned %v", aggIdx, aggScan)
+	}
+	if want := float64(20 + 34 + 45); aggIdx != want {
+		t.Fatalf("SUM(C1) over UDP rows = %v, want %v", aggIdx, want)
+	}
+}
+
+// TestIndexMaintainedAcrossMutation checks that deletes keep the index
+// consistent with the store through the full query path.
+func TestIndexMaintainedAcrossMutation(t *testing.T) {
+	r := newRig(t)
+	ctx := testCtx(t)
+
+	got, err := r.auditor.Query(ctx, `protocl = "UDP"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(0, 1, 2))
+
+	// Tamper one UDP row's protocol; the index must follow the new value.
+	for _, n := range r.nodes {
+		n.TamperFragment(logmodel.GLSN(0x139aef79), "protocl", logmodel.String("ICMP"))
+	}
+	got, err = r.auditor.Query(ctx, `protocl = "UDP"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(0, 2))
+	got, err = r.auditor.Query(ctx, `protocl = "ICMP"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGLSNs(t, got, glsnsOf(1))
+}

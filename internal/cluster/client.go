@@ -159,11 +159,13 @@ func (c *Client) ReplayOutbox(ctx context.Context, peer string) (int, error) {
 	return delivered, nil
 }
 
-// spool journals one fragment store for later replay to node.
-func (c *Client) spool(node string, payload []byte, g logmodel.GLSN) error {
+// spool journals one store message (single or batch) for later replay
+// to node. Batches replay as the original message type; the node's
+// single MsgLogAck reply keeps ReplayOutbox oblivious to the shape.
+func (c *Client) spool(node, msgType string, payload []byte, g logmodel.GLSN) error {
 	_, err := c.outbox.Append(resilience.OutboxEntry{
 		To:      node,
-		Type:    MsgLogStore,
+		Type:    msgType,
 		Payload: payload,
 		Tag:     strconv.FormatUint(uint64(g), 10),
 	})
@@ -254,20 +256,117 @@ func (c *Client) RequestGLSN(ctx context.Context) (logmodel.GLSN, error) {
 	return body.GLSN, nil
 }
 
-// Log writes one event record to the cluster: obtain a glsn, fragment
-// the record per the partition, compute the record's accumulator digest
-// over all fragments, and store each fragment (with the digest) on its
-// node. Returns the assigned glsn.
-func (c *Client) Log(ctx context.Context, values map[logmodel.Attr]logmodel.Value) (logmodel.GLSN, error) {
-	g, err := c.RequestGLSN(ctx)
+// RequestGLSNRange reserves count contiguous glsns from the sequencer
+// leader in a single agreement round, returning the first.
+func (c *Client) RequestGLSNRange(ctx context.Context, count int) (logmodel.GLSN, error) {
+	session := c.nextSession("glsnrange")
+	msg, err := transport.NewMessage(c.roster[0], MsgGLSNRange, session,
+		glsnRangeReqBody{TicketID: c.tk.ID, Count: count})
 	if err != nil {
 		return 0, err
 	}
-	rec := logmodel.Record{GLSN: g, Values: values}
-	if err := c.StoreRecord(ctx, rec); err != nil {
+	if err := c.mb.Send(ctx, msg); err != nil {
+		return 0, fmt.Errorf("cluster: requesting glsn range: %w", err)
+	}
+	resp, err := c.mb.Expect(ctx, MsgGLSNRangeResp, session)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: awaiting glsn range: %w", err)
+	}
+	var body glsnRangeRespBody
+	if err := transport.Unmarshal(resp.Payload, &body); err != nil {
 		return 0, err
 	}
-	return g, nil
+	if body.Error != "" {
+		return 0, fmt.Errorf("cluster: sequencer refused range: %s", body.Error)
+	}
+	return body.First, nil
+}
+
+// Log writes one event record to the cluster: obtain a glsn, fragment
+// the record per the partition, compute the record's accumulator digest
+// over all fragments, and store each fragment (with the digest) on its
+// node. Returns the assigned glsn. It is the batch-of-one case of
+// LogBatch.
+func (c *Client) Log(ctx context.Context, values map[logmodel.Attr]logmodel.Value) (logmodel.GLSN, error) {
+	gs, err := c.LogBatch(ctx, []map[logmodel.Attr]logmodel.Value{values})
+	if err != nil {
+		return 0, err
+	}
+	return gs[0], nil
+}
+
+// LogBatch writes several event records in one round trip per layer: a
+// single sequencer agreement reserves a contiguous glsn range, and each
+// DLA node receives one message carrying all of its fragments, stores
+// them under one lock with one WAL group commit, and answers one ack.
+// With an outbox enabled, a node's whole batch spools for replay when
+// the node is dead or the send fails transiently. Returns the assigned
+// glsns in input order.
+func (c *Client) LogBatch(ctx context.Context, records []map[logmodel.Attr]logmodel.Value) ([]logmodel.GLSN, error) {
+	if len(records) == 0 {
+		return nil, nil
+	}
+	first, err := c.RequestGLSNRange(ctx, len(records))
+	if err != nil {
+		return nil, err
+	}
+	gs := make([]logmodel.GLSN, len(records))
+	perNode := make(map[string][]batchItem, len(c.roster))
+	for i, values := range records {
+		g := first + logmodel.GLSN(i)
+		gs[i] = g
+		rec := logmodel.Record{GLSN: g, Values: values}
+		frags := c.part.Split(rec)
+		digest := c.digestOf(frags)
+		var prov *big.Int
+		if c.signer != nil {
+			if prov, err = c.signer.Sign(ProvenanceStatement(g, digest)); err != nil {
+				return nil, fmt.Errorf("cluster: signing provenance: %w", err)
+			}
+		}
+		for node, frag := range frags {
+			perNode[node] = append(perNode[node], batchItem{Fragment: frag, Digest: digest, Provenance: prov})
+		}
+	}
+	session := c.nextSession("storebatch")
+	sent := 0
+	for node, items := range perNode {
+		body := storeBatchBody{TicketID: c.tk.ID, Items: items}
+		msg, err := transport.NewMessage(node, MsgLogStoreBatch, session, body)
+		if err != nil {
+			return nil, err
+		}
+		if c.outbox != nil && c.det != nil && c.det.Status(node) == resilience.StatusDead {
+			if err := c.spool(node, MsgLogStoreBatch, msg.Payload, first); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := c.mb.Send(ctx, msg); err != nil {
+			if c.outbox == nil || ctx.Err() != nil || errors.Is(err, transport.ErrUnknownNode) {
+				return nil, fmt.Errorf("cluster: storing batch on %s: %w", node, err)
+			}
+			if err := c.spool(node, MsgLogStoreBatch, msg.Payload, first); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		sent++
+	}
+	for i := 0; i < sent; i++ {
+		msg, err := c.mb.Expect(ctx, MsgLogAck, session)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: awaiting batch ack: %w", err)
+		}
+		var ack ackBody
+		if err := transport.Unmarshal(msg.Payload, &ack); err != nil {
+			return nil, err
+		}
+		if !ack.OK {
+			return nil, fmt.Errorf("cluster: node %s refused batch: %s", msg.From, ack.Error)
+		}
+	}
+	return gs, nil
 }
 
 // StoreRecord fragments and stores a record under an already-assigned
@@ -277,7 +376,7 @@ func (c *Client) Log(ctx context.Context, values map[logmodel.Attr]logmodel.Valu
 // acks are awaited only for the fragments actually sent.
 func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 	frags := c.part.Split(rec)
-	digest := c.RecordDigest(rec)
+	digest := c.digestOf(frags)
 	var prov *big.Int
 	if c.signer != nil {
 		var err error
@@ -294,7 +393,7 @@ func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 			return err
 		}
 		if c.outbox != nil && c.det != nil && c.det.Status(node) == resilience.StatusDead {
-			if err := c.spool(node, msg.Payload, rec.GLSN); err != nil {
+			if err := c.spool(node, MsgLogStore, msg.Payload, rec.GLSN); err != nil {
 				return err
 			}
 			continue
@@ -305,7 +404,7 @@ func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 			if c.outbox == nil || ctx.Err() != nil || errors.Is(err, transport.ErrUnknownNode) {
 				return fmt.Errorf("cluster: storing fragment on %s: %w", node, err)
 			}
-			if err := c.spool(node, msg.Payload, rec.GLSN); err != nil {
+			if err := c.spool(node, MsgLogStore, msg.Payload, rec.GLSN); err != nil {
 				return err
 			}
 			continue
@@ -333,7 +432,12 @@ func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 // circulation. Accumulation is order independent (eq. 9), so node order
 // does not matter.
 func (c *Client) RecordDigest(rec logmodel.Record) *big.Int {
-	frags := c.part.Split(rec)
+	return c.digestOf(c.part.Split(rec))
+}
+
+// digestOf accumulates already-split fragments, letting the write path
+// split a record once instead of once per digest.
+func (c *Client) digestOf(frags map[string]logmodel.Fragment) *big.Int {
 	items := make([][]byte, 0, len(frags))
 	for _, node := range c.part.Nodes() {
 		items = append(items, frags[node].Canonical())

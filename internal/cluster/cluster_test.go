@@ -397,18 +397,40 @@ func TestCertificateVerification(t *testing.T) {
 
 func TestGLSNStatementRoundTrip(t *testing.T) {
 	stmt := glsnStatement(0x139aef78, "T1")
-	g, tid, err := parseGLSNStatement(stmt)
+	g, count, tid, err := parseStatement(stmt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g != 0x139aef78 || tid != "T1" {
-		t.Fatalf("parsed %s %s", g, tid)
+	if g != 0x139aef78 || count != 1 || tid != "T1" {
+		t.Fatalf("parsed %s %d %s", g, count, tid)
 	}
-	if _, _, err := parseGLSNStatement([]byte("garbage")); err == nil {
+	if _, _, _, err := parseStatement([]byte("garbage")); err == nil {
 		t.Fatal("garbage statement parsed")
 	}
-	if _, _, err := parseGLSNStatement([]byte("glsn|zz!|T1")); err == nil {
+	if _, _, _, err := parseStatement([]byte("glsn|zz!|T1")); err == nil {
 		t.Fatal("bad glsn parsed")
+	}
+}
+
+func TestGLSNRangeStatementRoundTrip(t *testing.T) {
+	stmt := glsnRangeStatement(0x80, 64, "T2")
+	g, count, tid, err := parseStatement(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0x80 || count != 64 || tid != "T2" {
+		t.Fatalf("parsed %s %d %s", g, count, tid)
+	}
+	for _, bad := range []string{
+		"glsnrange|80|0|T2",      // zero count
+		"glsnrange|80|-1|T2",     // negative count
+		"glsnrange|80|100000|T2", // beyond maxGLSNBatch
+		"glsnrange|80|zz|T2",     // junk count
+		"glsnrange|80|40",        // missing ticket
+	} {
+		if _, _, _, err := parseStatement([]byte(bad)); err == nil {
+			t.Fatalf("bad range statement %q parsed", bad)
+		}
 	}
 }
 

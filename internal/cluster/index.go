@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"confaudit/internal/logmodel"
+)
+
+// Attribute value indexes: per attribute, a hash map from an indexed
+// value key to the set of glsns whose fragment stores that value. The
+// audit engine consults them through IndexLookup to answer equality
+// predicates without scanning every fragment.
+//
+// The index must agree bit-for-bit with logmodel.Compare, which has
+// three behaviours a naive value→string key would get wrong:
+//
+//   - ints and floats compare through float64, so Value{I: 3} equals
+//     Value{F: 3.0} — keys for numeric values are the canonical float64
+//     bits, not the rendered text;
+//   - a stored NaN compares EQUAL to every numeric (neither < nor >
+//     holds), which no hash key can model — NaN values poison the
+//     attribute's index and force the scan path;
+//   - comparing a string to a numeric is an error the query must
+//     surface, so a lookup whose constant's class differs from any
+//     stored value's class also falls back to the scan path.
+type attrIndex struct {
+	strings  int // fragments storing a string value for the attribute
+	numerics int // fragments storing an int or float value
+	nans     int // fragments storing a float NaN (poisons the index)
+	byKey    map[string]map[logmodel.GLSN]struct{}
+}
+
+// indexKey renders the class-tagged hash key for a value. ok is false
+// for values no key can represent faithfully (NaN).
+func indexKey(v logmodel.Value) (key string, isString, ok bool) {
+	switch v.Kind {
+	case logmodel.KindString:
+		return "s\x00" + v.S, true, true
+	case logmodel.KindInt:
+		return numericKey(float64(v.I)), false, true
+	case logmodel.KindFloat:
+		if math.IsNaN(v.F) {
+			return "", false, false
+		}
+		return numericKey(v.F), false, true
+	default:
+		return "", false, false
+	}
+}
+
+// numericKey maps a float64 to a key such that two numerics get the
+// same key iff logmodel.Compare calls them equal. -0 normalizes to 0.
+func numericKey(f float64) string {
+	if f == 0 {
+		f = 0 // collapse -0.0 and +0.0
+	}
+	return "n\x00" + strconv.FormatFloat(f, 'b', -1, 64)
+}
+
+// indexAdd registers a fragment's values. Caller holds n.mu.
+func (n *Node) indexAdd(frag logmodel.Fragment) {
+	for attr, v := range frag.Values {
+		ix := n.idx[attr]
+		if ix == nil {
+			ix = &attrIndex{byKey: make(map[string]map[logmodel.GLSN]struct{})}
+			n.idx[attr] = ix
+		}
+		key, isString, ok := indexKey(v)
+		if !ok {
+			ix.nans++
+			continue
+		}
+		if isString {
+			ix.strings++
+		} else {
+			ix.numerics++
+		}
+		set := ix.byKey[key]
+		if set == nil {
+			set = make(map[logmodel.GLSN]struct{})
+			ix.byKey[key] = set
+		}
+		set[frag.GLSN] = struct{}{}
+	}
+}
+
+// indexRemove unregisters a fragment's values. Caller holds n.mu.
+func (n *Node) indexRemove(frag logmodel.Fragment) {
+	for attr, v := range frag.Values {
+		ix := n.idx[attr]
+		if ix == nil {
+			continue
+		}
+		key, isString, ok := indexKey(v)
+		if !ok {
+			ix.nans--
+			continue
+		}
+		if isString {
+			ix.strings--
+		} else {
+			ix.numerics--
+		}
+		if set := ix.byKey[key]; set != nil {
+			delete(set, frag.GLSN)
+			if len(set) == 0 {
+				delete(ix.byKey, key)
+			}
+		}
+	}
+}
+
+// IndexLookup returns the glsns whose fragment stores exactly v for the
+// attribute, sorted ascending. ok is false when the index cannot answer
+// faithfully — disabled, NaN anywhere in the comparison, or a constant
+// whose class differs from some stored value's class (the scan path
+// then reproduces Compare's cross-class error semantics).
+func (n *Node) IndexLookup(attr logmodel.Attr, v logmodel.Value) ([]logmodel.GLSN, bool) {
+	if n.idxOff.Load() {
+		return nil, false
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ix := n.idx[attr]
+	if ix == nil {
+		// No fragment stores the attribute: a scan would find every
+		// fragment missing it, which Pred.Eval treats as a clean false.
+		return nil, true
+	}
+	if ix.nans > 0 {
+		return nil, false // stored NaN compares equal to every numeric
+	}
+	key, isString, ok := indexKey(v)
+	if !ok {
+		return nil, false // NaN constant
+	}
+	if isString && ix.numerics > 0 || !isString && ix.strings > 0 {
+		return nil, false // cross-class comparison errors under Compare
+	}
+	set := ix.byKey[key]
+	out := make([]logmodel.GLSN, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// SetIndexDisabled forces IndexLookup to decline, sending every audit
+// predicate down the scan path — the hook equivalence tests use to
+// compare indexed and scanned query results.
+func (n *Node) SetIndexDisabled(off bool) { n.idxOff.Store(off) }

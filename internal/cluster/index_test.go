@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/ticket"
+)
+
+// lookup is a test shorthand asserting an IndexLookup outcome.
+func lookup(t *testing.T, n *Node, attr logmodel.Attr, v logmodel.Value, wantOK bool, want ...logmodel.GLSN) {
+	t.Helper()
+	got, ok := n.IndexLookup(attr, v)
+	if ok != wantOK {
+		t.Fatalf("IndexLookup(%s, %v) ok=%v, want %v", attr, v, ok, wantOK)
+	}
+	if !ok {
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("IndexLookup(%s, %v) = %v, want %v", attr, v, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IndexLookup(%s, %v) = %v, want %v", attr, v, got, want)
+		}
+	}
+}
+
+// TestIndexSemantics pins the index to logmodel.Compare's equality:
+// int/float aliasing through float64, -0 vs 0, cross-class refusal, and
+// NaN poisoning.
+func TestIndexSemantics(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "idx-u", "TIX", ticket.OpWrite, ticket.OpRead)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// C1 on P3 (ints), C2 on P1 (floats), id on P1 (strings).
+	big := int64(1) << 53
+	gs, err := c.LogBatch(ctx, []map[logmodel.Attr]logmodel.Value{
+		{"C1": logmodel.Int(20), "C2": logmodel.Float(-0.0), "id": logmodel.String("A")},
+		{"C1": logmodel.Int(big), "C2": logmodel.Float(1.5), "id": logmodel.String("B")},
+		{"C1": logmodel.Int(big + 1), "C2": logmodel.Float(2.5), "id": logmodel.String("A")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p3 := tc.nodes["P1"], tc.nodes["P3"]
+
+	// String equality.
+	lookup(t, p1, "id", logmodel.String("A"), true, gs[0], gs[2])
+	lookup(t, p1, "id", logmodel.String("Z"), true)
+
+	// Int constant and equal float constant hit the same key.
+	lookup(t, p3, "C1", logmodel.Int(20), true, gs[0])
+	lookup(t, p3, "C1", logmodel.Float(20.0), true, gs[0])
+
+	// Beyond 2^53 int64s alias through float64, exactly as Compare does:
+	// both stored values share a key, so either constant finds both.
+	lookup(t, p3, "C1", logmodel.Int(big), true, gs[1], gs[2])
+	lookup(t, p3, "C1", logmodel.Int(big+1), true, gs[1], gs[2])
+
+	// -0 and +0 are the same value under Compare.
+	lookup(t, p1, "C2", logmodel.Float(0.0), true, gs[0])
+	lookup(t, p1, "C2", logmodel.Int(0), true, gs[0])
+
+	// Cross-class constants decline: the scan must surface the error.
+	lookup(t, p1, "id", logmodel.Int(5), false)
+	lookup(t, p3, "C1", logmodel.String("x"), false)
+
+	// Unindexed attribute: a scan would cleanly match nothing.
+	lookup(t, p3, "ip", logmodel.String("10.0.0.1"), true)
+
+	// A NaN constant never answers from the index.
+	lookup(t, p1, "C2", logmodel.Float(math.NaN()), false)
+
+	// A stored NaN poisons its attribute until it is overwritten:
+	// Compare calls NaN equal to every numeric, which no key models.
+	if !p1.TamperFragment(gs[1], "C2", logmodel.Float(math.NaN())) {
+		t.Fatal("tamper failed")
+	}
+	lookup(t, p1, "C2", logmodel.Float(2.5), false)
+	if !p1.TamperFragment(gs[1], "C2", logmodel.Float(1.5)) {
+		t.Fatal("tamper failed")
+	}
+	lookup(t, p1, "C2", logmodel.Float(2.5), true, gs[2])
+	lookup(t, p1, "C2", logmodel.Float(1.5), true, gs[1])
+
+	// The disable hook forces the scan path.
+	p1.SetIndexDisabled(true)
+	lookup(t, p1, "id", logmodel.String("A"), false)
+	p1.SetIndexDisabled(false)
+	lookup(t, p1, "id", logmodel.String("A"), true, gs[0], gs[2])
+
+	// Deletes unindex.
+	del := tc.client(t, "idx-d", "TIXD", ticket.OpWrite, ticket.OpRead, ticket.OpDelete)
+	if err := del.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	gd, err := del.Log(ctx, map[logmodel.Attr]logmodel.Value{"id": logmodel.String("gone")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup(t, p1, "id", logmodel.String("gone"), true, gd)
+	if err := del.Delete(ctx, gd); err != nil {
+		t.Fatal(err)
+	}
+	lookup(t, p1, "id", logmodel.String("gone"), true)
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"confaudit/internal/crypto/accumulator"
@@ -26,7 +27,10 @@ const (
 	MsgTicketAck      = "ticket.ack"
 	MsgGLSNRequest    = "glsn.request"
 	MsgGLSNResponse   = "glsn.response"
+	MsgGLSNRange      = "glsn.range"
+	MsgGLSNRangeResp  = "glsn.range.resp"
 	MsgLogStore       = "log.store"
+	MsgLogStoreBatch  = "log.store.batch"
 	MsgLogAck         = "log.ack"
 	MsgLogRead        = "log.read"
 	MsgLogFragment    = "log.frag"
@@ -115,7 +119,15 @@ type Node struct {
 	provs    map[logmodel.GLSN]*big.Int
 	acl      *ticket.AccessTable
 	nextGLSN logmodel.GLSN
-	seqMu    sync.Mutex // serializes leader sequencer rounds
+	idx      map[logmodel.Attr]*attrIndex
+	idxOff   atomic.Bool // test hook: force audit scans
+	seqMu    sync.Mutex  // serializes leader sequencer rounds
+
+	// notifyCh is closed and replaced whenever grant or ticket state
+	// advances, waking handlers parked on a glsn that is still in
+	// flight (see changeSignal).
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 
 	wal *WAL
 	det *resilience.Detector
@@ -149,6 +161,8 @@ func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
 		provs:     make(map[logmodel.GLSN]*big.Int),
 		acl:       ticket.NewAccessTable(cfg.TicketIssuer),
 		nextGLSN:  first,
+		idx:       make(map[logmodel.Attr]*attrIndex),
+		notifyCh:  make(chan struct{}),
 	}
 	if cfg.DataDir != "" {
 		if err := n.restore(cfg.DataDir); err != nil {
@@ -208,7 +222,9 @@ func (n *Node) Start(ctx context.Context) {
 		n.serveCommits,
 		n.serveTickets,
 		n.serveGLSN,
+		n.serveGLSNRange,
 		n.serveStore,
+		n.serveStoreBatch,
 		n.serveRead,
 		n.serveDelete,
 		n.serveACLCheck,
@@ -248,21 +264,69 @@ func (n *Node) Wait() { n.wg.Wait() }
 
 // --- statement handling (glsn assignment agreement) ---
 
+// maxGLSNBatch bounds one range assignment, keeping a single agreement
+// round (and the WAL group commit behind it) to a sane size.
+const maxGLSNBatch = 4096
+
 // glsnStatement renders the sequencer statement "glsn|<seq>|<ticket>".
 func glsnStatement(g logmodel.GLSN, ticketID string) []byte {
 	return []byte("glsn|" + strconv.FormatUint(uint64(g), 16) + "|" + ticketID)
 }
 
-func parseGLSNStatement(stmt []byte) (logmodel.GLSN, string, error) {
+// glsnRangeStatement renders the batched sequencer statement
+// "glsnrange|<first>|<count>|<ticket>", which assigns the contiguous
+// range [first, first+count) to the ticket in one agreement round.
+func glsnRangeStatement(first logmodel.GLSN, count int, ticketID string) []byte {
+	return []byte("glsnrange|" + strconv.FormatUint(uint64(first), 16) + "|" +
+		strconv.FormatInt(int64(count), 16) + "|" + ticketID)
+}
+
+// parseStatement accepts both statement forms; a single assignment is a
+// range of one.
+func parseStatement(stmt []byte) (first logmodel.GLSN, count int, ticketID string, err error) {
 	parts := strings.Split(string(stmt), "|")
-	if len(parts) != 3 || parts[0] != "glsn" {
-		return 0, "", fmt.Errorf("cluster: not a glsn statement: %q", stmt)
+	switch {
+	case len(parts) == 3 && parts[0] == "glsn":
+		g, err := logmodel.ParseGLSN(parts[1])
+		if err != nil {
+			return 0, 0, "", err
+		}
+		return g, 1, parts[2], nil
+	case len(parts) == 4 && parts[0] == "glsnrange":
+		g, err := logmodel.ParseGLSN(parts[1])
+		if err != nil {
+			return 0, 0, "", err
+		}
+		c, err := strconv.ParseInt(parts[2], 16, 32)
+		if err != nil || c < 1 || c > maxGLSNBatch {
+			return 0, 0, "", fmt.Errorf("cluster: bad glsn range count in %q", stmt)
+		}
+		return g, int(c), parts[3], nil
+	default:
+		return 0, 0, "", fmt.Errorf("cluster: not a glsn statement: %q", stmt)
 	}
-	g, err := logmodel.ParseGLSN(parts[1])
-	if err != nil {
-		return 0, "", err
-	}
-	return g, parts[2], nil
+}
+
+// --- state-change notification ---
+
+// stateChanged wakes every handler waiting for grant or ticket state to
+// advance. Broadcast is a close-and-replace of the notify channel, so
+// waiters re-check their condition rather than consuming tokens.
+func (n *Node) stateChanged() {
+	n.notifyMu.Lock()
+	close(n.notifyCh)
+	n.notifyCh = make(chan struct{})
+	n.notifyMu.Unlock()
+}
+
+// changeSignal returns a channel closed at the next state change. Grab
+// the channel BEFORE checking the condition: a change that lands
+// between the check and the wait then still wakes the waiter.
+func (n *Node) changeSignal() <-chan struct{} {
+	n.notifyMu.Lock()
+	ch := n.notifyCh
+	n.notifyMu.Unlock()
+	return ch
 }
 
 // validateStatement is the voter-side admission check. A follower may
@@ -270,7 +334,7 @@ func parseGLSNStatement(stmt []byte) (logmodel.GLSN, string, error) {
 // for g, so statements ahead of local state wait briefly for catch-up
 // before being refused.
 func (n *Node) validateStatement(ctx context.Context, stmt []byte) error {
-	g, ticketID, err := parseGLSNStatement(stmt)
+	g, _, ticketID, err := parseStatement(stmt)
 	if err != nil {
 		return err
 	}
@@ -278,6 +342,9 @@ func (n *Node) validateStatement(ctx context.Context, stmt []byte) error {
 	syncAfter := time.Now().Add(300 * time.Millisecond)
 	synced := false
 	for {
+		// Take the signal before reading state so a commit that lands
+		// after the check still wakes the wait below.
+		ch := n.changeSignal()
 		n.mu.RLock()
 		next := n.nextGLSN
 		_, ticketKnown := n.acl.Ticket(ticketID)
@@ -301,10 +368,14 @@ func (n *Node) validateStatement(ctx context.Context, stmt []byte) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("cluster: statement assigns glsn %s, expected %s", g, next)
 		}
+		// Event-driven wait: commits wake us immediately through the
+		// notify channel; the timer only bounds the sync/deadline
+		// escalation when no state change arrives.
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(2 * time.Millisecond):
+		case <-ch:
+		case <-time.After(50 * time.Millisecond):
 		}
 	}
 }
@@ -317,23 +388,42 @@ var errGLSNGap = errors.New("cluster: glsn gap, sync required")
 // strict: applying glsn g requires every grant below g to be present,
 // otherwise the follower would silently skip assignments it missed.
 func (n *Node) applyStatement(stmt []byte) error {
-	g, ticketID, err := parseGLSNStatement(stmt)
+	first, count, ticketID, err := parseStatement(stmt)
 	if err != nil {
 		return err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if g < n.nextGLSN {
-		return nil // already applied
-	}
-	if g > n.nextGLSN {
-		return fmt.Errorf("%w: statement %s, local state at %s", errGLSNGap, g, n.nextGLSN)
-	}
-	if err := n.acl.Grant(ticketID, g); err != nil {
+	if err := n.applyGrantRange(first, count, ticketID); err != nil {
 		return err
 	}
-	n.nextGLSN = g + 1
-	return n.wal.append(walEntry{Kind: "grant", TicketID: ticketID, GLSN: g})
+	n.stateChanged()
+	return nil
+}
+
+// applyGrantRange grants [first, first+count) to the ticket and
+// journals one WAL entry for the whole range.
+func (n *Node) applyGrantRange(first logmodel.GLSN, count int, ticketID string) error {
+	last := first + logmodel.GLSN(count) - 1
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if last < n.nextGLSN {
+		return nil // already applied
+	}
+	if first > n.nextGLSN {
+		return fmt.Errorf("%w: statement %s, local state at %s", errGLSNGap, first, n.nextGLSN)
+	}
+	for g := first; g <= last; g++ {
+		if g < n.nextGLSN {
+			continue // partially applied range (e.g. replayed after a sync)
+		}
+		if err := n.acl.Grant(ticketID, g); err != nil {
+			return err
+		}
+	}
+	n.nextGLSN = last + 1
+	if count == 1 {
+		return n.wal.append(walEntry{Kind: "grant", TicketID: ticketID, GLSN: first})
+	}
+	return n.wal.append(walEntry{Kind: "grant", TicketID: ticketID, GLSN: first, Count: count})
 }
 
 // --- ticket registration ---
@@ -376,11 +466,14 @@ type ackBody struct {
 // the journal append against CompactStorage.
 func (n *Node) registerTicket(body *ticketRegisterBody) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if err := n.acl.Register(body.Ticket.ticket()); err != nil {
+		n.mu.Unlock()
 		return err
 	}
-	return n.wal.append(walEntry{Kind: "ticket", Ticket: &body.Ticket})
+	err := n.wal.append(walEntry{Kind: "ticket", Ticket: &body.Ticket})
+	n.mu.Unlock()
+	n.stateChanged() // wake voters waiting on the ticket to appear
+	return err
 }
 
 func (n *Node) serveTickets(ctx context.Context) {
@@ -454,6 +547,67 @@ func (n *Node) assignGLSN(ctx context.Context, session, ticketID string) (logmod
 	return g, nil
 }
 
+// --- batched glsn sequencing ---
+
+type glsnRangeReqBody struct {
+	TicketID string `json:"ticket_id"`
+	Count    int    `json:"count"`
+}
+
+type glsnRangeRespBody struct {
+	First logmodel.GLSN `json:"first"`
+	Count int           `json:"count"`
+	Error string        `json:"error,omitempty"`
+}
+
+func (n *Node) serveGLSNRange(ctx context.Context) {
+	for {
+		msg, err := n.mb.ExpectType(ctx, MsgGLSNRange)
+		if err != nil {
+			return
+		}
+		var body glsnRangeReqBody
+		resp := glsnRangeRespBody{}
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			resp.Error = err.Error()
+		} else if !n.isLeader() {
+			resp.Error = ErrNotLeader.Error()
+		} else if first, err := n.assignGLSNRange(ctx, msg.Session, body.TicketID, body.Count); err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.First = first
+			resp.Count = body.Count
+		}
+		n.send(ctx, msg.From, MsgGLSNRangeResp, msg.Session, resp) //nolint:errcheck
+	}
+}
+
+// assignGLSNRange reserves a contiguous glsn range for the ticket in a
+// single agreement round — the amortization at the heart of the batched
+// write path: one proposal, one quorum of votes, one commit broadcast,
+// and one WAL entry cover count assignments.
+func (n *Node) assignGLSNRange(ctx context.Context, session, ticketID string, count int) (logmodel.GLSN, error) {
+	if count < 1 || count > maxGLSNBatch {
+		return 0, fmt.Errorf("cluster: glsn range count %d outside [1, %d]", count, maxGLSNBatch)
+	}
+	n.seqMu.Lock()
+	defer n.seqMu.Unlock()
+	n.mu.RLock()
+	first := n.nextGLSN
+	n.mu.RUnlock()
+	if err := n.acl.Authorize(ticketID, ticket.OpWrite, first); err != nil {
+		return 0, err
+	}
+	stmt := glsnRangeStatement(first, count, ticketID)
+	if _, err := n.propose(ctx, "seq/"+session, stmt); err != nil {
+		return 0, err
+	}
+	if err := n.applyStatement(stmt); err != nil {
+		return 0, err
+	}
+	return first, nil
+}
+
 // --- fragment storage ---
 
 type storeBody struct {
@@ -494,30 +648,42 @@ func (n *Node) handleStore(ctx context.Context, msg transport.Message) {
 	ack := ackBody{OK: true}
 	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 		ack = ackBody{Error: err.Error()}
-	} else {
-		var err error
-		for attempt := 0; attempt < 200; attempt++ {
-			if err = n.storeFragment(body); err == nil || !errors.Is(err, ErrGLSNNotAssigned) {
-				break
-			}
-			if attempt == 0 {
-				// An unassigned glsn may be a commit this node missed
-				// while partitioned or down (the fragment is being
-				// replayed from a client outbox); pull missed grants
-				// before waiting out the retry budget.
-				n.syncFromLeader(ctx) //nolint:errcheck // loop re-checks state
-			}
-			select {
-			case <-ctx.Done():
-				return
-			case <-time.After(5 * time.Millisecond):
-			}
-		}
-		if err != nil {
-			ack = ackBody{Error: err.Error()}
-		}
+	} else if err := n.storeWhenGranted(ctx, func() error { return n.storeFragment(body) }); err != nil {
+		ack = ackBody{Error: err.Error()}
 	}
 	n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
+}
+
+// storeWhenGranted runs store until it stops failing with
+// ErrGLSNNotAssigned: the fragment raced ahead of the sequencer commit
+// that grants its glsn, so wait — woken by commits through the notify
+// channel — rather than refuse. If no commit arrives within a wait
+// slice the grant may have been missed entirely (this node was
+// partitioned or down and the fragment is an outbox replay), so pull
+// missed grants from the leader once before waiting out the deadline.
+func (n *Node) storeWhenGranted(ctx context.Context, store func() error) error {
+	deadline := time.Now().Add(2 * time.Second)
+	synced := false
+	for {
+		ch := n.changeSignal() // before the attempt: no lost wakeups
+		err := store()
+		if err == nil || !errors.Is(err, ErrGLSNNotAssigned) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		case <-time.After(50 * time.Millisecond):
+			if !synced {
+				synced = true
+				n.syncFromLeader(ctx) //nolint:errcheck // loop re-checks state
+			}
+		}
+	}
 }
 
 func (n *Node) storeFragment(body storeBody) error {
@@ -526,14 +692,7 @@ func (n *Node) storeFragment(body storeBody) error {
 	}
 	// Only accept fragments for glsns the cluster has assigned to this
 	// ticket, preventing overwrites of foreign records.
-	granted := false
-	for _, g := range n.acl.Glsns(body.TicketID) {
-		if g == body.Fragment.GLSN {
-			granted = true
-			break
-		}
-	}
-	if !granted {
+	if !n.acl.HasGrant(body.TicketID, body.Fragment.GLSN) {
 		return fmt.Errorf("%w: %s for ticket %q", ErrGLSNNotAssigned, body.Fragment.GLSN, body.TicketID)
 	}
 	// Restrict to this node's attribute set A_i.
@@ -548,16 +707,112 @@ func (n *Node) storeFragment(body storeBody) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.storeLocked(body)
+	frag := n.frags[body.Fragment.GLSN]
+	return n.wal.append(walEntry{Kind: "frag", Fragment: &frag, Digest: body.Digest, Prov: body.Provenance})
+}
+
+// storeLocked installs a validated fragment and maintains the attribute
+// indexes. Caller holds n.mu.
+func (n *Node) storeLocked(body storeBody) {
 	frag := body.Fragment
 	frag.Node = n.id
+	if old, ok := n.frags[frag.GLSN]; ok {
+		n.indexRemove(old)
+	}
 	n.frags[frag.GLSN] = frag
+	n.indexAdd(frag)
 	if body.Digest != nil {
 		n.digests[frag.GLSN] = body.Digest
 	}
 	if body.Provenance != nil {
 		n.provs[frag.GLSN] = body.Provenance
 	}
-	return n.wal.append(walEntry{Kind: "frag", Fragment: &frag, Digest: body.Digest, Prov: body.Provenance})
+}
+
+// --- batched fragment storage ---
+
+// batchItem is one record's slice of a store batch.
+type batchItem struct {
+	Fragment   logmodel.Fragment `json:"fragment"`
+	Digest     *big.Int          `json:"digest"`
+	Provenance *big.Int          `json:"provenance,omitempty"`
+}
+
+type storeBatchBody struct {
+	TicketID string      `json:"ticket_id"`
+	Items    []batchItem `json:"items"`
+}
+
+func (n *Node) serveStoreBatch(ctx context.Context) {
+	for {
+		msg, err := n.mb.ExpectType(ctx, MsgLogStoreBatch)
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func(msg transport.Message) {
+			defer n.wg.Done()
+			n.handleStoreBatch(ctx, msg)
+		}(msg)
+	}
+}
+
+// handleStoreBatch stores a batch of fragments under one lock and one
+// WAL group commit, answering with a single ack — so a spooled batch
+// replays through the client outbox exactly like a single store.
+func (n *Node) handleStoreBatch(ctx context.Context, msg transport.Message) {
+	var body storeBatchBody
+	ack := ackBody{OK: true}
+	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+		ack = ackBody{Error: err.Error()}
+	} else if err := n.storeWhenGranted(ctx, func() error { return n.storeFragmentBatch(body) }); err != nil {
+		ack = ackBody{Error: err.Error()}
+	}
+	n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
+}
+
+// storeFragmentBatch validates every item, then installs them all under
+// one state-lock acquisition and journals them in one WAL flush. It is
+// all-or-nothing up front: any invalid item refuses the whole batch
+// before state changes, so a client never has to puzzle out a partial
+// ack.
+func (n *Node) storeFragmentBatch(body storeBatchBody) error {
+	if len(body.Items) == 0 {
+		return errors.New("cluster: empty store batch")
+	}
+	allowed := make(map[logmodel.Attr]struct{})
+	for _, a := range n.part.NodeAttrs(n.id) {
+		allowed[a] = struct{}{}
+	}
+	for i := range body.Items {
+		frag := &body.Items[i].Fragment
+		if err := n.acl.Authorize(body.TicketID, ticket.OpWrite, frag.GLSN); err != nil {
+			return err
+		}
+		if !n.acl.HasGrant(body.TicketID, frag.GLSN) {
+			return fmt.Errorf("%w: %s for ticket %q", ErrGLSNNotAssigned, frag.GLSN, body.TicketID)
+		}
+		for a := range frag.Values {
+			if _, ok := allowed[a]; !ok {
+				return fmt.Errorf("cluster: fragment carries attribute %q outside A_%s", a, n.id)
+			}
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	entries := make([]walEntry, 0, len(body.Items))
+	for _, item := range body.Items {
+		n.storeLocked(storeBody{
+			TicketID:   body.TicketID,
+			Fragment:   item.Fragment,
+			Digest:     item.Digest,
+			Provenance: item.Provenance,
+		})
+		frag := n.frags[item.Fragment.GLSN]
+		entries = append(entries, walEntry{Kind: "frag", Fragment: &frag, Digest: item.Digest, Prov: item.Provenance})
+	}
+	return n.wal.appendBatch(entries)
 }
 
 // --- fragment reads ---
@@ -629,9 +884,11 @@ func (n *Node) deleteFragment(ticketID string, g logmodel.GLSN) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.frags[g]; !ok {
+	frag, ok := n.frags[g]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownGLSN, g)
 	}
+	n.indexRemove(frag)
 	delete(n.frags, g)
 	delete(n.digests, g)
 	delete(n.provs, g)
@@ -711,8 +968,10 @@ func (n *Node) TamperFragment(g logmodel.GLSN, attr logmodel.Attr, v logmodel.Va
 	if _, ok := frag.Values[attr]; !ok {
 		return false
 	}
+	n.indexRemove(frag)
 	frag.Values[attr] = v
 	n.frags[g] = frag
+	n.indexAdd(frag)
 	return true
 }
 

@@ -230,6 +230,35 @@ func RandCoprime(rng io.Reader, n *big.Int) (*big.Int, error) {
 	}
 }
 
+// RandCoprimeBits returns a random integer of exactly the given bit
+// length that is coprime to n. Short exponents keep modular
+// exponentiation cheap while the inverse (computed over the full
+// modulus) stays full width; see the commutative key pool for the
+// security argument.
+func RandCoprimeBits(rng io.Reader, n *big.Int, bits int) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if bits < 2 || bits >= n.BitLen() {
+		return RandCoprime(rng, n)
+	}
+	// Sample uniformly in [2^(bits-1), 2^bits) until coprime to n. The
+	// density of coprimes is high for n = 2q (safe-prime groups), so a
+	// couple of iterations suffice.
+	low := new(big.Int).Lsh(one, uint(bits-1))
+	g := new(big.Int)
+	for {
+		x, err := rand.Int(rng, low)
+		if err != nil {
+			return nil, fmt.Errorf("mathx: sampling short coprime: %w", err)
+		}
+		x.Add(x, low) // force the top bit: exactly `bits` bits
+		if g.GCD(nil, nil, x, n); g.Cmp(one) == 0 {
+			return x, nil
+		}
+	}
+}
+
 // InverseMod returns x^-1 mod n, or an error if x is not invertible.
 func InverseMod(x, n *big.Int) (*big.Int, error) {
 	inv := new(big.Int).ModInverse(x, n)

@@ -1,0 +1,9 @@
+package intersect
+
+// SetRelayChunkSize shrinks the chunk size so tests exercise multi-chunk
+// reassembly with small sets; it returns a restore function.
+func SetRelayChunkSize(n int) (restore func()) {
+	old := relayChunkSize
+	relayChunkSize = n
+	return func() { relayChunkSize = old }
+}

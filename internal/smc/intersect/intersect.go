@@ -55,8 +55,26 @@ type Config struct {
 	Observers []string
 	// Session disambiguates concurrent runs.
 	Session string
-	// Rand is the entropy source; nil means crypto/rand.
+	// Rand is the entropy source. When set, the session key is sampled
+	// from it directly (full-width exponents, deterministic under a
+	// seeded reader — the test path). When nil, Keys supplies the key.
 	Rand io.Reader
+	// Keys overrides the session key source. Nil (and Rand nil) means
+	// the shared pregenerated pool, which is the production fast path.
+	Keys commutative.KeySource
+}
+
+// sessionKey resolves the party's session key: an explicit Rand wins
+// (bypassing pooling entirely), then an explicit KeySource, then the
+// shared pool.
+func sessionKey(cfg *Config) (*commutative.PHKey, error) {
+	if cfg.Rand != nil {
+		return commutative.NewPHKey(cfg.Rand, cfg.Group)
+	}
+	if cfg.Keys != nil {
+		return cfg.Keys.Key(cfg.Group)
+	}
+	return commutative.SharedPool.Key(cfg.Group)
 }
 
 func (c *Config) validate() error {
@@ -91,10 +109,81 @@ type Result struct {
 	Plaintext [][]byte
 }
 
+// relayChunkSize bounds the number of blocks per relay message. A set
+// larger than one chunk is streamed through the ring in pieces, so the
+// next hop starts re-encrypting chunk 0 while this hop is still working
+// on chunk k — ring latency approaches T_set + (n-1)*T_chunk instead of
+// n*T_set. Chunking leaks only the set size, which Definition 1 already
+// treats as permitted secondary information.
+var relayChunkSize = 64
+
+// relayBody is one relayed chunk. Seq/Total are the chunk framing,
+// versioned for wire compatibility: a body without them (Total 0, the
+// pre-chunking encoding) is a complete single-chunk set.
 type relayBody struct {
 	Origin string   `json:"origin"`
 	Hops   int      `json:"hops"`
 	Blocks [][]byte `json:"blocks"`
+	Seq    int      `json:"seq,omitempty"`
+	Total  int      `json:"total,omitempty"`
+}
+
+// chunkTotal normalizes the legacy encoding.
+func (b *relayBody) chunkTotal() int {
+	if b.Total <= 0 {
+		return 1
+	}
+	return b.Total
+}
+
+// splitChunks cuts blocks into relayChunkSize pieces; an empty set is a
+// single empty chunk so every origin still injects exactly one stream.
+func splitChunks(blocks [][]byte) [][][]byte {
+	if len(blocks) == 0 {
+		return [][][]byte{nil}
+	}
+	out := make([][][]byte, 0, (len(blocks)+relayChunkSize-1)/relayChunkSize)
+	for len(blocks) > relayChunkSize {
+		out = append(out, blocks[:relayChunkSize])
+		blocks = blocks[relayChunkSize:]
+	}
+	return append(out, blocks)
+}
+
+// reassembly accumulates one origin's chunks.
+type reassembly struct {
+	total  int
+	chunks map[int][][]byte
+}
+
+// add records a chunk, validating the framing against what was already
+// seen. It reports whether the origin's set is now complete.
+func (r *reassembly) add(body *relayBody) (bool, error) {
+	total := body.chunkTotal()
+	if r.chunks == nil {
+		r.total = total
+		r.chunks = make(map[int][][]byte, total)
+	}
+	if total != r.total {
+		return false, fmt.Errorf("%w: origin %s changed chunk count %d to %d", smc.ErrProtocol, body.Origin, r.total, total)
+	}
+	if body.Seq < 0 || body.Seq >= total {
+		return false, fmt.Errorf("%w: origin %s chunk %d of %d out of range", smc.ErrProtocol, body.Origin, body.Seq, total)
+	}
+	if _, dup := r.chunks[body.Seq]; dup {
+		return false, fmt.Errorf("%w: origin %s repeated chunk %d", smc.ErrProtocol, body.Origin, body.Seq)
+	}
+	r.chunks[body.Seq] = body.Blocks
+	return len(r.chunks) == r.total, nil
+}
+
+// assemble concatenates the chunks in sequence order.
+func (r *reassembly) assemble() [][]byte {
+	var out [][]byte
+	for i := 0; i < r.total; i++ {
+		out = append(out, r.chunks[i]...)
+	}
+	return out
 }
 
 type finalBody struct {
@@ -117,7 +206,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	if err != nil {
 		return nil, err
 	}
-	key, err := commutative.NewPHKey(cfg.Rand, cfg.Group)
+	key, err := sessionKey(&cfg)
 	if err != nil {
 		return nil, fmt.Errorf("intersect: generating key: %w", err)
 	}
@@ -126,20 +215,28 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	// elements produced each block so plaintext can be recovered later.
 	blocks, owners := encodeSet(key, localSet)
 
-	// Round 1: encrypt own set and send it into the ring.
-	myEnc, err := commutative.EncryptAll(key, blocks)
-	if err != nil {
-		return nil, fmt.Errorf("intersect: encrypting local set: %w", err)
-	}
-	if err := send(ctx, mb, next, msgRelay, cfg.Session, relayBody{Origin: self, Hops: 1, Blocks: myEnc}); err != nil {
-		return nil, err
+	// Round 1: encrypt own set and stream it into the ring chunk by
+	// chunk, so downstream hops start re-encrypting before the whole
+	// set is done here.
+	myChunks := splitChunks(blocks)
+	for seq, chunk := range myChunks {
+		enc, err := commutative.EncryptAll(key, chunk)
+		if err != nil {
+			return nil, fmt.Errorf("intersect: encrypting local set: %w", err)
+		}
+		body := relayBody{Origin: self, Hops: 1, Blocks: enc, Seq: seq, Total: len(myChunks)}
+		if err := send(ctx, mb, next, msgRelay, cfg.Session, body); err != nil {
+			return nil, err
+		}
 	}
 
-	// Relay loop: each party handles exactly n inbound relays — n-1 sets
-	// from other origins (encrypt and forward) and its own returning
-	// fully-encrypted set.
+	// Relay loop: each party sees every origin's complete chunk stream
+	// exactly once — n-1 streams from other origins (re-encrypt and
+	// forward chunk-wise) and its own returning fully-encrypted stream.
 	var myFinal [][]byte
-	for i := 0; i < n; i++ {
+	myDone := false
+	streams := make(map[string]*reassembly, n)
+	for complete := 0; complete < n; {
 		msg, err := mb.Expect(ctx, msgRelay, cfg.Session)
 		if err != nil {
 			return nil, fmt.Errorf("intersect: awaiting relay: %w", err)
@@ -152,19 +249,34 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 			if body.Hops != n {
 				return nil, fmt.Errorf("%w: own set returned after %d of %d encryptions", smc.ErrProtocol, body.Hops, n)
 			}
-			myFinal = body.Blocks
-			continue
+		} else {
+			enc, err := commutative.EncryptAll(key, body.Blocks)
+			if err != nil {
+				return nil, fmt.Errorf("intersect: re-encrypting set from %s: %w", body.Origin, err)
+			}
+			fwd := relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc, Seq: body.Seq, Total: body.Total}
+			if err := send(ctx, mb, next, msgRelay, cfg.Session, fwd); err != nil {
+				return nil, err
+			}
 		}
-		enc, err := commutative.EncryptAll(key, body.Blocks)
+		r := streams[body.Origin]
+		if r == nil {
+			r = &reassembly{}
+			streams[body.Origin] = r
+		}
+		done, err := r.add(&body)
 		if err != nil {
-			return nil, fmt.Errorf("intersect: re-encrypting set from %s: %w", body.Origin, err)
-		}
-		fwd := relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc}
-		if err := send(ctx, mb, next, msgRelay, cfg.Session, fwd); err != nil {
 			return nil, err
 		}
+		if done {
+			complete++
+			if body.Origin == self {
+				myFinal = r.assemble()
+				myDone = true
+			}
+		}
 	}
-	if myFinal == nil {
+	if !myDone {
 		return nil, fmt.Errorf("%w: own set never returned", smc.ErrProtocol)
 	}
 

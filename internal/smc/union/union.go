@@ -53,8 +53,25 @@ type Config struct {
 	Receivers []string
 	// Session disambiguates concurrent runs.
 	Session string
-	// Rand is the entropy source; nil means crypto/rand.
+	// Rand is the entropy source. When set, the session key is sampled
+	// from it directly (full-width exponents, deterministic under a
+	// seeded reader — the test path). When nil, Keys supplies the key.
 	Rand io.Reader
+	// Keys overrides the session key source. Nil (and Rand nil) means
+	// the shared pregenerated pool, which is the production fast path.
+	Keys commutative.KeySource
+}
+
+// sessionKey resolves the party's session key: an explicit Rand wins,
+// then an explicit KeySource, then the shared pool.
+func sessionKey(cfg *Config) (*commutative.PHKey, error) {
+	if cfg.Rand != nil {
+		return commutative.NewPHKey(cfg.Rand, cfg.Group)
+	}
+	if cfg.Keys != nil {
+		return cfg.Keys.Key(cfg.Group)
+	}
+	return commutative.SharedPool.Key(cfg.Group)
 }
 
 func (c *Config) validate() error {
@@ -102,10 +119,72 @@ func ExtractElement(block []byte) ([]byte, error) {
 	return nil, fmt.Errorf("union: empty embedding")
 }
 
+// relayChunkSize bounds the number of blocks per phase-1 relay message,
+// mirroring the intersect package: streaming chunks lets hop i+1 start
+// re-encrypting while hop i is still working, and leaks only set sizes
+// (Definition 1 secondary information).
+var relayChunkSize = 64
+
+// relayBody is one relayed chunk; Total 0 is the pre-chunking encoding
+// (a complete single-chunk set), kept for wire compatibility.
 type relayBody struct {
 	Origin string   `json:"origin"`
 	Hops   int      `json:"hops"`
 	Blocks [][]byte `json:"blocks"`
+	Seq    int      `json:"seq,omitempty"`
+	Total  int      `json:"total,omitempty"`
+}
+
+func (b *relayBody) chunkTotal() int {
+	if b.Total <= 0 {
+		return 1
+	}
+	return b.Total
+}
+
+func splitChunks(blocks [][]byte) [][][]byte {
+	if len(blocks) == 0 {
+		return [][][]byte{nil}
+	}
+	out := make([][][]byte, 0, (len(blocks)+relayChunkSize-1)/relayChunkSize)
+	for len(blocks) > relayChunkSize {
+		out = append(out, blocks[:relayChunkSize])
+		blocks = blocks[relayChunkSize:]
+	}
+	return append(out, blocks)
+}
+
+// reassembly accumulates one origin's chunks.
+type reassembly struct {
+	total  int
+	chunks map[int][][]byte
+}
+
+func (r *reassembly) add(body *relayBody) (bool, error) {
+	total := body.chunkTotal()
+	if r.chunks == nil {
+		r.total = total
+		r.chunks = make(map[int][][]byte, total)
+	}
+	if total != r.total {
+		return false, fmt.Errorf("%w: origin %s changed chunk count %d to %d", smc.ErrProtocol, body.Origin, r.total, total)
+	}
+	if body.Seq < 0 || body.Seq >= total {
+		return false, fmt.Errorf("%w: origin %s chunk %d of %d out of range", smc.ErrProtocol, body.Origin, body.Seq, total)
+	}
+	if _, dup := r.chunks[body.Seq]; dup {
+		return false, fmt.Errorf("%w: origin %s repeated chunk %d", smc.ErrProtocol, body.Origin, body.Seq)
+	}
+	r.chunks[body.Seq] = body.Blocks
+	return len(r.chunks) == r.total, nil
+}
+
+func (r *reassembly) assemble() [][]byte {
+	out := make([][]byte, 0)
+	for i := 0; i < r.total; i++ {
+		out = append(out, r.chunks[i]...)
+	}
+	return out
 }
 
 type blocksBody struct {
@@ -129,7 +208,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		return nil, err
 	}
 	collector := cfg.Ring[0]
-	key, err := commutative.NewPHKey(cfg.Rand, cfg.Group)
+	key, err := sessionKey(&cfg)
 	if err != nil {
 		return nil, fmt.Errorf("union: generating key: %w", err)
 	}
@@ -150,16 +229,22 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		blocks = append(blocks, blk)
 	}
 
-	// Phase 1: ring circulation, as in intersection.
-	myEnc, err := commutative.EncryptAll(key, blocks)
-	if err != nil {
-		return nil, fmt.Errorf("union: encrypting local set: %w", err)
-	}
-	if err := send(ctx, mb, next, msgRelay, cfg.Session, relayBody{Origin: self, Hops: 1, Blocks: myEnc}); err != nil {
-		return nil, err
+	// Phase 1: ring circulation, as in intersection, streamed chunk by
+	// chunk so hops overlap.
+	myChunks := splitChunks(blocks)
+	for seq, chunk := range myChunks {
+		enc, err := commutative.EncryptAll(key, chunk)
+		if err != nil {
+			return nil, fmt.Errorf("union: encrypting local set: %w", err)
+		}
+		body := relayBody{Origin: self, Hops: 1, Blocks: enc, Seq: seq, Total: len(myChunks)}
+		if err := send(ctx, mb, next, msgRelay, cfg.Session, body); err != nil {
+			return nil, err
+		}
 	}
 	var myFinal [][]byte
-	for i := 0; i < n; i++ {
+	streams := make(map[string]*reassembly, n)
+	for complete := 0; complete < n; {
 		msg, err := mb.Expect(ctx, msgRelay, cfg.Session)
 		if err != nil {
 			return nil, fmt.Errorf("union: awaiting relay: %w", err)
@@ -172,15 +257,30 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 			if body.Hops != n {
 				return nil, fmt.Errorf("%w: own set returned after %d of %d encryptions", smc.ErrProtocol, body.Hops, n)
 			}
-			myFinal = body.Blocks
-			continue
+		} else {
+			enc, err := commutative.EncryptAll(key, body.Blocks)
+			if err != nil {
+				return nil, fmt.Errorf("union: re-encrypting set from %s: %w", body.Origin, err)
+			}
+			fwd := relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc, Seq: body.Seq, Total: body.Total}
+			if err := send(ctx, mb, next, msgRelay, cfg.Session, fwd); err != nil {
+				return nil, err
+			}
 		}
-		enc, err := commutative.EncryptAll(key, body.Blocks)
+		r := streams[body.Origin]
+		if r == nil {
+			r = &reassembly{}
+			streams[body.Origin] = r
+		}
+		done, err := r.add(&body)
 		if err != nil {
-			return nil, fmt.Errorf("union: re-encrypting set from %s: %w", body.Origin, err)
-		}
-		if err := send(ctx, mb, next, msgRelay, cfg.Session, relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc}); err != nil {
 			return nil, err
+		}
+		if done {
+			complete++
+			if body.Origin == self {
+				myFinal = r.assemble()
+			}
 		}
 	}
 

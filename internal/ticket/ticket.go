@@ -224,6 +224,16 @@ func (a *AccessTable) Authorize(ticketID string, op Op, glsn logmodel.GLSN) erro
 	return nil
 }
 
+// HasGrant reports whether glsn was granted under the ticket. Unlike
+// Glsns it does not copy or sort, so hot paths can check a single grant
+// in O(1).
+func (a *AccessTable) HasGrant(ticketID string, glsn logmodel.GLSN) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	_, ok := a.grants[ticketID][glsn]
+	return ok
+}
+
 // Glsns returns the sorted glsns granted to a ticket, as Table 6 lists
 // them.
 func (a *AccessTable) Glsns(ticketID string) []logmodel.GLSN {

@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR2.json.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime defaults to 3s; pass e.g. 1x for a smoke run.
+#
+# The JSON records ns/op, B/op and allocs/op for every benchmark in the
+# hot-path set, next to the pre-optimization baseline measured on the
+# same machine (Intel Xeon @ 2.10 GHz, 1 vCPU, Go 1.24), so the
+# improvement ratio is auditable from the artifact alone.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3s}"
+OUT="BENCH_PR2.json"
+BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkQueryShapes'
+
+RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)"
+printf '%s\n' "$RAW" >&2
+
+printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i - 1)
+        if ($(i) == "B/op")      bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    row = sprintf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
+                  name, ns, bytes == "" ? "null" : bytes,
+                  allocs == "" ? "null" : allocs)
+    rows = rows (rows == "" ? "" : ",\n") row
+}
+END {
+    print "{"
+    print "  \"benchtime\": \"" benchtime "\","
+    print "  \"baseline\": ["
+    print "    {\"name\": \"BenchmarkFigure2DLAQuery\", \"ns_op\": 60736911, \"b_op\": 1342629, \"allocs_op\": 7629},"
+    print "    {\"name\": \"BenchmarkClusterLogThroughput\", \"ns_op\": 7764292, \"b_op\": 114290, \"allocs_op\": 913},"
+    print "    {\"name\": \"BenchmarkQueryShapes/local\", \"ns_op\": 810000, \"b_op\": null, \"allocs_op\": null},"
+    print "    {\"name\": \"BenchmarkQueryShapes/conjunction-3-nodes\", \"ns_op\": 81000000, \"b_op\": null, \"allocs_op\": null},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-union\", \"ns_op\": 25000000, \"b_op\": null, \"allocs_op\": null},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-equality\", \"ns_op\": 41000000, \"b_op\": null, \"allocs_op\": null},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-compare\", \"ns_op\": 1060000, \"b_op\": null, \"allocs_op\": null}"
+    print "  ],"
+    print "  \"after\": ["
+    print rows
+    print "  ]"
+    print "}"
+}' >"$OUT"
+
+echo "wrote $OUT" >&2

@@ -3,16 +3,33 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke vet fmt check chaos examples tables fuzz clean
+.PHONY: all build test race race-telemetry bench bench-json bench-smoke vet staticcheck fmt check chaos examples tables fuzz clean
 
 all: build vet test
 
-# Pre-merge gate: static checks, the race-enabled test suite, and a
-# single-iteration pass over every benchmark so perf-path regressions
-# that only benchmarks exercise break the gate too.
-check: bench-smoke
-	$(GO) vet ./...
+# Pre-merge gate: static checks (vet always, staticcheck when
+# installed), a race pass over the telemetry-instrumented packages,
+# the full race-enabled test suite, and a single-iteration pass over
+# every benchmark so perf-path regressions that only benchmarks
+# exercise break the gate too.
+check: bench-smoke vet staticcheck race-telemetry
 	$(GO) test -race ./...
+
+# staticcheck is optional tooling; skip quietly where not installed.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# The packages the telemetry layer instruments: spans and counters are
+# recorded from every protocol goroutine, so these must stay race-clean
+# even when the full suite is trimmed.
+race-telemetry:
+	$(GO) test -race ./internal/telemetry/ ./internal/transport/ \
+		./internal/resilience/ ./internal/cluster/ ./internal/audit/ \
+		./internal/smc/intersect/ ./internal/smc/union/ ./pkg/dla/
 
 # Fault-schedule suite: crash/restart, seeded loss, degraded auditing.
 chaos:

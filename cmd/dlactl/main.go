@@ -11,6 +11,7 @@
 //	dlactl read -dir provision -id u0 -ticket t1.json -glsn 139aef78
 //	dlactl query -dir provision -id aud -ticket ta.json -criteria 'C1 > 30'
 //	dlactl agg -dir provision -id aud -ticket ta.json -criteria '*' -kind sum -attr C1
+//	dlactl trace -addr 127.0.0.1:6060 q/aud/1
 package main
 
 import (
@@ -18,8 +19,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/big"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +33,7 @@ import (
 	"confaudit/internal/crypto/accumulator"
 	"confaudit/internal/integrity"
 	"confaudit/internal/logmodel"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 )
@@ -67,6 +71,8 @@ func main() {
 		err = withClient(args, nil, cmdCheck)
 	case "aclcheck":
 		err = withClient(args, nil, cmdACLCheck)
+	case "trace":
+		err = cmdTrace(args)
 	default:
 		usage()
 	}
@@ -76,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check [flags] [args]")
+	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|trace [flags] [args]")
 	os.Exit(2)
 }
 
@@ -202,7 +208,12 @@ func withClient(args []string, _ any, fn func(*clientEnv) error) error {
 	}
 	mb := transport.NewMailbox(ep)
 	defer mb.Close() //nolint:errcheck
-	client, err := cluster.NewClient(mb, common.Roster, part, accParams, tk)
+	client, err := cluster.OpenClient(mb, cluster.ClientConfig{
+		Roster:      common.Roster,
+		Partition:   part,
+		Accumulator: accParams,
+		Ticket:      tk,
+	})
 	if err != nil {
 		return err
 	}
@@ -325,6 +336,45 @@ func cmdACLCheck(env *clientEnv) error {
 		log.Printf("  %s: ok=%v own=%d common=%d %s", node, v.OK, v.OwnSize, v.CommonSize, v.Error)
 	}
 	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6060", "dlad -pprof address serving /debug/dla")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// With no session argument, list the sessions the node has traces for.
+	return fetchTrace(os.Stdout, "http://"+*addr, fs.Arg(0))
+}
+
+// fetchTrace pulls a trace from a dlad debug endpoint and renders the
+// span tree (or, with an empty session, the stored session list).
+func fetchTrace(w io.Writer, baseURL, session string) error {
+	resp, err := http.Get(baseURL + "/debug/dla/trace/" + session)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if session == "" {
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("trace endpoint: %s", resp.Status)
+		}
+		_, err := io.Copy(w, resp.Body)
+		return err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("no trace for session %q (run `dlactl trace` for the stored sessions)", session)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace endpoint: %s", resp.Status)
+	}
+	var view telemetry.TraceView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	}
+	_, err = io.WriteString(w, telemetry.FormatTree(view))
+	return err
 }
 
 func cmdAgg(env *clientEnv) error {

@@ -35,6 +35,7 @@ import (
 	"confaudit/internal/logmodel"
 	"confaudit/internal/mathx"
 	"confaudit/internal/resilience"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/transport"
 	"confaudit/internal/workload"
 )
@@ -172,7 +173,8 @@ func run(args []string) error {
 	defer cancel()
 	if *pprof != "" {
 		expvar.NewString("dlad_node").Set(*id)
-		srv := &http.Server{Addr: *pprof} // DefaultServeMux: pprof + expvar
+		telemetry.Mount(http.DefaultServeMux)
+		srv := &http.Server{Addr: *pprof} // DefaultServeMux: pprof + expvar + /debug/dla
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("pprof server: %v", err)
@@ -182,7 +184,7 @@ func run(args []string) error {
 			<-ctx.Done()
 			srv.Close() //nolint:errcheck
 		}()
-		log.Printf("pprof/expvar on http://%s/debug/pprof/", *pprof)
+		log.Printf("pprof/expvar on http://%s/debug/pprof/, telemetry on /debug/dla/", *pprof)
 	}
 	node.Start(ctx)
 	go audit.Serve(ctx, node)

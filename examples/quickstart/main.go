@@ -1,6 +1,7 @@
 // Quickstart: deploy a four-node DLA cluster in memory, log the paper's
 // Table 1 event records, run confidential auditing queries, and verify
-// log integrity — the whole Figure 2 architecture in ~60 lines of API.
+// log integrity — the whole Figure 2 architecture through the public
+// pkg/dla API.
 package main
 
 import (
@@ -9,9 +10,8 @@ import (
 	"log"
 	"time"
 
-	"confaudit/internal/audit"
-	"confaudit/internal/core"
 	"confaudit/internal/logmodel"
+	"confaudit/pkg/dla"
 )
 
 func main() {
@@ -30,19 +30,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	dla, err := core.Deploy(core.Options{Partition: ex.Partition})
+	cluster, err := dla.Deploy(dla.ClusterOptions{Partition: ex.Partition})
 	if err != nil {
 		return err
 	}
-	defer dla.Close() //nolint:errcheck
-	fmt.Printf("deployed DLA cluster: %v\n", dla.Roster())
+	defer cluster.Close() //nolint:errcheck
+	fmt.Printf("deployed DLA cluster: %v\n", cluster.Roster())
 
 	// An application node logs the Table 1 records. Each record is
 	// fragmented so no single DLA node ever sees it whole.
-	user, err := dla.NewUser(ctx, "u0", "T1")
+	user, err := dla.Connect(ctx, cluster, dla.SessionConfig{ID: "u0", TicketID: "T1"})
 	if err != nil {
 		return err
 	}
+	defer user.Close() //nolint:errcheck
 	for _, rec := range ex.Records {
 		g, err := user.Log(ctx, rec.Values)
 		if err != nil {
@@ -54,10 +55,15 @@ func run() error {
 	// A third-party auditor runs confidential queries: it learns which
 	// records match (by glsn) and aggregate statistics, never the raw
 	// fragments.
-	auditor, err := dla.NewAuditor(ctx, "auditor", "TA")
+	auditor, err := dla.Connect(ctx, cluster, dla.SessionConfig{
+		ID:       "auditor",
+		TicketID: "TA",
+		Ops:      []dla.Op{dla.OpRead},
+	})
 	if err != nil {
 		return err
 	}
+	defer auditor.Close() //nolint:errcheck
 	matches, session, cert, err := auditor.QueryCertified(ctx, `protocl = "UDP" AND id = "U1"`)
 	if err != nil {
 		return err
@@ -66,12 +72,12 @@ func run() error {
 	// Every DLA node responsible for a subquery countersigned the
 	// result; the auditor verifies the certificate against the cluster
 	// public keys, so no single node can forge an audit answer.
-	if err := audit.VerifyResult(dla.Bootstrap().PeerKeys, session, matches, cert); err != nil {
+	if err := dla.VerifyResult(cluster.PeerKeys(), session, matches, cert); err != nil {
 		return err
 	}
 	fmt.Printf("result certified by %d DLA node(s)\n", len(cert.Sigs))
 
-	total, err := auditor.Aggregate(ctx, `Tid = "T1100265"`, audit.AggSum, "C2")
+	total, err := auditor.Aggregate(ctx, `Tid = "T1100265"`, dla.AggSum, "C2")
 	if err != nil {
 		return err
 	}
@@ -95,16 +101,16 @@ func run() error {
 
 	// Any DLA node can verify log integrity by circulating one-way
 	// accumulator values around the cluster (no fragments move).
-	report, err := dla.CheckIntegrity(ctx, "P0")
+	report, err := cluster.CheckIntegrity(ctx, "P0")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("integrity sweep: %d records checked, clean=%v\n", report.Checked, report.Clean())
 
 	// Simulate a compromised node and catch it.
-	p2, _ := dla.Node("P2")
+	p2, _ := cluster.Deployment().Node("P2")
 	p2.TamperFragment(matches[0], "Tid", logmodel.String("T-FORGED"))
-	report, err = dla.CheckIntegrity(ctx, "P0")
+	report, err = cluster.CheckIntegrity(ctx, "P0")
 	if err != nil {
 		return err
 	}

@@ -16,9 +16,14 @@ import (
 	"confaudit/internal/smc/compare"
 	"confaudit/internal/smc/intersect"
 	"confaudit/internal/smc/union"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 )
+
+// errQueryFailed classifies replies that carry only a rendered error
+// string; the span records the coarse class, never the text.
+var errQueryFailed = fmt.Errorf("audit: query failed")
 
 // queryTimeout bounds one distributed query execution end to end.
 const queryTimeout = 2 * time.Minute
@@ -71,7 +76,16 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	ctx, cancel := context.WithTimeout(ctx, queryTimeout)
 	defer cancel()
 	mb := node.Mailbox()
+	start := time.Now()
+	qsp, ctx := telemetry.StartSpan(ctx, msg.Session, node.ID(), "audit.query")
+	qsp.SetPeer(msg.From)
 	reply := func(res resultBody) {
+		telemetry.M.Histogram(telemetry.HistAuditQuery).Observe(time.Since(start))
+		if res.Error != "" {
+			qsp.End(errQueryFailed)
+		} else {
+			qsp.SetCount(len(res.GLSNs)).End(nil)
+		}
 		out, err := transport.NewMessage(msg.From, MsgResult, msg.Session, res)
 		if err != nil {
 			return
@@ -89,11 +103,16 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 		return
 	}
 	part := node.Partition()
+	psp, _ := telemetry.StartSpan(ctx, msg.Session, node.ID(), "audit.parse_plan")
+	planStart := time.Now()
 	plans, err := buildPlans(body.Criteria, part)
+	telemetry.M.Histogram(telemetry.HistAuditPlan).Since(planStart)
+	psp.SetCount(len(plans)).End(err)
 	if err != nil {
 		reply(resultBody{Error: err.Error()})
 		return
 	}
+	telemetry.M.Counter(telemetry.CtrSubqueries).Add(int64(len(plans)))
 	// Degraded mode: cull subqueries that cannot complete because a node
 	// they involve is dead, so the query answers over the survivors
 	// instead of hanging until the timeout.
@@ -168,6 +187,9 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	// Dispatch concurrently: one slow or unreachable node must not delay
 	// the others' plan start. The channel is buffered to the fan-out so
 	// a fail-fast return leaks no goroutine.
+	dsp, _ := telemetry.StartSpan(ctx, msg.Session, node.ID(), "audit.dispatch")
+	dsp.SetCount(len(involved))
+	dispatchStart := time.Now()
 	dispatchErr := make(chan error, len(involved))
 	for n := range involved {
 		go func(n string) {
@@ -181,10 +203,14 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	}
 	for range involved {
 		if err := <-dispatchErr; err != nil {
+			telemetry.M.Histogram(telemetry.HistAuditDispatch).Since(dispatchStart)
+			dsp.End(err)
 			reply(resultBody{Error: err.Error()})
 			return
 		}
 	}
+	telemetry.M.Histogram(telemetry.HistAuditDispatch).Since(dispatchStart)
+	dsp.End(nil)
 
 	// Await the final verdict (or the first reported error) and relay.
 	fin, err := mb.Expect(ctx, MsgFinal, msg.Session)
@@ -231,9 +257,12 @@ func handleExec(ctx context.Context, node NodeState, msg transport.Message) {
 // execute runs every role this node has in the plan, in ascending plan
 // order (the global order that keeps multi-node subprotocols free of
 // cross-plan deadlock).
-func execute(ctx context.Context, node NodeState, session string, body *execBody) error {
+func execute(ctx context.Context, node NodeState, session string, body *execBody) (err error) {
 	self := node.ID()
 	mb := node.Mailbox()
+	defer telemetry.M.Histogram(telemetry.HistAuditExec).Since(time.Now())
+	esp, ctx := telemetry.StartSpan(ctx, session, self, "audit.exec")
+	defer func() { esp.End(err) }()
 
 	// results holds the glsn sets this node is responsible for.
 	var mySets []map[string]struct{}
@@ -242,7 +271,12 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 		if !smc.Contains(plan.involved(), self) {
 			continue
 		}
-		set, responsible, err := executePlan(ctx, node, session, plan)
+		// The subquery span is named by plan kind and filed under the
+		// /sqN sub-session — index and kind only, never the clause.
+		sqSp, sqCtx := telemetry.StartSpan(ctx,
+			session+"/sq"+fmt.Sprint(plan.Index), self, "audit.subquery."+string(plan.Kind))
+		set, responsible, err := executePlan(sqCtx, node, session, plan)
+		sqSp.SetCount(len(set)).End(err)
 		if err != nil {
 			return fmt.Errorf("subquery %d (%s): %w", plan.Index, plan.Kind, err)
 		}

@@ -234,18 +234,24 @@ func (c *Cluster) NewClient(ctx context.Context, clientID, ticketID string, ops 
 		mb.Close() //nolint:errcheck
 		return nil, nil, err
 	}
-	cl, err := cluster.NewClient(mb, c.Boot.Roster, c.Boot.Partition, c.Boot.AccParams, tk)
+	cfg := cluster.ClientConfig{
+		Roster:      c.Boot.Roster,
+		Partition:   c.Boot.Partition,
+		Accumulator: c.Boot.AccParams,
+		Ticket:      tk,
+	}
+	if c.opts.DataRoot != "" {
+		cfg.OutboxPath = filepath.Join(c.opts.DataRoot, clientID+".outbox")
+	}
+	cl, err := cluster.OpenClient(mb, cfg)
 	if err != nil {
 		mb.Close() //nolint:errcheck
 		return nil, nil, err
 	}
-	if c.opts.DataRoot != "" {
-		if err := cl.EnableOutbox(filepath.Join(c.opts.DataRoot, clientID+".outbox")); err != nil {
-			mb.Close() //nolint:errcheck
-			return nil, nil, err
-		}
+	if err := cl.StartHealth(ctx, c.opts.Health); err != nil {
+		mb.Close() //nolint:errcheck
+		return nil, nil, err
 	}
-	cl.StartHealth(ctx, c.opts.Health)
 	return cl, mb, nil
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"confaudit/internal/crypto/blind"
 	"confaudit/internal/logmodel"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/transport"
 )
 
@@ -84,6 +85,7 @@ type agreeCommitBody struct {
 // the statement, gather signed votes until majority, and broadcast the
 // commit certificate. The coordinator's own signature counts.
 func (n *Node) propose(ctx context.Context, session string, statement []byte) (*Certificate, error) {
+	defer telemetry.M.Histogram(telemetry.HistQuorumRound).Since(time.Now())
 	ownSig, err := n.signer.Sign(statement)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: signing proposal: %w", err)

@@ -8,11 +8,13 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"confaudit/internal/crypto/accumulator"
 	"confaudit/internal/crypto/blind"
 	"confaudit/internal/logmodel"
 	"confaudit/internal/resilience"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 )
@@ -38,18 +40,112 @@ type Client struct {
 	// transactions").
 	signer *blind.Authority
 
-	outbox *resilience.Outbox
-	det    *resilience.Detector
-	wg     sync.WaitGroup
+	outbox    *resilience.Outbox
+	det       *resilience.Detector
+	healthCfg *resilience.DetectorConfig
+	wg        sync.WaitGroup
 
 	session atomic.Uint64
+	// active flips on the first protocol traffic and latches; the
+	// EnableOutbox/StartHealth ordering contract is enforced against it
+	// (see ClientConfig).
+	active atomic.Bool
+}
+
+// ErrClientActive is returned by EnableOutbox and StartHealth once the
+// client has sent protocol traffic: installing the outbox or detector
+// concurrently with in-flight Log calls is a data race, so setup must
+// finish first. Wrap-checked with errors.Is.
+var ErrClientActive = errors.New("cluster: client already active; EnableOutbox/StartHealth must be called before the first Log/Read/Query use (see ClientConfig ordering contract)")
+
+// ClientConfig configures a cluster client for OpenClient.
+//
+// Ordering contract: all optional facilities are installed at
+// construction time (or, for the health detector, by StartHealth before
+// any protocol call). Once the client has issued its first protocol
+// message the configuration is frozen — EnableOutbox and StartHealth
+// return ErrClientActive instead of racing with concurrent Log calls.
+type ClientConfig struct {
+	// Roster lists the DLA node IDs (required, non-empty). The first
+	// entry is the sequencer leader.
+	Roster []string
+	// Partition maps record attributes to roster nodes (required).
+	Partition *logmodel.Partition
+	// Accumulator holds the one-way accumulator parameters used for
+	// record digests (required).
+	Accumulator *accumulator.Params
+	// Ticket authorizes this client's operations (required).
+	Ticket *ticket.Ticket
+	// Signer, when set, signs every stored record's digest for
+	// non-repudiation (optional; also settable later via SetSigner).
+	Signer *blind.Authority
+	// OutboxPath, when non-empty, opens a durable spool at that path so
+	// fragments bound for dead nodes are journaled and replayed instead
+	// of failing the store (optional).
+	OutboxPath string
+	// Health, when set, is the failure-detector configuration used by
+	// StartHealth(ctx) — the detector still needs a context, so it is
+	// started explicitly, but before any protocol call (optional).
+	Health *resilience.DetectorConfig
+}
+
+// Validate checks the required fields.
+func (cfg ClientConfig) Validate() error {
+	if cfg.Partition == nil {
+		return errors.New("cluster: ClientConfig.Partition is required")
+	}
+	if cfg.Accumulator == nil {
+		return errors.New("cluster: ClientConfig.Accumulator is required")
+	}
+	if cfg.Ticket == nil {
+		return errors.New("cluster: ClientConfig.Ticket is required")
+	}
+	if len(cfg.Roster) == 0 {
+		return errors.New("cluster: ClientConfig.Roster must not be empty")
+	}
+	return nil
+}
+
+// OpenClient builds a cluster client from a validated configuration,
+// opening the outbox when configured. The health detector, if
+// configured, is started by a subsequent StartHealth(ctx, *cfg.Health)
+// — before the first protocol call (see the ordering contract).
+func OpenClient(mb *transport.Mailbox, cfg ClientConfig) (*Client, error) {
+	if mb == nil {
+		return nil, errors.New("cluster: nil mailbox")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		mb:     mb,
+		roster: append([]string(nil), cfg.Roster...),
+		part:   cfg.Partition,
+		acc:    cfg.Accumulator,
+		tk:     cfg.Ticket,
+		signer: cfg.Signer,
+	}
+	if cfg.Health != nil {
+		h := *cfg.Health
+		c.healthCfg = &h
+	}
+	if cfg.OutboxPath != "" {
+		if err := c.EnableOutbox(cfg.OutboxPath); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // EnableOutbox opens a durable spool at path: fragments addressed to
 // dead or unreachable nodes are journaled there instead of failing the
 // store, and replayed when the failure detector sees the peer return.
-// Call before concurrent use of the client.
+// Must be called before the client's first protocol call; afterwards it
+// returns ErrClientActive (see the ClientConfig ordering contract).
 func (c *Client) EnableOutbox(path string) error {
+	if c.active.Load() {
+		return fmt.Errorf("%w: EnableOutbox(%q)", ErrClientActive, path)
+	}
 	ob, err := resilience.OpenOutbox(path)
 	if err != nil {
 		return err
@@ -78,10 +174,14 @@ func (c *Client) OutboxLen() int {
 
 // StartHealth runs a heartbeat failure detector over the cluster roster
 // and — when an outbox is enabled — replays spooled fragments whenever
-// a peer transitions back to alive. Call before concurrent use of the
-// client; loops exit when ctx is cancelled or the mailbox closes, and
-// HealthWait blocks until they have.
-func (c *Client) StartHealth(ctx context.Context, cfg resilience.DetectorConfig) {
+// a peer transitions back to alive. Must be called before the client's
+// first protocol call; afterwards it returns ErrClientActive (see the
+// ClientConfig ordering contract). Loops exit when ctx is cancelled or
+// the mailbox closes, and HealthWait blocks until they have.
+func (c *Client) StartHealth(ctx context.Context, cfg resilience.DetectorConfig) error {
+	if c.active.Load() {
+		return fmt.Errorf("%w: StartHealth", ErrClientActive)
+	}
 	c.det = resilience.NewDetector(c.mb, c.roster, cfg)
 	trs := c.det.Subscribe(4 * len(c.roster))
 	c.det.Start(ctx)
@@ -90,6 +190,16 @@ func (c *Client) StartHealth(ctx context.Context, cfg resilience.DetectorConfig)
 		defer c.wg.Done()
 		c.replayLoop(ctx, trs)
 	}()
+	return nil
+}
+
+// StartHealthIfConfigured starts the failure detector with the
+// ClientConfig.Health settings, or does nothing when none were given.
+func (c *Client) StartHealthIfConfigured(ctx context.Context) error {
+	if c.healthCfg == nil {
+		return nil
+	}
+	return c.StartHealth(ctx, *c.healthCfg)
 }
 
 // HealthWait blocks until the detector and replay loops have exited.
@@ -155,6 +265,7 @@ func (c *Client) ReplayOutbox(ctx context.Context, peer string) (int, error) {
 			return delivered, err
 		}
 		delivered++
+		telemetry.M.Counter(telemetry.CtrOutboxReplay).Add(1)
 	}
 	return delivered, nil
 }
@@ -172,6 +283,7 @@ func (c *Client) spool(node, msgType string, payload []byte, g logmodel.GLSN) er
 	if err != nil {
 		return fmt.Errorf("cluster: spooling fragment for %s: %w", node, err)
 	}
+	telemetry.M.Counter(telemetry.CtrOutboxSpooled).Add(1)
 	return nil
 }
 
@@ -180,26 +292,24 @@ func (c *Client) spool(node, msgType string, payload []byte, g logmodel.GLSN) er
 func (c *Client) SetSigner(signer *blind.Authority) { c.signer = signer }
 
 // NewClient builds a cluster client for the holder of the ticket.
+//
+// Deprecated: use OpenClient with a ClientConfig; the positional
+// parameter list stopped scaling. This shim will be removed after one
+// release.
 func NewClient(mb *transport.Mailbox, roster []string, part *logmodel.Partition, acc *accumulator.Params, tk *ticket.Ticket) (*Client, error) {
-	if mb == nil || part == nil || acc == nil || tk == nil {
-		return nil, errors.New("cluster: nil client dependency")
-	}
-	if len(roster) == 0 {
-		return nil, errors.New("cluster: empty roster")
-	}
-	return &Client{
-		mb:     mb,
-		roster: append([]string(nil), roster...),
-		part:   part,
-		acc:    acc,
-		tk:     tk,
-	}, nil
+	return OpenClient(mb, ClientConfig{
+		Roster:      roster,
+		Partition:   part,
+		Accumulator: acc,
+		Ticket:      tk,
+	})
 }
 
 // Ticket returns the client's ticket.
 func (c *Client) Ticket() *ticket.Ticket { return c.tk }
 
 func (c *Client) nextSession(prefix string) string {
+	c.active.Store(true)
 	return prefix + "/" + c.mb.ID() + "/" + strconv.FormatUint(c.session.Add(1), 10)
 }
 
@@ -234,6 +344,7 @@ func (c *Client) RegisterTicket(ctx context.Context) error {
 
 // RequestGLSN obtains the next glsn from the sequencer leader.
 func (c *Client) RequestGLSN(ctx context.Context) (logmodel.GLSN, error) {
+	defer telemetry.M.Histogram(telemetry.HistClientGLSN).Since(time.Now())
 	session := c.nextSession("glsn")
 	msg, err := transport.NewMessage(c.roster[0], MsgGLSNRequest, session, glsnRequestBody{TicketID: c.tk.ID})
 	if err != nil {
@@ -259,6 +370,7 @@ func (c *Client) RequestGLSN(ctx context.Context) (logmodel.GLSN, error) {
 // RequestGLSNRange reserves count contiguous glsns from the sequencer
 // leader in a single agreement round, returning the first.
 func (c *Client) RequestGLSNRange(ctx context.Context, count int) (logmodel.GLSN, error) {
+	defer telemetry.M.Histogram(telemetry.HistClientGLSN).Since(time.Now())
 	session := c.nextSession("glsnrange")
 	msg, err := transport.NewMessage(c.roster[0], MsgGLSNRange, session,
 		glsnRangeReqBody{TicketID: c.tk.ID, Count: count})
@@ -302,10 +414,19 @@ func (c *Client) Log(ctx context.Context, values map[logmodel.Attr]logmodel.Valu
 // With an outbox enabled, a node's whole batch spools for replay when
 // the node is dead or the send fails transiently. Returns the assigned
 // glsns in input order.
-func (c *Client) LogBatch(ctx context.Context, records []map[logmodel.Attr]logmodel.Value) ([]logmodel.GLSN, error) {
+func (c *Client) LogBatch(ctx context.Context, records []map[logmodel.Attr]logmodel.Value) (glsns []logmodel.GLSN, err error) {
 	if len(records) == 0 {
 		return nil, nil
 	}
+	defer telemetry.M.Histogram(telemetry.HistClientLogBatch).Since(time.Now())
+	sp, ctx := telemetry.StartSpan(ctx, c.nextSession("logbatch"), c.mb.ID(), "cluster.log_batch")
+	sp.SetCount(len(records))
+	defer func() {
+		sp.End(err)
+		if err == nil {
+			telemetry.M.Counter(telemetry.CtrRecordsLogged).Add(int64(len(records)))
+		}
+	}()
 	first, err := c.RequestGLSNRange(ctx, len(records))
 	if err != nil {
 		return nil, err
@@ -424,6 +545,7 @@ func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 			return fmt.Errorf("cluster: node %s refused fragment: %s", msg.From, ack.Error)
 		}
 	}
+	telemetry.M.Counter(telemetry.CtrRecordsLogged).Add(1)
 	return nil
 }
 

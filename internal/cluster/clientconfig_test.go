@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/resilience"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+func TestClientConfigValidate(t *testing.T) {
+	boot := sharedBootstrap(t)
+	full := ClientConfig{
+		Roster:      boot.Roster,
+		Partition:   boot.Partition,
+		Accumulator: boot.AccParams,
+		Ticket:      &ticket.Ticket{ID: "T"},
+	}
+	if err := full.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ClientConfig)
+		want   string
+	}{
+		{"no partition", func(c *ClientConfig) { c.Partition = nil }, "Partition"},
+		{"no accumulator", func(c *ClientConfig) { c.Accumulator = nil }, "Accumulator"},
+		{"no ticket", func(c *ClientConfig) { c.Ticket = nil }, "Ticket"},
+		{"empty roster", func(c *ClientConfig) { c.Roster = nil }, "Roster"},
+	}
+	for _, tc := range cases {
+		cfg := full
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error naming %s", tc.name, err, tc.want)
+		}
+	}
+	if _, err := OpenClient(nil, full); err == nil {
+		t.Error("OpenClient accepted a nil mailbox")
+	}
+}
+
+func TestOpenClientWithOutboxAndHealth(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	ep, err := tc.net.Endpoint("cfg-u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	t.Cleanup(func() { mb.Close() }) //nolint:errcheck
+	tk, err := tc.boot.Issuer.Issue("T-cfg", "cfg-u", ticket.OpWrite, ticket.OpRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenClient(mb, ClientConfig{
+		Roster:      tc.boot.Roster,
+		Partition:   tc.boot.Partition,
+		Accumulator: tc.boot.AccParams,
+		Ticket:      tk,
+		OutboxPath:  filepath.Join(t.TempDir(), "outbox"),
+		Health:      &resilience.DetectorConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.CloseOutbox() }) //nolint:errcheck
+	if c.OutboxLen() != 0 {
+		t.Fatalf("fresh outbox reports %d entries", c.OutboxLen())
+	}
+	hctx, hcancel := context.WithCancel(ctx)
+	defer func() {
+		hcancel()
+		c.HealthWait()
+	}()
+	if err := c.StartHealthIfConfigured(hctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.HealthView() == nil {
+		t.Fatal("configured health detector did not start")
+	}
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Log(ctx, map[logmodel.Attr]logmodel.Value{"name": logmodel.String("n1")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientOrderingGuard(t *testing.T) {
+	tc := startCluster(t)
+	ctx := testCtx(t)
+	c := tc.client(t, "guard-u", "T-guard", ticket.OpWrite, ticket.OpRead)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The client is now active: late installs must refuse, not race.
+	err := c.EnableOutbox(filepath.Join(t.TempDir(), "late.outbox"))
+	if !errors.Is(err, ErrClientActive) {
+		t.Fatalf("EnableOutbox after first traffic: %v, want ErrClientActive", err)
+	}
+	if err := c.StartHealth(ctx, resilience.DetectorConfig{}); !errors.Is(err, ErrClientActive) {
+		t.Fatalf("StartHealth after first traffic: %v, want ErrClientActive", err)
+	}
+}

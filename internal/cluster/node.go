@@ -17,6 +17,7 @@ import (
 	"confaudit/internal/logmodel"
 	"confaudit/internal/mathx"
 	"confaudit/internal/resilience"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 )
@@ -662,6 +663,7 @@ func (n *Node) handleStore(ctx context.Context, msg transport.Message) {
 // partitioned or down and the fragment is an outbox replay), so pull
 // missed grants from the leader once before waiting out the deadline.
 func (n *Node) storeWhenGranted(ctx context.Context, store func() error) error {
+	defer telemetry.M.Histogram(telemetry.HistGrantWait).Since(time.Now())
 	deadline := time.Now().Add(2 * time.Second)
 	synced := false
 	for {
@@ -768,6 +770,9 @@ func (n *Node) handleStoreBatch(ctx context.Context, msg transport.Message) {
 		ack = ackBody{Error: err.Error()}
 	} else if err := n.storeWhenGranted(ctx, func() error { return n.storeFragmentBatch(body) }); err != nil {
 		ack = ackBody{Error: err.Error()}
+	}
+	if ack.OK {
+		telemetry.M.Counter(telemetry.CtrStoreBatches).Add(1)
 	}
 	n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
 }

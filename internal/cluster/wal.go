@@ -10,8 +10,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"confaudit/internal/logmodel"
+	"confaudit/internal/telemetry"
 )
 
 // Durable node state. A DLA node journals every state mutation — ticket
@@ -112,6 +114,7 @@ func (w *WAL) append(e walEntry) error {
 	if w == nil {
 		return nil
 	}
+	defer telemetry.M.Histogram(telemetry.HistWALFlush).Since(time.Now())
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	data, err := json.Marshal(e)
@@ -133,6 +136,7 @@ func (w *WAL) appendBatch(entries []walEntry) error {
 	if w == nil || len(entries) == 0 {
 		return nil
 	}
+	defer telemetry.M.Histogram(telemetry.HistWALFlush).Since(time.Now())
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for _, e := range entries {

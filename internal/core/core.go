@@ -150,6 +150,10 @@ func (d *Deployment) Close() error {
 // Bootstrap exposes the cluster's provisioning material.
 func (d *Deployment) Bootstrap() *cluster.Bootstrap { return d.boot }
 
+// Network exposes the transport hosting the deployment so additional
+// clients (users, auditors, tooling) can attach endpoints.
+func (d *Deployment) Network() transport.Network { return d.net }
+
 // Node returns a running node by ID (tests and tooling).
 func (d *Deployment) Node(id string) (*cluster.Node, bool) {
 	n, ok := d.nodes[id]
@@ -175,7 +179,12 @@ func (d *Deployment) NewUser(ctx context.Context, id, ticketID string, ops ...ti
 		mb.Close() //nolint:errcheck
 		return nil, err
 	}
-	c, err := cluster.NewClient(mb, d.boot.Roster, d.boot.Partition, d.boot.AccParams, tk)
+	c, err := cluster.OpenClient(mb, cluster.ClientConfig{
+		Roster:      d.boot.Roster,
+		Partition:   d.boot.Partition,
+		Accumulator: d.boot.AccParams,
+		Ticket:      tk,
+	})
 	if err != nil {
 		mb.Close() //nolint:errcheck
 		return nil, err
@@ -200,7 +209,12 @@ func (d *Deployment) NewAuditor(ctx context.Context, id, ticketID string) (*audi
 		mb.Close() //nolint:errcheck
 		return nil, err
 	}
-	c, err := cluster.NewClient(mb, d.boot.Roster, d.boot.Partition, d.boot.AccParams, tk)
+	c, err := cluster.OpenClient(mb, cluster.ClientConfig{
+		Roster:      d.boot.Roster,
+		Partition:   d.boot.Partition,
+		Accumulator: d.boot.AccParams,
+		Ticket:      tk,
+	})
 	if err != nil {
 		mb.Close() //nolint:errcheck
 		return nil, err

@@ -3,6 +3,8 @@ package resilience
 import (
 	"sync"
 	"time"
+
+	"confaudit/internal/telemetry"
 )
 
 // BreakerState is a circuit breaker's position.
@@ -105,11 +107,13 @@ func (b *Breaker) Failure() {
 		b.state = BreakerOpen
 		b.openedAt = time.Now()
 		b.probing = false
+		telemetry.M.Counter(telemetry.CtrBreakerTrips).Add(1)
 	case BreakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = BreakerOpen
 			b.openedAt = time.Now()
+			telemetry.M.Counter(telemetry.CtrBreakerTrips).Add(1)
 		}
 	case BreakerOpen:
 		// Already open; refresh nothing so the cool-down still elapses.

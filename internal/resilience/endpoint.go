@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"confaudit/internal/telemetry"
 	"confaudit/internal/transport"
 )
 
@@ -85,12 +86,14 @@ func permanent(err error) bool {
 func (r *ReliableEndpoint) Send(ctx context.Context, msg transport.Message) error {
 	br := r.breaker(msg.To)
 	if !br.Allow() {
+		telemetry.M.Counter(telemetry.CtrBreakerDenied).Add(1)
 		return fmt.Errorf("%w: %q", ErrPeerDown, msg.To)
 	}
 	var err error
 	delay := r.policy.BaseDelay
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			telemetry.M.Counter(telemetry.CtrRetries).Add(1)
 			wait := delay + r.rng.jitter(delay/2)
 			delay *= 2
 			if delay > r.policy.MaxDelay {
@@ -106,6 +109,7 @@ func (r *ReliableEndpoint) Send(ctx context.Context, msg transport.Message) erro
 			// The breaker may have been opened by concurrent senders
 			// while this one backed off.
 			if !br.Allow() {
+				telemetry.M.Counter(telemetry.CtrBreakerDenied).Add(1)
 				return fmt.Errorf("%w: %q", ErrPeerDown, msg.To)
 			}
 		}

@@ -24,10 +24,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"confaudit/internal/crypto/commutative"
 	"confaudit/internal/mathx"
 	"confaudit/internal/smc"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/transport"
 )
 
@@ -193,7 +195,7 @@ type finalBody struct {
 
 // Run executes one party's role in the protocol. Every ring member must
 // call Run concurrently with its own mailbox and local set.
-func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]byte) (*Result, error) {
+func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]byte) (out *Result, err error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -201,6 +203,10 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	if _, err := smc.IndexOf(cfg.Ring, self); err != nil {
 		return nil, err
 	}
+	defer telemetry.M.Histogram(telemetry.HistIntersectRun).Since(time.Now())
+	sp, ctx := telemetry.StartSpan(ctx, cfg.Session, self, "smc.intersect.run")
+	sp.SetCount(len(localSet))
+	defer func() { sp.End(err) }()
 	n := len(cfg.Ring)
 	next, err := smc.NextInRing(cfg.Ring, self)
 	if err != nil {
@@ -220,12 +226,17 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	// set is done here.
 	myChunks := splitChunks(blocks)
 	for seq, chunk := range myChunks {
+		csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
+		chunkStart := time.Now()
 		enc, err := commutative.EncryptAll(key, chunk)
 		if err != nil {
+			csp.End(err)
 			return nil, fmt.Errorf("intersect: encrypting local set: %w", err)
 		}
 		body := relayBody{Origin: self, Hops: 1, Blocks: enc, Seq: seq, Total: len(myChunks)}
-		if err := send(ctx, mb, next, msgRelay, cfg.Session, body); err != nil {
+		err = send(ctx, mb, next, msgRelay, cfg.Session, body)
+		smc.ObserveRelayChunk(csp, chunkStart, next, seq, len(myChunks), enc, err)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -250,12 +261,17 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 				return nil, fmt.Errorf("%w: own set returned after %d of %d encryptions", smc.ErrProtocol, body.Hops, n)
 			}
 		} else {
+			csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
+			chunkStart := time.Now()
 			enc, err := commutative.EncryptAll(key, body.Blocks)
 			if err != nil {
+				csp.End(err)
 				return nil, fmt.Errorf("intersect: re-encrypting set from %s: %w", body.Origin, err)
 			}
 			fwd := relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc, Seq: body.Seq, Total: body.Total}
-			if err := send(ctx, mb, next, msgRelay, cfg.Session, fwd); err != nil {
+			err = send(ctx, mb, next, msgRelay, cfg.Session, fwd)
+			smc.ObserveRelayChunk(csp, chunkStart, next, body.Seq, body.chunkTotal(), enc, err)
+			if err != nil {
 				return nil, err
 			}
 		}

@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"time"
+
+	"confaudit/internal/telemetry"
 )
 
 // Errors shared by protocol implementations.
@@ -118,4 +121,19 @@ func Contains(nodes []string, node string) bool {
 		}
 	}
 	return false
+}
+
+// ObserveRelayChunk finishes one ring-relay chunk span with the framing
+// and size facts Definition 1 permits (peer, Seq/Total, byte count) and
+// feeds the shared relay metrics. start is when the hop began work on
+// the chunk; blocks are the re-encrypted payload about to be (or just)
+// forwarded.
+func ObserveRelayChunk(sp *telemetry.Span, start time.Time, peer string, seq, total int, blocks [][]byte, err error) {
+	n := 0
+	for _, b := range blocks {
+		n += len(b)
+	}
+	sp.SetPeer(peer).SetChunk(seq, total).AddBytes(n).End(err)
+	telemetry.M.Histogram(telemetry.HistRelayChunk).Observe(time.Since(start))
+	telemetry.M.Counter(telemetry.CtrRelayBytes).Add(int64(n))
 }

@@ -27,10 +27,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"confaudit/internal/crypto/commutative"
 	"confaudit/internal/mathx"
 	"confaudit/internal/smc"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/transport"
 )
 
@@ -194,7 +196,7 @@ type blocksBody struct {
 
 // Run executes one party's role. Every ring member calls Run
 // concurrently; receivers (and only receivers) obtain the union.
-func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]byte) ([][]byte, error) {
+func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]byte) (out [][]byte, err error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -202,6 +204,10 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	if _, err := smc.IndexOf(cfg.Ring, self); err != nil {
 		return nil, err
 	}
+	defer telemetry.M.Histogram(telemetry.HistUnionRun).Since(time.Now())
+	sp, ctx := telemetry.StartSpan(ctx, cfg.Session, self, "smc.union.run")
+	sp.SetCount(len(localSet))
+	defer func() { sp.End(err) }()
 	n := len(cfg.Ring)
 	next, err := smc.NextInRing(cfg.Ring, self)
 	if err != nil {
@@ -233,12 +239,17 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	// chunk so hops overlap.
 	myChunks := splitChunks(blocks)
 	for seq, chunk := range myChunks {
+		csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
+		chunkStart := time.Now()
 		enc, err := commutative.EncryptAll(key, chunk)
 		if err != nil {
+			csp.End(err)
 			return nil, fmt.Errorf("union: encrypting local set: %w", err)
 		}
 		body := relayBody{Origin: self, Hops: 1, Blocks: enc, Seq: seq, Total: len(myChunks)}
-		if err := send(ctx, mb, next, msgRelay, cfg.Session, body); err != nil {
+		err = send(ctx, mb, next, msgRelay, cfg.Session, body)
+		smc.ObserveRelayChunk(csp, chunkStart, next, seq, len(myChunks), enc, err)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -258,12 +269,17 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 				return nil, fmt.Errorf("%w: own set returned after %d of %d encryptions", smc.ErrProtocol, body.Hops, n)
 			}
 		} else {
+			csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
+			chunkStart := time.Now()
 			enc, err := commutative.EncryptAll(key, body.Blocks)
 			if err != nil {
+				csp.End(err)
 				return nil, fmt.Errorf("union: re-encrypting set from %s: %w", body.Origin, err)
 			}
 			fwd := relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc, Seq: body.Seq, Total: body.Total}
-			if err := send(ctx, mb, next, msgRelay, cfg.Session, fwd); err != nil {
+			err = send(ctx, mb, next, msgRelay, cfg.Session, fwd)
+			smc.ObserveRelayChunk(csp, chunkStart, next, body.Seq, body.chunkTotal(), enc, err)
+			if err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Debug HTTP surface. dlad mounts these on its -pprof server:
+//
+//	GET /debug/dla/metrics          -> MetricsSnapshot JSON
+//	GET /debug/dla/trace/<session>  -> TraceView JSON (404 if unknown)
+//	GET /debug/dla/trace/           -> stored session keys, one per line
+//
+// The handlers serve only snapshot types, so the zero-plaintext
+// guarantee of the recording schema carries through to the wire.
+
+// MetricsHandler serves the default registry as JSON.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, M.Snapshot())
+	})
+}
+
+// TraceHandler serves traces from the default tracer. It expects to be
+// mounted under prefix (e.g. "/debug/dla/trace/"); the rest of the path
+// is the session ID.
+func TraceHandler(prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		session := strings.TrimPrefix(r.URL.Path, prefix)
+		if session == "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, s := range T.Sessions() {
+				w.Write([]byte(s + "\n")) //nolint:errcheck
+			}
+			return
+		}
+		view, ok := Snapshot(session)
+		if !ok {
+			http.Error(w, "telemetry: no trace for session "+session, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, view)
+	})
+}
+
+// Mount registers the /debug/dla/* endpoints on mux and publishes the
+// metrics snapshot as the expvar "dla_metrics", so plain expvar
+// consumers see the same numbers as /debug/dla/metrics.
+func Mount(mux *http.ServeMux) {
+	mux.Handle("/debug/dla/metrics", MetricsHandler())
+	mux.Handle("/debug/dla/trace/", TraceHandler("/debug/dla/trace/"))
+	publishExpvar()
+}
+
+var expvarOnce sync.Once
+
+// publishExpvar registers the expvar exactly once per process
+// (expvar.Publish panics on duplicates).
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("dla_metrics", expvar.Func(func() any { return M.Snapshot() }))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

@@ -1,0 +1,161 @@
+package telemetry_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/telemetry"
+	"confaudit/pkg/dla"
+)
+
+// Sentinel attribute values. Deliberately outside the character set the
+// telemetry schema can legitimately emit, so a leak anywhere in the
+// observability surface fails both the substring and the whitelist
+// check below.
+const (
+	secretUser  = "zzsecret alpha#7"
+	secretProto = "zzsecret beta!"
+	secretRatio = 987654.25
+)
+
+// safeString is everything telemetry may legitimately emit: metric
+// names, span names, node/session IDs, outcome classes, histogram
+// bucket labels, RFC3339 timestamps. No spaces, no NULs, nothing long
+// enough to be a ciphertext block.
+var safeString = regexp.MustCompile(`^[0-9A-Za-z._/:+-]{0,64}$`)
+
+// TestRedactionFullQuery drives a full 3-node conjunction query —
+// write path, plan/dispatch, ring-relay intersection — then scans every
+// emitted counter label, histogram label, span field, and rendered
+// trace line for the attribute values involved, their canonical index
+// keys, and ciphertext-sized blobs. Definition 1 permits secondary
+// information (sizes, counts, timings, peers); everything else must be
+// absent.
+func TestRedactionFullQuery(t *testing.T) {
+	telemetry.M.Reset()
+	telemetry.T.Reset()
+
+	schema, err := logmodel.NewSchema([]logmodel.Attr{"user", "proto", "ratio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := logmodel.NewPartition(schema, []string{"N0", "N1", "N2"}, map[string][]logmodel.Attr{
+		"N0": {"user"}, "N1": {"proto"}, "N2": {"ratio"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := dla.Deploy(dla.ClusterOptions{Partition: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	s, err := dla.Connect(ctx, cl, dla.SessionConfig{ID: "redact-u", TicketID: "T-redact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+
+	records := []map[dla.Attr]dla.Value{
+		{"user": dla.String(secretUser), "proto": dla.String(secretProto), "ratio": dla.Float(secretRatio)},
+		{"user": dla.String(secretUser), "proto": dla.String("plain"), "ratio": dla.Float(1)},
+		{"user": dla.String("other"), "proto": dla.String(secretProto), "ratio": dla.Float(2)},
+	}
+	if _, err := s.LogBatch(ctx, records); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := s.Query(ctx, fmt.Sprintf("user = %q AND proto = %q", secretUser, secretProto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("conjunction matched %d records, want 1", len(matches))
+	}
+
+	// Gather the complete observability surface: the metrics snapshot,
+	// every stored trace as JSON, and every rendered tree.
+	var surface []string
+	mj, err := json.Marshal(telemetry.M.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	surface = append(surface, string(mj))
+	sessions := telemetry.T.Sessions()
+	if len(sessions) == 0 {
+		t.Fatal("no trace sessions recorded")
+	}
+	for _, sess := range sessions {
+		view, ok := telemetry.Snapshot(sess)
+		if !ok {
+			t.Fatalf("session %q disappeared", sess)
+		}
+		tj, err := json.Marshal(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		surface = append(surface, string(tj), telemetry.FormatTree(view))
+	}
+
+	leaks := []string{
+		secretUser,
+		secretProto,
+		// Canonical index keys (cluster/index.go): class tag + NUL + value.
+		"s\x00" + secretUser,
+		"n\x00",
+		"\x00",
+		"\\u0000",
+		"987654", // the numeric sentinel in any decimal rendering
+	}
+	for i, blob := range surface {
+		for _, leak := range leaks {
+			if strings.Contains(blob, leak) {
+				t.Errorf("surface[%d] leaks %q:\n%.2000s", i, leak, blob)
+			}
+		}
+	}
+
+	// Structural whitelist: every string value in the JSON surface must
+	// look like schema vocabulary — never free-form data, never a
+	// ciphertext-sized blob.
+	for _, blob := range surface {
+		if !strings.HasPrefix(blob, "{") {
+			continue // rendered trees use spaces/arrows; substring checks cover them
+		}
+		var v any
+		if err := json.Unmarshal([]byte(blob), &v); err != nil {
+			t.Fatal(err)
+		}
+		for _, str := range collectStrings(v, nil) {
+			if !safeString.MatchString(str) {
+				t.Errorf("non-schema string on the telemetry surface: %q", str)
+			}
+		}
+	}
+}
+
+// collectStrings walks decoded JSON and returns every string value and
+// every map key.
+func collectStrings(v any, out []string) []string {
+	switch x := v.(type) {
+	case string:
+		out = append(out, x)
+	case []any:
+		for _, e := range x {
+			out = collectStrings(e, out)
+		}
+	case map[string]any:
+		for k, e := range x {
+			out = append(out, k)
+			out = collectStrings(e, out)
+		}
+	}
+	return out
+}

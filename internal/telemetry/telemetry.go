@@ -1,0 +1,331 @@
+// Package telemetry is the DLA system's zero-plaintext observability
+// layer: counters, latency histograms, and span-style protocol-round
+// traces keyed by session ID.
+//
+// Confidentiality contract. A distributed-trust deployment is only
+// trustworthy if operators can observe its behavior WITHOUT seeing the
+// data it protects. Everything this package records is drawn from the
+// "secondary information" the paper's relaxed confidentiality model
+// (Definition 1) already concedes — set sizes, message counts, round
+// boundaries, timings, peer identities — and nothing else:
+//
+//   - span and metric names are compile-time protocol constants;
+//   - span attributes are restricted to a fixed schema (peer node ID,
+//     chunk Seq/Total, byte counts, element counts, an outcome flag);
+//   - attribute values, canonical index keys, criteria strings, and
+//     ciphertext bytes have no field to land in, and errors are reduced
+//     to a coarse class (see ErrClass) before recording.
+//
+// The redaction test in redaction_test.go drives a full multi-node
+// conjunction query and asserts no plaintext appears anywhere in the
+// emitted snapshot.
+//
+// Cost contract. Instrumentation sits on hot paths (per relay chunk,
+// per WAL flush), so every record is a few atomic operations or one
+// short mutex hold; when telemetry is disabled (SetEnabled(false)) the
+// fast path is a single atomic load and span methods are no-ops on a
+// nil receiver.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates all recording. Default on: overhead is negligible next
+// to the big-integer crypto on every instrumented path.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns recording on or off process-wide. Disabling does not
+// clear already-recorded data.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// bucketBounds are the histogram upper bounds in milliseconds,
+// roughly exponential from sub-millisecond protocol rounds to the
+// multi-second quorum timeouts. The last bucket is +Inf.
+var bucketBounds = [numBounds]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+const numBounds = 17
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Histogram is a latency distribution with fixed exponential buckets.
+type Histogram struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64 // microseconds, to keep Add integral
+	maxUS   atomic.Int64
+	buckets [numBounds + 1]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	us := d.Microseconds()
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	ms := float64(us) / 1000
+	for i, bound := range bucketBounds {
+		if ms <= bound {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(bucketBounds)].Add(1)
+}
+
+// Since observes the elapsed time from start; the usual defer pattern:
+//
+//	defer telemetry.M.Histogram(telemetry.HistAuditQuery).Since(time.Now())
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+// HistogramSnapshot is one histogram's exported state.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumMS   float64          `json:"sum_ms"`
+	MeanMS  float64          `json:"mean_ms"`
+	MaxMS   float64          `json:"max_ms"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumMS: float64(h.sumUS.Load()) / 1000,
+		MaxMS: float64(h.maxUS.Load()) / 1000,
+	}
+	if s.Count > 0 {
+		s.MeanMS = s.SumMS / float64(s.Count)
+	}
+	s.Buckets = make(map[string]int64, len(bucketBounds)+1)
+	for i, bound := range bucketBounds {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets["le_"+formatBound(bound)] = n
+		}
+	}
+	if n := h.buckets[len(bucketBounds)].Load(); n > 0 {
+		s.Buckets["le_inf"] = n
+	}
+	return s
+}
+
+func formatBound(b float64) string {
+	if b == float64(int64(b)) {
+		return itoa(int64(b)) + "ms"
+	}
+	// Sub-millisecond bounds render in microseconds (0.25 -> 250us).
+	return itoa(int64(b*1000)) + "us"
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Registry holds named counters and histograms. Metric names must be
+// compile-time constants (enforced by convention and the redaction
+// test): a name is the only free-form string a metric carries.
+type Registry struct {
+	mu    sync.RWMutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// M is the process-wide default registry. One DLA node per process
+// (dlad) reads as per-node metrics; multi-node test deployments share
+// it, which the cluster-wide counters are defined to tolerate.
+var M = NewRegistry()
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.ctrs[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.ctrs[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.ctrs[name] = c
+	return c
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// MetricsSnapshot is the registry's exported state.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot exports every metric.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(r.ctrs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.ctrs {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Names returns every registered metric name, sorted (tests).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ctrs)+len(r.hists))
+	for n := range r.ctrs {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset drops every metric (tests).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ctrs = make(map[string]*Counter)
+	r.hists = make(map[string]*Histogram)
+}
+
+// Metric names. Keeping them in one block makes the zero-plaintext
+// review trivial: these constants, plus the per-message-type transport
+// names derived from protocol constants, are the only metric names the
+// system emits.
+const (
+	// Write path.
+	HistClientLogBatch = "cluster.client.log_batch"  // client LogBatch round trip
+	HistClientGLSN     = "cluster.client.glsn_round" // sequencer agreement round trip
+	HistQuorumRound    = "cluster.node.quorum_round" // leader propose→commit
+	HistWALFlush       = "cluster.node.wal_flush"    // journal append+flush
+	HistGrantWait      = "cluster.node.grant_wait"   // store waiting on its grant
+	CtrRecordsLogged   = "cluster.client.records"    // records written via Log/LogBatch
+	CtrStoreBatches    = "cluster.node.store_batches"
+
+	// Audit path.
+	HistAuditQuery    = "audit.query"      // coordinator: whole query
+	HistAuditPlan     = "audit.parse_plan" // coordinator: parse+normalize+classify
+	HistAuditDispatch = "audit.dispatch"   // coordinator: plan fan-out
+	HistAuditExec     = "audit.exec"       // executor: all local roles
+	HistRelayChunk    = "smc.relay_chunk"  // one ring-relay chunk re-encrypt+forward
+	HistIntersectRun  = "smc.intersect.run"
+	HistUnionRun      = "smc.union.run"
+	CtrSubqueries     = "audit.subqueries"
+	CtrRelayBytes     = "smc.relay_bytes"
+
+	// Resilience.
+	CtrRetries       = "resilience.retries"        // send re-attempts after a failure
+	CtrBreakerTrips  = "resilience.breaker_trips"  // closed/half-open → open transitions
+	CtrBreakerDenied = "resilience.breaker_denied" // fast-fails while open
+	CtrOutboxSpooled = "cluster.outbox.spooled"
+	CtrOutboxReplay  = "cluster.outbox.replayed"
+
+	// Transport (aggregate; per-type counters derive from protocol
+	// message-type constants via SentTo/Received).
+	CtrSent      = "transport.sent"
+	CtrSentBytes = "transport.sent_bytes"
+	CtrRecv      = "transport.recv"
+	CtrRecvBytes = "transport.recv_bytes"
+)
+
+// SentTo records one outbound message of the given protocol type and
+// payload size on the default registry.
+func SentTo(msgType string, payloadBytes int) {
+	if !enabled.Load() {
+		return
+	}
+	M.Counter(CtrSent).Add(1)
+	M.Counter(CtrSentBytes).Add(int64(payloadBytes))
+	M.Counter(CtrSent + "." + msgType).Add(1)
+}
+
+// Received records one inbound message of the given protocol type and
+// payload size on the default registry.
+func Received(msgType string, payloadBytes int) {
+	if !enabled.Load() {
+		return
+	}
+	M.Counter(CtrRecv).Add(1)
+	M.Counter(CtrRecvBytes).Add(int64(payloadBytes))
+	M.Counter(CtrRecv + "." + msgType).Add(1)
+}

@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span-style protocol-round tracing. A trace is keyed by the protocol
+// session ID (the same string the transport layer uses to demultiplex
+// rounds), so every actor of a distributed query — coordinator,
+// per-node executors, ring-relay hops — files its spans under one
+// retrievable key. Sub-protocol sessions are derived from the root by
+// suffixing ("/sq0", "/final"), which Snapshot exploits: asking for the
+// root session returns the sub-sessions' spans too.
+//
+// A span records ONLY the redaction-safe schema: a constant name, the
+// local and peer node IDs, chunk Seq/Total framing, byte and element
+// counts, timing, and a coarse outcome class. There is deliberately no
+// free-form attribute map — the type system is the redaction boundary.
+
+// Tracer bounds per session and per span keep a long-running node's
+// memory flat: completed sessions are evicted FIFO, and a pathological
+// session stops recording (counting drops) instead of growing.
+const (
+	maxSessions        = 256
+	maxSpansPerSession = 8192
+)
+
+// Span is one timed protocol step. A nil *Span is a valid no-op, which
+// is how disabled telemetry costs nothing on the instrumented paths.
+type Span struct {
+	st *sessionTrace
+
+	name    string
+	node    string
+	session string
+	peer    string
+	seq     int
+	total   int
+	bytes   int64
+	count   int
+	outcome string
+	start   time.Time
+	dur     time.Duration
+	ended   bool
+
+	children []*Span
+}
+
+// sessionTrace accumulates one session key's spans.
+type sessionTrace struct {
+	mu      sync.Mutex
+	session string
+	started time.Time
+	roots   []*Span
+	spans   int
+	dropped int
+}
+
+// Tracer stores bounded traces for recent sessions.
+type Tracer struct {
+	mu       sync.Mutex
+	sessions map[string]*sessionTrace
+	order    []string // insertion order for FIFO eviction
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{sessions: make(map[string]*sessionTrace)}
+}
+
+// T is the process-wide default tracer, mirroring M.
+var T = NewTracer()
+
+type ctxKey struct{}
+
+// spanFrom extracts the active span from a context.
+func spanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span on the default tracer and returns a context
+// carrying it; spans started under that context become children. node
+// is the local actor's ID (mailbox ID). Always pair with End.
+func StartSpan(ctx context.Context, session, node, name string) (*Span, context.Context) {
+	return T.StartSpan(ctx, session, node, name)
+}
+
+// StartSpan opens a span. When ctx already carries a span, the new span
+// is attached as its child (and stored under the parent's session
+// trace); otherwise it is a new root for the session.
+func (t *Tracer) StartSpan(ctx context.Context, session, node, name string) (*Span, context.Context) {
+	if !enabled.Load() {
+		return nil, ctx
+	}
+	now := time.Now()
+	if parent := spanFrom(ctx); parent != nil {
+		child := parent.newChild(session, node, name, now)
+		if child == nil {
+			return nil, ctx
+		}
+		return child, context.WithValue(ctx, ctxKey{}, child)
+	}
+	st := t.sessionTrace(session, now)
+	sp := &Span{st: st, name: name, node: node, session: session, start: now}
+	st.mu.Lock()
+	if st.spans >= maxSpansPerSession {
+		st.dropped++
+		st.mu.Unlock()
+		return nil, ctx
+	}
+	st.spans++
+	st.roots = append(st.roots, sp)
+	st.mu.Unlock()
+	return sp, context.WithValue(ctx, ctxKey{}, sp)
+}
+
+func (t *Tracer) sessionTrace(session string, now time.Time) *sessionTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.sessions[session]
+	if ok {
+		return st
+	}
+	if len(t.order) >= maxSessions {
+		oldest := t.order[0]
+		t.order = t.order[1:]
+		delete(t.sessions, oldest)
+	}
+	st = &sessionTrace{session: session, started: now}
+	t.sessions[session] = st
+	t.order = append(t.order, session)
+	return st
+}
+
+func (s *Span) newChild(session, node, name string, now time.Time) *Span {
+	st := s.st
+	child := &Span{st: st, name: name, node: node, session: session, start: now}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.spans >= maxSpansPerSession {
+		st.dropped++
+		return nil
+	}
+	st.spans++
+	s.children = append(s.children, child)
+	return child
+}
+
+// SetPeer records the remote node the step talked to.
+func (s *Span) SetPeer(peer string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.st.mu.Lock()
+	s.peer = peer
+	s.st.mu.Unlock()
+	return s
+}
+
+// SetChunk records ring-relay chunk framing (Seq is 0-based, Total the
+// chunk count).
+func (s *Span) SetChunk(seq, total int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.st.mu.Lock()
+	s.seq, s.total = seq, total
+	s.st.mu.Unlock()
+	return s
+}
+
+// AddBytes accumulates payload bytes moved by the step.
+func (s *Span) AddBytes(n int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.st.mu.Lock()
+	s.bytes += int64(n)
+	s.st.mu.Unlock()
+	return s
+}
+
+// SetCount records an element count (set sizes, plan counts — the
+// secondary information Definition 1 permits).
+func (s *Span) SetCount(n int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.st.mu.Lock()
+	s.count = n
+	s.st.mu.Unlock()
+	return s
+}
+
+// End closes the span, deriving the outcome class from err. Safe to
+// call once; later calls are ignored.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.st.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+		s.outcome = ErrClass(err)
+	}
+	s.st.mu.Unlock()
+}
+
+// ErrClass reduces an error to a coarse, plaintext-free class. Error
+// MESSAGES are never recorded: clause strings and attribute names can
+// appear in them, and the redaction boundary is structural, not
+// best-effort.
+func ErrClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// --- snapshots ---
+
+// SpanView is a span's exported form. StartMS is the offset from the
+// trace view's Started time.
+type SpanView struct {
+	Name     string     `json:"name"`
+	Node     string     `json:"node,omitempty"`
+	Session  string     `json:"session,omitempty"`
+	Peer     string     `json:"peer,omitempty"`
+	Seq      int        `json:"seq,omitempty"`
+	Total    int        `json:"total,omitempty"`
+	Bytes    int64      `json:"bytes,omitempty"`
+	Count    int        `json:"count,omitempty"`
+	Outcome  string     `json:"outcome,omitempty"`
+	StartMS  float64    `json:"start_ms"`
+	DurMS    float64    `json:"dur_ms"`
+	Open     bool       `json:"open,omitempty"` // still running at snapshot time
+	Children []SpanView `json:"children,omitempty"`
+}
+
+// TraceView is one session's exported trace: a forest of span trees
+// from every actor that filed under the session (or a sub-session).
+type TraceView struct {
+	Session  string     `json:"session"`
+	Started  time.Time  `json:"started"`
+	Spans    []SpanView `json:"spans"`
+	Dropped  int        `json:"dropped,omitempty"`
+	Sessions int        `json:"sessions"` // distinct session keys merged
+}
+
+// Snapshot exports the trace for a session from the default tracer.
+func Snapshot(session string) (TraceView, bool) { return T.Snapshot(session) }
+
+// Snapshot exports the trace for session, merging every stored session
+// key equal to it or derived from it by suffixing ("/..."). ok is false
+// when no span was filed under the exact session key (so a bare prefix
+// of a real session does not alias its trace) or it was evicted.
+func (t *Tracer) Snapshot(session string) (TraceView, bool) {
+	t.mu.Lock()
+	var sts []*sessionTrace
+	if _, exact := t.sessions[session]; exact {
+		for key, st := range t.sessions {
+			if key == session || strings.HasPrefix(key, session+"/") {
+				sts = append(sts, st)
+			}
+		}
+	}
+	t.mu.Unlock()
+	if len(sts) == 0 {
+		return TraceView{}, false
+	}
+	sort.Slice(sts, func(i, j int) bool { return sts[i].started.Before(sts[j].started) })
+	view := TraceView{Session: session, Started: sts[0].started, Sessions: len(sts)}
+	for _, st := range sts {
+		st.mu.Lock()
+		for _, sp := range st.roots {
+			view.Spans = append(view.Spans, sp.viewLocked(view.Started))
+		}
+		view.Dropped += st.dropped
+		st.mu.Unlock()
+	}
+	sort.Slice(view.Spans, func(i, j int) bool { return view.Spans[i].StartMS < view.Spans[j].StartMS })
+	return view, true
+}
+
+// Sessions lists the stored session keys, newest last.
+func (t *Tracer) Sessions() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// Reset drops every stored trace (tests).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sessions = make(map[string]*sessionTrace)
+	t.order = nil
+}
+
+// viewLocked exports a span subtree. Caller holds st.mu (one lock
+// guards all spans of a session trace).
+func (s *Span) viewLocked(base time.Time) SpanView {
+	v := SpanView{
+		Name:    s.name,
+		Node:    s.node,
+		Session: s.session,
+		Peer:    s.peer,
+		Seq:     s.seq,
+		Total:   s.total,
+		Bytes:   s.bytes,
+		Count:   s.count,
+		Outcome: s.outcome,
+		StartMS: float64(s.start.Sub(base).Microseconds()) / 1000,
+		DurMS:   float64(s.dur.Microseconds()) / 1000,
+		Open:    !s.ended,
+	}
+	if v.Open {
+		v.DurMS = float64(time.Since(s.start).Microseconds()) / 1000
+	}
+	for _, c := range s.children {
+		v.Children = append(v.Children, c.viewLocked(base))
+	}
+	sort.Slice(v.Children, func(i, j int) bool { return v.Children[i].StartMS < v.Children[j].StartMS })
+	return v
+}

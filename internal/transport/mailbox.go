@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"confaudit/internal/telemetry"
 )
 
 func immediateDeadline() time.Time { return time.Unix(1, 0) }
@@ -59,9 +61,15 @@ func NewMailbox(ep Endpoint) *Mailbox {
 // ID returns the underlying endpoint's node ID.
 func (m *Mailbox) ID() string { return m.ep.ID() }
 
-// Send forwards to the underlying endpoint.
+// Send forwards to the underlying endpoint. Successful sends are
+// counted per protocol message type (type and payload size only — the
+// payload itself is never inspected).
 func (m *Mailbox) Send(ctx context.Context, msg Message) error {
-	return m.ep.Send(ctx, msg)
+	err := m.ep.Send(ctx, msg)
+	if err == nil {
+		telemetry.SentTo(msg.Type, len(msg.Payload))
+	}
+	return err
 }
 
 func (m *Mailbox) pump() {
@@ -101,6 +109,7 @@ func (m *Mailbox) pump() {
 			m.mu.Unlock()
 			return
 		}
+		telemetry.Received(msg.Type, len(msg.Payload))
 		key := mailKey{typ: msg.Type, session: msg.Session}
 		m.mu.Lock()
 		if ws := m.waits[key]; len(ws) > 0 {

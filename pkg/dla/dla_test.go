@@ -1,0 +1,123 @@
+package dla
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"confaudit/internal/logmodel"
+)
+
+func deployExample(t *testing.T) (*Cluster, *logmodel.PaperExample) {
+	t.Helper()
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Deploy(ClusterOptions{Partition: ex.Partition})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() }) //nolint:errcheck
+	return cl, ex
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	cl, ex := deployExample(t)
+	ctx := testCtx(t)
+
+	s, err := Connect(ctx, cl, SessionConfig{ID: "u0", TicketID: "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+
+	glsns, err := s.LogBatch(ctx, recordValues(ex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(glsns) != len(ex.Records) {
+		t.Fatalf("logged %d records, want %d", len(glsns), len(ex.Records))
+	}
+	rec, err := s.Read(ctx, glsns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Values) == 0 {
+		t.Fatal("read back an empty record")
+	}
+
+	matches, session, cert, err := s.QueryCertified(ctx, `protocl = "UDP" AND id = "U1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("conjunction query found no matches")
+	}
+	if err := VerifyResult(cl.PeerKeys(), session, matches, cert); err != nil {
+		t.Fatalf("certificate did not verify: %v", err)
+	}
+
+	n, err := s.Aggregate(ctx, `protocl = "UDP"`, AggCount, "protocl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("aggregate count = %v, want > 0", n)
+	}
+
+	report, err := cl.CheckIntegrity(ctx, cl.Roster()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("fresh cluster failed integrity sweep: %+v", report)
+	}
+}
+
+func TestConnectValidatesAndStartsHealth(t *testing.T) {
+	cl, _ := deployExample(t)
+	ctx := testCtx(t)
+
+	if _, err := Connect(ctx, cl, SessionConfig{ID: "u1"}); err == nil {
+		t.Fatal("Connect accepted a config without TicketID")
+	}
+	if _, err := Connect(ctx, nil, SessionConfig{ID: "u1", TicketID: "T"}); err == nil {
+		t.Fatal("Connect accepted a nil cluster")
+	}
+
+	s, err := Connect(ctx, cl, SessionConfig{
+		ID:       "u1",
+		TicketID: "T-health",
+		Health:   &HealthConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+	hv := s.Health()
+	if hv == nil {
+		t.Fatal("Health() = nil despite HealthConfig")
+	}
+	for peer := range hv {
+		if !strings.HasPrefix(peer, "P") {
+			t.Fatalf("health view tracks unexpected peer %q", peer)
+		}
+	}
+}
+
+func recordValues(ex *logmodel.PaperExample) []map[Attr]Value {
+	out := make([]map[Attr]Value, len(ex.Records))
+	for i, rec := range ex.Records {
+		out[i] = rec.Values
+	}
+	return out
+}

@@ -3,16 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build test race race-telemetry bench bench-json bench-smoke vet staticcheck fmt check chaos examples tables fuzz clean
+.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos examples tables fuzz clean
 
 all: build vet test
 
 # Pre-merge gate: static checks (vet always, staticcheck when
 # installed), a race pass over the telemetry-instrumented packages,
-# the full race-enabled test suite, and a single-iteration pass over
+# the full race-enabled test suite, a single-iteration pass over
 # every benchmark so perf-path regressions that only benchmarks
-# exercise break the gate too.
-check: bench-smoke vet staticcheck race-telemetry
+# exercise break the gate too, and the headline-benchmark diff
+# between the committed artifacts.
+check: bench-smoke vet staticcheck race-telemetry benchdiff
 	$(GO) test -race ./...
 
 # staticcheck is optional tooling; skip quietly where not installed.
@@ -23,13 +24,16 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-# The packages the telemetry layer instruments: spans and counters are
-# recorded from every protocol goroutine, so these must stay race-clean
-# even when the full suite is trimmed.
+# The packages the telemetry layer instruments, plus the concurrency
+# machinery under them (worker pool, batch crypto engine, wire codec):
+# spans and counters are recorded from every protocol goroutine, so
+# these must stay race-clean even when the full suite is trimmed.
 race-telemetry:
 	$(GO) test -race ./internal/telemetry/ ./internal/transport/ \
 		./internal/resilience/ ./internal/cluster/ ./internal/audit/ \
-		./internal/smc/intersect/ ./internal/smc/union/ ./pkg/dla/
+		./internal/smc/intersect/ ./internal/smc/union/ ./pkg/dla/ \
+		./internal/workpool/ ./internal/crypto/commutative/ \
+		./internal/integrity/
 
 # Fault-schedule suite: crash/restart, seeded loss, degraded auditing.
 chaos:
@@ -58,9 +62,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# Hot-path acceptance numbers -> BENCH_PR2.json (see scripts/bench.sh).
+# Hot-path acceptance numbers -> BENCH_PR4.json (see scripts/bench.sh),
+# then diff against the PR2 artifact to catch headline regressions.
 bench-json:
 	./scripts/bench.sh
+	$(GO) run ./cmd/benchtab -benchdiff BENCH_PR2.json,BENCH_PR4.json
+
+# Compare the committed bench artifacts: fails on >10% ns/op regression
+# of either headline benchmark, or on any row missing alloc fields.
+benchdiff:
+	$(GO) run ./cmd/benchtab -benchdiff BENCH_PR2.json,BENCH_PR4.json
 
 # Regenerate every paper table and figure plus measured claims.
 tables:

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Bench artifact comparison: `benchtab -benchdiff old.json,new.json`
+// loads two BENCH_PR*.json artifacts written by scripts/bench.sh,
+// prints the ratio table between the two "after" sections, and fails
+// when either headline benchmark regressed by more than the tolerance.
+// Rows with missing or null fields are refused outright — a silently
+// skipped row is how an alloc regression hides — so artifacts must be
+// regenerated with the current bench.sh before they can be compared.
+
+type benchRow struct {
+	Name     string   `json:"name"`
+	NsOp     *float64 `json:"ns_op"`
+	BOp      *float64 `json:"b_op"`
+	AllocsOp *float64 `json:"allocs_op"`
+}
+
+type benchFile struct {
+	Benchtime string     `json:"benchtime"`
+	Baseline  []benchRow `json:"baseline"`
+	After     []benchRow `json:"after"`
+}
+
+// headlineBenches are the two gate benchmarks: more than
+// regressionTolerance on either fails the diff.
+var headlineBenches = []string{
+	"BenchmarkFigure2DLAQuery",
+	"BenchmarkClusterLogThroughput",
+}
+
+const regressionTolerance = 1.10
+
+func loadBenchFile(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.After) == 0 {
+		return nil, fmt.Errorf("%s: no \"after\" rows", path)
+	}
+	for _, r := range f.After {
+		if r.Name == "" {
+			return nil, fmt.Errorf("%s: row with empty name", path)
+		}
+		if r.NsOp == nil || r.BOp == nil || r.AllocsOp == nil {
+			return nil, fmt.Errorf("%s: row %q is missing ns_op, b_op, or allocs_op — regenerate with scripts/bench.sh", path, r.Name)
+		}
+	}
+	return &f, nil
+}
+
+func runBenchDiff(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("-benchdiff wants old.json,new.json, got %q", spec)
+	}
+	oldF, err := loadBenchFile(parts[0])
+	if err != nil {
+		return err
+	}
+	newF, err := loadBenchFile(parts[1])
+	if err != nil {
+		return err
+	}
+	oldRows := make(map[string]benchRow, len(oldF.After))
+	for _, r := range oldF.After {
+		oldRows[r.Name] = r
+	}
+
+	section(fmt.Sprintf("Benchmark diff: %s -> %s", parts[0], parts[1]))
+	fmt.Printf("%-45s %14s %14s %7s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "B/op Δ", "allocs Δ")
+	var failures []string
+	for _, nr := range newF.After {
+		or, ok := oldRows[nr.Name]
+		if !ok {
+			fmt.Printf("%-45s %14s %14.0f %7s %9s %9s\n", nr.Name, "-", *nr.NsOp, "new", "-", "-")
+			continue
+		}
+		speedup := *or.NsOp / *nr.NsOp
+		fmt.Printf("%-45s %14.0f %14.0f %6.2fx %+8.0f %+8.0f\n",
+			nr.Name, *or.NsOp, *nr.NsOp, speedup, *nr.BOp-*or.BOp, *nr.AllocsOp-*or.AllocsOp)
+	}
+	for _, name := range headlineBenches {
+		or, okOld := oldRows[name]
+		var nr *benchRow
+		for i := range newF.After {
+			if newF.After[i].Name == name {
+				nr = &newF.After[i]
+			}
+		}
+		if !okOld || nr == nil {
+			failures = append(failures, fmt.Sprintf("headline benchmark %s absent from both artifacts' after sections", name))
+			continue
+		}
+		if *nr.NsOp > *or.NsOp*regressionTolerance {
+			failures = append(failures, fmt.Sprintf("%s regressed: %.0f -> %.0f ns/op (> %.0f%% tolerance)",
+				name, *or.NsOp, *nr.NsOp, (regressionTolerance-1)*100))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchdiff: %s", strings.Join(failures, "; "))
+	}
+	fmt.Printf("\nheadline benchmarks within %.0f%% tolerance\n", (regressionTolerance-1)*100)
+	return nil
+}

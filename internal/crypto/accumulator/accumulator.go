@@ -21,6 +21,9 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
+
+	"confaudit/internal/mathx"
 )
 
 // Errors reported by the package.
@@ -37,6 +40,15 @@ type Params struct {
 	N *big.Int
 	// X0 is the agreed starting value of every accumulation.
 	X0 *big.Int
+
+	// x0Table lazily caches the fixed-base powers of X0. Every
+	// accumulation — and every integrity circulation a ring node
+	// initiates — starts from the same agreed base, so the first fold
+	// is a fixed-base exponentiation; the table build amortizes after
+	// two accumulations. Built on first use so literal-constructed
+	// Params (provisioning, tests) get it transparently.
+	x0Once  sync.Once
+	x0Table *mathx.FixedBase
 }
 
 // GenerateParams creates fresh parameters with a modulus of the given
@@ -113,9 +125,21 @@ func HashItem(data []byte) *big.Int {
 	return e
 }
 
-// Accumulate computes A(x, item) = x^H(item) mod n.
+// Accumulate computes A(x, item) = x^H(item) mod n. Accumulations
+// from the agreed base X0 use its cached powers table; the result is
+// identical to the plain exponentiation.
 func (p *Params) Accumulate(x *big.Int, item []byte) *big.Int {
-	return new(big.Int).Exp(x, HashItem(item), p.N)
+	e := HashItem(item)
+	if x != nil && p.X0 != nil && (x == p.X0 || x.Cmp(p.X0) == 0) {
+		p.x0Once.Do(func() {
+			// HashItem exponents are exactly 256 bits wide.
+			p.x0Table = mathx.NewFixedBase(p.X0, p.N, 256)
+		})
+		if r := p.x0Table.Exp(e); r != nil {
+			return r
+		}
+	}
+	return new(big.Int).Exp(x, e, p.N)
 }
 
 // AccumulateAll folds every item into the digest starting from X0. Per

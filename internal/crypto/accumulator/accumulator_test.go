@@ -182,3 +182,31 @@ func BenchmarkAccumulateAll16(b *testing.B) {
 		p.AccumulateAll(items)
 	}
 }
+
+// TestAccumulateX0TableMatchesPlain pins the cached X0 fixed-base path
+// to the plain exponentiation.
+func TestAccumulateX0TableMatchesPlain(t *testing.T) {
+	p, err := GenerateParams(crand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		item := []byte{byte(i), 0xAB}
+		got := p.Accumulate(p.X0, item)
+		want := new(big.Int).Exp(p.X0, HashItem(item), p.N)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("item %d: X0 table path %v != plain %v", i, got, want)
+		}
+		// A value-equal but distinct base also takes the table path.
+		alias := new(big.Int).Set(p.X0)
+		if got := p.Accumulate(alias, item); got.Cmp(want) != 0 {
+			t.Fatalf("item %d: aliased X0 diverged", i)
+		}
+		// Non-X0 bases take the plain path.
+		other := new(big.Int).Add(p.X0, big.NewInt(1))
+		wantOther := new(big.Int).Exp(other, HashItem(item), p.N)
+		if got := p.Accumulate(other, item); got.Cmp(wantOther) != 0 {
+			t.Fatalf("item %d: non-X0 base diverged", i)
+		}
+	}
+}

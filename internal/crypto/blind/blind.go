@@ -42,10 +42,18 @@ type PublicKey struct {
 	E *big.Int
 }
 
-// Authority holds the credential-authority signing key.
+// Authority holds the credential-authority signing key. When the prime
+// factorization is known (always for freshly generated keys, and for
+// imported material that includes the primes), private-key operations
+// run in CRT form — two half-width exponentiations instead of one
+// full-width one, ~3.5x faster — with results identical to the plain
+// x^d mod N.
 type Authority struct {
 	pub  PublicKey
 	priv *big.Int // d
+
+	// CRT precomputation; nil fields mean plain exponentiation.
+	p, q, dp, dq, qinv *big.Int
 }
 
 // NewAuthority generates a fresh CA key of the given modulus size.
@@ -57,26 +65,70 @@ func NewAuthority(rng io.Reader, bits int) (*Authority, error) {
 	if err != nil {
 		return nil, fmt.Errorf("blind: generating CA key: %w", err)
 	}
-	return &Authority{
+	a := &Authority{
 		pub:  PublicKey{N: key.N, E: big.NewInt(int64(key.E))},
 		priv: key.D,
-	}, nil
+	}
+	a.precomputeCRT(key.Primes[0], key.Primes[1])
+	return a, nil
+}
+
+// precomputeCRT derives the CRT exponents from the prime factors; it
+// leaves the authority on the plain path if the factors are unusable.
+func (a *Authority) precomputeCRT(p, q *big.Int) {
+	if p == nil || q == nil || p.Sign() <= 0 || q.Sign() <= 0 {
+		return
+	}
+	if new(big.Int).Mul(p, q).Cmp(a.pub.N) != 0 {
+		return
+	}
+	qinv := new(big.Int).ModInverse(q, p)
+	if qinv == nil {
+		return
+	}
+	one := big.NewInt(1)
+	a.p, a.q = p, q
+	a.dp = new(big.Int).Mod(a.priv, new(big.Int).Sub(p, one))
+	a.dq = new(big.Int).Mod(a.priv, new(big.Int).Sub(q, one))
+	a.qinv = qinv
+}
+
+// expPriv computes x^d mod N, via CRT when the factorization is known.
+func (a *Authority) expPriv(x *big.Int) *big.Int {
+	if a.p == nil {
+		return new(big.Int).Exp(x, a.priv, a.pub.N)
+	}
+	// Garner recombination: m = m2 + q*((m1 - m2)*qinv mod p).
+	m1 := new(big.Int).Exp(x, a.dp, a.p)
+	m2 := new(big.Int).Exp(x, a.dq, a.q)
+	h := m1.Sub(m1, m2)
+	h.Mul(h, a.qinv)
+	h.Mod(h, a.p)
+	h.Mul(h, a.q)
+	h.Add(h, m2)
+	return h
 }
 
 // Public returns the CA verification key.
 func (a *Authority) Public() PublicKey { return a.pub }
 
 // KeyMaterial is the serializable form of an Authority's private key,
-// for multi-process deployments that provision keys out of band.
+// for multi-process deployments that provision keys out of band. The
+// prime factors are optional: material exported by older versions
+// omits them, and an authority rebuilt without them simply signs on
+// the plain (slower) path.
 type KeyMaterial struct {
 	N *big.Int `json:"n"`
 	E *big.Int `json:"e"`
 	D *big.Int `json:"d"`
+	P *big.Int `json:"p,omitempty"`
+	Q *big.Int `json:"q,omitempty"`
 }
 
-// Export returns the authority's key material.
+// Export returns the authority's key material, including the prime
+// factors when known so re-imported authorities keep the CRT fast path.
 func (a *Authority) Export() KeyMaterial {
-	return KeyMaterial{N: a.pub.N, E: a.pub.E, D: a.priv}
+	return KeyMaterial{N: a.pub.N, E: a.pub.E, D: a.priv, P: a.p, Q: a.q}
 }
 
 // NewAuthorityFromKey reconstructs an authority from exported material.
@@ -84,7 +136,11 @@ func NewAuthorityFromKey(km KeyMaterial) (*Authority, error) {
 	if km.N == nil || km.E == nil || km.D == nil {
 		return nil, errors.New("blind: incomplete key material")
 	}
-	return &Authority{pub: PublicKey{N: km.N, E: km.E}, priv: km.D}, nil
+	a := &Authority{pub: PublicKey{N: km.N, E: km.E}, priv: km.D}
+	if km.P != nil && km.Q != nil {
+		a.precomputeCRT(km.P, km.Q)
+	}
+	return a, nil
 }
 
 // SignBlinded signs a blinded message. The CA cannot tell which token it
@@ -93,7 +149,7 @@ func (a *Authority) SignBlinded(blinded *big.Int) (*big.Int, error) {
 	if blinded == nil || blinded.Sign() <= 0 || blinded.Cmp(a.pub.N) >= 0 {
 		return nil, fmt.Errorf("%w: blinded message out of range", ErrBadBlinding)
 	}
-	return new(big.Int).Exp(blinded, a.priv, a.pub.N), nil
+	return a.expPriv(blinded), nil
 }
 
 // hashToModulus maps a message to [0, N) with counter-mode SHA-256,
@@ -183,5 +239,5 @@ func (a *Authority) Sign(msg []byte) (*big.Int, error) {
 	if h.Sign() == 0 {
 		return nil, fmt.Errorf("%w: degenerate message hash", ErrBadBlinding)
 	}
-	return new(big.Int).Exp(h, a.priv, a.pub.N), nil
+	return a.expPriv(h), nil
 }

@@ -22,11 +22,9 @@ import (
 	"fmt"
 	"io"
 	"math/big"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"confaudit/internal/mathx"
+	"confaudit/internal/workpool"
 )
 
 // Cipher is a deterministic commutative block cipher. Blocks are
@@ -81,19 +79,24 @@ func NewPHKey(rng io.Reader, g *mathx.Group) (*PHKey, error) {
 func (k *PHKey) Group() *mathx.Group { return k.group }
 
 // EncryptInt computes M^e mod p for a group element M in [1, p-1].
+// Bases the group has encrypted repeatedly are served from the
+// fixed-base powers cache (see engine.go); results are identical to a
+// plain modular exponentiation either way.
 func (k *PHKey) EncryptInt(m *big.Int) (*big.Int, error) {
 	if err := k.checkElement(m); err != nil {
 		return nil, err
 	}
-	return new(big.Int).Exp(m, k.e, k.group.P), nil
+	return phExp(k.group, m, k.e, true), nil
 }
 
-// DecryptInt computes C^d mod p, inverting EncryptInt.
+// DecryptInt computes C^d mod p, inverting EncryptInt. Ciphertext
+// bases are fresh uniform group elements every round, so decryption
+// skips the fixed-base cache rather than churn its counters.
 func (k *PHKey) DecryptInt(c *big.Int) (*big.Int, error) {
 	if err := k.checkElement(c); err != nil {
 		return nil, err
 	}
-	return new(big.Int).Exp(c, k.d, k.group.P), nil
+	return phExp(k.group, c, k.d, false), nil
 }
 
 func (k *PHKey) checkElement(m *big.Int) error {
@@ -196,15 +199,34 @@ func (k *XORKey) xor(block []byte) ([]byte, error) {
 	return out, nil
 }
 
-// parallelThreshold is the batch size above which EncryptAll/DecryptAll
-// fan out across CPUs. Modular exponentiation dominates every relayed
-// set in the DLA protocols, so batches parallelize almost perfectly;
-// tiny batches stay sequential to avoid goroutine overhead.
+// parallelThreshold is the batch size above which the batch APIs fan
+// out over the shared worker pool. Modular exponentiation dominates
+// every relayed set in the DLA protocols, so batches parallelize almost
+// perfectly; tiny batches stay sequential to avoid scheduling overhead.
 const parallelThreshold = 4
+
+// pool is the worker pool the batch APIs fan out over. Package-level so
+// the equivalence tests can substitute pools of fixed worker counts.
+var pool = workpool.Shared
+
+// EncryptBlocks encrypts every block under the key, preserving order.
+// Batches above parallelThreshold are fanned out over the shared
+// GOMAXPROCS-sized worker pool; the output is byte-identical to a
+// serial Encrypt loop for any worker count (pinned by the equivalence
+// tests).
+func (k *PHKey) EncryptBlocks(blocks [][]byte) ([][]byte, error) {
+	return mapBlocks(blocks, k.Encrypt, "encrypting")
+}
+
+// DecryptBlocks decrypts every block under the key, preserving order;
+// the batch counterpart of Decrypt.
+func (k *PHKey) DecryptBlocks(blocks [][]byte) ([][]byte, error) {
+	return mapBlocks(blocks, k.Decrypt, "decrypting")
+}
 
 // EncryptAll encrypts every block, preserving order. All protocols that
 // relay whole sets between DLA nodes use this helper; large batches are
-// encrypted in parallel across CPUs.
+// encrypted in parallel on the shared worker pool.
 func EncryptAll(c Cipher, blocks [][]byte) ([][]byte, error) {
 	return mapBlocks(blocks, c.Encrypt, "encrypting")
 }
@@ -226,41 +248,16 @@ func mapBlocks(blocks [][]byte, op func([]byte) ([]byte, error), verb string) ([
 		}
 		return out, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(blocks) {
-		workers = len(blocks)
-	}
-	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		frr  error
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(blocks) {
-					return
-				}
-				res, err := op(blocks[i])
-				if err != nil {
-					mu.Lock()
-					if frr == nil {
-						frr = fmt.Errorf("commutative: %s block %d: %w", verb, i, err)
-					}
-					mu.Unlock()
-					return
-				}
-				out[i] = res
-			}
-		}()
-	}
-	wg.Wait()
-	if frr != nil {
-		return nil, frr
+	err := pool.Map(len(blocks), func(i int) error {
+		res, err := op(blocks[i])
+		if err != nil {
+			return fmt.Errorf("commutative: %s block %d: %w", verb, i, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,145 @@
+package commutative
+
+import (
+	"math/big"
+	"sync"
+
+	"confaudit/internal/mathx"
+)
+
+// Fixed-base acceleration for the Pohlig-Hellman hot path.
+//
+// The DLA protocols re-encrypt the SAME group elements over and over:
+// every audit query re-encodes the node's attribute values with
+// HashToQR — a deterministic map — so the bases flowing into M^e mod p
+// repeat across sessions and queries even though the session keys (and
+// thus exponents) are always fresh. A fixed-base powers table
+// T[i] = M^(16^i) is key-independent, so one table serves every future
+// key over the same group.
+//
+// Each group keeps a bounded cache of per-base hit counters; once a
+// base has been seen tableThreshold times its table is built (costing
+// about one plain exponentiation) and every later encryption of that
+// base, under any key, runs ~1.7x faster. One-shot bases — relayed
+// ciphertexts, which are fresh uniform group elements every round —
+// never reach the threshold and never pay for a table.
+const (
+	// tableThreshold is the sighting count that triggers a table build.
+	tableThreshold = 2
+	// tableExpBits is the exponent coverage of built tables: the widest
+	// pooled encryption exponent. Full-width exponents (the
+	// deterministic NewPHKey test path) exceed it and fall back to
+	// big.Int.Exp.
+	tableExpBits = 256
+	// maxCachedBases bounds the hit-counter map per group; when full,
+	// tableless entries are evicted so ephemeral ciphertext bases
+	// cannot grow the cache without bound.
+	maxCachedBases = 4096
+	// maxTables bounds built tables per group (a 768-bit group table is
+	// ~6 KiB; 768 tables ≈ 4.5 MiB). Sized so a steady working set of
+	// repeating bases — plaintext encodings plus the relayed
+	// ciphertexts that recur while pooled keys are live — fits without
+	// thrashing: with pooled session keys the SAME elements produce the
+	// SAME intermediate ciphertexts query after query, so those bases
+	// amortize tables exactly like HashToQR encodings do.
+	maxTables = 768
+)
+
+// baseCache is one group's fixed-base state.
+type baseCache struct {
+	mu      sync.Mutex
+	entries map[string]*baseEntry
+	tables  int
+}
+
+type baseEntry struct {
+	hits int
+	fb   *mathx.FixedBase
+}
+
+// groupCaches maps *mathx.Group to *baseCache. Groups are long-lived
+// singletons (the embedded standard groups, or one generated group per
+// test), so keying by pointer avoids serializing the modulus per block.
+var groupCaches sync.Map
+
+func cacheFor(g *mathx.Group) *baseCache {
+	if c, ok := groupCaches.Load(g); ok {
+		return c.(*baseCache)
+	}
+	c, _ := groupCaches.LoadOrStore(g, &baseCache{entries: make(map[string]*baseEntry)})
+	return c.(*baseCache)
+}
+
+// phExp computes m^e mod p, consulting the group's fixed-base cache
+// when track is set. Results are byte-identical to big.Int.Exp (both
+// return the canonical least non-negative residue; the equivalence
+// test pins this).
+func phExp(g *mathx.Group, m, e *big.Int, track bool) *big.Int {
+	if track {
+		if fb := noteBase(g, m); fb != nil {
+			if r := fb.Exp(e); r != nil {
+				return r
+			}
+		}
+	}
+	return new(big.Int).Exp(m, e, g.P)
+}
+
+// noteBase records a sighting of base m and returns its table if one
+// exists (building it at the threshold). The build runs outside the
+// cache lock; concurrent builders may duplicate the (deterministic)
+// work, and the first store wins.
+func noteBase(g *mathx.Group, m *big.Int) *mathx.FixedBase {
+	c := cacheFor(g)
+	key := string(m.Bytes())
+
+	c.mu.Lock()
+	ent := c.entries[key]
+	if ent == nil {
+		if len(c.entries) >= maxCachedBases {
+			c.evictLocked()
+		}
+		ent = &baseEntry{}
+		c.entries[key] = ent
+	}
+	ent.hits++
+	fb := ent.fb
+	build := fb == nil && ent.hits >= tableThreshold && c.tables < maxTables
+	c.mu.Unlock()
+	if !build {
+		return fb
+	}
+
+	built := mathx.NewFixedBase(m, g.P, tableExpBits)
+	c.mu.Lock()
+	if ent.fb == nil && c.tables < maxTables {
+		ent.fb = built
+		c.tables++
+	}
+	fb = ent.fb
+	c.mu.Unlock()
+	return fb
+}
+
+// evictLocked drops tableless entries until the counter map is at half
+// capacity. Map iteration order is random, which is exactly the cheap
+// uniform eviction wanted here. Caller holds c.mu.
+func (c *baseCache) evictLocked() {
+	target := maxCachedBases / 2
+	for key, ent := range c.entries {
+		if len(c.entries) <= target {
+			return
+		}
+		if ent.fb == nil {
+			delete(c.entries, key)
+		}
+	}
+}
+
+// resetFixedBaseCaches drops every group's cache (tests).
+func resetFixedBaseCaches() {
+	groupCaches.Range(func(k, _ any) bool {
+		groupCaches.Delete(k)
+		return true
+	})
+}

@@ -1,0 +1,151 @@
+package commutative
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"confaudit/internal/mathx"
+	"confaudit/internal/workpool"
+)
+
+// testKey returns a deterministic full-width key and a pooled
+// short-exponent key over the group.
+func testKeys(t *testing.T, g *mathx.Group) []*PHKey {
+	t.Helper()
+	det, err := NewPHKey(rand.New(rand.NewSource(7)), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := NewSessionKey(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*PHKey{det, short}
+}
+
+func testBlocks(key *PHKey, n int) [][]byte {
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = key.EncodeElement([]byte(fmt.Sprintf("element-%d", i)))
+	}
+	return blocks
+}
+
+// TestEncryptBlocksMatchesSerial pins the batch API to the serial loop
+// byte for byte, for worker counts 1, 4, and GOMAXPROCS, for both
+// full-width and pooled short-exponent keys. Run under -race by the
+// pre-merge gate.
+func TestEncryptBlocksMatchesSerial(t *testing.T) {
+	defer func(p *workpool.Pool) { pool = p }(pool)
+	g := mathx.Oakley768
+	for _, key := range testKeys(t, g) {
+		blocks := testBlocks(key, 37)
+		want := make([][]byte, len(blocks))
+		for i, b := range blocks {
+			enc, err := key.Encrypt(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = enc
+		}
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			pool = workpool.New(workers)
+			got, err := key.EncryptBlocks(blocks)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("workers=%d: block %d differs from serial encryption", workers, i)
+				}
+			}
+			dec, err := key.DecryptBlocks(got)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for i := range blocks {
+				if !bytes.Equal(dec[i], blocks[i]) {
+					t.Fatalf("workers=%d: DecryptBlocks does not invert block %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFixedBaseTableMatchesPlainExp drives the same bases past the
+// table threshold and pins the cached path to plain Exp: encryptions
+// of a block must be identical on the 1st sighting (no table), the
+// 2nd (table just built), and the 20th (table hot), under several
+// independent keys.
+func TestFixedBaseTableMatchesPlainExp(t *testing.T) {
+	resetFixedBaseCaches()
+	defer resetFixedBaseCaches()
+	g := mathx.Oakley768
+	keys := make([]*PHKey, 3)
+	for i := range keys {
+		k, err := NewSessionKey(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	blocks := testBlocks(keys[0], 9)
+	// Reference ciphertexts via the raw exponentiation, bypassing the
+	// cache entirely.
+	reference := func(k *PHKey, block []byte) []byte {
+		m, err := k.parseBlock(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k.marshalBlock(new(big.Int).Exp(m, k.e, g.P))
+	}
+	for round := 0; round < 20; round++ {
+		for _, k := range keys {
+			for i, b := range blocks {
+				got, err := k.Encrypt(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := reference(k, b); !bytes.Equal(got, want) {
+					t.Fatalf("round %d key %p block %d: cached path diverged from plain Exp", round, k, i)
+				}
+			}
+		}
+	}
+	// The repeated bases must actually have built tables.
+	c := cacheFor(g)
+	c.mu.Lock()
+	tables := c.tables
+	c.mu.Unlock()
+	if tables == 0 {
+		t.Fatal("no fixed-base tables were built after 20 rounds over stable bases")
+	}
+}
+
+// TestFixedBaseCacheBounded floods the cache with one-shot bases and
+// checks the counter map stays within its bound.
+func TestFixedBaseCacheBounded(t *testing.T) {
+	resetFixedBaseCaches()
+	defer resetFixedBaseCaches()
+	g := mathx.Oakley768
+	k, err := NewSessionKey(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxCachedBases+512; i++ {
+		if _, err := k.Encrypt(k.EncodeElement([]byte(fmt.Sprintf("oneshot-%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := cacheFor(g)
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	if n > maxCachedBases {
+		t.Fatalf("cache holds %d entries, bound is %d", n, maxCachedBases)
+	}
+}

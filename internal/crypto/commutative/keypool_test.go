@@ -24,8 +24,8 @@ func TestPooledKeyRoundTripAndCommute(t *testing.T) {
 	if k1.e.Cmp(k2.e) == 0 {
 		t.Fatal("pool handed out the same exponent twice")
 	}
-	if k1.e.BitLen() != shortExpBits {
-		t.Fatalf("pooled exponent has %d bits, want %d", k1.e.BitLen(), shortExpBits)
+	if want := shortExpBitsFor(g.P.BitLen()); k1.e.BitLen() != want {
+		t.Fatalf("pooled exponent has %d bits, want %d", k1.e.BitLen(), want)
 	}
 	m := k1.EncodeElement([]byte("paper-element-e"))
 	c1, err := k1.Encrypt(m)

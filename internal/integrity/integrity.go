@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/big"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"confaudit/internal/crypto/accumulator"
@@ -174,14 +175,32 @@ type Report struct {
 // Clean reports whether the sweep found no problems.
 func (r *Report) Clean() bool { return len(r.Corrupted) == 0 && len(r.Errors) == 0 }
 
-// CheckAll sweeps the given glsns. Mismatches are collected rather than
-// aborting the sweep.
+// checkAllParallelism bounds how many circulations a sweep keeps in
+// flight at once. Per-check sessions are collision-free (checkSeq), so
+// overlapping circulations interleave safely on the ring; the bound
+// keeps a large sweep from flooding peers' mailboxes.
+var checkAllParallelism = 8
+
+// CheckAll sweeps the given glsns, keeping several circulations in
+// flight so ring latency overlaps. Mismatches are collected rather than
+// aborting the sweep; the report lists corrupted glsns in input order.
 func CheckAll(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store, glsns []logmodel.GLSN) *Report {
-	rep := &Report{Errors: make(map[logmodel.GLSN]error)}
-	for _, g := range glsns {
-		rep.Checked++
-		err := Check(ctx, mb, ring, params, store, g)
-		switch {
+	rep := &Report{Checked: len(glsns), Errors: make(map[logmodel.GLSN]error)}
+	errs := make([]error, len(glsns))
+	sem := make(chan struct{}, checkAllParallelism)
+	var wg sync.WaitGroup
+	for i, g := range glsns {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, g logmodel.GLSN) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = Check(ctx, mb, ring, params, store, g)
+		}(i, g)
+	}
+	wg.Wait()
+	for i, g := range glsns {
+		switch err := errs[i]; {
 		case err == nil:
 		case errors.Is(err, ErrNoDigest) || errors.Is(err, ErrFragmentMissing):
 			rep.Errors[g] = err

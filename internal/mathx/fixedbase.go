@@ -1,0 +1,119 @@
+package mathx
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Fixed-base windowed exponentiation (Yao's method). A FixedBase
+// precomputes the power table
+//
+//	T[i] = base^(2^(w·i)) mod m,  w = 4
+//
+// once; every later base^e then costs only multiplications — one per
+// nonzero radix-16 digit of e plus 2·15 for the digit-value fold —
+// instead of the |e| squarings a general modular exponentiation pays.
+// The table build costs one full-width exponentiation worth of
+// squarings, so a base amortizes after its second use.
+//
+// This is the standard optimization for the DLA hot paths where the
+// BASE repeats while the exponent varies: re-encrypting the same
+// HashToQR-encoded elements under fresh session keys query after
+// query, and folding the agreed accumulator base X0 at the start of
+// every integrity circulation.
+type FixedBase struct {
+	mod    *big.Int
+	table  []*big.Int // table[i] = base^(16^i) mod mod
+	window uint
+}
+
+const fixedBaseWindow = 4
+
+// NewFixedBase precomputes the powers of base modulo mod covering
+// exponents up to maxExpBits bits. base is reduced modulo mod.
+func NewFixedBase(base, mod *big.Int, maxExpBits int) *FixedBase {
+	if mod == nil || mod.Sign() <= 0 || maxExpBits <= 0 {
+		return nil
+	}
+	digits := (maxExpBits + fixedBaseWindow - 1) / fixedBaseWindow
+	fb := &FixedBase{
+		mod:    mod,
+		table:  make([]*big.Int, digits),
+		window: fixedBaseWindow,
+	}
+	sixteen := big.NewInt(1 << fixedBaseWindow)
+	cur := new(big.Int).Mod(base, mod)
+	for i := 0; i < digits; i++ {
+		fb.table[i] = cur
+		if i < digits-1 {
+			cur = new(big.Int).Exp(cur, sixteen, mod)
+		}
+	}
+	return fb
+}
+
+// Covers reports whether the table spans exponents of e's width.
+func (fb *FixedBase) Covers(e *big.Int) bool {
+	return fb != nil && e != nil && e.Sign() >= 0 &&
+		(e.BitLen()+int(fb.window)-1)/int(fb.window) <= len(fb.table)
+}
+
+// fbScratch holds the per-evaluation temporaries of Exp. The Yao fold
+// performs ~|e|/4 + 15 modular multiplications; routing each reduction
+// through a pooled quotient (QuoRem reuses its receivers' storage)
+// instead of Int.Mod (which allocates a fresh quotient every call)
+// keeps the fold at a handful of allocations per exponentiation.
+type fbScratch struct {
+	digits []byte
+	b      big.Int // digit-v product accumulator
+	prod   big.Int // unreduced multiplication result
+	q      big.Int // discarded quotient of each reduction
+}
+
+var fbScratchPool = sync.Pool{New: func() any { return new(fbScratch) }}
+
+// Exp computes base^e mod m from the table, or nil when the table does
+// not cover e (caller falls back to big.Int.Exp). The result is the
+// canonical least non-negative residue, identical to big.Int.Exp's.
+func (fb *FixedBase) Exp(e *big.Int) *big.Int {
+	if !fb.Covers(e) {
+		return nil
+	}
+	if e.Sign() == 0 {
+		return new(big.Int).Mod(big.NewInt(1), fb.mod)
+	}
+	sc := fbScratchPool.Get().(*fbScratch)
+	// Radix-16 digits of e, low to high.
+	digits := sc.digits[:0]
+	for _, w := range e.Bits() {
+		for s := 0; s < bitsPerWord; s += fixedBaseWindow {
+			digits = append(digits, byte((w>>uint(s))&0xF))
+		}
+	}
+	// Trim high zero digits.
+	for len(digits) > 0 && digits[len(digits)-1] == 0 {
+		digits = digits[:len(digits)-1]
+	}
+	// Yao's evaluation: result = Π_{v=15..1} (Π_{d_i=v} T[i])^v,
+	// computed as A ← A·B with B accumulating the digit-v products.
+	// A is freshly allocated (it is returned); B and the reduction
+	// temporaries live in the pooled scratch.
+	a := new(big.Int).SetInt64(1)
+	b := sc.b.SetInt64(1)
+	for v := byte(15); v >= 1; v-- {
+		for i, d := range digits {
+			if d == v {
+				sc.prod.Mul(b, fb.table[i])
+				sc.q.QuoRem(&sc.prod, fb.mod, b)
+			}
+		}
+		sc.prod.Mul(a, b)
+		sc.q.QuoRem(&sc.prod, fb.mod, a)
+	}
+	sc.digits = digits
+	fbScratchPool.Put(sc)
+	return a
+}
+
+// bitsPerWord is the width of a big.Word on this platform.
+const bitsPerWord = 32 << (^big.Word(0) >> 63)

@@ -1,0 +1,89 @@
+package mathx
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestFixedBaseMatchesExp(t *testing.T) {
+	g := Oakley768
+	for trial := 0; trial < 8; trial++ {
+		base, err := rand.Int(rand.Reader, g.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := NewFixedBase(base, g.P, 256)
+		for _, bits := range []int{1, 7, 64, 144, 255, 256} {
+			e, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fb.Exp(e)
+			want := new(big.Int).Exp(base, e, g.P)
+			if got == nil || got.Cmp(want) != 0 {
+				t.Fatalf("bits=%d: fixed-base %v != Exp %v", bits, got, want)
+			}
+		}
+	}
+}
+
+func TestFixedBaseEdgeCases(t *testing.T) {
+	p := big.NewInt(101)
+	fb := NewFixedBase(big.NewInt(7), p, 16)
+	if got := fb.Exp(big.NewInt(0)); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("e=0: got %v, want 1", got)
+	}
+	if got := fb.Exp(big.NewInt(1)); got.Cmp(big.NewInt(7)) != 0 {
+		t.Fatalf("e=1: got %v, want 7", got)
+	}
+	// An exponent wider than the table is refused, not mis-evaluated.
+	wide := new(big.Int).Lsh(big.NewInt(1), 40)
+	if fb.Covers(wide) {
+		t.Fatal("table claims to cover a 41-bit exponent with a 16-bit table")
+	}
+	if got := fb.Exp(wide); got != nil {
+		t.Fatalf("out-of-range exponent evaluated to %v, want nil", got)
+	}
+	if fb.Exp(big.NewInt(-3)) != nil {
+		t.Fatal("negative exponent must be refused")
+	}
+	if NewFixedBase(big.NewInt(3), nil, 16) != nil {
+		t.Fatal("nil modulus must yield nil table")
+	}
+}
+
+func TestFixedBaseSmallModulusExhaustive(t *testing.T) {
+	p := big.NewInt(2579) // prime
+	for base := int64(1); base < 40; base += 3 {
+		fb := NewFixedBase(big.NewInt(base), p, 24)
+		for e := int64(0); e < 300; e += 7 {
+			got := fb.Exp(big.NewInt(e))
+			want := new(big.Int).Exp(big.NewInt(base), big.NewInt(e), p)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("base=%d e=%d: got %v want %v", base, e, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkExpPlain144(b *testing.B)     { benchExp(b, 144, false) }
+func BenchmarkExpFixedBase144(b *testing.B) { benchExp(b, 144, true) }
+func BenchmarkExpPlain768(b *testing.B)     { benchExp(b, 768, false) }
+func BenchmarkExpFixedBase768(b *testing.B) { benchExp(b, 768, true) }
+
+func benchExp(b *testing.B, bits int, fixed bool) {
+	g := Oakley768
+	base, _ := rand.Int(rand.Reader, g.P)
+	e, _ := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+	e.SetBit(e, bits-1, 1)
+	fb := NewFixedBase(base, g.P, bits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fixed {
+			fb.Exp(e)
+		} else {
+			new(big.Int).Exp(base, e, g.P)
+		}
+	}
+}

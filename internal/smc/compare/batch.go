@@ -8,6 +8,7 @@ import (
 
 	"confaudit/internal/smc"
 	"confaudit/internal/transport"
+	"confaudit/internal/workpool"
 )
 
 // Batch comparison: two holders each hold a value per shared key (in
@@ -100,10 +101,13 @@ func BatchCompare(ctx context.Context, mb *transport.Mailbox, cfg BatchConfig, k
 		return nil, err
 	}
 	ws := make([]string, len(values))
-	for i, v := range values {
-		w := new(big.Int).Mul(a, v)
+	if err := workpool.Map(len(values), func(i int) error {
+		w := new(big.Int).Mul(a, values[i])
 		w.Add(w, b)
 		ws[i] = smc.EncodeBig(w)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if err := send(ctx, mb, cfg.TTP, msgSubmitBatch, cfg.Session, batchSubmitBody{Keys: keys, Ws: ws}); err != nil {
 		return nil, err
@@ -154,7 +158,7 @@ func ServeBatchCompare(ctx context.Context, mb *transport.Mailbox, cfg BatchConf
 		return fmt.Errorf("%w: submission width mismatch", smc.ErrProtocol)
 	}
 	verdict := batchVerdictBody{Keys: s0.Keys, Signs: make([]int, len(s0.Keys))}
-	for i := range s0.Keys {
+	if err := workpool.Map(len(s0.Keys), func(i int) error {
 		if s0.Keys[i] != s1.Keys[i] {
 			return fmt.Errorf("%w: key order mismatch at %d", smc.ErrProtocol, i)
 		}
@@ -167,6 +171,9 @@ func ServeBatchCompare(ctx context.Context, mb *transport.Mailbox, cfg BatchConf
 			return err
 		}
 		verdict.Signs[i] = w0.Cmp(w1)
+		return nil
+	}); err != nil {
+		return err
 	}
 	for _, h := range cfg.Holders {
 		if err := send(ctx, mb, h, msgVerdictBatch, cfg.Session, verdict); err != nil {

@@ -79,7 +79,11 @@ func TestChunkedRelayInterop(t *testing.T) {
 func TestLegacySingleChunkAccepted(t *testing.T) {
 	r := &reassembly{}
 	body := relayBody{Origin: "P9", Hops: 1, Blocks: [][]byte{[]byte("b0"), []byte("b1")}}
-	done, err := r.add(&body)
+	blocks, err := body.blockSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := r.add(&body, blocks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,146 @@
+package intersect
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"confaudit/internal/mathx"
+	"confaudit/internal/transport"
+)
+
+// runMixedTCP drives a 3-node intersection over real TCP where P3 runs
+// a JSON-only (legacy) transport: it never advertises the binary codec
+// and rejects binary frames, so the run only completes if the
+// binary-capable nodes correctly negotiate per peer and keep the packed
+// relay bodies decodable from plain JSON.
+func runMixedTCP(t *testing.T, session string, sets map[string][][]byte) map[string]*Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ring := []string{"P1", "P2", "P3"}
+	addrs := map[string]string{"P1": "127.0.0.1:0", "P2": "127.0.0.1:0", "P3": "127.0.0.1:0"}
+
+	// Each node gets its own TCPNetwork (its own process's view of the
+	// address book); P3's is pinned to the legacy JSON codec.
+	nets := make(map[string]*transport.TCPNetwork, len(ring))
+	eps := make(map[string]transport.Endpoint, len(ring))
+	for _, node := range ring {
+		n := transport.NewTCPNetwork(addrs)
+		if node == "P3" {
+			n.SetJSONOnly(true)
+		}
+		ep, err := n.Endpoint(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close() //nolint:errcheck
+		nets[node], eps[node] = n, ep
+		// Propagate the actual bound address (":0" ephemeral ports) to
+		// the views created so far and to later ones via addrs.
+		addrs[node] = ep.(interface{ Addr() string }).Addr()
+		for _, other := range nets {
+			other.Register(node, addrs[node])
+		}
+	}
+
+	cfg := Config{
+		Group:     mathx.Oakley768,
+		Ring:      ring,
+		Receivers: ring,
+		Session:   session,
+	}
+	results := make(map[string]*Result, len(ring))
+	errs := make(map[string]error, len(ring))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, node := range ring {
+		mb := transport.NewMailbox(eps[node])
+		defer mb.Close() //nolint:errcheck
+		wg.Add(1)
+		go func(node string, mb *transport.Mailbox) {
+			defer wg.Done()
+			res, err := Run(ctx, mb, cfg, sets[node])
+			mu.Lock()
+			defer mu.Unlock()
+			results[node] = res
+			errs[node] = err
+		}(node, mb)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("party %s: %v", node, err)
+		}
+	}
+	return results
+}
+
+// TestMixedClusterInterop runs the full protocol across a binary-codec
+// cluster containing one JSON-only node, in both the chunked framing
+// (chunk size 2 forces multi-chunk streams) and the default single
+// chunk framing.
+func TestMixedClusterInterop(t *testing.T) {
+	sets := map[string][][]byte{
+		"P1": {[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")},
+		"P2": {[]byte("b"), []byte("c"), []byte("d"), []byte("e"), []byte("f")},
+		"P3": {[]byte("c"), []byte("d"), []byte("e"), []byte("f"), []byte("g")},
+	}
+	want := []string{"c", "d", "e"}
+
+	t.Run("chunked", func(t *testing.T) {
+		defer SetRelayChunkSize(2)()
+		results := runMixedTCP(t, "interop/chunked", sets)
+		for node, res := range results {
+			if got := sortedStrings(res.Plaintext); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("%s: intersection %v, want %v", node, got, want)
+			}
+		}
+	})
+	t.Run("single chunk", func(t *testing.T) {
+		results := runMixedTCP(t, "interop/single", sets)
+		for node, res := range results {
+			if got := sortedStrings(res.Plaintext); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("%s: intersection %v, want %v", node, got, want)
+			}
+		}
+	})
+}
+
+// TestLegacyUnframedRelayDecodes pins the other compatibility axis: a
+// relay body with neither chunk framing (Total 0, pre-chunking senders)
+// nor packed blocks decodes as one complete element-wise set.
+func TestLegacyUnframedRelayDecodes(t *testing.T) {
+	payload, err := transport.Marshal(map[string]any{
+		"origin": "P9",
+		"hops":   1,
+		"blocks": [][]byte{[]byte("b0"), []byte("b1")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body relayBody
+	if err := transport.Unmarshal(payload, &body); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := body.blockSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &reassembly{}
+	done, err := r.add(&body, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("legacy unframed body did not complete the stream")
+	}
+	got := r.assemble()
+	if len(got) != 2 || string(got[0]) != "b0" || string(got[1]) != "b1" {
+		t.Fatalf("assembled %q", got)
+	}
+}

@@ -121,13 +121,42 @@ var relayChunkSize = 64
 
 // relayBody is one relayed chunk. Seq/Total are the chunk framing,
 // versioned for wire compatibility: a body without them (Total 0, the
-// pre-chunking encoding) is a complete single-chunk set.
+// pre-chunking encoding) is a complete single-chunk set. Blocks is the
+// legacy element-wise encoding; current senders pack the fixed-width
+// ciphertext blocks into the single Packed run (width BlockLen), and
+// decoders accept either.
 type relayBody struct {
-	Origin string   `json:"origin"`
-	Hops   int      `json:"hops"`
-	Blocks [][]byte `json:"blocks"`
-	Seq    int      `json:"seq,omitempty"`
-	Total  int      `json:"total,omitempty"`
+	Origin   string   `json:"origin"`
+	Hops     int      `json:"hops"`
+	Blocks   [][]byte `json:"blocks,omitempty"`
+	Packed   []byte   `json:"packed,omitempty"`
+	BlockLen int      `json:"block_len,omitempty"`
+	Seq      int      `json:"seq,omitempty"`
+	Total    int      `json:"total,omitempty"`
+}
+
+// newRelayBody builds a chunk body, preferring the packed encoding and
+// falling back to element-wise blocks if they are not uniform width.
+func newRelayBody(origin string, hops int, blocks [][]byte, seq, total int) relayBody {
+	b := relayBody{Origin: origin, Hops: hops, Seq: seq, Total: total}
+	if packed, width, ok := smc.PackBlocks(blocks); ok {
+		b.Packed, b.BlockLen = packed, width
+	} else {
+		b.Blocks = blocks
+	}
+	return b
+}
+
+// blockSlice returns the chunk's blocks regardless of which encoding
+// the sender used.
+func (b *relayBody) blockSlice() ([][]byte, error) {
+	if len(b.Packed) > 0 {
+		if len(b.Blocks) > 0 {
+			return nil, fmt.Errorf("%w: origin %s sent both packed and element-wise blocks", smc.ErrProtocol, b.Origin)
+		}
+		return smc.UnpackBlocks(b.Packed, b.BlockLen)
+	}
+	return b.Blocks, nil
 }
 
 // chunkTotal normalizes the legacy encoding.
@@ -160,7 +189,7 @@ type reassembly struct {
 
 // add records a chunk, validating the framing against what was already
 // seen. It reports whether the origin's set is now complete.
-func (r *reassembly) add(body *relayBody) (bool, error) {
+func (r *reassembly) add(body *relayBody, blocks [][]byte) (bool, error) {
 	total := body.chunkTotal()
 	if r.chunks == nil {
 		r.total = total
@@ -175,7 +204,7 @@ func (r *reassembly) add(body *relayBody) (bool, error) {
 	if _, dup := r.chunks[body.Seq]; dup {
 		return false, fmt.Errorf("%w: origin %s repeated chunk %d", smc.ErrProtocol, body.Origin, body.Seq)
 	}
-	r.chunks[body.Seq] = body.Blocks
+	r.chunks[body.Seq] = blocks
 	return len(r.chunks) == r.total, nil
 }
 
@@ -188,9 +217,33 @@ func (r *reassembly) assemble() [][]byte {
 	return out
 }
 
+// finalBody publishes one party's fully-encrypted set, with the same
+// packed/legacy dual encoding as relayBody.
 type finalBody struct {
-	Origin string   `json:"origin"`
-	Blocks [][]byte `json:"blocks"`
+	Origin   string   `json:"origin"`
+	Blocks   [][]byte `json:"blocks,omitempty"`
+	Packed   []byte   `json:"packed,omitempty"`
+	BlockLen int      `json:"block_len,omitempty"`
+}
+
+func newFinalBody(origin string, blocks [][]byte) finalBody {
+	b := finalBody{Origin: origin}
+	if packed, width, ok := smc.PackBlocks(blocks); ok {
+		b.Packed, b.BlockLen = packed, width
+	} else {
+		b.Blocks = blocks
+	}
+	return b
+}
+
+func (b *finalBody) blockSlice() ([][]byte, error) {
+	if len(b.Packed) > 0 {
+		if len(b.Blocks) > 0 {
+			return nil, fmt.Errorf("%w: origin %s sent both packed and element-wise blocks", smc.ErrProtocol, b.Origin)
+		}
+		return smc.UnpackBlocks(b.Packed, b.BlockLen)
+	}
+	return b.Blocks, nil
 }
 
 // Run executes one party's role in the protocol. Every ring member must
@@ -228,12 +281,12 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	for seq, chunk := range myChunks {
 		csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
 		chunkStart := time.Now()
-		enc, err := commutative.EncryptAll(key, chunk)
+		enc, err := key.EncryptBlocks(chunk)
 		if err != nil {
 			csp.End(err)
 			return nil, fmt.Errorf("intersect: encrypting local set: %w", err)
 		}
-		body := relayBody{Origin: self, Hops: 1, Blocks: enc, Seq: seq, Total: len(myChunks)}
+		body := newRelayBody(self, 1, enc, seq, len(myChunks))
 		err = send(ctx, mb, next, msgRelay, cfg.Session, body)
 		smc.ObserveRelayChunk(csp, chunkStart, next, seq, len(myChunks), enc, err)
 		if err != nil {
@@ -256,6 +309,10 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 			return nil, err
 		}
+		chunkBlocks, err := body.blockSlice()
+		if err != nil {
+			return nil, err
+		}
 		if body.Origin == self {
 			if body.Hops != n {
 				return nil, fmt.Errorf("%w: own set returned after %d of %d encryptions", smc.ErrProtocol, body.Hops, n)
@@ -263,12 +320,12 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		} else {
 			csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
 			chunkStart := time.Now()
-			enc, err := commutative.EncryptAll(key, body.Blocks)
+			enc, err := key.EncryptBlocks(chunkBlocks)
 			if err != nil {
 				csp.End(err)
 				return nil, fmt.Errorf("intersect: re-encrypting set from %s: %w", body.Origin, err)
 			}
-			fwd := relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc, Seq: body.Seq, Total: body.Total}
+			fwd := newRelayBody(body.Origin, body.Hops+1, enc, body.Seq, body.Total)
 			err = send(ctx, mb, next, msgRelay, cfg.Session, fwd)
 			smc.ObserveRelayChunk(csp, chunkStart, next, body.Seq, body.chunkTotal(), enc, err)
 			if err != nil {
@@ -280,7 +337,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 			r = &reassembly{}
 			streams[body.Origin] = r
 		}
-		done, err := r.add(&body)
+		done, err := r.add(&body, chunkBlocks)
 		if err != nil {
 			return nil, err
 		}
@@ -297,13 +354,14 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	}
 
 	// Publish the fully-encrypted set to every receiver and observer.
+	myFinalBody := newFinalBody(self, myFinal)
 	for _, r := range cfg.Receivers {
-		if err := send(ctx, mb, r, msgFinal, cfg.Session, finalBody{Origin: self, Blocks: myFinal}); err != nil {
+		if err := send(ctx, mb, r, msgFinal, cfg.Session, myFinalBody); err != nil {
 			return nil, err
 		}
 	}
 	for _, o := range cfg.Observers {
-		if err := send(ctx, mb, o, msgFinal, cfg.Session, finalBody{Origin: self, Blocks: myFinal}); err != nil {
+		if err := send(ctx, mb, o, msgFinal, cfg.Session, myFinalBody); err != nil {
 			return nil, err
 		}
 	}
@@ -326,7 +384,11 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		if msg.From != body.Origin {
 			return nil, fmt.Errorf("%w: node %s published a set claiming origin %s", smc.ErrProtocol, msg.From, body.Origin)
 		}
-		finals[body.Origin] = body.Blocks
+		fb, err := body.blockSlice()
+		if err != nil {
+			return nil, err
+		}
+		finals[body.Origin] = fb
 	}
 
 	common := intersectAll(cfg.Ring, finals)
@@ -368,7 +430,11 @@ func Observe(ctx context.Context, mb *transport.Mailbox, cfg Config) (int, error
 		if msg.From != body.Origin {
 			return 0, fmt.Errorf("%w: node %s published a set claiming origin %s", smc.ErrProtocol, msg.From, body.Origin)
 		}
-		finals[body.Origin] = body.Blocks
+		fb, err := body.blockSlice()
+		if err != nil {
+			return 0, err
+		}
+		finals[body.Origin] = fb
 	}
 	return len(intersectAll(cfg.Ring, finals)), nil
 }

@@ -22,6 +22,7 @@ import (
 	"confaudit/internal/crypto/shamir"
 	"confaudit/internal/smc"
 	"confaudit/internal/transport"
+	"confaudit/internal/workpool"
 )
 
 // Message types on the wire.
@@ -110,23 +111,29 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, value *big.Int)
 	if err != nil {
 		return nil, fmt.Errorf("sum: splitting local value: %w", err)
 	}
-	// Apply this party's public weight to its own polynomial shares.
-	// Scaling every share by α_i scales the whole polynomial, so
-	// F = Σ α_i f_i has constant term Σ α_i a_i, as in the paper.
-	if cfg.Weights != nil {
-		for j := range shares {
+	// Apply this party's public weight to its own polynomial shares
+	// (scaling every share by α_i scales the whole polynomial, so
+	// F = Σ α_i f_i has constant term Σ α_i a_i, as in the paper) and
+	// encode the per-party bodies, fanned over the worker pool.
+	bodies := make([]shareBody, n)
+	if err := workpool.Map(n, func(j int) error {
+		if cfg.Weights != nil {
+			var err error
 			shares[j], err = shamir.ScaleShare(cfg.P, shares[j], cfg.Weights[selfIdx])
 			if err != nil {
-				return nil, fmt.Errorf("sum: weighting share: %w", err)
+				return fmt.Errorf("sum: weighting share: %w", err)
 			}
 		}
+		bodies[j] = shareBody{X: smc.EncodeBig(shares[j].X), Y: smc.EncodeBig(shares[j].Y)}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for j, party := range cfg.Parties {
 		if party == self {
 			continue
 		}
-		body := shareBody{X: smc.EncodeBig(shares[j].X), Y: smc.EncodeBig(shares[j].Y)}
-		if err := send(ctx, mb, party, msgShare, cfg.Session, body); err != nil {
+		if err := send(ctx, mb, party, msgShare, cfg.Session, bodies[j]); err != nil {
 			return nil, err
 		}
 	}

@@ -128,13 +128,40 @@ func ExtractElement(block []byte) ([]byte, error) {
 var relayChunkSize = 64
 
 // relayBody is one relayed chunk; Total 0 is the pre-chunking encoding
-// (a complete single-chunk set), kept for wire compatibility.
+// (a complete single-chunk set), kept for wire compatibility. Blocks is
+// the legacy element-wise encoding; current senders pack the uniform
+// ciphertext blocks into Packed (width BlockLen), and decoders accept
+// either.
 type relayBody struct {
-	Origin string   `json:"origin"`
-	Hops   int      `json:"hops"`
-	Blocks [][]byte `json:"blocks"`
-	Seq    int      `json:"seq,omitempty"`
-	Total  int      `json:"total,omitempty"`
+	Origin   string   `json:"origin"`
+	Hops     int      `json:"hops"`
+	Blocks   [][]byte `json:"blocks,omitempty"`
+	Packed   []byte   `json:"packed,omitempty"`
+	BlockLen int      `json:"block_len,omitempty"`
+	Seq      int      `json:"seq,omitempty"`
+	Total    int      `json:"total,omitempty"`
+}
+
+// newRelayBody builds a chunk body, preferring the packed encoding.
+func newRelayBody(origin string, hops int, blocks [][]byte, seq, total int) relayBody {
+	b := relayBody{Origin: origin, Hops: hops, Seq: seq, Total: total}
+	if packed, width, ok := smc.PackBlocks(blocks); ok {
+		b.Packed, b.BlockLen = packed, width
+	} else {
+		b.Blocks = blocks
+	}
+	return b
+}
+
+// blockSlice returns the chunk's blocks regardless of encoding.
+func (b *relayBody) blockSlice() ([][]byte, error) {
+	if len(b.Packed) > 0 {
+		if len(b.Blocks) > 0 {
+			return nil, fmt.Errorf("%w: origin %s sent both packed and element-wise blocks", smc.ErrProtocol, b.Origin)
+		}
+		return smc.UnpackBlocks(b.Packed, b.BlockLen)
+	}
+	return b.Blocks, nil
 }
 
 func (b *relayBody) chunkTotal() int {
@@ -162,7 +189,7 @@ type reassembly struct {
 	chunks map[int][][]byte
 }
 
-func (r *reassembly) add(body *relayBody) (bool, error) {
+func (r *reassembly) add(body *relayBody, blocks [][]byte) (bool, error) {
 	total := body.chunkTotal()
 	if r.chunks == nil {
 		r.total = total
@@ -177,7 +204,7 @@ func (r *reassembly) add(body *relayBody) (bool, error) {
 	if _, dup := r.chunks[body.Seq]; dup {
 		return false, fmt.Errorf("%w: origin %s repeated chunk %d", smc.ErrProtocol, body.Origin, body.Seq)
 	}
-	r.chunks[body.Seq] = body.Blocks
+	r.chunks[body.Seq] = blocks
 	return len(r.chunks) == r.total, nil
 }
 
@@ -189,9 +216,35 @@ func (r *reassembly) assemble() [][]byte {
 	return out
 }
 
+// blocksBody carries a whole block batch (collect, decrypt, and result
+// phases), with the same packed/legacy dual encoding as relayBody.
+// Result batches hold variable-length plaintexts and automatically fall
+// back to the element-wise encoding.
 type blocksBody struct {
-	Hops   int      `json:"hops"`
-	Blocks [][]byte `json:"blocks"`
+	Hops     int      `json:"hops"`
+	Blocks   [][]byte `json:"blocks,omitempty"`
+	Packed   []byte   `json:"packed,omitempty"`
+	BlockLen int      `json:"block_len,omitempty"`
+}
+
+func newBlocksBody(hops int, blocks [][]byte) blocksBody {
+	b := blocksBody{Hops: hops}
+	if packed, width, ok := smc.PackBlocks(blocks); ok {
+		b.Packed, b.BlockLen = packed, width
+	} else {
+		b.Blocks = blocks
+	}
+	return b
+}
+
+func (b *blocksBody) blockSlice() ([][]byte, error) {
+	if len(b.Packed) > 0 {
+		if len(b.Blocks) > 0 {
+			return nil, fmt.Errorf("%w: batch carries both packed and element-wise blocks", smc.ErrProtocol)
+		}
+		return smc.UnpackBlocks(b.Packed, b.BlockLen)
+	}
+	return b.Blocks, nil
 }
 
 // Run executes one party's role. Every ring member calls Run
@@ -241,12 +294,12 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	for seq, chunk := range myChunks {
 		csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
 		chunkStart := time.Now()
-		enc, err := commutative.EncryptAll(key, chunk)
+		enc, err := key.EncryptBlocks(chunk)
 		if err != nil {
 			csp.End(err)
 			return nil, fmt.Errorf("union: encrypting local set: %w", err)
 		}
-		body := relayBody{Origin: self, Hops: 1, Blocks: enc, Seq: seq, Total: len(myChunks)}
+		body := newRelayBody(self, 1, enc, seq, len(myChunks))
 		err = send(ctx, mb, next, msgRelay, cfg.Session, body)
 		smc.ObserveRelayChunk(csp, chunkStart, next, seq, len(myChunks), enc, err)
 		if err != nil {
@@ -264,6 +317,10 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 			return nil, err
 		}
+		chunkBlocks, err := body.blockSlice()
+		if err != nil {
+			return nil, err
+		}
 		if body.Origin == self {
 			if body.Hops != n {
 				return nil, fmt.Errorf("%w: own set returned after %d of %d encryptions", smc.ErrProtocol, body.Hops, n)
@@ -271,12 +328,12 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		} else {
 			csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
 			chunkStart := time.Now()
-			enc, err := commutative.EncryptAll(key, body.Blocks)
+			enc, err := key.EncryptBlocks(chunkBlocks)
 			if err != nil {
 				csp.End(err)
 				return nil, fmt.Errorf("union: re-encrypting set from %s: %w", body.Origin, err)
 			}
-			fwd := relayBody{Origin: body.Origin, Hops: body.Hops + 1, Blocks: enc, Seq: body.Seq, Total: body.Total}
+			fwd := newRelayBody(body.Origin, body.Hops+1, enc, body.Seq, body.Total)
 			err = send(ctx, mb, next, msgRelay, cfg.Session, fwd)
 			smc.ObserveRelayChunk(csp, chunkStart, next, body.Seq, body.chunkTotal(), enc, err)
 			if err != nil {
@@ -288,7 +345,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 			r = &reassembly{}
 			streams[body.Origin] = r
 		}
-		done, err := r.add(&body)
+		done, err := r.add(&body, chunkBlocks)
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +360,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	// Phase 2: every party ships its fully-encrypted set to the
 	// collector, which dedups and sorts (sorting erases contribution
 	// order, hence ownership).
-	if err := send(ctx, mb, collector, msgCollect, cfg.Session, blocksBody{Blocks: myFinal}); err != nil {
+	if err := send(ctx, mb, collector, msgCollect, cfg.Session, newBlocksBody(0, myFinal)); err != nil {
 		return nil, err
 	}
 	if self == collector {
@@ -317,7 +374,11 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 			if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 				return nil, err
 			}
-			for _, b := range body.Blocks {
+			bs, err := body.blockSlice()
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range bs {
 				dedup[string(b)] = b
 			}
 		}
@@ -328,11 +389,11 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		sort.Slice(merged, func(i, j int) bool { return bytes.Compare(merged[i], merged[j]) < 0 })
 		// Start the decryption circulation with the collector's own layer
 		// stripped.
-		dec, err := commutative.DecryptAll(key, merged)
+		dec, err := key.DecryptBlocks(merged)
 		if err != nil {
 			return nil, fmt.Errorf("union: stripping collector layer: %w", err)
 		}
-		if err := send(ctx, mb, next, msgDecrypt, cfg.Session, blocksBody{Hops: 1, Blocks: dec}); err != nil {
+		if err := send(ctx, mb, next, msgDecrypt, cfg.Session, newBlocksBody(1, dec)); err != nil {
 			return nil, err
 		}
 	}
@@ -350,11 +411,15 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 			return nil, err
 		}
-		dec, err := commutative.DecryptAll(key, body.Blocks)
+		bs, err := body.blockSlice()
+		if err != nil {
+			return nil, err
+		}
+		dec, err := key.DecryptBlocks(bs)
 		if err != nil {
 			return nil, fmt.Errorf("union: stripping layer: %w", err)
 		}
-		if err := send(ctx, mb, next, msgDecrypt, cfg.Session, blocksBody{Hops: body.Hops + 1, Blocks: dec}); err != nil {
+		if err := send(ctx, mb, next, msgDecrypt, cfg.Session, newBlocksBody(body.Hops+1, dec)); err != nil {
 			return nil, err
 		}
 	} else {
@@ -369,8 +434,12 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		if body.Hops != n {
 			return nil, fmt.Errorf("%w: decryption batch returned after %d of %d layers", smc.ErrProtocol, body.Hops, n)
 		}
-		plain = make([][]byte, 0, len(body.Blocks))
-		for _, blk := range body.Blocks {
+		bs, err := body.blockSlice()
+		if err != nil {
+			return nil, err
+		}
+		plain = make([][]byte, 0, len(bs))
+		for _, blk := range bs {
 			el, err := ExtractElement(blk)
 			if err != nil {
 				return nil, fmt.Errorf("union: extracting element: %w", err)
@@ -383,7 +452,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 			if r == self {
 				continue
 			}
-			if err := send(ctx, mb, r, msgResult, cfg.Session, blocksBody{Blocks: plain}); err != nil {
+			if err := send(ctx, mb, r, msgResult, cfg.Session, newBlocksBody(0, plain)); err != nil {
 				return nil, err
 			}
 		}
@@ -403,7 +472,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 		return nil, err
 	}
-	return body.Blocks, nil
+	return body.blockSlice()
 }
 
 func send(ctx context.Context, mb *transport.Mailbox, to, typ, session string, body any) error {

@@ -80,14 +80,33 @@ func TestRedactionFullQuery(t *testing.T) {
 		t.Fatalf("conjunction matched %d records, want 1", len(matches))
 	}
 
+	// Touch the worker-pool gauge so its name is on the surface even on
+	// machines where the shared pool never spawns a worker (GOMAXPROCS
+	// 1: callers run their batches inline).
+	telemetry.M.Gauge(telemetry.GaugeWorkpoolBusy).Set(0)
+
 	// Gather the complete observability surface: the metrics snapshot,
 	// every stored trace as JSON, and every rendered tree.
 	var surface []string
-	mj, err := json.Marshal(telemetry.M.Snapshot())
+	snap := telemetry.M.Snapshot()
+	mj, err := json.Marshal(snap)
 	if err != nil {
 		t.Fatal(err)
 	}
 	surface = append(surface, string(mj))
+
+	// The wire-codec volume counters must have recorded the relayed
+	// ciphertext traffic — sizes only; the redaction checks below verify
+	// nothing beyond the metric names and numbers reached the surface.
+	if snap.Counters[telemetry.CtrCodecBytesSent] == 0 {
+		t.Error("codec_bytes_sent recorded nothing for a ring-relay query")
+	}
+	if snap.Counters[telemetry.CtrCodecBytesSaved] == 0 {
+		t.Error("codec_bytes_saved recorded nothing for a ring-relay query")
+	}
+	if _, ok := snap.Gauges[telemetry.GaugeWorkpoolBusy]; !ok {
+		t.Error("workpool busy gauge missing from the snapshot")
+	}
 	sessions := telemetry.T.Sessions()
 	if len(sessions) == 0 {
 		t.Fatal("no trace sessions recorded")

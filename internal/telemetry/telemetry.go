@@ -75,6 +75,36 @@ func (c *Counter) Value() int64 {
 	return c.n.Load()
 }
 
+// Gauge is an instantaneous level (pool occupancy, queue depth). Unlike
+// Counter it can move both ways; Set is the usual write, Add adjusts.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the level by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Histogram is a latency distribution with fixed exponential buckets.
 type Histogram struct {
 	count   atomic.Int64
@@ -168,16 +198,18 @@ func itoa(n int64) string {
 // compile-time constants (enforced by convention and the redaction
 // test): a name is the only free-form string a metric carries.
 type Registry struct {
-	mu    sync.RWMutex
-	ctrs  map[string]*Counter
-	hists map[string]*Histogram
+	mu     sync.RWMutex
+	ctrs   map[string]*Counter
+	hists  map[string]*Histogram
+	gauges map[string]*Gauge
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		ctrs:  make(map[string]*Counter),
-		hists: make(map[string]*Histogram),
+		ctrs:   make(map[string]*Counter),
+		hists:  make(map[string]*Histogram),
+		gauges: make(map[string]*Gauge),
 	}
 }
 
@@ -222,10 +254,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
 // MetricsSnapshot is the registry's exported state.
 type MetricsSnapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 }
 
 // Snapshot exports every metric.
@@ -235,12 +286,16 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
 		Counters:   make(map[string]int64, len(r.ctrs)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
 	}
 	for name, c := range r.ctrs {
 		s.Counters[name] = c.Value()
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.snapshot()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
 	}
 	return s
 }
@@ -249,11 +304,14 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.ctrs)+len(r.hists))
+	out := make([]string, 0, len(r.ctrs)+len(r.hists)+len(r.gauges))
 	for n := range r.ctrs {
 		out = append(out, n)
 	}
 	for n := range r.hists {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -266,6 +324,7 @@ func (r *Registry) Reset() {
 	defer r.mu.Unlock()
 	r.ctrs = make(map[string]*Counter)
 	r.hists = make(map[string]*Histogram)
+	r.gauges = make(map[string]*Gauge)
 }
 
 // Metric names. Keeping them in one block makes the zero-plaintext
@@ -306,6 +365,18 @@ const (
 	CtrSentBytes = "transport.sent_bytes"
 	CtrRecv      = "transport.recv"
 	CtrRecvBytes = "transport.recv_bytes"
+
+	// Wire codec. codec_bytes_sent counts bytes framed by the compact
+	// binary encodings (binary envelopes on TCP, packed relay blocks on
+	// any transport); codec_bytes_saved is the JSON/base64 inflation
+	// those encodings avoided, computed from the deterministic base64
+	// expansion of the same bytes — sizes only, Definition 1 secondary
+	// information.
+	CtrCodecBytesSent  = "transport.codec_bytes_sent"
+	CtrCodecBytesSaved = "transport.codec_bytes_saved"
+
+	// Worker pool: gauge of workers currently executing a crypto batch.
+	GaugeWorkpoolBusy = "workpool.busy"
 )
 
 // SentTo records one outbound message of the given protocol type and

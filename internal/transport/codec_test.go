@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBinaryEnvelopeRoundTrip(t *testing.T) {
+	cases := []Message{
+		{},
+		{From: "A", To: "B", Type: "intersect.relay", Session: "s1", Payload: []byte(`{"x":1}`)},
+		{From: "P1", To: "P2", Type: "t", Session: "s", ReplyAddr: "127.0.0.1:9000", Codec: CodecBinary, Payload: bytes.Repeat([]byte{0x00, 0xFF, 0x7B, 0xD1}, 64)},
+		{Type: "only-type"},
+		{Payload: []byte{binMagic}},
+	}
+	for i, want := range cases {
+		body := appendBinaryMessage(nil, &want)
+		got, err := decodeBinaryMessage(body)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.From != want.From || got.To != want.To || got.Type != want.Type ||
+			got.Session != want.Session || got.ReplyAddr != want.ReplyAddr ||
+			got.Codec != want.Codec || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestBinaryEnvelopeRejectsMalformed(t *testing.T) {
+	good := appendBinaryMessage(nil, &Message{From: "A", To: "B", Type: "t", Session: "s", Payload: []byte("p")})
+	cases := map[string][]byte{
+		"empty":          {},
+		"magic only":     {binMagic},
+		"wrong magic":    {0x7B, binVersion},
+		"wrong version":  {binMagic, 99},
+		"truncated":      good[:len(good)-1],
+		"trailing bytes": append(append([]byte{}, good...), 0x00),
+		"length overrun": {binMagic, binVersion, 0xFF},
+	}
+	for name, body := range cases {
+		if _, err := decodeBinaryMessage(body); err == nil {
+			t.Errorf("%s: malformed frame accepted", name)
+		}
+	}
+}
+
+func TestBinaryFrameWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	msg := Message{From: "A", To: "B", Type: "t", Session: "s", Payload: []byte("raw \x00 bytes")}
+	if err := writeBinaryFrame(bw, &msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(bufio.NewReader(&buf), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "A" || string(got.Payload) != "raw \x00 bytes" {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func TestBinaryFrameRejectedOnJSONOnlyReader(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	msg := Message{From: "A", To: "B", Type: "t"}
+	if err := writeBinaryFrame(bw, &msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(bufio.NewReader(&buf), false); err == nil {
+		t.Fatal("JSON-only reader accepted a binary frame")
+	}
+}
+
+func TestBinaryFrameTooLargeOnWrite(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	msg := Message{To: "B", Payload: make([]byte, maxFrame+1)}
+	if err := writeBinaryFrame(bw, &msg); err == nil {
+		t.Fatal("oversized binary frame written")
+	}
+}
+
+// TestTCPCodecNegotiation verifies the per-peer upgrade: the first
+// frame toward a peer is JSON (capability unknown), and once the peer's
+// advertisement arrives, subsequent frames switch to binary — while a
+// JSON-only network never upgrades in either direction.
+func TestTCPCodecNegotiation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	addrs := map[string]string{"A": "127.0.0.1:0", "B": "127.0.0.1:0"}
+	netA := NewTCPNetwork(addrs)
+	epA, err := netA.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	netB := NewTCPNetwork(map[string]string{"A": netA.addrs["A"], "B": "127.0.0.1:0"})
+	epB, err := netB.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+	netA.Register("B", netB.addrs["B"])
+
+	a, b := epA.(*tcpEndpoint), epB.(*tcpEndpoint)
+	ping := func(from, to Endpoint, typ string) {
+		t.Helper()
+		if err := from.Send(ctx, Message{To: to.ID(), Type: typ, Session: "s", Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := to.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if a.binPeer("B") || b.binPeer("A") {
+		t.Fatal("capability known before any traffic")
+	}
+	ping(epA, epB, "t1") // JSON toward B; B learns A speaks binary
+	if !b.binPeer("A") {
+		t.Fatal("B did not learn A's codec capability")
+	}
+	ping(epB, epA, "t2") // binary toward A; A learns B speaks binary
+	if !a.binPeer("B") {
+		t.Fatal("A did not learn B's codec capability")
+	}
+	ping(epA, epB, "t3") // now binary both ways
+}
+
+// TestTCPLegacyPeerStaysOnJSON pins the fallback: a JSON-only peer
+// never advertises, so a binary-capable node keeps sending it JSON and
+// the exchange completes.
+func TestTCPLegacyPeerStaysOnJSON(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	netA := NewTCPNetwork(map[string]string{"A": "127.0.0.1:0", "L": "127.0.0.1:0"})
+	epA, err := netA.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	netL := NewTCPNetwork(map[string]string{"A": netA.addrs["A"], "L": "127.0.0.1:0"})
+	netL.SetJSONOnly(true)
+	epL, err := netL.Endpoint("L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epL.Close()
+	netA.Register("L", netL.addrs["L"])
+
+	for i := 0; i < 3; i++ {
+		if err := epL.Send(ctx, Message{To: "A", Type: "t", Session: "s", Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := epA.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Codec != "" {
+			t.Fatal("legacy peer advertised a codec")
+		}
+		if err := epA.Send(ctx, Message{To: "L", Type: "t", Session: "s", Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := epL.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if epA.(*tcpEndpoint).binPeer("L") {
+		t.Fatal("binary node marked the legacy peer binary-capable")
+	}
+}
+
+// FuzzEnvelopeRoundTrip fuzzes both directions of the binary codec:
+// arbitrary envelopes must round-trip bit-exactly, and arbitrary bytes
+// must never panic the decoder.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	f.Add("A", "B", "intersect.relay", "s1", "127.0.0.1:9", CodecBinary, []byte(`{"x":1}`), []byte{})
+	f.Add("", "", "", "", "", "", []byte(nil), []byte{binMagic, binVersion})
+	f.Add("P1", "P2", "union.collect", "s", "", "", bytes.Repeat([]byte{0xD1}, 33), []byte{binMagic, binVersion, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, from, to, typ, session, replyAddr, codec string, payload, raw []byte) {
+		want := Message{From: from, To: to, Type: typ, Session: session, ReplyAddr: replyAddr, Codec: codec, Payload: payload}
+		body := appendBinaryMessage(nil, &want)
+		got, err := decodeBinaryMessage(body)
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		if got.From != want.From || got.To != want.To || got.Type != want.Type ||
+			got.Session != want.Session || got.ReplyAddr != want.ReplyAddr ||
+			got.Codec != want.Codec || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip %+v != %+v", got, want)
+		}
+		// Decoder must not panic on arbitrary input; errors are fine.
+		decodeBinaryMessage(raw) //nolint:errcheck
+	})
+}

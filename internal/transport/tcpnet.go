@@ -18,10 +18,18 @@ const maxFrame = 16 << 20
 // TCPNetwork implements Network over real TCP connections. Node IDs are
 // resolved through a static address book, mirroring the paper's
 // assumption of a known DLA cluster roster. Frames are 4-byte big-endian
-// length prefixes followed by the JSON-encoded Message.
+// length prefixes followed by either the JSON-encoded Message or its
+// binary envelope encoding (see codec.go); the codec is negotiated per
+// peer via the Message.Codec advertisement, with JSON as the universal
+// fallback.
 type TCPNetwork struct {
 	mu    sync.RWMutex
 	addrs map[string]string // node ID -> host:port
+	// jsonOnly pins every endpoint of this network to the legacy JSON
+	// codec: no capability is advertised, no binary frames are sent,
+	// and inbound binary frames are rejected — the behavior of a peer
+	// built before the binary codec existed.
+	jsonOnly bool
 }
 
 // NewTCPNetwork creates a network with the given address book. The map
@@ -41,6 +49,21 @@ func (n *TCPNetwork) Register(id, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.addrs[id] = addr
+}
+
+// SetJSONOnly pins endpoints of this network to the legacy JSON codec,
+// simulating a peer that predates the binary envelope encoding. Call
+// before creating endpoints.
+func (n *TCPNetwork) SetJSONOnly(v bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.jsonOnly = v
+}
+
+func (n *TCPNetwork) isJSONOnly() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.jsonOnly
 }
 
 func (n *TCPNetwork) lookup(id string) (string, error) {
@@ -66,12 +89,13 @@ func (n *TCPNetwork) Endpoint(id string) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
 	}
 	ep := &tcpEndpoint{
-		id:    id,
-		net:   n,
-		ln:    ln,
-		inbox: make(chan Message, 1024),
-		done:  make(chan struct{}),
-		conns: make(map[string]*sendConn),
+		id:       id,
+		net:      n,
+		ln:       ln,
+		inbox:    make(chan Message, 1024),
+		done:     make(chan struct{}),
+		conns:    make(map[string]*sendConn),
+		binPeers: make(map[string]bool),
 	}
 	// Record the actual address (supports ":0" ephemeral ports).
 	n.Register(id, ln.Addr().String())
@@ -103,6 +127,11 @@ type tcpEndpoint struct {
 
 	connMu sync.Mutex
 	conns  map[string]*sendConn
+
+	// binPeers records which peers have advertised the binary codec;
+	// frames to anyone else go as JSON.
+	peerMu   sync.RWMutex
+	binPeers map[string]bool
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
@@ -138,8 +167,9 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		}
 	}()
 	br := bufio.NewReader(conn)
+	allowBinary := !e.net.isJSONOnly()
 	for {
-		msg, err := readFrame(br)
+		msg, err := readFrame(br, allowBinary)
 		if err != nil {
 			return
 		}
@@ -148,6 +178,12 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		// sender's signature; the address book is trust-on-first-use).
 		if msg.ReplyAddr != "" && msg.From != "" {
 			e.net.Register(msg.From, msg.ReplyAddr)
+		}
+		// Learn the sender's codec capability the same way.
+		if msg.Codec == CodecBinary && msg.From != "" {
+			e.peerMu.Lock()
+			e.binPeers[msg.From] = true
+			e.peerMu.Unlock()
 		}
 		select {
 		case e.inbox <- msg:
@@ -163,11 +199,18 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 	}
 	msg.From = e.id
 	msg.ReplyAddr = e.ln.Addr().String()
+	useBin := false
+	if !e.net.isJSONOnly() {
+		msg.Codec = CodecBinary
+		e.peerMu.RLock()
+		useBin = e.binPeers[msg.To]
+		e.peerMu.RUnlock()
+	}
 	sc, cached, err := e.dial(ctx, msg.To)
 	if err != nil {
 		return err
 	}
-	if err := e.writeTo(ctx, sc, msg); err != nil {
+	if err := e.writeTo(ctx, sc, msg, useBin); err != nil {
 		// Connection is broken; drop it so later sends redial.
 		e.dropConn(msg.To, sc)
 		if !cached || ctx.Err() != nil {
@@ -180,7 +223,7 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 		if err != nil {
 			return err
 		}
-		if err := e.writeTo(ctx, sc, msg); err != nil {
+		if err := e.writeTo(ctx, sc, msg, useBin); err != nil {
 			e.dropConn(msg.To, sc)
 			return fmt.Errorf("transport: sending to %q: %w", msg.To, err)
 		}
@@ -190,13 +233,16 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 
 // writeTo frames msg onto the connection under its write lock, bounded
 // by the context deadline.
-func (e *tcpEndpoint) writeTo(ctx context.Context, sc *sendConn, msg Message) error {
+func (e *tcpEndpoint) writeTo(ctx context.Context, sc *sendConn, msg Message, useBin bool) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if deadline, ok := ctx.Deadline(); ok {
 		sc.conn.SetWriteDeadline(deadline) //nolint:errcheck
 	} else {
 		sc.conn.SetWriteDeadline(noDeadline()) //nolint:errcheck
+	}
+	if useBin {
+		return writeBinaryFrame(sc.bw, &msg)
 	}
 	return writeFrame(sc.bw, msg)
 }
@@ -247,6 +293,13 @@ func (e *tcpEndpoint) dial(ctx context.Context, to string) (*sendConn, bool, err
 		e.dropConn(to, sc)
 	}()
 	return sc, false, nil
+}
+
+// binPeer reports whether the peer has advertised the binary codec.
+func (e *tcpEndpoint) binPeer(id string) bool {
+	e.peerMu.RLock()
+	defer e.peerMu.RUnlock()
+	return e.binPeers[id]
 }
 
 func (e *tcpEndpoint) dropConn(to string, sc *sendConn) {
@@ -317,7 +370,32 @@ func writeFrame(bw *bufio.Writer, msg Message) error {
 	return bw.Flush()
 }
 
-func readFrame(br *bufio.Reader) (Message, error) {
+// writeBinaryFrame frames msg with the binary envelope codec, reusing
+// pooled encode buffers.
+func writeBinaryFrame(bw *bufio.Writer, msg *Message) error {
+	bufp := encBufPool.Get().(*[]byte)
+	body := appendBinaryMessage((*bufp)[:0], msg)
+	*bufp = body
+	defer encBufPool.Put(bufp)
+	if len(body) > maxFrame {
+		return fmt.Errorf("frame of %d bytes exceeds limit %d", len(body), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	observeBinaryFrame(len(body), len(msg.Payload))
+	return bw.Flush()
+}
+
+// readFrame decodes one frame, dispatching on the first body byte: JSON
+// bodies start with '{', binary bodies with the codec magic. A reader
+// in JSON-only (legacy) mode rejects binary frames.
+func readFrame(br *bufio.Reader, allowBinary bool) (Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return Message{}, err
@@ -329,6 +407,12 @@ func readFrame(br *bufio.Reader) (Message, error) {
 	body := make([]byte, n)
 	if _, err := io.ReadFull(br, body); err != nil {
 		return Message{}, err
+	}
+	if len(body) > 0 && body[0] == binMagic {
+		if !allowBinary {
+			return Message{}, fmt.Errorf("transport: binary frame on a JSON-only endpoint")
+		}
+		return decodeBinaryMessage(body)
 	}
 	var msg Message
 	if err := json.Unmarshal(body, &msg); err != nil {

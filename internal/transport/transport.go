@@ -52,6 +52,11 @@ type Message struct {
 	// senders they did not know in advance — e.g. a client that joined
 	// with an ephemeral port. In-memory transport ignores it.
 	ReplyAddr string `json:"reply_addr,omitempty"`
+	// Codec optionally advertises the sender's preferred wire codec
+	// (CodecBinary). Receivers on codec-aware transports use it to
+	// learn, per peer, that frames may be sent back in that encoding;
+	// legacy peers leave it empty and keep getting JSON.
+	Codec string `json:"codec,omitempty"`
 }
 
 // Endpoint is one node's attachment to the network.

@@ -1,18 +1,21 @@
 #!/bin/sh
-# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR2.json.
+# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR4.json.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime defaults to 3s; pass e.g. 1x for a smoke run.
 #
 # The JSON records ns/op, B/op and allocs/op for every benchmark in the
-# hot-path set, next to the pre-optimization baseline measured on the
-# same machine (Intel Xeon @ 2.10 GHz, 1 vCPU, Go 1.24), so the
-# improvement ratio is auditable from the artifact alone.
+# hot-path set, next to the previous PR's post-optimization numbers
+# measured on the same machine (Intel Xeon @ 2.10 GHz, 1 vCPU, Go 1.24),
+# so the improvement ratio is auditable from the artifact alone. Every
+# row must carry all three fields: a row with a missing B/op or
+# allocs/op (a benchmark that forgot ReportAllocs, or a -benchmem drop)
+# fails the run instead of silently emitting null.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-3s}"
-OUT="BENCH_PR2.json"
+OUT="BENCH_PR4.json"
 BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkQueryShapes'
 
 RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)"
@@ -29,22 +32,31 @@ printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
         if ($(i) == "allocs/op") allocs = $(i - 1)
     }
     if (ns == "") next
+    if (bytes == "" || allocs == "") {
+        printf "bench.sh: %s is missing B/op or allocs/op (run with -benchmem and ReportAllocs)\n", name > "/dev/stderr"
+        bad = 1
+        exit 1
+    }
     row = sprintf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
-                  name, ns, bytes == "" ? "null" : bytes,
-                  allocs == "" ? "null" : allocs)
+                  name, ns, bytes, allocs)
     rows = rows (rows == "" ? "" : ",\n") row
 }
 END {
+    if (bad) exit 1
+    if (rows == "") {
+        print "bench.sh: no benchmark rows parsed" > "/dev/stderr"
+        exit 1
+    }
     print "{"
     print "  \"benchtime\": \"" benchtime "\","
     print "  \"baseline\": ["
-    print "    {\"name\": \"BenchmarkFigure2DLAQuery\", \"ns_op\": 60736911, \"b_op\": 1342629, \"allocs_op\": 7629},"
-    print "    {\"name\": \"BenchmarkClusterLogThroughput\", \"ns_op\": 7764292, \"b_op\": 114290, \"allocs_op\": 913},"
-    print "    {\"name\": \"BenchmarkQueryShapes/local\", \"ns_op\": 810000, \"b_op\": null, \"allocs_op\": null},"
-    print "    {\"name\": \"BenchmarkQueryShapes/conjunction-3-nodes\", \"ns_op\": 81000000, \"b_op\": null, \"allocs_op\": null},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-union\", \"ns_op\": 25000000, \"b_op\": null, \"allocs_op\": null},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-equality\", \"ns_op\": 41000000, \"b_op\": null, \"allocs_op\": null},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-compare\", \"ns_op\": 1060000, \"b_op\": null, \"allocs_op\": null}"
+    print "    {\"name\": \"BenchmarkFigure2DLAQuery\", \"ns_op\": 24121193, \"b_op\": 1348861, \"allocs_op\": 7626},"
+    print "    {\"name\": \"BenchmarkClusterLogThroughput\", \"ns_op\": 2946304, \"b_op\": 114445, \"allocs_op\": 915},"
+    print "    {\"name\": \"BenchmarkQueryShapes/local\", \"ns_op\": 594829, \"b_op\": 22662, \"allocs_op\": 257},"
+    print "    {\"name\": \"BenchmarkQueryShapes/conjunction-3-nodes\", \"ns_op\": 14226963, \"b_op\": 783460, \"allocs_op\": 4564},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-union\", \"ns_op\": 8757975, \"b_op\": 284080, \"allocs_op\": 1780},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-equality\", \"ns_op\": 13025824, \"b_op\": 672535, \"allocs_op\": 3775},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-compare\", \"ns_op\": 973309, \"b_op\": 121485, \"allocs_op\": 1386}"
     print "  ],"
     print "  \"after\": ["
     print rows

@@ -3,18 +3,25 @@
 
 GO ?= go
 
-.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos examples tables fuzz clean
+.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos examples obs-smoke tables fuzz clean
 
 all: build vet test
 
 # Pre-merge gate: static checks (vet always, staticcheck when
 # installed), a race pass over the telemetry-instrumented packages,
+# the observability smoke (cluster trace + leak ledger end to end),
 # the full race-enabled test suite, a single-iteration pass over
 # every benchmark so perf-path regressions that only benchmarks
 # exercise break the gate too, and the headline-benchmark diff
 # between the committed artifacts.
-check: bench-smoke vet staticcheck race-telemetry benchdiff
+check: bench-smoke vet staticcheck race-telemetry obs-smoke benchdiff
 	$(GO) test -race ./...
+
+# Observability smoke: boot a 3+-node in-memory cluster, run one
+# conjunction query, and assert a merged >=3-node cluster trace plus a
+# non-empty per-querier leak ledger through the dlactl merge paths.
+obs-smoke:
+	$(GO) test -run '^TestObsSmoke$$' -count=1 -v ./cmd/dlactl/
 
 # staticcheck is optional tooling; skip quietly where not installed.
 staticcheck:
@@ -62,16 +69,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# Hot-path acceptance numbers -> BENCH_PR4.json (see scripts/bench.sh),
-# then diff against the PR2 artifact to catch headline regressions.
+# Hot-path acceptance numbers -> BENCH_PR5.json (see scripts/bench.sh),
+# then diff against the PR4 artifact to catch headline regressions.
 bench-json:
 	./scripts/bench.sh
-	$(GO) run ./cmd/benchtab -benchdiff BENCH_PR2.json,BENCH_PR4.json
+	$(GO) run ./cmd/benchtab -benchdiff BENCH_PR4.json,BENCH_PR5.json
 
 # Compare the committed bench artifacts: fails on >10% ns/op regression
 # of either headline benchmark, or on any row missing alloc fields.
 benchdiff:
-	$(GO) run ./cmd/benchtab -benchdiff BENCH_PR2.json,BENCH_PR4.json
+	$(GO) run ./cmd/benchtab -benchdiff BENCH_PR4.json,BENCH_PR5.json
 
 # Regenerate every paper table and figure plus measured claims.
 tables:

@@ -29,6 +29,7 @@ import (
 	"confaudit/internal/smc/garbled"
 	"confaudit/internal/smc/intersect"
 	"confaudit/internal/smc/sum"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 	"confaudit/internal/workload"
@@ -656,6 +657,34 @@ func BenchmarkQueryShapes(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := rig.auditor.Query(ctx, s.criteria); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Telemetry overhead: observability cost on the query hot path ---
+
+// BenchmarkTelemetryOverhead measures the end-to-end conjunction-query
+// cost with the observability layer recording (spans, counters, leak
+// ledger) versus fully disabled, keeping the per-query price of the
+// zero-plaintext telemetry an auditable artifact row.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	rig := deployLoaded(b, 25)
+	ctx := context.Background()
+	const criteria = `Tid = "T1100265" AND C1 < 30 AND id = "U1"`
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"on", true}, {"off", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			telemetry.SetEnabled(mode.on)
+			defer telemetry.SetEnabled(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rig.auditor.Query(ctx, criteria); err != nil {
 					b.Fatal(err)
 				}
 			}

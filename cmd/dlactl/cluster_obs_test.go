@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"confaudit/internal/telemetry"
+)
+
+// nodeDebugServer serves hand-built per-node debug fragments the way a
+// dlad -pprof port does, so the fan-out/merge paths can be exercised
+// against multiple "nodes" inside one test process.
+func nodeDebugServer(t *testing.T, trace *telemetry.TraceView, ledger *telemetry.LedgerSnapshot) (*httptest.Server, string) {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/dla/trace/", func(w http.ResponseWriter, r *http.Request) {
+		if trace == nil {
+			http.Error(w, "no trace", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(trace) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/dla/leaks", func(w http.ResponseWriter, r *http.Request) {
+		snap := telemetry.LedgerSnapshot{}
+		if ledger != nil {
+			snap = *ledger
+		}
+		json.NewEncoder(w).Encode(snap) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, strings.TrimPrefix(srv.URL, "http://")
+}
+
+// TestClusterTraceMergesAcrossNodes drives the `dlactl trace -addrs`
+// path: three nodes, one with no fragment for the session (skipped with
+// a warning), the other two stitched into one tree across the remote
+// parent ref.
+func TestClusterTraceMergesAcrossNodes(t *testing.T) {
+	session := "q/ctl-u/7"
+	started := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	coord := &telemetry.TraceView{
+		Session: session, Started: started, Sessions: 1,
+		Spans: []telemetry.SpanView{{
+			ID: "P0:1", Name: "audit.query", Node: "P0", Session: session, Outcome: "ok", DurMS: 20,
+			Children: []telemetry.SpanView{{
+				ID: "P0:2", Name: "audit.dispatch", Node: "P0", Session: session,
+				Outcome: "ok", StartMS: 1, DurMS: 18, Count: 2,
+			}},
+		}},
+	}
+	// Executor clock 30ms behind: its root would start "before" the
+	// dispatch without skew normalization.
+	exec := &telemetry.TraceView{
+		Session: session, Started: started.Add(-30 * time.Millisecond), Sessions: 1,
+		Spans: []telemetry.SpanView{{
+			ID: "P1:1", Parent: "P0:2", Name: "audit.exec", Node: "P1",
+			Session: session, Outcome: "ok", DurMS: 12, Bytes: 4096,
+		}},
+	}
+	_, addrA := nodeDebugServer(t, coord, nil)
+	_, addrB := nodeDebugServer(t, exec, nil)
+	_, addrC := nodeDebugServer(t, nil, nil) // node not involved in the query
+
+	var out strings.Builder
+	if err := fetchClusterTrace(&out, []string{addrA, addrB, addrC}, session); err != nil {
+		t.Fatal(err)
+	}
+	tree := out.String()
+	t.Logf("merged tree:\n%s", tree)
+	if !strings.Contains(tree, "nodes: P0, P1") {
+		t.Errorf("merged tree missing node annotation:\n%s", tree)
+	}
+	for _, want := range []string{"audit.query P0", "audit.dispatch P0", "audit.exec P1", "4.0KB"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("merged tree missing %q:\n%s", want, tree)
+		}
+	}
+	// Stitched: exactly one top-level root in the merged forest (root
+	// lines render at column 0, children under "│  "/"   " prefixes).
+	if strings.Count(tree, "\n└─ ")+strings.Count(tree, "\n├─ ") > 1 {
+		t.Errorf("executor fragment not stitched under the coordinator:\n%s", tree)
+	}
+
+	// Every node down -> hard error, not an empty tree.
+	if err := fetchClusterTrace(&out, []string{addrC}, session); err == nil {
+		t.Error("fetchClusterTrace succeeded with no fragments")
+	}
+}
+
+// TestClusterLeaksMergesLedgers drives the `dlactl leaks -addrs` path:
+// the coordinator's scored entry and an executor's disclosures for the
+// same session merge into one per-querier record.
+func TestClusterLeaksMergesLedgers(t *testing.T) {
+	session := "q/ctl-u/9"
+	coordLedger := &telemetry.LedgerSnapshot{
+		Queries: 1, CDLA: 0.5,
+		Queriers: []telemetry.QuerierView{{
+			Querier: "ctl-u", Queries: 1, MeanCAud: 0.8, MeanCQuery: 0.5, Leakage: 0.5,
+			Entries: []telemetry.LedgerEntry{{
+				Session: session, CAuditing: 0.8, CQuery: 0.5, Leakage: 0.5,
+				Disclosures: []telemetry.Disclosure{{Kind: telemetry.DiscResultCount, Node: "P0", N: 3}},
+			}},
+		}},
+	}
+	execLedger := &telemetry.LedgerSnapshot{
+		Queriers: []telemetry.QuerierView{{
+			Querier: "ctl-u",
+			Entries: []telemetry.LedgerEntry{{
+				Session: session,
+				Disclosures: []telemetry.Disclosure{
+					{Kind: telemetry.DiscSetCardinality, Node: "P1", Plan: "equality", N: 40},
+					{Kind: telemetry.DiscIntersection, Node: "P1", N: 3},
+				},
+			}},
+		}},
+	}
+	_, addrA := nodeDebugServer(t, nil, coordLedger)
+	_, addrB := nodeDebugServer(t, nil, execLedger)
+
+	var out strings.Builder
+	if err := fetchClusterLeaks(&out, []string{addrA, addrB}, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	t.Logf("merged ledger:\n%s", text)
+	if !strings.Contains(text, "1 queries by 1 querier(s)") {
+		t.Errorf("merge double-counted the session:\n%s", text)
+	}
+	for _, want := range []string{"querier ctl-u", "C_query 0.5000", "set_cardinality[equality] @P1 n=40", "intersection_size @P1 n=3", "result_count @P0 n=3"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged ledger missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := fetchClusterLeaks(&out, []string{addrA, addrB}, true); err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.LedgerSnapshot
+	if err := json.Unmarshal([]byte(out.String()), &snap); err != nil {
+		t.Fatalf("-json output not a LedgerSnapshot: %v", err)
+	}
+	if snap.Queries != 1 || len(snap.Queriers) != 1 || len(snap.Queriers[0].Entries[0].Disclosures) != 3 {
+		t.Fatalf("unexpected merged snapshot: %+v", snap)
+	}
+}

@@ -12,6 +12,8 @@
 //	dlactl query -dir provision -id aud -ticket ta.json -criteria 'C1 > 30'
 //	dlactl agg -dir provision -id aud -ticket ta.json -criteria '*' -kind sum -attr C1
 //	dlactl trace -addr 127.0.0.1:6060 q/aud/1
+//	dlactl trace -addrs 127.0.0.1:6060,127.0.0.1:6061,127.0.0.1:6062 q/aud/1
+//	dlactl leaks -addrs 127.0.0.1:6060,127.0.0.1:6061
 package main
 
 import (
@@ -73,6 +75,8 @@ func main() {
 		err = withClient(args, nil, cmdACLCheck)
 	case "trace":
 		err = cmdTrace(args)
+	case "leaks":
+		err = cmdLeaks(args)
 	default:
 		usage()
 	}
@@ -82,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|trace [flags] [args]")
+	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|aclcheck|trace|leaks [flags] [args]")
 	os.Exit(2)
 }
 
@@ -341,39 +345,143 @@ func cmdACLCheck(env *clientEnv) error {
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:6060", "dlad -pprof address serving /debug/dla")
+	addrs := fs.String("addrs", "", "comma-separated dlad -pprof addresses; fan out, merge per-node fragments, render one cluster-wide tree")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *addrs != "" {
+		session := fs.Arg(0)
+		if session == "" {
+			return fmt.Errorf("trace -addrs requires a session argument")
+		}
+		return fetchClusterTrace(os.Stdout, splitAddrs(*addrs), session)
 	}
 	// With no session argument, list the sessions the node has traces for.
 	return fetchTrace(os.Stdout, "http://"+*addr, fs.Arg(0))
 }
 
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // fetchTrace pulls a trace from a dlad debug endpoint and renders the
 // span tree (or, with an empty session, the stored session list).
 func fetchTrace(w io.Writer, baseURL, session string) error {
-	resp, err := http.Get(baseURL + "/debug/dla/trace/" + session)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close() //nolint:errcheck
 	if session == "" {
+		resp, err := http.Get(baseURL + "/debug/dla/trace/")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close() //nolint:errcheck
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("trace endpoint: %s", resp.Status)
 		}
-		_, err := io.Copy(w, resp.Body)
+		_, err = io.Copy(w, resp.Body)
 		return err
 	}
+	view, err := fetchTraceView(baseURL, session)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, telemetry.FormatTree(view))
+	return err
+}
+
+// fetchTraceView pulls one node's trace fragment for a session.
+func fetchTraceView(baseURL, session string) (telemetry.TraceView, error) {
+	resp, err := http.Get(baseURL + "/debug/dla/trace/" + session)
+	if err != nil {
+		return telemetry.TraceView{}, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
 	if resp.StatusCode == http.StatusNotFound {
-		return fmt.Errorf("no trace for session %q (run `dlactl trace` for the stored sessions)", session)
+		return telemetry.TraceView{}, fmt.Errorf("no trace for session %q (run `dlactl trace` for the stored sessions)", session)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("trace endpoint: %s", resp.Status)
+		return telemetry.TraceView{}, fmt.Errorf("trace endpoint: %s", resp.Status)
 	}
 	var view telemetry.TraceView
 	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-		return fmt.Errorf("decoding trace: %w", err)
+		return telemetry.TraceView{}, fmt.Errorf("decoding trace: %w", err)
 	}
-	_, err = io.WriteString(w, telemetry.FormatTree(view))
+	return view, nil
+}
+
+// fetchClusterTrace fans out to every node's debug port, merges the
+// per-node trace fragments by span ID (with clock-skew normalization),
+// and renders the single cluster-wide tree. Nodes without a fragment
+// for the session are skipped with a warning: a query does not
+// necessarily touch every node.
+func fetchClusterTrace(w io.Writer, addrs []string, session string) error {
+	var fragments []telemetry.TraceView
+	for _, a := range addrs {
+		view, err := fetchTraceView("http://"+a, session)
+		if err != nil {
+			log.Printf("warning: %s: %v", a, err)
+			continue
+		}
+		fragments = append(fragments, view)
+	}
+	if len(fragments) == 0 {
+		return fmt.Errorf("no node returned a trace for session %q", session)
+	}
+	merged := telemetry.MergeViews(session, fragments)
+	_, err := io.WriteString(w, telemetry.FormatTree(merged))
+	return err
+}
+
+// cmdLeaks fetches per-node leak ledgers, merges them into one cluster
+// view, and renders the per-querier confidentiality spend.
+func cmdLeaks(args []string) error {
+	fs := flag.NewFlagSet("leaks", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6060", "dlad -pprof address serving /debug/dla")
+	addrs := fs.String("addrs", "", "comma-separated dlad -pprof addresses; fan out and merge per-node ledgers")
+	asJSON := fs.Bool("json", false, "emit the merged LedgerSnapshot as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := splitAddrs(*addrs)
+	if len(targets) == 0 {
+		targets = []string{*addr}
+	}
+	return fetchClusterLeaks(os.Stdout, targets, *asJSON)
+}
+
+// fetchClusterLeaks fans out to every node's /debug/dla/leaks, merges
+// the per-node ledgers, and renders (or JSON-encodes) the cluster view.
+func fetchClusterLeaks(w io.Writer, targets []string, asJSON bool) error {
+	var snaps []telemetry.LedgerSnapshot
+	for _, a := range targets {
+		resp, err := http.Get("http://" + a + "/debug/dla/leaks")
+		if err != nil {
+			log.Printf("warning: %s: %v", a, err)
+			continue
+		}
+		var snap telemetry.LedgerSnapshot
+		decErr := json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close() //nolint:errcheck
+		if decErr != nil {
+			log.Printf("warning: %s: decoding ledger: %v", a, decErr)
+			continue
+		}
+		snaps = append(snaps, snap)
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("no node returned a leak ledger")
+	}
+	merged := telemetry.MergeLedgers(snaps)
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(merged)
+	}
+	_, err := io.WriteString(w, telemetry.FormatLedger(merged))
 	return err
 }
 

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/telemetry"
+	"confaudit/pkg/dla"
+)
+
+// TestObsSmoke is the `make obs-smoke` gate: boot an in-memory cluster,
+// run one conjunction query, and assert the full observability loop —
+// a merged cluster-wide trace spanning at least 3 nodes and a non-empty
+// leak ledger for the querier — through the same HTTP debug surface and
+// merge code `dlactl trace -addrs` / `dlactl leaks -addrs` use.
+func TestObsSmoke(t *testing.T) {
+	telemetry.T.Reset()
+	telemetry.L.Reset()
+	ex, err := logmodel.NewPaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := dla.Deploy(dla.ClusterOptions{Partition: ex.Partition})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	s, err := dla.Connect(ctx, cl, dla.SessionConfig{ID: "smoke-u", TicketID: "T-smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+	for _, rec := range ex.Records {
+		if _, err := s.Log(ctx, rec.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matches, session, _, err := s.QueryCertified(ctx, `protocl = "UDP" AND id = "U1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("conjunction query found no matches")
+	}
+
+	mux := http.NewServeMux()
+	telemetry.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var tree strings.Builder
+	if err := fetchClusterTrace(&tree, []string{addr}, session); err != nil {
+		t.Fatal(err)
+	}
+	out := tree.String()
+	t.Logf("merged cluster trace:\n%s", out)
+	var nodesLine string
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "nodes: "); ok {
+			nodesLine = rest
+		}
+	}
+	if nodesLine == "" {
+		t.Fatalf("merged tree carries no node annotation:\n%s", out)
+	}
+	if nodes := strings.Split(nodesLine, ", "); len(nodes) < 3 {
+		t.Fatalf("merged trace spans %d node(s) (%s), want >= 3", len(nodes), nodesLine)
+	}
+
+	var ledger strings.Builder
+	if err := fetchClusterLeaks(&ledger, []string{addr}, false); err != nil {
+		t.Fatal(err)
+	}
+	lo := ledger.String()
+	t.Logf("merged leak ledger:\n%s", lo)
+	if !strings.Contains(lo, "querier smoke-u") {
+		t.Fatalf("ledger has no entry for the querier:\n%s", lo)
+	}
+	if !strings.Contains(lo, session) {
+		t.Fatalf("ledger has no entry for session %q:\n%s", session, lo)
+	}
+	for _, want := range []string{"C_auditing", "C_query", telemetry.DiscResultCount} {
+		if !strings.Contains(lo, want) {
+			t.Fatalf("ledger missing %q:\n%s", want, lo)
+		}
+	}
+}

@@ -129,16 +129,20 @@ func provision(args []string) error {
 func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		dir   = fs.String("dir", "provision", "provisioning directory")
-		id    = fs.String("id", "", "this node's ID (required)")
-		data  = fs.String("data", "", "data directory for durable state (empty = in-memory only)")
-		pprof = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
+		dir        = fs.String("dir", "provision", "provisioning directory")
+		id         = fs.String("id", "", "this node's ID (required)")
+		data       = fs.String("data", "", "data directory for durable state (empty = in-memory only)")
+		pprof      = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
+		leakBudget = fs.Float64("leak-budget", 0, "default per-querier leak budget (sum of 1-C_query); 0 disables the alarm")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
+	}
+	if *leakBudget > 0 {
+		telemetry.L.SetDefaultBudget(*leakBudget)
 	}
 	common, err := cluster.LoadCommon(*dir)
 	if err != nil {

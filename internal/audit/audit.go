@@ -121,13 +121,19 @@ type queryBody struct {
 }
 
 type execBody struct {
-	Plans         []wirePlan    `json:"plans"`
-	FinalRing     []string      `json:"final_ring"`
-	FinalReceiver string        `json:"final_receiver"`
-	Coordinator   string        `json:"coordinator"`
-	AggKind       AggKind       `json:"agg_kind,omitempty"`
-	AggAttr       logmodel.Attr `json:"agg_attr,omitempty"`
-	AggOwner      string        `json:"agg_owner,omitempty"`
+	Plans         []wirePlan `json:"plans"`
+	FinalRing     []string   `json:"final_ring"`
+	FinalReceiver string     `json:"final_receiver"`
+	Coordinator   string     `json:"coordinator"`
+	// Querier is the auditor node the coordinator is serving, so
+	// executors can attribute the secondary information they disclose
+	// to the right leak ledger. Wire-compatible in both directions:
+	// legacy coordinators omit it (executors then skip ledger entries)
+	// and legacy executors ignore it.
+	Querier  string        `json:"querier,omitempty"`
+	AggKind  AggKind       `json:"agg_kind,omitempty"`
+	AggAttr  logmodel.Attr `json:"agg_attr,omitempty"`
+	AggOwner string        `json:"agg_owner,omitempty"`
 }
 
 type finalBody struct {
@@ -149,23 +155,26 @@ type resultBody struct {
 	Dead         []string `json:"dead,omitempty"`
 }
 
-// buildPlans compiles a criterion into subquery assignments.
-func buildPlans(criteria string, part *logmodel.Partition) ([]wirePlan, error) {
+// buildPlans compiles a criterion into subquery assignments. The
+// normalized criterion is returned alongside so the coordinator can
+// score C_auditing (eq. 11) for the leak ledger without re-parsing; it
+// is nil for the "*" criteria, which has no predicates to score.
+func buildPlans(criteria string, part *logmodel.Partition) ([]wirePlan, *query.Normalized, error) {
 	roster := part.Nodes()
 	if criteria == "*" {
-		return []wirePlan{{Index: 0, Clause: "*", Nodes: roster, Kind: kindAll}}, nil
+		return []wirePlan{{Index: 0, Clause: "*", Nodes: roster, Kind: kindAll}}, nil, nil
 	}
 	expr, err := query.Parse(criteria)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	norm, err := query.Normalize(expr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sqs, err := query.Classify(norm, part)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	plans := make([]wirePlan, 0, len(sqs))
 	for i, sq := range sqs {
@@ -176,7 +185,7 @@ func buildPlans(criteria string, part *logmodel.Partition) ([]wirePlan, error) {
 		case len(sq.Clause.Preds) == 1:
 			pred := sq.Clause.Preds[0]
 			if !pred.Left.IsAttr || !pred.Right.IsAttr {
-				return nil, fmt.Errorf("%w: cross predicate %s mixes scopes", ErrUnsupported, pred)
+				return nil, nil, fmt.Errorf("%w: cross predicate %s mixes scopes", ErrUnsupported, pred)
 			}
 			if pred.Op == query.OpEQ {
 				wp.Kind = kindCrossEq
@@ -184,7 +193,7 @@ func buildPlans(criteria string, part *logmodel.Partition) ([]wirePlan, error) {
 				wp.Kind = kindCrossCmp
 				ttp := pickTTP(roster, sq.Nodes)
 				if ttp == "" {
-					return nil, fmt.Errorf("%w: predicate %s", ErrNoTTP, pred)
+					return nil, nil, fmt.Errorf("%w: predicate %s", ErrNoTTP, pred)
 				}
 				wp.TTP = ttp
 			}
@@ -196,14 +205,14 @@ func buildPlans(criteria string, part *logmodel.Partition) ([]wirePlan, error) {
 					owners[part.Owner(a)] = struct{}{}
 				}
 				if len(owners) > 1 {
-					return nil, fmt.Errorf("%w: predicate %s spans nodes inside a disjunction", ErrUnsupported, p)
+					return nil, nil, fmt.Errorf("%w: predicate %s spans nodes inside a disjunction", ErrUnsupported, p)
 				}
 			}
 			wp.Kind = kindCrossUnion
 		}
 		plans = append(plans, wp)
 	}
-	return plans, nil
+	return plans, norm, nil
 }
 
 // pickTTP chooses a roster node outside the holder pair.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"confaudit/internal/logmodel"
+	"confaudit/internal/metrics"
 	"confaudit/internal/query"
 	"confaudit/internal/smc"
 	"confaudit/internal/smc/compare"
@@ -77,6 +78,9 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	defer cancel()
 	mb := node.Mailbox()
 	start := time.Now()
+	// The auditor's submit span (if any) is the remote parent, so the
+	// coordinator's tree stitches under the client's in a merged trace.
+	ctx = telemetry.WithRemoteParent(ctx, msg.TraceSpan)
 	qsp, ctx := telemetry.StartSpan(ctx, msg.Session, node.ID(), "audit.query")
 	qsp.SetPeer(msg.From)
 	reply := func(res resultBody) {
@@ -85,6 +89,7 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 			qsp.End(errQueryFailed)
 		} else {
 			qsp.SetCount(len(res.GLSNs)).End(nil)
+			recordResultDisclosures(msg.From, msg.Session, node.ID(), &res)
 		}
 		out, err := transport.NewMessage(msg.From, MsgResult, msg.Session, res)
 		if err != nil {
@@ -105,7 +110,7 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	part := node.Partition()
 	psp, _ := telemetry.StartSpan(ctx, msg.Session, node.ID(), "audit.parse_plan")
 	planStart := time.Now()
-	plans, err := buildPlans(body.Criteria, part)
+	plans, norm, err := buildPlans(body.Criteria, part)
 	telemetry.M.Histogram(telemetry.HistAuditPlan).Since(planStart)
 	psp.SetCount(len(plans)).End(err)
 	if err != nil {
@@ -113,6 +118,17 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 		return
 	}
 	telemetry.M.Counter(telemetry.CtrSubqueries).Add(int64(len(plans)))
+	// Score the query's confidentiality at dispatch time: C_auditing
+	// (eq. 11) exactly from the normalized criterion, C_query (eq. 12)
+	// against the full-schema C_store estimate — the record-independent
+	// stand-in available before any record is matched. The querier's
+	// ledger accumulates the spend and trips the leak alarm when a
+	// configured budget is exceeded.
+	cAud := 0.0
+	if norm != nil {
+		cAud = metrics.Auditing(norm, part)
+	}
+	telemetry.L.RecordQuery(msg.From, msg.Session, cAud, cAud*metrics.StoreFullSchema(part))
 	// Degraded mode: cull subqueries that cannot complete because a node
 	// they involve is dead, so the query answers over the survivors
 	// instead of hanging until the timeout.
@@ -126,6 +142,7 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	exec := execBody{
 		Plans:       plans,
 		Coordinator: node.ID(),
+		Querier:     msg.From,
 	}
 	if body.AggKind != "" {
 		switch body.AggKind {
@@ -187,7 +204,7 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	// Dispatch concurrently: one slow or unreachable node must not delay
 	// the others' plan start. The channel is buffered to the fan-out so
 	// a fail-fast return leaks no goroutine.
-	dsp, _ := telemetry.StartSpan(ctx, msg.Session, node.ID(), "audit.dispatch")
+	dsp, dctx := telemetry.StartSpan(ctx, msg.Session, node.ID(), "audit.dispatch")
 	dsp.SetCount(len(involved))
 	dispatchStart := time.Now()
 	dispatchErr := make(chan error, len(involved))
@@ -198,7 +215,9 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 				dispatchErr <- err
 				return
 			}
-			dispatchErr <- mb.Send(ctx, out)
+			// dctx carries the dispatch span, so each executor's exec
+			// tree stitches under it in the merged cluster trace.
+			dispatchErr <- mb.Send(dctx, out)
 		}(n)
 	}
 	for range involved {
@@ -235,10 +254,40 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 	reply(resultBody{GLSNs: final.GLSNs, Cert: final.Cert, Unanswerable: unanswerable, Dead: deadNodes})
 }
 
+// recordResultDisclosures files the secondary information a completed
+// query reveals to the auditor: the result count and, for glsn results,
+// the extent (max−min+1) of the matched glsn range. Counts and
+// orderings only — never record contents.
+func recordResultDisclosures(querier, session, self string, res *resultBody) {
+	telemetry.L.RecordDisclosure(querier, session, self,
+		telemetry.DiscResultCount, "", int64(len(res.GLSNs)))
+	var lo, hi logmodel.GLSN
+	n := 0
+	for _, s := range res.GLSNs {
+		g, err := logmodel.ParseGLSN(s)
+		if err != nil {
+			continue
+		}
+		if n == 0 || g < lo {
+			lo = g
+		}
+		if n == 0 || g > hi {
+			hi = g
+		}
+		n++
+	}
+	if n > 0 {
+		telemetry.L.RecordDisclosure(querier, session, self,
+			telemetry.DiscGLSNExtent, "", int64(hi-lo)+1)
+	}
+}
+
 // handleExec is one node's participation in a distributed plan.
 func handleExec(ctx context.Context, node NodeState, msg transport.Message) {
 	ctx, cancel := context.WithTimeout(ctx, queryTimeout)
 	defer cancel()
+	// Stitch this node's exec tree under the coordinator's dispatch span.
+	ctx = telemetry.WithRemoteParent(ctx, msg.TraceSpan)
 	var body execBody
 	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 		return
@@ -281,6 +330,11 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 			return fmt.Errorf("subquery %d (%s): %w", plan.Index, plan.Kind, err)
 		}
 		if responsible {
+			// The responsible holder learned this subquery's result-set
+			// cardinality — Definition 1 secondary information, charged
+			// to the querier's ledger.
+			telemetry.L.RecordDisclosure(body.Querier, session, self,
+				telemetry.DiscSetCardinality, string(plan.Kind), int64(len(set)))
 			mySets = append(mySets, set)
 		}
 	}
@@ -311,6 +365,10 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 			for _, el := range res.Plaintext {
 				finalSet[string(el)] = struct{}{}
 			}
+			// Every ring member receives the intersection, so each one
+			// learned its size.
+			telemetry.L.RecordDisclosure(body.Querier, session, self,
+				telemetry.DiscIntersection, "", int64(len(finalSet)))
 		} else {
 			finalSet = myInput
 		}

@@ -70,6 +70,23 @@ func AuditingCriteria(criteria string, part *logmodel.Partition) (float64, error
 	return Auditing(n, part), nil
 }
 
+// StoreFullSchema estimates C_store (eq. 10) for the canonical
+// full-schema record — every attribute of I defined — under the
+// partition: w = |I|, v = the undefined-attribute count, u = the cover
+// count of the full attribute set. The live leak ledger uses it as the
+// dispatch-time stand-in when no concrete record is in hand.
+func StoreFullSchema(part *logmodel.Partition) float64 {
+	schema := part.Schema()
+	if len(schema.Attrs) == 0 {
+		return 0
+	}
+	rec := logmodel.Record{Values: make(map[logmodel.Attr]logmodel.Value, len(schema.Attrs))}
+	for _, a := range schema.Attrs {
+		rec.Values[a] = logmodel.Value{}
+	}
+	return Store(part, rec)
+}
+
 // Query computes C_query(Q, Log) (eq. 12).
 func Query(n *query.Normalized, part *logmodel.Partition, rec logmodel.Record) float64 {
 	return Auditing(n, part) * Store(part, rec)

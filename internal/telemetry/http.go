@@ -13,6 +13,9 @@ import (
 //	GET /debug/dla/metrics          -> MetricsSnapshot JSON
 //	GET /debug/dla/trace/<session>  -> TraceView JSON (404 if unknown)
 //	GET /debug/dla/trace/           -> stored session keys, one per line
+//	GET /debug/dla/leaks            -> LedgerSnapshot JSON (per-querier ledgers)
+//	GET /debug/dla/conf             -> ConfSnapshot JSON (rolling C_DLA)
+//	GET /debug/dla/prom             -> Prometheus text exposition
 //
 // The handlers serve only snapshot types, so the zero-plaintext
 // guarantee of the recording schema carries through to the wire.
@@ -46,12 +49,40 @@ func TraceHandler(prefix string) http.Handler {
 	})
 }
 
+// LeaksHandler serves the default leak ledger as JSON.
+func LeaksHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, L.Snapshot())
+	})
+}
+
+// ConfHandler serves the rolling confidentiality summary (C_DLA and
+// per-querier mean C_query) as JSON.
+func ConfHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, L.Conf())
+	})
+}
+
+// PromHandler serves the metrics snapshot and the ledger's
+// confidentiality gauges in the Prometheus text exposition format.
+func PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, M.Snapshot())
+		WritePrometheusConf(w, L.Conf())
+	})
+}
+
 // Mount registers the /debug/dla/* endpoints on mux and publishes the
 // metrics snapshot as the expvar "dla_metrics", so plain expvar
 // consumers see the same numbers as /debug/dla/metrics.
 func Mount(mux *http.ServeMux) {
 	mux.Handle("/debug/dla/metrics", MetricsHandler())
 	mux.Handle("/debug/dla/trace/", TraceHandler("/debug/dla/trace/"))
+	mux.Handle("/debug/dla/leaks", LeaksHandler())
+	mux.Handle("/debug/dla/conf", ConfHandler())
+	mux.Handle("/debug/dla/prom", PromHandler())
 	publishExpvar()
 }
 

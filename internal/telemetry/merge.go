@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Cluster-wide trace merging. Each dlad process stores only the spans
+// its own protocols recorded; `dlactl trace` fetches the per-node
+// TraceView fragments over the -pprof debug ports and merges them here
+// into one tree. Two problems are solved:
+//
+//   - Stitching: a fragment root that carries a Parent ref (the remote
+//     span ID propagated in the transport envelope) is re-attached as a
+//     child of that span, wherever in the cluster it lives.
+//   - Clock skew: every node timestamps spans on its own wall clock.
+//     Offsets are normalized per fragment using the causal edges: a
+//     remote child cannot start before the envelope that spawned it
+//     was sent, so whenever a stitched child appears to start before
+//     its cross-node parent, the whole fragment is shifted forward by
+//     the violation. This happens-before clamp cannot recover true
+//     offsets, but it guarantees the rendered tree never shows an
+//     effect preceding its cause.
+//
+// The merge consumes and produces only the redaction-safe SpanView
+// schema, so a merged cluster trace leaks nothing a per-node trace
+// does not.
+
+// mergeSpan is one span during the merge, in absolute time.
+type mergeSpan struct {
+	view     SpanView // Children stripped; rebuilt from the edges below
+	fragment int      // index of the source fragment
+	absMS    float64  // start relative to the merge base, pre-shift
+	children []*mergeSpan
+}
+
+// MergeViews merges per-node trace fragments of one session into a
+// single cluster-wide view. Fragments with a different Session (or no
+// spans) are skipped; an empty input yields an empty view. Span IDs
+// collide only when two nodes share a name; the first occurrence wins
+// and later duplicates stay unstitched.
+func MergeViews(session string, fragments []TraceView) TraceView {
+	var live []TraceView
+	for _, f := range fragments {
+		if f.Session == session && len(f.Spans) > 0 {
+			live = append(live, f)
+		}
+	}
+	out := TraceView{Session: session}
+	if len(live) == 0 {
+		return out
+	}
+	// Base time: the earliest fragment start. All spans convert to
+	// milliseconds relative to it.
+	base := live[0].Started
+	for _, f := range live[1:] {
+		if f.Started.Before(base) {
+			base = f.Started
+		}
+	}
+	out.Started = base
+
+	// Flatten every span of every fragment, keeping intra-fragment
+	// parent/child edges explicit so stitched children can attach at
+	// their exact remote parent.
+	var roots []*mergeSpan
+	index := make(map[string]*mergeSpan)
+	sessions := make(map[string]struct{})
+	nodes := make(map[string]struct{})
+	var flatten func(sp SpanView, fi int, fragBase float64) *mergeSpan
+	flatten = func(sp SpanView, fi int, fragBase float64) *mergeSpan {
+		ms := &mergeSpan{view: sp, fragment: fi, absMS: fragBase + sp.StartMS}
+		ms.view.Children = nil
+		if sp.ID != "" {
+			if _, taken := index[sp.ID]; !taken {
+				index[sp.ID] = ms
+			}
+		}
+		if sp.Node != "" {
+			nodes[sp.Node] = struct{}{}
+		}
+		if sp.Session != "" {
+			sessions[sp.Session] = struct{}{}
+		}
+		for _, c := range sp.Children {
+			ms.children = append(ms.children, flatten(c, fi, fragBase))
+		}
+		return ms
+	}
+	for fi, f := range live {
+		fragBase := float64(f.Started.Sub(base)) / float64(time.Millisecond)
+		out.Dropped += f.Dropped
+		sessions[f.Session] = struct{}{}
+		for _, sp := range f.Spans {
+			roots = append(roots, flatten(sp, fi, fragBase))
+		}
+	}
+
+	// Clock-skew normalization: shift fragments forward until every
+	// stitched edge is causal. Iterate to a fixpoint (shifting a
+	// fragment can expose a violation in one it parents); bounded by
+	// the fragment count.
+	shift := make([]float64, len(live))
+	for pass := 0; pass < len(live); pass++ {
+		changed := false
+		for _, r := range roots {
+			p, ok := index[r.view.Parent]
+			if r.view.Parent == "" || !ok || p.fragment == r.fragment {
+				continue
+			}
+			parentStart := p.absMS + shift[p.fragment]
+			childStart := r.absMS + shift[r.fragment]
+			if childStart < parentStart {
+				shift[r.fragment] += parentStart - childStart
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Stitch: a root whose Parent resolves in the index becomes that
+	// span's child; everything else stays a root of the merged forest.
+	var topLevel []*mergeSpan
+	for _, r := range roots {
+		if r.view.Parent != "" {
+			if p, ok := index[r.view.Parent]; ok && p != r {
+				p.children = append(p.children, r)
+				continue
+			}
+		}
+		topLevel = append(topLevel, r)
+	}
+	var emit func(ms *mergeSpan) SpanView
+	emit = func(ms *mergeSpan) SpanView {
+		v := ms.view
+		v.StartMS = ms.absMS + shift[ms.fragment]
+		for _, c := range ms.children {
+			v.Children = append(v.Children, emit(c))
+		}
+		sort.Slice(v.Children, func(i, j int) bool { return v.Children[i].StartMS < v.Children[j].StartMS })
+		return v
+	}
+	for _, r := range topLevel {
+		out.Spans = append(out.Spans, emit(r))
+	}
+	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].StartMS < out.Spans[j].StartMS })
+	out.Sessions = len(sessions)
+	for n := range nodes {
+		out.Nodes = append(out.Nodes, n)
+	}
+	sort.Strings(out.Nodes)
+	return out
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for SetClock, making
+// span durations and merge orderings deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock(t time.Time) *fakeClock { return &fakeClock{t: t} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestInjectedClockDurations(t *testing.T) {
+	base := time.Date(2026, 8, 6, 10, 0, 0, 0, time.UTC)
+	clk := newFakeClock(base)
+	tr := NewTracer()
+	tr.SetClock(clk.now)
+
+	root, ctx := tr.StartSpan(context.Background(), "clk/1", "P0", "audit.query")
+	clk.advance(3 * time.Millisecond)
+	child, _ := tr.StartSpan(ctx, "clk/1", "P0", "audit.parse_plan")
+	clk.advance(7 * time.Millisecond)
+	child.End(nil)
+	clk.advance(15 * time.Millisecond)
+	root.End(nil)
+
+	v, ok := tr.Snapshot("clk/1")
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if !v.Started.Equal(base) {
+		t.Fatalf("trace started %v, want %v", v.Started, base)
+	}
+	q := v.Spans[0]
+	if q.DurMS != 25 {
+		t.Fatalf("root duration %vms, want exactly 25", q.DurMS)
+	}
+	if len(q.Children) != 1 || q.Children[0].DurMS != 7 || q.Children[0].StartMS != 3 {
+		t.Fatalf("child timing: %+v", q.Children)
+	}
+}
+
+// clusterFragments runs a coordinator span on one tracer and a remote
+// child on another (linked through SpanRef/WithRemoteParent, exactly as
+// the transport envelope does), returning the two per-node fragments.
+// skew offsets the executor's clock relative to the coordinator's.
+func clusterFragments(t *testing.T, skew time.Duration) (coord, exec TraceView) {
+	t.Helper()
+	base := time.Date(2026, 8, 6, 10, 0, 0, 0, time.UTC)
+	clkA, clkB := newFakeClock(base), newFakeClock(base.Add(skew))
+	trA, trB := NewTracer(), NewTracer()
+	trA.SetClock(clkA.now)
+	trB.SetClock(clkB.now)
+
+	root, ctx := trA.StartSpan(context.Background(), "q/m/1", "P0", "audit.query")
+	clkA.advance(2 * time.Millisecond)
+	dsp, dctx := trA.StartSpan(ctx, "q/m/1", "P0", "audit.dispatch")
+	_, spanID := SpanRef(dctx)
+	if spanID == "" {
+		t.Fatal("dispatch span has no ID")
+	}
+
+	// "Deliver" the envelope: the executor plants the remote parent ref
+	// before opening its own root, like audit's handleExec does.
+	rctx := WithRemoteParent(context.Background(), spanID)
+	remote, _ := trB.StartSpan(rctx, "q/m/1", "P1", "audit.exec")
+	clkB.advance(10 * time.Millisecond)
+	remote.End(nil)
+
+	clkA.advance(14 * time.Millisecond)
+	dsp.End(nil)
+	root.End(nil)
+
+	va, ok := trA.Snapshot("q/m/1")
+	if !ok {
+		t.Fatal("no coordinator snapshot")
+	}
+	vb, ok := trB.Snapshot("q/m/1")
+	if !ok {
+		t.Fatal("no executor snapshot")
+	}
+	return va, vb
+}
+
+func TestMergeViewsStitchesRemoteChild(t *testing.T) {
+	coord, exec := clusterFragments(t, 0)
+	if exec.Spans[0].Parent == "" {
+		t.Fatal("executor root lost its remote parent ref")
+	}
+	m := MergeViews("q/m/1", []TraceView{coord, exec})
+	if len(m.Spans) != 1 {
+		t.Fatalf("merged forest has %d roots, want 1 (stitched): %+v", len(m.Spans), m.Spans)
+	}
+	q := m.Spans[0]
+	if q.Name != "audit.query" || len(q.Children) != 1 || q.Children[0].Name != "audit.dispatch" {
+		t.Fatalf("unexpected tree shape: %+v", q)
+	}
+	d := q.Children[0]
+	if len(d.Children) != 1 || d.Children[0].Name != "audit.exec" || d.Children[0].Node != "P1" {
+		t.Fatalf("remote span not stitched under dispatch: %+v", d.Children)
+	}
+	if got, want := strings.Join(m.Nodes, ","), "P0,P1"; got != want {
+		t.Fatalf("nodes %q, want %q", got, want)
+	}
+	out := FormatTree(m)
+	for _, want := range []string{"nodes: P0, P1", "audit.exec P1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered merged tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeViewsNormalizesClockSkew(t *testing.T) {
+	// Executor clock 50ms BEHIND the coordinator: naively its span would
+	// start before the dispatch that caused it. The merge must shift the
+	// executor fragment forward to restore happens-before.
+	coord, exec := clusterFragments(t, -50*time.Millisecond)
+	m := MergeViews("q/m/1", []TraceView{coord, exec})
+	if len(m.Spans) != 1 {
+		t.Fatalf("merged forest has %d roots, want 1", len(m.Spans))
+	}
+	dispatch := m.Spans[0].Children[0]
+	remote := dispatch.Children[0]
+	if remote.StartMS < dispatch.StartMS {
+		t.Fatalf("effect precedes cause after merge: exec at %vms, dispatch at %vms",
+			remote.StartMS, dispatch.StartMS)
+	}
+	// The clamp shifts by exactly the violation: child lands ON the
+	// parent's start, not at its skewed absolute position.
+	if remote.StartMS != dispatch.StartMS {
+		t.Fatalf("skew clamp should align child to parent start: exec %vms, dispatch %vms",
+			remote.StartMS, dispatch.StartMS)
+	}
+}
+
+func TestMergeViewsKeepsUnstitchedRoots(t *testing.T) {
+	// A fragment whose Parent ref resolves nowhere (its parent's node
+	// was unreachable during collection) must stay a root, not vanish.
+	coord, exec := clusterFragments(t, 0)
+	m := MergeViews("q/m/1", []TraceView{exec}) // coordinator fragment missing
+	if len(m.Spans) != 1 || m.Spans[0].Name != "audit.exec" {
+		t.Fatalf("orphaned fragment lost: %+v", m.Spans)
+	}
+	// Fragments for another session are skipped entirely.
+	other := coord
+	other.Session = "q/other"
+	m = MergeViews("q/other", []TraceView{exec})
+	if len(m.Spans) != 0 {
+		t.Fatalf("foreign-session fragment merged: %+v", m.Spans)
+	}
+}
+
+func TestDropAndEvictionCounters(t *testing.T) {
+	droppedBefore := M.Counter(CtrSpansDropped).Value()
+	evictedBefore := M.Counter(CtrSessionsEvicted).Value()
+
+	tr := NewTracer()
+	_, ctx := tr.StartSpan(context.Background(), "ctr", "n", "root")
+	for i := 0; i < maxSpansPerSession; i++ { // one past the cap
+		sp, _ := tr.StartSpan(ctx, "ctr", "n", "child")
+		sp.End(nil)
+	}
+	if got := M.Counter(CtrSpansDropped).Value() - droppedBefore; got != 1 {
+		t.Fatalf("spans_dropped delta %d, want 1", got)
+	}
+
+	tr2 := NewTracer()
+	for i := 0; i < maxSessions+3; i++ {
+		sp, _ := tr2.StartSpan(context.Background(), "e/"+itoa(int64(i)), "n", "op")
+		sp.End(nil)
+	}
+	if got := M.Counter(CtrSessionsEvicted).Value() - evictedBefore; got != 3 {
+		t.Fatalf("sessions_evicted delta %d, want 3", got)
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4), hand-rolled so the repo
+// takes no client-library dependency. The exposition is a pure
+// projection of MetricsSnapshot plus the leak ledger's rolling C_DLA:
+// metric names are compile-time constants sanitized to the Prometheus
+// charset, label values are the fixed "le" bucket bounds — no free-form
+// string from the data path can reach the output.
+
+// promName sanitizes a registry metric name into the Prometheus
+// charset ([a-zA-Z0-9_:]) under the dla_ namespace.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("dla_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promBound parses a HistogramSnapshot bucket key ("le_250us",
+// "le_5ms", "le_inf") back into its upper bound in milliseconds.
+func promBound(key string) float64 {
+	s := strings.TrimPrefix(key, "le_")
+	switch {
+	case s == "inf":
+		return math.Inf(1)
+	case strings.HasSuffix(s, "us"):
+		n, _ := strconv.ParseFloat(strings.TrimSuffix(s, "us"), 64)
+		return n / 1000
+	default:
+		n, _ := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+		return n
+	}
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// format: counters as dla_<name>_total, gauges as dla_<name>, and
+// histograms as the conventional cumulative _bucket/_sum/_count series
+// with "le" bounds in milliseconds.
+func WritePrometheus(w io.Writer, snap MetricsSnapshot) {
+	line := func(parts ...string) {
+		io.WriteString(w, strings.Join(parts, "")) //nolint:errcheck
+		io.WriteString(w, "\n")                    //nolint:errcheck
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		line("# TYPE ", pn, " counter")
+		line(pn, " ", strconv.FormatInt(snap.Counters[n], 10))
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		line("# TYPE ", pn, " gauge")
+		line(pn, " ", strconv.FormatInt(snap.Gauges[n], 10))
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		pn := promName(n)
+		line("# TYPE ", pn, " histogram")
+		keys := make([]string, 0, len(h.Buckets))
+		for k := range h.Buckets {
+			if k != "le_inf" { // folded into the +Inf bucket below
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return promBound(keys[i]) < promBound(keys[j]) })
+		cum := int64(0)
+		for _, k := range keys {
+			cum += h.Buckets[k]
+			line(pn, `_bucket{le="`, promFloat(promBound(k)), `"} `, strconv.FormatInt(cum, 10))
+		}
+		line(pn, `_bucket{le="+Inf"} `, strconv.FormatInt(h.Count, 10))
+		line(pn, "_sum ", promFloat(h.SumMS))
+		line(pn, "_count ", strconv.FormatInt(h.Count, 10))
+	}
+}
+
+// WritePrometheusConf appends the leak ledger's confidentiality gauges:
+// the rolling C_DLA (eq. 13), the recorded query count, and the alarm
+// count — aggregates only, no querier identities.
+func WritePrometheusConf(w io.Writer, conf ConfSnapshot) {
+	line := func(parts ...string) {
+		io.WriteString(w, strings.Join(parts, "")) //nolint:errcheck
+		io.WriteString(w, "\n")                    //nolint:errcheck
+	}
+	line("# TYPE dla_leak_c_dla gauge")
+	line("dla_leak_c_dla ", promFloat(conf.CDLA))
+	line("# TYPE dla_leak_queries gauge")
+	line("dla_leak_queries ", strconv.FormatInt(conf.Queries, 10))
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"bufio"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name  string
+	le    string // "le" label value, "" when unlabeled
+	value float64
+}
+
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="([^"]+)"\})? (\S+)$`)
+
+// parseProm parses the text exposition format 0.0.4 subset this repo
+// emits, failing the test on any malformed line. It returns the samples
+// in order plus the TYPE declared for each metric family.
+func parseProm(t *testing.T, text string) ([]promSample, map[string]string) {
+	t.Helper()
+	var samples []promSample
+	types := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.Replace(m[3], "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		samples = append(samples, promSample{name: m[1], le: m[2], value: v})
+	}
+	return samples, types
+}
+
+func findSample(samples []promSample, name, le string) (float64, bool) {
+	for _, s := range samples {
+		if s.name == name && s.le == le {
+			return s.value, true
+		}
+	}
+	return 0, false
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("net.sent").Add(42)
+	r.Gauge("audit.inflight").Set(3)
+	r.Histogram("audit.query").Observe(900 * time.Microsecond) // le_1ms
+	r.Histogram("audit.query").Observe(30 * time.Millisecond)  // le_50ms
+	r.Histogram("audit.query").Observe(20 * time.Second)       // beyond the last bound -> le_inf
+	snap := r.Snapshot()
+
+	var b strings.Builder
+	WritePrometheus(&b, snap)
+	samples, types := parseProm(t, b.String())
+
+	if v, ok := findSample(samples, "dla_net_sent_total", ""); !ok || v != 42 {
+		t.Fatalf("counter: got %v (found=%v)", v, ok)
+	}
+	if types["dla_net_sent_total"] != "counter" {
+		t.Fatalf("counter TYPE %q", types["dla_net_sent_total"])
+	}
+	if v, ok := findSample(samples, "dla_audit_inflight", ""); !ok || v != 3 {
+		t.Fatalf("gauge: got %v (found=%v)", v, ok)
+	}
+	if types["dla_audit_query"] != "histogram" {
+		t.Fatalf("histogram TYPE %q", types["dla_audit_query"])
+	}
+
+	// Buckets must be cumulative, monotone over increasing le bounds,
+	// and the +Inf bucket must equal _count.
+	var buckets []promSample
+	for _, s := range samples {
+		if s.name == "dla_audit_query_bucket" {
+			buckets = append(buckets, s)
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no buckets emitted")
+	}
+	prevBound, prevCum := math.Inf(-1), float64(-1)
+	for _, bkt := range buckets {
+		bound, err := strconv.ParseFloat(strings.Replace(bkt.le, "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Fatalf("bad le %q: %v", bkt.le, err)
+		}
+		if bound <= prevBound {
+			t.Fatalf("le bounds not increasing: %v after %v", bound, prevBound)
+		}
+		if bkt.value < prevCum {
+			t.Fatalf("buckets not cumulative: %v after %v (le=%s)", bkt.value, prevCum, bkt.le)
+		}
+		prevBound, prevCum = bound, bkt.value
+	}
+	if buckets[len(buckets)-1].le != "+Inf" {
+		t.Fatalf("last bucket le %q, want +Inf", buckets[len(buckets)-1].le)
+	}
+	count, _ := findSample(samples, "dla_audit_query_count", "")
+	if count != 3 || buckets[len(buckets)-1].value != count {
+		t.Fatalf("+Inf bucket %v != _count %v (want 3)", buckets[len(buckets)-1].value, count)
+	}
+	if cum1ms, ok := findSample(samples, "dla_audit_query_bucket", "1"); !ok || cum1ms != 1 {
+		t.Fatalf("le=1ms cumulative %v, want 1", cum1ms)
+	}
+	sum, _ := findSample(samples, "dla_audit_query_sum", "")
+	if math.Abs(sum-snap.Histograms["audit.query"].SumMS) > 1e-9 {
+		t.Fatalf("_sum %v != snapshot %v", sum, snap.Histograms["audit.query"].SumMS)
+	}
+
+	// Every emitted metric name must stay in the Prometheus charset.
+	for _, s := range samples {
+		for _, r := range s.name {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == ':') {
+				t.Fatalf("metric name %q outside charset", s.name)
+			}
+		}
+	}
+}
+
+func TestPromHandlerServesLedgerGauges(t *testing.T) {
+	l := NewLedger()
+	l.RecordQuery("user", "q/p/1", 0.9, 0.75)
+	old := L
+	L = l
+	defer func() { L = old }()
+
+	srv := httptest.NewServer(PromHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content-type %q", ct)
+	}
+	samples, types := parseProm(t, readAll(t, resp))
+	if v, ok := findSample(samples, "dla_leak_c_dla", ""); !ok || math.Abs(v-0.75) > 1e-9 {
+		t.Fatalf("dla_leak_c_dla %v (found=%v), want 0.75", v, ok)
+	}
+	if v, ok := findSample(samples, "dla_leak_queries", ""); !ok || v != 1 {
+		t.Fatalf("dla_leak_queries %v (found=%v), want 1", v, ok)
+	}
+	if types["dla_leak_c_dla"] != "gauge" {
+		t.Fatalf("dla_leak_c_dla TYPE %q", types["dla_leak_c_dla"])
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

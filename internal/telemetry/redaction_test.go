@@ -4,6 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"regexp"
 	"strings"
 	"testing"
@@ -40,6 +43,7 @@ var safeString = regexp.MustCompile(`^[0-9A-Za-z._/:+-]{0,64}$`)
 func TestRedactionFullQuery(t *testing.T) {
 	telemetry.M.Reset()
 	telemetry.T.Reset()
+	telemetry.L.Reset()
 
 	schema, err := logmodel.NewSchema([]logmodel.Attr{"user", "proto", "ratio"})
 	if err != nil {
@@ -121,6 +125,43 @@ func TestRedactionFullQuery(t *testing.T) {
 			t.Fatal(err)
 		}
 		surface = append(surface, string(tj), telemetry.FormatTree(view))
+		// The cluster-wide merge consumes and produces the same SpanView
+		// schema; sweep its output too (JSON and rendered).
+		merged := telemetry.MergeViews(sess, []telemetry.TraceView{view})
+		mjj, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		surface = append(surface, string(mjj), telemetry.FormatTree(merged))
+	}
+
+	// The leak ledger must have scored the query and recorded the
+	// disclosed secondary information; its surfaces join the sweep.
+	ledger := telemetry.L.Snapshot()
+	if ledger.Queries == 0 {
+		t.Error("leak ledger recorded no queries for an audited session")
+	}
+	surface = append(surface, telemetry.FormatLedger(ledger))
+
+	// Sweep the debug HTTP endpoints exactly as an operator reads them.
+	mux := http.NewServeMux()
+	telemetry.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	for _, path := range []string{"/debug/dla/leaks", "/debug/dla/conf", "/debug/dla/prom", "/debug/dla/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //nolint:errcheck
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s served an empty body", path)
+		}
+		surface = append(surface, string(body))
 	}
 
 	leaks := []string{

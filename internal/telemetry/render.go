@@ -22,6 +22,9 @@ func FormatTree(v TraceView) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace %s (%d session key(s), started %s)\n",
 		v.Session, v.Sessions, v.Started.UTC().Format("2006-01-02T15:04:05.000Z"))
+	if len(v.Nodes) > 0 {
+		fmt.Fprintf(&b, "  nodes: %s\n", strings.Join(v.Nodes, ", "))
+	}
 	if v.Dropped > 0 {
 		fmt.Fprintf(&b, "  [%d span(s) dropped by the per-session cap]\n", v.Dropped)
 	}
@@ -74,6 +77,43 @@ func renderSpan(b *strings.Builder, sp SpanView, rootSession, prefix string, las
 	for i, c := range sp.Children {
 		renderSpan(b, c, rootSession, childPrefix, i == len(sp.Children)-1)
 	}
+}
+
+// FormatLedger renders a leak-ledger snapshot: the rolling C_DLA, then
+// each querier's cumulative spend and per-session disclosure entries.
+// Like FormatTree, it consumes only snapshot types, so the output is
+// identifiers and numbers by construction.
+func FormatLedger(s LedgerSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "leak ledger: %d queries by %d querier(s), rolling C_DLA %.4f\n",
+		s.Queries, len(s.Queriers), s.CDLA)
+	for _, q := range s.Queriers {
+		fmt.Fprintf(&b, "querier %s: %d queries, mean C_auditing %.4f, mean C_query %.4f, leakage %.4f",
+			q.Querier, q.Queries, q.MeanCAud, q.MeanCQuery, q.Leakage)
+		if q.Budget > 0 {
+			fmt.Fprintf(&b, ", budget %.2f", q.Budget)
+		}
+		if q.Alarmed {
+			b.WriteString(" [ALARM: budget exceeded]")
+		}
+		b.WriteString("\n")
+		for _, e := range q.Entries {
+			fmt.Fprintf(&b, "  %s: C_auditing %.4f, C_query %.4f, leakage %.4f\n",
+				e.Session, e.CAuditing, e.CQuery, e.Leakage)
+			for _, d := range e.Disclosures {
+				b.WriteString("    ")
+				b.WriteString(d.Kind)
+				if d.Plan != "" {
+					fmt.Fprintf(&b, "[%s]", d.Plan)
+				}
+				if d.Node != "" {
+					fmt.Fprintf(&b, " @%s", d.Node)
+				}
+				fmt.Fprintf(&b, " n=%d\n", d.N)
+			}
+		}
+	}
+	return b.String()
 }
 
 func formatBytes(n int64) string {

@@ -377,6 +377,18 @@ const (
 
 	// Worker pool: gauge of workers currently executing a crypto batch.
 	GaugeWorkpoolBusy = "workpool.busy"
+
+	// Tracer bookkeeping. spans_dropped counts spans refused by the
+	// per-session cap; sessions_evicted counts completed sessions pushed
+	// out by the FIFO bound. Both were previously internal-only; an
+	// operator watching a busy node needs them to know when a trace is
+	// partial.
+	CtrSpansDropped    = "trace.spans_dropped"
+	CtrSessionsEvicted = "trace.sessions_evicted"
+
+	// Leak ledger: alarms tripped by a querier exceeding its configured
+	// leak budget (see ledger.go).
+	CtrLeakAlarms = "leak.alarms"
 )
 
 // SentTo records one outbound message of the given protocol type and

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,6 +18,15 @@ import (
 // suffixing ("/sq0", "/final"), which Snapshot exploits: asking for the
 // root session returns the sub-sessions' spans too.
 //
+// Cross-node stitching. Every span carries a cluster-unique ID
+// ("<node>:<seq>"). The transport envelope propagates the sender's
+// active span ID (Message.TraceSpan), and a receiving handler plants it
+// with WithRemoteParent before opening its own root span; the root then
+// records the remote ID as its Parent. A per-node trace fragment stays
+// a forest, but MergeViews (merge.go) re-parents fragments from all
+// cluster nodes into one tree. Span IDs are node name + counter —
+// secondary information by construction, nothing derived from data.
+//
 // A span records ONLY the redaction-safe schema: a constant name, the
 // local and peer node IDs, chunk Seq/Total framing, byte and element
 // counts, timing, and a coarse outcome class. There is deliberately no
@@ -24,7 +34,9 @@ import (
 
 // Tracer bounds per session and per span keep a long-running node's
 // memory flat: completed sessions are evicted FIFO, and a pathological
-// session stops recording (counting drops) instead of growing.
+// session stops recording (counting drops) instead of growing. Both
+// events also feed operator-visible counters on the default registry
+// (CtrSpansDropped, CtrSessionsEvicted).
 const (
 	maxSessions        = 256
 	maxSpansPerSession = 8192
@@ -35,6 +47,8 @@ const (
 type Span struct {
 	st *sessionTrace
 
+	id      string // cluster-unique: "<node>:<seq>"
+	parent  string // remote parent span ID carried by the envelope
 	name    string
 	node    string
 	session string
@@ -54,6 +68,7 @@ type Span struct {
 // sessionTrace accumulates one session key's spans.
 type sessionTrace struct {
 	mu      sync.Mutex
+	now     func() time.Time
 	session string
 	started time.Time
 	roots   []*Span
@@ -64,23 +79,68 @@ type sessionTrace struct {
 // Tracer stores bounded traces for recent sessions.
 type Tracer struct {
 	mu       sync.Mutex
+	now      func() time.Time
+	seq      atomic.Uint64
 	sessions map[string]*sessionTrace
 	order    []string // insertion order for FIFO eviction
 }
 
-// NewTracer creates an empty tracer.
+// NewTracer creates an empty tracer on the real clock.
 func NewTracer() *Tracer {
-	return &Tracer{sessions: make(map[string]*sessionTrace)}
+	return &Tracer{sessions: make(map[string]*sessionTrace), now: time.Now}
+}
+
+// SetClock replaces the tracer's time source (default time.Now). Tests
+// inject a fake clock so span durations and merge orderings are
+// deterministic instead of sleep-based. Call before recording; spans
+// already started keep the clock of their session.
+func (t *Tracer) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	t.now = now
 }
 
 // T is the process-wide default tracer, mirroring M.
 var T = NewTracer()
 
 type ctxKey struct{}
+type remoteKey struct{}
 
 // spanFrom extracts the active span from a context.
 func spanFrom(ctx context.Context) *Span {
 	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// SpanRef returns the active span's session and cluster-unique ID, for
+// stamping onto an outbound envelope. Both are empty when the context
+// carries no live span.
+func SpanRef(ctx context.Context) (session, spanID string) {
+	s := spanFrom(ctx)
+	if s == nil {
+		return "", ""
+	}
+	return s.session, s.id
+}
+
+// WithRemoteParent plants a remote span ID (received in a transport
+// envelope) in the context. The next root span started under the
+// returned context records it as its Parent, letting MergeViews stitch
+// per-node trace fragments into one cluster-wide tree. An empty spanID
+// returns ctx unchanged.
+func WithRemoteParent(ctx context.Context, spanID string) context.Context {
+	if spanID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, spanID)
+}
+
+// remoteParentFrom extracts a planted remote parent ref.
+func remoteParentFrom(ctx context.Context) string {
+	s, _ := ctx.Value(remoteKey{}).(string)
 	return s
 }
 
@@ -93,25 +153,27 @@ func StartSpan(ctx context.Context, session, node, name string) (*Span, context.
 
 // StartSpan opens a span. When ctx already carries a span, the new span
 // is attached as its child (and stored under the parent's session
-// trace); otherwise it is a new root for the session.
+// trace); otherwise it is a new root for the session, inheriting any
+// remote parent ref planted with WithRemoteParent.
 func (t *Tracer) StartSpan(ctx context.Context, session, node, name string) (*Span, context.Context) {
 	if !enabled.Load() {
 		return nil, ctx
 	}
-	now := time.Now()
+	id := t.nextID(node)
 	if parent := spanFrom(ctx); parent != nil {
-		child := parent.newChild(session, node, name, now)
+		child := parent.newChild(session, node, name, id)
 		if child == nil {
 			return nil, ctx
 		}
 		return child, context.WithValue(ctx, ctxKey{}, child)
 	}
-	st := t.sessionTrace(session, now)
-	sp := &Span{st: st, name: name, node: node, session: session, start: now}
+	st := t.sessionTrace(session)
+	sp := &Span{st: st, id: id, parent: remoteParentFrom(ctx), name: name, node: node, session: session, start: st.now()}
 	st.mu.Lock()
 	if st.spans >= maxSpansPerSession {
 		st.dropped++
 		st.mu.Unlock()
+		M.Counter(CtrSpansDropped).Add(1)
 		return nil, ctx
 	}
 	st.spans++
@@ -120,7 +182,14 @@ func (t *Tracer) StartSpan(ctx context.Context, session, node, name string) (*Sp
 	return sp, context.WithValue(ctx, ctxKey{}, sp)
 }
 
-func (t *Tracer) sessionTrace(session string, now time.Time) *sessionTrace {
+// nextID mints a cluster-unique span ID: the local node name plus a
+// per-tracer counter. Node IDs are roster identities, so the result is
+// Definition 1 secondary information.
+func (t *Tracer) nextID(node string) string {
+	return node + ":" + itoa(int64(t.seq.Add(1)))
+}
+
+func (t *Tracer) sessionTrace(session string) *sessionTrace {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	st, ok := t.sessions[session]
@@ -131,25 +200,35 @@ func (t *Tracer) sessionTrace(session string, now time.Time) *sessionTrace {
 		oldest := t.order[0]
 		t.order = t.order[1:]
 		delete(t.sessions, oldest)
+		M.Counter(CtrSessionsEvicted).Add(1)
 	}
-	st = &sessionTrace{session: session, started: now}
+	st = &sessionTrace{session: session, now: t.now, started: t.now()}
 	t.sessions[session] = st
 	t.order = append(t.order, session)
 	return st
 }
 
-func (s *Span) newChild(session, node, name string, now time.Time) *Span {
+func (s *Span) newChild(session, node, name, id string) *Span {
 	st := s.st
-	child := &Span{st: st, name: name, node: node, session: session, start: now}
+	child := &Span{st: st, id: id, name: name, node: node, session: session, start: st.now()}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.spans >= maxSpansPerSession {
 		st.dropped++
+		M.Counter(CtrSpansDropped).Add(1)
 		return nil
 	}
 	st.spans++
 	s.children = append(s.children, child)
 	return child
+}
+
+// ID returns the span's cluster-unique ID ("" for a nil span).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
 }
 
 // SetPeer records the remote node the step talked to.
@@ -204,10 +283,11 @@ func (s *Span) End(err error) {
 	if s == nil {
 		return
 	}
+	now := s.st.now()
 	s.st.mu.Lock()
 	if !s.ended {
 		s.ended = true
-		s.dur = time.Since(s.start)
+		s.dur = now.Sub(s.start)
 		s.outcome = ErrClass(err)
 	}
 	s.st.mu.Unlock()
@@ -233,8 +313,12 @@ func ErrClass(err error) string {
 // --- snapshots ---
 
 // SpanView is a span's exported form. StartMS is the offset from the
-// trace view's Started time.
+// trace view's Started time. ID and Parent carry the cross-node
+// stitching refs ("<node>:<seq>"); Parent is set only on roots whose
+// opener was triggered by a remote span.
 type SpanView struct {
+	ID       string     `json:"id,omitempty"`
+	Parent   string     `json:"parent,omitempty"`
 	Name     string     `json:"name"`
 	Node     string     `json:"node,omitempty"`
 	Session  string     `json:"session,omitempty"`
@@ -252,12 +336,15 @@ type SpanView struct {
 
 // TraceView is one session's exported trace: a forest of span trees
 // from every actor that filed under the session (or a sub-session).
+// Nodes lists the distinct node IDs contributing spans (filled by
+// Snapshot and MergeViews).
 type TraceView struct {
 	Session  string     `json:"session"`
 	Started  time.Time  `json:"started"`
 	Spans    []SpanView `json:"spans"`
 	Dropped  int        `json:"dropped,omitempty"`
 	Sessions int        `json:"sessions"` // distinct session keys merged
+	Nodes    []string   `json:"nodes,omitempty"`
 }
 
 // Snapshot exports the trace for a session from the default tracer.
@@ -283,14 +370,19 @@ func (t *Tracer) Snapshot(session string) (TraceView, bool) {
 	}
 	sort.Slice(sts, func(i, j int) bool { return sts[i].started.Before(sts[j].started) })
 	view := TraceView{Session: session, Started: sts[0].started, Sessions: len(sts)}
+	nodes := make(map[string]struct{})
 	for _, st := range sts {
 		st.mu.Lock()
 		for _, sp := range st.roots {
-			view.Spans = append(view.Spans, sp.viewLocked(view.Started))
+			view.Spans = append(view.Spans, sp.viewLocked(view.Started, nodes))
 		}
 		view.Dropped += st.dropped
 		st.mu.Unlock()
 	}
+	for n := range nodes {
+		view.Nodes = append(view.Nodes, n)
+	}
+	sort.Strings(view.Nodes)
 	sort.Slice(view.Spans, func(i, j int) bool { return view.Spans[i].StartMS < view.Spans[j].StartMS })
 	return view, true
 }
@@ -312,8 +404,10 @@ func (t *Tracer) Reset() {
 
 // viewLocked exports a span subtree. Caller holds st.mu (one lock
 // guards all spans of a session trace).
-func (s *Span) viewLocked(base time.Time) SpanView {
+func (s *Span) viewLocked(base time.Time, nodes map[string]struct{}) SpanView {
 	v := SpanView{
+		ID:      s.id,
+		Parent:  s.parent,
 		Name:    s.name,
 		Node:    s.node,
 		Session: s.session,
@@ -327,11 +421,14 @@ func (s *Span) viewLocked(base time.Time) SpanView {
 		DurMS:   float64(s.dur.Microseconds()) / 1000,
 		Open:    !s.ended,
 	}
+	if s.node != "" && nodes != nil {
+		nodes[s.node] = struct{}{}
+	}
 	if v.Open {
-		v.DurMS = float64(time.Since(s.start).Microseconds()) / 1000
+		v.DurMS = float64(s.st.now().Sub(s.start).Microseconds()) / 1000
 	}
 	for _, c := range s.children {
-		v.Children = append(v.Children, c.viewLocked(base))
+		v.Children = append(v.Children, c.viewLocked(base, nodes))
 	}
 	sort.Slice(v.Children, func(i, j int) bool { return v.Children[i].StartMS < v.Children[j].StartMS })
 	return v

@@ -23,36 +23,93 @@ import (
 // binary toward a peer only after seeing the peer advertise it
 // (trust-on-first-use, like ReplyAddr learning), so JSON-only legacy
 // peers are never sent frames they cannot parse.
+//
+// Version 2 adds the trace-context fields (TraceSession, TraceSpan) as
+// two more string runs before the payload. A v1 decoder rejects unknown
+// versions, so v2 frames ride a NEW capability name, "bin2": peers that
+// advertise only "bin" get v1 frames (trace context dropped toward
+// them), peers advertising "bin2" get v2, and peers advertising nothing
+// get JSON — which always carries the trace fields, since JSON decoding
+// tolerates unknown fields on legacy nodes.
 const (
-	// CodecBinary is the capability name advertised in Message.Codec.
+	// CodecBinary is the v1 capability name advertised in Message.Codec.
 	CodecBinary = "bin"
+	// CodecBinaryV2 is the v2 (trace-context) capability name.
+	CodecBinaryV2 = "bin2"
 
-	binMagic   = 0xD1
-	binVersion = 1
+	binMagic    = 0xD1
+	binVersion  = 1
+	binVersion2 = 2
 )
+
+// Codec negotiation levels: what a peer can decode / this node may send.
+const (
+	codecJSON = iota
+	codecBin
+	codecBin2
+)
+
+// codecLevel maps a Message.Codec advertisement to a negotiation level.
+func codecLevel(advert string) int {
+	switch advert {
+	case CodecBinaryV2:
+		return codecBin2
+	case CodecBinary:
+		return codecBin
+	default:
+		return codecJSON
+	}
+}
+
+// codecAdvert is the capability string a node at the given level sends.
+func codecAdvert(level int) string {
+	switch level {
+	case codecBin2:
+		return CodecBinaryV2
+	case codecBin:
+		return CodecBinary
+	default:
+		return ""
+	}
+}
 
 // encBufPool recycles encode buffers across frames.
 var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
-// appendBinaryMessage appends the binary encoding of msg to dst.
-func appendBinaryMessage(dst []byte, msg *Message) []byte {
-	dst = append(dst, binMagic, binVersion)
-	for _, s := range [...]string{msg.From, msg.To, msg.Type, msg.Session, msg.ReplyAddr, msg.Codec} {
-		dst = binary.AppendUvarint(dst, uint64(len(s)))
-		dst = append(dst, s...)
+// binFields returns the ordered envelope string fields for a frame
+// version. v1 carries 6 strings, v2 appends the trace context.
+func binFields(msg *Message, version byte) []*string {
+	fields := []*string{&msg.From, &msg.To, &msg.Type, &msg.Session, &msg.ReplyAddr, &msg.Codec}
+	if version >= binVersion2 {
+		fields = append(fields, &msg.TraceSession, &msg.TraceSpan)
+	}
+	return fields
+}
+
+// appendBinaryMessage appends the binary encoding of msg to dst at the
+// given frame version. Encoding at v1 silently drops the trace-context
+// fields — the compatibility cost of talking to a v1-only peer.
+func appendBinaryMessage(dst []byte, msg *Message, version byte) []byte {
+	dst = append(dst, binMagic, version)
+	for _, f := range binFields(msg, version) {
+		dst = binary.AppendUvarint(dst, uint64(len(*f)))
+		dst = append(dst, *f...)
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(msg.Payload)))
 	dst = append(dst, msg.Payload...)
 	return dst
 }
 
-// decodeBinaryMessage parses a binary frame body.
-func decodeBinaryMessage(body []byte) (Message, error) {
+// decodeBinaryMessage parses a binary frame body, accepting versions up
+// to maxVersion — a node pinned to v1 (legacy emulation) rejects v2
+// frames exactly as a pre-trace-context build would.
+func decodeBinaryMessage(body []byte, maxVersion byte) (Message, error) {
 	if len(body) < 2 || body[0] != binMagic {
 		return Message{}, fmt.Errorf("transport: not a binary frame")
 	}
-	if body[1] != binVersion {
-		return Message{}, fmt.Errorf("transport: unsupported binary frame version %d", body[1])
+	version := body[1]
+	if version < binVersion || version > maxVersion {
+		return Message{}, fmt.Errorf("transport: unsupported binary frame version %d", version)
 	}
 	rest := body[2:]
 	next := func() ([]byte, error) {
@@ -65,7 +122,7 @@ func decodeBinaryMessage(body []byte) (Message, error) {
 		return f, nil
 	}
 	var msg Message
-	for _, dst := range [...]*string{&msg.From, &msg.To, &msg.Type, &msg.Session, &msg.ReplyAddr, &msg.Codec} {
+	for _, dst := range binFields(&msg, version) {
 		f, err := next()
 		if err != nil {
 			return Message{}, err

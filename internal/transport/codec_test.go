@@ -8,6 +8,13 @@ import (
 	"time"
 )
 
+func sameEnvelope(got, want Message) bool {
+	return got.From == want.From && got.To == want.To && got.Type == want.Type &&
+		got.Session == want.Session && got.ReplyAddr == want.ReplyAddr &&
+		got.Codec == want.Codec && got.TraceSession == want.TraceSession &&
+		got.TraceSpan == want.TraceSpan && bytes.Equal(got.Payload, want.Payload)
+}
+
 func TestBinaryEnvelopeRoundTrip(t *testing.T) {
 	cases := []Message{
 		{},
@@ -15,23 +22,39 @@ func TestBinaryEnvelopeRoundTrip(t *testing.T) {
 		{From: "P1", To: "P2", Type: "t", Session: "s", ReplyAddr: "127.0.0.1:9000", Codec: CodecBinary, Payload: bytes.Repeat([]byte{0x00, 0xFF, 0x7B, 0xD1}, 64)},
 		{Type: "only-type"},
 		{Payload: []byte{binMagic}},
+		{From: "A", To: "B", Type: "audit.exec", Session: "q1", TraceSession: "q1", TraceSpan: "A:7"},
 	}
 	for i, want := range cases {
-		body := appendBinaryMessage(nil, &want)
-		got, err := decodeBinaryMessage(body)
-		if err != nil {
-			t.Fatalf("case %d: %v", i, err)
-		}
-		if got.From != want.From || got.To != want.To || got.Type != want.Type ||
-			got.Session != want.Session || got.ReplyAddr != want.ReplyAddr ||
-			got.Codec != want.Codec || !bytes.Equal(got.Payload, want.Payload) {
-			t.Fatalf("case %d: round trip %+v != %+v", i, got, want)
+		for _, version := range []byte{binVersion, binVersion2} {
+			body := appendBinaryMessage(nil, &want, version)
+			got, err := decodeBinaryMessage(body, binVersion2)
+			if err != nil {
+				t.Fatalf("case %d v%d: %v", i, version, err)
+			}
+			expect := want
+			if version < binVersion2 {
+				// v1 frames cannot carry trace context.
+				expect.TraceSession, expect.TraceSpan = "", ""
+			}
+			if !sameEnvelope(got, expect) {
+				t.Fatalf("case %d v%d: round trip %+v != %+v", i, version, got, expect)
+			}
 		}
 	}
 }
 
+// TestBinaryV2RejectedByV1Decoder pins legacy behavior: a decoder capped
+// at v1 (a pre-trace-context build) rejects v2 frames rather than
+// misparsing them.
+func TestBinaryV2RejectedByV1Decoder(t *testing.T) {
+	body := appendBinaryMessage(nil, &Message{From: "A", To: "B", Type: "t", TraceSpan: "A:1"}, binVersion2)
+	if _, err := decodeBinaryMessage(body, binVersion); err == nil {
+		t.Fatal("v1 decoder accepted a v2 frame")
+	}
+}
+
 func TestBinaryEnvelopeRejectsMalformed(t *testing.T) {
-	good := appendBinaryMessage(nil, &Message{From: "A", To: "B", Type: "t", Session: "s", Payload: []byte("p")})
+	good := appendBinaryMessage(nil, &Message{From: "A", To: "B", Type: "t", Session: "s", Payload: []byte("p")}, binVersion2)
 	cases := map[string][]byte{
 		"empty":          {},
 		"magic only":     {binMagic},
@@ -42,7 +65,7 @@ func TestBinaryEnvelopeRejectsMalformed(t *testing.T) {
 		"length overrun": {binMagic, binVersion, 0xFF},
 	}
 	for name, body := range cases {
-		if _, err := decodeBinaryMessage(body); err == nil {
+		if _, err := decodeBinaryMessage(body, binVersion2); err == nil {
 			t.Errorf("%s: malformed frame accepted", name)
 		}
 	}
@@ -51,15 +74,15 @@ func TestBinaryEnvelopeRejectsMalformed(t *testing.T) {
 func TestBinaryFrameWireRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	bw := bufio.NewWriter(&buf)
-	msg := Message{From: "A", To: "B", Type: "t", Session: "s", Payload: []byte("raw \x00 bytes")}
-	if err := writeBinaryFrame(bw, &msg); err != nil {
+	msg := Message{From: "A", To: "B", Type: "t", Session: "s", TraceSession: "s", TraceSpan: "A:3", Payload: []byte("raw \x00 bytes")}
+	if err := writeBinaryFrame(bw, &msg, binVersion2); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(bufio.NewReader(&buf), true)
+	got, err := readFrame(bufio.NewReader(&buf), binVersion2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.From != "A" || string(got.Payload) != "raw \x00 bytes" {
+	if got.From != "A" || string(got.Payload) != "raw \x00 bytes" || got.TraceSpan != "A:3" {
 		t.Fatalf("round trip %+v", got)
 	}
 }
@@ -68,10 +91,10 @@ func TestBinaryFrameRejectedOnJSONOnlyReader(t *testing.T) {
 	var buf bytes.Buffer
 	bw := bufio.NewWriter(&buf)
 	msg := Message{From: "A", To: "B", Type: "t"}
-	if err := writeBinaryFrame(bw, &msg); err != nil {
+	if err := writeBinaryFrame(bw, &msg, binVersion); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readFrame(bufio.NewReader(&buf), false); err == nil {
+	if _, err := readFrame(bufio.NewReader(&buf), 0); err == nil {
 		t.Fatal("JSON-only reader accepted a binary frame")
 	}
 }
@@ -80,15 +103,15 @@ func TestBinaryFrameTooLargeOnWrite(t *testing.T) {
 	var buf bytes.Buffer
 	bw := bufio.NewWriter(&buf)
 	msg := Message{To: "B", Payload: make([]byte, maxFrame+1)}
-	if err := writeBinaryFrame(bw, &msg); err == nil {
+	if err := writeBinaryFrame(bw, &msg, binVersion2); err == nil {
 		t.Fatal("oversized binary frame written")
 	}
 }
 
 // TestTCPCodecNegotiation verifies the per-peer upgrade: the first
 // frame toward a peer is JSON (capability unknown), and once the peer's
-// advertisement arrives, subsequent frames switch to binary — while a
-// JSON-only network never upgrades in either direction.
+// advertisement arrives, subsequent frames switch to binary v2 — and
+// the trace context survives the v2 frames.
 func TestTCPCodecNegotiation(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -108,25 +131,33 @@ func TestTCPCodecNegotiation(t *testing.T) {
 	netA.Register("B", netB.addrs["B"])
 
 	a, b := epA.(*tcpEndpoint), epB.(*tcpEndpoint)
-	ping := func(from, to Endpoint, typ string) {
+	ping := func(from, to Endpoint, typ string) Message {
 		t.Helper()
-		if err := from.Send(ctx, Message{To: to.ID(), Type: typ, Session: "s", Payload: []byte(`{}`)}); err != nil {
+		if err := from.Send(ctx, Message{To: to.ID(), Type: typ, Session: "s", TraceSession: "s", TraceSpan: from.ID() + ":1", Payload: []byte(`{}`)}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := to.Recv(ctx); err != nil {
+		got, err := to.Recv(ctx)
+		if err != nil {
 			t.Fatal(err)
 		}
+		return got
 	}
 
 	if a.binPeer("B") || b.binPeer("A") {
 		t.Fatal("capability known before any traffic")
 	}
-	ping(epA, epB, "t1") // JSON toward B; B learns A speaks binary
-	if !b.binPeer("A") {
+	got := ping(epA, epB, "t1") // JSON toward B; B learns A speaks v2
+	if got.TraceSpan != "A:1" {
+		t.Fatalf("JSON frame lost trace context: %+v", got)
+	}
+	if b.peerLevel("A") != codecBin2 {
 		t.Fatal("B did not learn A's codec capability")
 	}
-	ping(epB, epA, "t2") // binary toward A; A learns B speaks binary
-	if !a.binPeer("B") {
+	got = ping(epB, epA, "t2") // binary v2 toward A; A learns B speaks v2
+	if got.TraceSpan != "B:1" {
+		t.Fatalf("v2 frame lost trace context: %+v", got)
+	}
+	if a.peerLevel("B") != codecBin2 {
 		t.Fatal("A did not learn B's codec capability")
 	}
 	ping(epA, epB, "t3") // now binary both ways
@@ -164,7 +195,7 @@ func TestTCPLegacyPeerStaysOnJSON(t *testing.T) {
 		if got.Codec != "" {
 			t.Fatal("legacy peer advertised a codec")
 		}
-		if err := epA.Send(ctx, Message{To: "L", Type: "t", Session: "s", Payload: []byte(`{}`)}); err != nil {
+		if err := epA.Send(ctx, Message{To: "L", Type: "t", Session: "s", TraceSession: "s", TraceSpan: "A:9", Payload: []byte(`{}`)}); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := epL.Recv(ctx); err != nil {
@@ -176,26 +207,83 @@ func TestTCPLegacyPeerStaysOnJSON(t *testing.T) {
 	}
 }
 
-// FuzzEnvelopeRoundTrip fuzzes both directions of the binary codec:
-// arbitrary envelopes must round-trip bit-exactly, and arbitrary bytes
-// must never panic the decoder.
-func FuzzEnvelopeRoundTrip(f *testing.F) {
-	f.Add("A", "B", "intersect.relay", "s1", "127.0.0.1:9", CodecBinary, []byte(`{"x":1}`), []byte{})
-	f.Add("", "", "", "", "", "", []byte(nil), []byte{binMagic, binVersion})
-	f.Add("P1", "P2", "union.collect", "s", "", "", bytes.Repeat([]byte{0xD1}, 33), []byte{binMagic, binVersion, 0xFF, 0xFF})
-	f.Fuzz(func(t *testing.T, from, to, typ, session, replyAddr, codec string, payload, raw []byte) {
-		want := Message{From: from, To: to, Type: typ, Session: session, ReplyAddr: replyAddr, Codec: codec, Payload: payload}
-		body := appendBinaryMessage(nil, &want)
-		got, err := decodeBinaryMessage(body)
-		if err != nil {
-			t.Fatalf("decoding own encoding: %v", err)
+// TestTCPLegacyBinaryPeerStaysOnV1 pins the mixed-cluster interop path:
+// a peer that advertises only "bin" (a pre-trace-context build capped at
+// frame v1) exchanges traffic with a v2 node in both directions. The v2
+// node downgrades to v1 frames toward it — dropping trace context, which
+// the legacy build could not parse — while the legacy peer's own frames
+// still stitch into traces via the JSON/v1 fields it does carry.
+func TestTCPLegacyBinaryPeerStaysOnV1(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	netA := NewTCPNetwork(map[string]string{"A": "127.0.0.1:0", "V1": "127.0.0.1:0"})
+	epA, err := netA.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	netV1 := NewTCPNetwork(map[string]string{"A": netA.addrs["A"], "V1": "127.0.0.1:0"})
+	netV1.SetCodecCap(CodecBinary) // pre-trace-context build
+	epV1, err := netV1.Endpoint("V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epV1.Close()
+	netA.Register("V1", netV1.addrs["V1"])
+
+	for i := 0; i < 3; i++ {
+		// Legacy → v2: arrives, advertises "bin" only.
+		if err := epV1.Send(ctx, Message{To: "A", Type: "t", Session: "s", Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
 		}
-		if got.From != want.From || got.To != want.To || got.Type != want.Type ||
-			got.Session != want.Session || got.ReplyAddr != want.ReplyAddr ||
-			got.Codec != want.Codec || !bytes.Equal(got.Payload, want.Payload) {
-			t.Fatalf("round trip %+v != %+v", got, want)
+		got, err := epA.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Codec != CodecBinary {
+			t.Fatalf("legacy binary peer advertised %q", got.Codec)
+		}
+		// v2 → legacy: downgraded to a v1 frame the peer can decode.
+		if err := epA.Send(ctx, Message{To: "V1", Type: "t", Session: "s", TraceSession: "s", TraceSpan: "A:4", Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+		got, err = epV1.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && (got.TraceSession != "" || got.TraceSpan != "") {
+			t.Fatalf("v1 frame carried trace context: %+v", got)
+		}
+	}
+	if lvl := epA.(*tcpEndpoint).peerLevel("V1"); lvl != codecBin {
+		t.Fatalf("v2 node negotiated level %d toward the v1 peer", lvl)
+	}
+}
+
+// FuzzEnvelopeRoundTrip fuzzes both directions of the binary codec:
+// arbitrary envelopes must round-trip bit-exactly at both frame
+// versions, and arbitrary bytes must never panic the decoder.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	f.Add("A", "B", "intersect.relay", "s1", "127.0.0.1:9", CodecBinary, "s1", "A:1", []byte(`{"x":1}`), []byte{})
+	f.Add("", "", "", "", "", "", "", "", []byte(nil), []byte{binMagic, binVersion})
+	f.Add("P1", "P2", "union.collect", "s", "", "", "", "", bytes.Repeat([]byte{0xD1}, 33), []byte{binMagic, binVersion2, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, from, to, typ, session, replyAddr, codec, traceSession, traceSpan string, payload, raw []byte) {
+		want := Message{From: from, To: to, Type: typ, Session: session, ReplyAddr: replyAddr, Codec: codec, TraceSession: traceSession, TraceSpan: traceSpan, Payload: payload}
+		for _, version := range []byte{binVersion, binVersion2} {
+			body := appendBinaryMessage(nil, &want, version)
+			got, err := decodeBinaryMessage(body, binVersion2)
+			if err != nil {
+				t.Fatalf("decoding own v%d encoding: %v", version, err)
+			}
+			expect := want
+			if version < binVersion2 {
+				expect.TraceSession, expect.TraceSpan = "", ""
+			}
+			if !sameEnvelope(got, expect) {
+				t.Fatalf("v%d round trip %+v != %+v", version, got, expect)
+			}
 		}
 		// Decoder must not panic on arbitrary input; errors are fine.
-		decodeBinaryMessage(raw) //nolint:errcheck
+		decodeBinaryMessage(raw, binVersion2) //nolint:errcheck
 	})
 }

@@ -63,8 +63,14 @@ func (m *Mailbox) ID() string { return m.ep.ID() }
 
 // Send forwards to the underlying endpoint. Successful sends are
 // counted per protocol message type (type and payload size only — the
-// payload itself is never inspected).
+// payload itself is never inspected). When the context carries an
+// active telemetry span, its trace reference is stamped into the
+// envelope so the receiver's spans stitch under it in a cluster-wide
+// trace — identifiers only, per the zero-plaintext contract.
 func (m *Mailbox) Send(ctx context.Context, msg Message) error {
+	if msg.TraceSession == "" && msg.TraceSpan == "" {
+		msg.TraceSession, msg.TraceSpan = telemetry.SpanRef(ctx)
+	}
 	err := m.ep.Send(ctx, msg)
 	if err == nil {
 		telemetry.SentTo(msg.Type, len(msg.Payload))

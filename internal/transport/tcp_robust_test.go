@@ -95,7 +95,7 @@ func TestFrameRoundTripUnit(t *testing.T) {
 	if err := writeFrame(bw, msg); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(bufio.NewReader(&buf), true)
+	got, err := readFrame(bufio.NewReader(&buf), binVersion2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,11 +25,11 @@ const maxFrame = 16 << 20
 type TCPNetwork struct {
 	mu    sync.RWMutex
 	addrs map[string]string // node ID -> host:port
-	// jsonOnly pins every endpoint of this network to the legacy JSON
-	// codec: no capability is advertised, no binary frames are sent,
-	// and inbound binary frames are rejected — the behavior of a peer
-	// built before the binary codec existed.
-	jsonOnly bool
+	// capLevel pins the maximum codec this network's endpoints speak:
+	// codecJSON emulates a peer built before the binary codec existed,
+	// codecBin a pre-trace-context build (binary v1 only, v2 frames
+	// rejected), codecBin2 (the default) the current build.
+	capLevel int
 }
 
 // NewTCPNetwork creates a network with the given address book. The map
@@ -39,7 +39,7 @@ func NewTCPNetwork(addrs map[string]string) *TCPNetwork {
 	for id, a := range addrs {
 		book[id] = a
 	}
-	return &TCPNetwork{addrs: book}
+	return &TCPNetwork{addrs: book, capLevel: codecBin2}
 }
 
 var _ Network = (*TCPNetwork)(nil)
@@ -57,13 +57,27 @@ func (n *TCPNetwork) Register(id, addr string) {
 func (n *TCPNetwork) SetJSONOnly(v bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.jsonOnly = v
+	if v {
+		n.capLevel = codecJSON
+	} else {
+		n.capLevel = codecBin2
+	}
 }
 
-func (n *TCPNetwork) isJSONOnly() bool {
+// SetCodecCap pins the maximum codec this network's endpoints speak, by
+// capability name: "" for legacy JSON, CodecBinary for binary v1 (a
+// pre-trace-context build), CodecBinaryV2 for current. Call before
+// creating endpoints.
+func (n *TCPNetwork) SetCodecCap(codec string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.capLevel = codecLevel(codec)
+}
+
+func (n *TCPNetwork) maxLevel() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return n.jsonOnly
+	return n.capLevel
 }
 
 func (n *TCPNetwork) lookup(id string) (string, error) {
@@ -89,13 +103,13 @@ func (n *TCPNetwork) Endpoint(id string) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
 	}
 	ep := &tcpEndpoint{
-		id:       id,
-		net:      n,
-		ln:       ln,
-		inbox:    make(chan Message, 1024),
-		done:     make(chan struct{}),
-		conns:    make(map[string]*sendConn),
-		binPeers: make(map[string]bool),
+		id:        id,
+		net:       n,
+		ln:        ln,
+		inbox:     make(chan Message, 1024),
+		done:      make(chan struct{}),
+		conns:     make(map[string]*sendConn),
+		peerCodec: make(map[string]int),
 	}
 	// Record the actual address (supports ":0" ephemeral ports).
 	n.Register(id, ln.Addr().String())
@@ -128,10 +142,10 @@ type tcpEndpoint struct {
 	connMu sync.Mutex
 	conns  map[string]*sendConn
 
-	// binPeers records which peers have advertised the binary codec;
-	// frames to anyone else go as JSON.
-	peerMu   sync.RWMutex
-	binPeers map[string]bool
+	// peerCodec records the highest codec level each peer has
+	// advertised; frames to anyone else go as JSON.
+	peerMu    sync.RWMutex
+	peerCodec map[string]int
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
@@ -167,9 +181,9 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		}
 	}()
 	br := bufio.NewReader(conn)
-	allowBinary := !e.net.isJSONOnly()
+	maxVer := byte(e.net.maxLevel()) // codec levels == binary frame versions
 	for {
-		msg, err := readFrame(br, allowBinary)
+		msg, err := readFrame(br, maxVer)
 		if err != nil {
 			return
 		}
@@ -180,9 +194,11 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 			e.net.Register(msg.From, msg.ReplyAddr)
 		}
 		// Learn the sender's codec capability the same way.
-		if msg.Codec == CodecBinary && msg.From != "" {
+		if level := codecLevel(msg.Codec); level > codecJSON && msg.From != "" {
 			e.peerMu.Lock()
-			e.binPeers[msg.From] = true
+			if level > e.peerCodec[msg.From] {
+				e.peerCodec[msg.From] = level
+			}
 			e.peerMu.Unlock()
 		}
 		select {
@@ -199,18 +215,21 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 	}
 	msg.From = e.id
 	msg.ReplyAddr = e.ln.Addr().String()
-	useBin := false
-	if !e.net.isJSONOnly() {
-		msg.Codec = CodecBinary
+	level := codecJSON
+	if own := e.net.maxLevel(); own > codecJSON {
+		msg.Codec = codecAdvert(own)
 		e.peerMu.RLock()
-		useBin = e.binPeers[msg.To]
+		level = e.peerCodec[msg.To]
 		e.peerMu.RUnlock()
+		if level > own {
+			level = own
+		}
 	}
 	sc, cached, err := e.dial(ctx, msg.To)
 	if err != nil {
 		return err
 	}
-	if err := e.writeTo(ctx, sc, msg, useBin); err != nil {
+	if err := e.writeTo(ctx, sc, msg, level); err != nil {
 		// Connection is broken; drop it so later sends redial.
 		e.dropConn(msg.To, sc)
 		if !cached || ctx.Err() != nil {
@@ -223,7 +242,7 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 		if err != nil {
 			return err
 		}
-		if err := e.writeTo(ctx, sc, msg, useBin); err != nil {
+		if err := e.writeTo(ctx, sc, msg, level); err != nil {
 			e.dropConn(msg.To, sc)
 			return fmt.Errorf("transport: sending to %q: %w", msg.To, err)
 		}
@@ -232,8 +251,8 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 }
 
 // writeTo frames msg onto the connection under its write lock, bounded
-// by the context deadline.
-func (e *tcpEndpoint) writeTo(ctx context.Context, sc *sendConn, msg Message, useBin bool) error {
+// by the context deadline, at the negotiated codec level.
+func (e *tcpEndpoint) writeTo(ctx context.Context, sc *sendConn, msg Message, level int) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if deadline, ok := ctx.Deadline(); ok {
@@ -241,10 +260,14 @@ func (e *tcpEndpoint) writeTo(ctx context.Context, sc *sendConn, msg Message, us
 	} else {
 		sc.conn.SetWriteDeadline(noDeadline()) //nolint:errcheck
 	}
-	if useBin {
-		return writeBinaryFrame(sc.bw, &msg)
+	switch level {
+	case codecBin2:
+		return writeBinaryFrame(sc.bw, &msg, binVersion2)
+	case codecBin:
+		return writeBinaryFrame(sc.bw, &msg, binVersion)
+	default:
+		return writeFrame(sc.bw, msg)
 	}
-	return writeFrame(sc.bw, msg)
 }
 
 // dial returns a connection to the peer and whether it was served from
@@ -295,11 +318,16 @@ func (e *tcpEndpoint) dial(ctx context.Context, to string) (*sendConn, bool, err
 	return sc, false, nil
 }
 
-// binPeer reports whether the peer has advertised the binary codec.
+// binPeer reports whether the peer has advertised a binary codec.
 func (e *tcpEndpoint) binPeer(id string) bool {
+	return e.peerLevel(id) >= codecBin
+}
+
+// peerLevel returns the highest codec level the peer has advertised.
+func (e *tcpEndpoint) peerLevel(id string) int {
 	e.peerMu.RLock()
 	defer e.peerMu.RUnlock()
-	return e.binPeers[id]
+	return e.peerCodec[id]
 }
 
 func (e *tcpEndpoint) dropConn(to string, sc *sendConn) {
@@ -370,11 +398,11 @@ func writeFrame(bw *bufio.Writer, msg Message) error {
 	return bw.Flush()
 }
 
-// writeBinaryFrame frames msg with the binary envelope codec, reusing
-// pooled encode buffers.
-func writeBinaryFrame(bw *bufio.Writer, msg *Message) error {
+// writeBinaryFrame frames msg with the binary envelope codec at the
+// given frame version, reusing pooled encode buffers.
+func writeBinaryFrame(bw *bufio.Writer, msg *Message, version byte) error {
 	bufp := encBufPool.Get().(*[]byte)
-	body := appendBinaryMessage((*bufp)[:0], msg)
+	body := appendBinaryMessage((*bufp)[:0], msg, version)
 	*bufp = body
 	defer encBufPool.Put(bufp)
 	if len(body) > maxFrame {
@@ -393,9 +421,10 @@ func writeBinaryFrame(bw *bufio.Writer, msg *Message) error {
 }
 
 // readFrame decodes one frame, dispatching on the first body byte: JSON
-// bodies start with '{', binary bodies with the codec magic. A reader
-// in JSON-only (legacy) mode rejects binary frames.
-func readFrame(br *bufio.Reader, allowBinary bool) (Message, error) {
+// bodies start with '{', binary bodies with the codec magic. maxVer
+// caps the accepted binary frame version; 0 (a JSON-only legacy
+// endpoint) rejects binary frames outright.
+func readFrame(br *bufio.Reader, maxVer byte) (Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return Message{}, err
@@ -409,10 +438,10 @@ func readFrame(br *bufio.Reader, allowBinary bool) (Message, error) {
 		return Message{}, err
 	}
 	if len(body) > 0 && body[0] == binMagic {
-		if !allowBinary {
+		if maxVer == 0 {
 			return Message{}, fmt.Errorf("transport: binary frame on a JSON-only endpoint")
 		}
-		return decodeBinaryMessage(body)
+		return decodeBinaryMessage(body, maxVer)
 	}
 	var msg Message
 	if err := json.Unmarshal(body, &msg); err != nil {

@@ -53,10 +53,21 @@ type Message struct {
 	// with an ephemeral port. In-memory transport ignores it.
 	ReplyAddr string `json:"reply_addr,omitempty"`
 	// Codec optionally advertises the sender's preferred wire codec
-	// (CodecBinary). Receivers on codec-aware transports use it to
-	// learn, per peer, that frames may be sent back in that encoding;
-	// legacy peers leave it empty and keep getting JSON.
+	// (CodecBinary or CodecBinaryV2). Receivers on codec-aware
+	// transports use it to learn, per peer, that frames may be sent
+	// back in that encoding; legacy peers leave it empty and keep
+	// getting JSON.
 	Codec string `json:"codec,omitempty"`
+	// TraceSession and TraceSpan carry distributed-tracing context: the
+	// root trace session and the sender's active span ID, so the
+	// receiver's spans stitch under the sender's in a cluster-wide
+	// trace. Both are redaction-safe identifiers (session keys and
+	// "<node>:<seq>" span IDs — secondary information only, never query
+	// or record content). Legacy peers ignore the unknown JSON fields;
+	// the binary codec carries them only in version-2 frames, which are
+	// negotiated (see codec.go), so legacy binary peers never see them.
+	TraceSession string `json:"trace_session,omitempty"`
+	TraceSpan    string `json:"trace_span,omitempty"`
 }
 
 // Endpoint is one node's attachment to the network.

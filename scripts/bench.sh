@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR4.json.
+# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR5.json.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime defaults to 3s; pass e.g. 1x for a smoke run.
@@ -15,8 +15,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-3s}"
-OUT="BENCH_PR4.json"
-BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkQueryShapes'
+OUT="BENCH_PR5.json"
+BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkQueryShapes|BenchmarkTelemetryOverhead'
 
 RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)"
 printf '%s\n' "$RAW" >&2
@@ -50,13 +50,13 @@ END {
     print "{"
     print "  \"benchtime\": \"" benchtime "\","
     print "  \"baseline\": ["
-    print "    {\"name\": \"BenchmarkFigure2DLAQuery\", \"ns_op\": 24121193, \"b_op\": 1348861, \"allocs_op\": 7626},"
-    print "    {\"name\": \"BenchmarkClusterLogThroughput\", \"ns_op\": 2946304, \"b_op\": 114445, \"allocs_op\": 915},"
-    print "    {\"name\": \"BenchmarkQueryShapes/local\", \"ns_op\": 594829, \"b_op\": 22662, \"allocs_op\": 257},"
-    print "    {\"name\": \"BenchmarkQueryShapes/conjunction-3-nodes\", \"ns_op\": 14226963, \"b_op\": 783460, \"allocs_op\": 4564},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-union\", \"ns_op\": 8757975, \"b_op\": 284080, \"allocs_op\": 1780},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-equality\", \"ns_op\": 13025824, \"b_op\": 672535, \"allocs_op\": 3775},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-compare\", \"ns_op\": 973309, \"b_op\": 121485, \"allocs_op\": 1386}"
+    print "    {\"name\": \"BenchmarkFigure2DLAQuery\", \"ns_op\": 13826018, \"b_op\": 993810, \"allocs_op\": 5959},"
+    print "    {\"name\": \"BenchmarkClusterLogThroughput\", \"ns_op\": 1701760, \"b_op\": 120192, \"allocs_op\": 1056},"
+    print "    {\"name\": \"BenchmarkQueryShapes/local\", \"ns_op\": 336535, \"b_op\": 26159, \"allocs_op\": 311},"
+    print "    {\"name\": \"BenchmarkQueryShapes/conjunction-3-nodes\", \"ns_op\": 9120898, \"b_op\": 689919, \"allocs_op\": 4107},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-union\", \"ns_op\": 7900918, \"b_op\": 256986, \"allocs_op\": 1640},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-equality\", \"ns_op\": 6878457, \"b_op\": 510107, \"allocs_op\": 3007},"
+    print "    {\"name\": \"BenchmarkQueryShapes/cross-compare\", \"ns_op\": 691010, \"b_op\": 139148, \"allocs_op\": 1481}"
     print "  ],"
     print "  \"after\": ["
     print rows

@@ -3,18 +3,23 @@
 
 GO ?= go
 
-.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos examples obs-smoke tables fuzz clean
+# Headline-benchmark artifacts compared by benchdiff. Override when a
+# new PR lands a fresh artifact: make benchdiff BENCH_HEAD=BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR4.json
+BENCH_HEAD ?= BENCH_PR5.json
+
+.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos crash-torture examples obs-smoke tables fuzz clean
 
 all: build vet test
 
 # Pre-merge gate: static checks (vet always, staticcheck when
 # installed), a race pass over the telemetry-instrumented packages,
 # the observability smoke (cluster trace + leak ledger end to end),
-# the full race-enabled test suite, a single-iteration pass over
-# every benchmark so perf-path regressions that only benchmarks
-# exercise break the gate too, and the headline-benchmark diff
-# between the committed artifacts.
-check: bench-smoke vet staticcheck race-telemetry obs-smoke benchdiff
+# the crash-recovery torture suites, the full race-enabled test suite,
+# a single-iteration pass over every benchmark so perf-path regressions
+# that only benchmarks exercise break the gate too, and the
+# headline-benchmark diff between the committed artifacts.
+check: bench-smoke vet staticcheck race-telemetry obs-smoke crash-torture benchdiff
 	$(GO) test -race ./...
 
 # Observability smoke: boot a 3+-node in-memory cluster, run one
@@ -46,6 +51,13 @@ race-telemetry:
 chaos:
 	$(GO) test -run Chaos -tags chaos -count=1 ./internal/chaos/
 
+# Recovery torture: crash-loop the segment store alone, then a 3-node
+# cluster on it, with seeded torn-tail/failed-fsync/bit-flip injection.
+# TORTURE_SEED=n varies the fault schedule.
+crash-torture:
+	$(GO) test -race -tags torture -run Torture -count=1 \
+		./internal/storage/ ./internal/chaos/
+
 build:
 	$(GO) build ./...
 
@@ -69,16 +81,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# Hot-path acceptance numbers -> BENCH_PR5.json (see scripts/bench.sh),
-# then diff against the PR4 artifact to catch headline regressions.
+# Hot-path acceptance numbers -> $(BENCH_HEAD) (see scripts/bench.sh),
+# then diff against the base artifact to catch headline regressions.
 bench-json:
 	./scripts/bench.sh
-	$(GO) run ./cmd/benchtab -benchdiff BENCH_PR4.json,BENCH_PR5.json
+	$(GO) run ./cmd/benchtab -benchdiff $(BENCH_BASE),$(BENCH_HEAD)
 
 # Compare the committed bench artifacts: fails on >10% ns/op regression
 # of either headline benchmark, or on any row missing alloc fields.
 benchdiff:
-	$(GO) run ./cmd/benchtab -benchdiff BENCH_PR4.json,BENCH_PR5.json
+	$(GO) run ./cmd/benchtab -benchdiff $(BENCH_BASE),$(BENCH_HEAD)
 
 # Regenerate every paper table and figure plus measured claims.
 tables:

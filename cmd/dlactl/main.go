@@ -14,6 +14,7 @@
 //	dlactl trace -addr 127.0.0.1:6060 q/aud/1
 //	dlactl trace -addrs 127.0.0.1:6060,127.0.0.1:6061,127.0.0.1:6062 q/aud/1
 //	dlactl leaks -addrs 127.0.0.1:6060,127.0.0.1:6061
+//	dlactl storage status -addrs 127.0.0.1:6060,127.0.0.1:6061
 package main
 
 import (
@@ -77,6 +78,8 @@ func main() {
 		err = cmdTrace(args)
 	case "leaks":
 		err = cmdLeaks(args)
+	case "storage":
+		err = cmdStorage(args)
 	default:
 		usage()
 	}
@@ -86,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|aclcheck|trace|leaks [flags] [args]")
+	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|aclcheck|trace|leaks|storage [flags] [args]")
 	os.Exit(2)
 }
 

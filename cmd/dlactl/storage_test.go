@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"confaudit/internal/storage"
+)
+
+// fakeStorageServer serves the given Status at /debug/dla/storage, the
+// way a dlad -pprof endpoint does.
+func fakeStorageServer(t *testing.T, st storage.Status) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/dla/storage", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestStorageStatusRendersEngineShape(t *testing.T) {
+	addr := fakeStorageServer(t, storage.Status{
+		Backend:                storage.BackendDisk,
+		Dir:                    "/data/P0",
+		Records:                120,
+		AppendedBytes:          8192,
+		Fsyncs:                 40,
+		Rotations:              3,
+		Checkpoints:            2,
+		RecoveryScannedRecords: 12,
+		RecoveryHashedSegments: 3,
+		Checkpoint:             &storage.CheckpointInfo{BaseSeq: 2, LastSeq: 4, Records: 100, Acc: "deadbeefdeadbeefdeadbeef"},
+		Segments: []storage.SegmentInfo{
+			{Seq: 4, Records: 80, Bytes: 4096, Sealed: true, Checkpointed: true, GLSNLo: 0x10, GLSNHi: 0x60},
+			{Seq: 5, Records: 40, Bytes: 2048},
+		},
+		Quarantined: []storage.QuarantineInfo{
+			{Seq: 3, Path: "seg-0000000000000003.log.bad", Reason: "crc mismatch", GLSNLo: 0x1, GLSNHi: 0xf},
+		},
+	})
+	var out strings.Builder
+	if err := fetchStorageStatus(&out, []string{addr}, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"backend=disk",
+		"dir=/data/P0",
+		"records=120",
+		"checkpoint: base seq 2, through seq 4, 100 records",
+		"seg 4: sealed+ckpt, 80 records",
+		"glsn 10-60",
+		"seg 5: active, 40 records",
+		"QUARANTINED seg 3 (crc mismatch): glsn 1-f",
+		"recovery: scanned 12 records, fast-verified 3 segments",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered status missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStorageStatusJSONRoundTrips(t *testing.T) {
+	addr := fakeStorageServer(t, storage.Status{Backend: storage.BackendMemory, Records: 7})
+	var out strings.Builder
+	if err := fetchStorageStatus(&out, []string{addr}, true); err != nil {
+		t.Fatal(err)
+	}
+	var st storage.Status
+	if err := json.Unmarshal([]byte(out.String()), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend != storage.BackendMemory || st.Records != 7 {
+		t.Fatalf("round-tripped %+v", st)
+	}
+}
+
+func TestStorageStatusFailsWhenNoNodeAnswers(t *testing.T) {
+	var out strings.Builder
+	if err := fetchStorageStatus(&out, []string{"127.0.0.1:1"}, false); err == nil {
+		t.Fatal("status with no reachable node succeeded")
+	}
+}

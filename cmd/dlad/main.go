@@ -6,17 +6,22 @@
 //		partition, and the TCP address book, writing one common file,
 //		one private file per node, and the ticket-issuer key.
 //
-//	dlad run -dir <dir> -id P0 [-pprof 127.0.0.1:6060]
+//	dlad run -dir <dir> -id P0 [-data <dir>] [-backend memory|wal|disk]
+//	    [-sync always|interval|never] [-segment-bytes N]
+//	    [-checkpoint-every N] [-pprof 127.0.0.1:6060]
 //		start one DLA node: fragment store, glsn sequencer/voter,
 //		audit executor, and integrity responder, serving over TCP
-//		until interrupted. With -pprof, an HTTP server exposes
-//		net/http/pprof profiles and expvar counters for live
-//		performance diagnosis.
+//		until interrupted. -backend selects durability: the JSON-lines
+//		WAL (default when -data is set) or the crash-safe segment
+//		store; -sync and the segment flags tune it. With -pprof, an
+//		HTTP server exposes net/http/pprof profiles, expvar counters,
+//		and /debug/dla/storage engine status for live diagnosis.
 package main
 
 import (
 	"context"
 	"crypto/rand"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -35,6 +40,7 @@ import (
 	"confaudit/internal/logmodel"
 	"confaudit/internal/mathx"
 	"confaudit/internal/resilience"
+	"confaudit/internal/storage"
 	"confaudit/internal/telemetry"
 	"confaudit/internal/transport"
 	"confaudit/internal/workload"
@@ -132,6 +138,12 @@ func run(args []string) error {
 		dir        = fs.String("dir", "provision", "provisioning directory")
 		id         = fs.String("id", "", "this node's ID (required)")
 		data       = fs.String("data", "", "data directory for durable state (empty = in-memory only)")
+		backend    = fs.String("backend", "", "durability backend: memory, wal, or disk (empty = wal when -data is set, else memory)")
+		sync       = fs.String("sync", string(storage.SyncAlways), "fsync policy for acked appends: always, interval, or never")
+		syncEvery  = fs.Duration("sync-every", 0, "fsync interval under -sync interval (0 = 50ms)")
+		segBytes   = fs.Int64("segment-bytes", 0, "disk backend: seal the active segment at this size (0 = 4MiB)")
+		cpEvery    = fs.Int("checkpoint-every", 0, "disk backend: checkpoint after this many sealed segments (0 = 4)")
+		compactAt  = fs.Int("compact-segments", 0, "disk backend: sealed-segment count that triggers compaction (0 = 8)")
 		pprof      = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
 		leakBudget = fs.Float64("leak-budget", 0, "default per-querier leak budget (sum of 1-C_query); 0 disables the alarm")
 	)
@@ -140,6 +152,31 @@ func run(args []string) error {
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
+	}
+	// Resolve the durability backend up front, through the validated
+	// options struct, so a typo dies here instead of after the node has
+	// joined the cluster.
+	if *backend == "" {
+		if *data != "" {
+			*backend = storage.BackendWAL
+		} else {
+			*backend = storage.BackendMemory
+		}
+	}
+	sOpts := storage.Options{
+		Backend:         *backend,
+		Dir:             *data,
+		Sync:            storage.SyncPolicy(*sync),
+		SyncEvery:       *syncEvery,
+		SegmentBytes:    *segBytes,
+		CheckpointEvery: *cpEvery,
+		CompactSegments: *compactAt,
+	}
+	if err := sOpts.Validate(); err != nil {
+		return err
+	}
+	if *backend != storage.BackendMemory && *data == "" {
+		return fmt.Errorf("-backend %s requires -data", *backend)
 	}
 	if *leakBudget > 0 {
 		telemetry.L.SetDefaultBudget(*leakBudget)
@@ -167,17 +204,40 @@ func run(args []string) error {
 	mb := transport.NewMailbox(resilience.Wrap(ep, resilience.Policy{}))
 	defer mb.Close() //nolint:errcheck
 	cfg := boot.NodeConfig(*id)
-	cfg.DataDir = *data
+	switch *backend {
+	case storage.BackendDisk:
+		st, err := storage.Open(sOpts, boot.AccParams, nil)
+		if err != nil {
+			return err
+		}
+		cfg.Storage = st // node takes ownership; CloseStorage releases it
+		log.Printf("segment store open in %s (sync=%s)", *data, sOpts.Sync)
+	case storage.BackendWAL:
+		cfg.DataDir = *data
+		cfg.WALSync = sOpts.Sync
+		cfg.WALSyncEvery = sOpts.SyncEvery
+	}
 	node, err := cluster.New(cfg, mb)
 	if err != nil {
 		return err
 	}
 	defer node.CloseStorage() //nolint:errcheck
+	if q := node.QuarantinedExtents(); len(q) > 0 {
+		log.Printf("WARNING: recovered degraded; quarantined extents: %v", q)
+	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if *pprof != "" {
 		expvar.NewString("dlad_node").Set(*id)
 		telemetry.Mount(http.DefaultServeMux)
+		// Live storage-engine status (backend, segments, checkpoint,
+		// recovery work, quarantine) next to the telemetry endpoints.
+		http.HandleFunc("/debug/dla/storage", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(node.StorageStatus()) //nolint:errcheck
+		})
 		srv := &http.Server{Addr: *pprof} // DefaultServeMux: pprof + expvar + /debug/dla
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

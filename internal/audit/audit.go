@@ -48,9 +48,12 @@ const (
 	MsgResult = "audit.result"
 )
 
-// sigBody carries one ring node's result signature.
+// sigBody carries one ring node's result signature, piggybacking the
+// glsn extents its storage recovery quarantined (if any) so the final
+// receiver can mark the result partial.
 type sigBody struct {
-	Sig *big.Int `json:"sig"`
+	Sig         *big.Int `json:"sig"`
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // Errors reported by the engine.
@@ -76,6 +79,23 @@ const (
 	AggMin   AggKind = "min"
 	AggAvg   AggKind = "avg"
 )
+
+// QuarantineViewer is optionally implemented by NodeState backends
+// whose storage recovery can refuse (quarantine) corrupted history.
+// Nodes that implement it report the quarantined glsn extents, and the
+// audit layer marks results touching them partial. cluster.Node
+// implements it; implementations without one never degrade this way.
+type QuarantineViewer interface {
+	QuarantinedExtents() []string
+}
+
+// quarantineOf reads a node's quarantined extents if it exposes them.
+func quarantineOf(node NodeState) []string {
+	if qv, ok := node.(QuarantineViewer); ok {
+		return qv.QuarantinedExtents()
+	}
+	return nil
+}
 
 // NodeState is the cluster-node surface the engine needs; implemented
 // by cluster.Node.
@@ -142,6 +162,9 @@ type finalBody struct {
 	IsAgg bool        `json:"is_agg,omitempty"`
 	Cert  *ResultCert `json:"cert,omitempty"`
 	Error string      `json:"error,omitempty"`
+	// Quarantined aggregates the ring nodes' quarantined storage
+	// extents; the coordinator folds it into the result.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 type resultBody struct {
@@ -153,6 +176,10 @@ type resultBody struct {
 	// that could not be evaluated and the dead nodes responsible.
 	Unanswerable []string `json:"unanswerable,omitempty"`
 	Dead         []string `json:"dead,omitempty"`
+	// Quarantined names glsn extents a participating node's storage
+	// recovery refused to serve; records there may be missing from the
+	// answer.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // buildPlans compiles a criterion into subquery assignments. The
@@ -290,11 +317,12 @@ func (a *Auditor) QueryCertified(ctx context.Context, criteria string) ([]logmod
 		out = append(out, g)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	if len(res.Unanswerable) > 0 {
+	if len(res.Unanswerable) > 0 || len(res.Quarantined) > 0 {
 		return out, session, res.Cert, &PartialResultError{
 			GLSNs:        out,
 			Unanswerable: res.Unanswerable,
 			Dead:         res.Dead,
+			Quarantined:  res.Quarantined,
 		}
 	}
 	return out, session, res.Cert, nil

@@ -28,16 +28,27 @@ type HealthViewer interface {
 // PartialResultError reports a query that completed in degraded mode.
 // GLSNs is the conjunction over the answerable clauses only — a
 // superset of the exact answer — and Unanswerable names the clauses
-// whose evaluation required a dead node.
+// whose evaluation required a dead node. Quarantined names glsn extents
+// a participating node's storage recovery refused to serve (CRC or
+// accumulator-checkpoint mismatch): records in those extents may be
+// missing from the answer even though every clause was evaluated.
 type PartialResultError struct {
 	GLSNs        []logmodel.GLSN
 	Unanswerable []string
 	Dead         []string
+	Quarantined  []string
 }
 
 func (e *PartialResultError) Error() string {
-	return fmt.Sprintf("audit: partial result: unanswerable clauses [%s] (dead nodes: %s)",
-		strings.Join(e.Unanswerable, "; "), strings.Join(e.Dead, ", "))
+	msg := "audit: partial result"
+	if len(e.Unanswerable) > 0 {
+		msg += fmt.Sprintf(": unanswerable clauses [%s] (dead nodes: %s)",
+			strings.Join(e.Unanswerable, "; "), strings.Join(e.Dead, ", "))
+	}
+	if len(e.Quarantined) > 0 {
+		msg += fmt.Sprintf(": quarantined storage [%s]", strings.Join(e.Quarantined, "; "))
+	}
+	return msg
 }
 
 // degradePlans splits plans into those executable with the given nodes

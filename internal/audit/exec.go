@@ -246,12 +246,41 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 		reply(resultBody{Error: final.Error})
 		return
 	}
+	// Fold in quarantined storage: the ring's reports plus the
+	// coordinator's own (it may not sit in the final ring).
+	quarantined := mergeQuarantine(final.Quarantined, quarantineOf(node))
 	if final.IsAgg {
+		if len(quarantined) > 0 {
+			// An aggregate over history with quarantined extents would
+			// silently under-count; refuse rather than mislead, mirroring
+			// the degraded-mode refusal.
+			reply(resultBody{Error: fmt.Sprintf(
+				"audit: aggregate unavailable: quarantined storage [%s]",
+				strings.Join(quarantined, "; "))})
+			return
+		}
 		reply(resultBody{Agg: final.Agg})
 		return
 	}
 	sort.Strings(final.GLSNs)
-	reply(resultBody{GLSNs: final.GLSNs, Cert: final.Cert, Unanswerable: unanswerable, Dead: deadNodes})
+	reply(resultBody{GLSNs: final.GLSNs, Cert: final.Cert, Unanswerable: unanswerable, Dead: deadNodes, Quarantined: quarantined})
+}
+
+// mergeQuarantine unions quarantine reports, deduplicated and sorted.
+func mergeQuarantine(lists ...[]string) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, l := range lists {
+		for _, q := range l {
+			if _, ok := seen[q]; ok {
+				continue
+			}
+			seen[q] = struct{}{}
+			out = append(out, q)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // recordResultDisclosures files the secondary information a completed
@@ -315,11 +344,13 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 
 	// results holds the glsn sets this node is responsible for.
 	var mySets []map[string]struct{}
+	ranPlan := false
 	for i := range body.Plans {
 		plan := &body.Plans[i]
 		if !smc.Contains(plan.involved(), self) {
 			continue
 		}
+		ranPlan = true
 		// The subquery span is named by plan kind and filed under the
 		// /sqN sub-session — index and kind only, never the clause.
 		sqSp, sqCtx := telemetry.StartSpan(ctx,
@@ -376,8 +407,12 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 
 	// Result certification: every ring node signs the digest of the
 	// final glsn list; non-receivers ship their signatures to the
-	// receiver, which assembles the certificate.
+	// receiver, which assembles the certificate. The signature message
+	// piggybacks each node's quarantined storage extents, so a node that
+	// came up degraded taints the result with exactly the glsn ranges it
+	// could not serve.
 	var cert *ResultCert
+	var quar []string
 	if inFinalRing {
 		glsns := sortedKeys(finalSet)
 		sig, err := node.Sign(certStatement(session, glsns))
@@ -385,7 +420,8 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 			return fmt.Errorf("certifying result: %w", err)
 		}
 		if self != body.FinalReceiver {
-			out, err := transport.NewMessage(body.FinalReceiver, MsgSig, session, sigBody{Sig: sig})
+			out, err := transport.NewMessage(body.FinalReceiver, MsgSig, session,
+				sigBody{Sig: sig, Quarantined: quarantineOf(node)})
 			if err != nil {
 				return err
 			}
@@ -393,24 +429,51 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 				return err
 			}
 		} else {
+			quar = append(quar, quarantineOf(node)...)
 			cert = &ResultCert{
 				Ring: append([]string(nil), body.FinalRing...),
 				Sigs: map[string]*big.Int{self: sig},
 			}
-			for len(cert.Sigs) < len(body.FinalRing) {
+			// Collect until every ring signature AND every involved
+			// node's quarantine report is in: nodes outside the ring
+			// still contributed subquery answers (e.g. the wildcard glsn
+			// intersection), so a degraded one silently shrinks the
+			// result unless its extents ride back here too.
+			reporters := planReporters(body.Plans)
+			seen := map[string]bool{self: true}
+			for len(cert.Sigs) < len(body.FinalRing) || len(seen) < len(reporters) {
 				msg, err := mb.Expect(ctx, MsgSig, session)
 				if err != nil {
 					return fmt.Errorf("collecting result signatures: %w", err)
 				}
-				if !smc.Contains(body.FinalRing, msg.From) {
+				if !smc.Contains(reporters, msg.From) {
 					continue
 				}
 				var sb sigBody
 				if err := transport.Unmarshal(msg.Payload, &sb); err != nil {
 					return err
 				}
-				cert.Sigs[msg.From] = sb.Sig
+				if smc.Contains(body.FinalRing, msg.From) && sb.Sig != nil {
+					cert.Sigs[msg.From] = sb.Sig
+				}
+				if !seen[msg.From] {
+					seen[msg.From] = true
+					quar = append(quar, sb.Quarantined...)
+				}
 			}
+			sort.Strings(quar)
+		}
+	} else if ranPlan {
+		// Involved but outside the certification ring: report this
+		// node's quarantined extents to the receiver (always, even when
+		// empty — the receiver counts one report per involved node).
+		out, err := transport.NewMessage(body.FinalReceiver, MsgSig, session,
+			sigBody{Quarantined: quarantineOf(node)})
+		if err != nil {
+			return err
+		}
+		if err := mb.Send(ctx, out); err != nil {
+			return err
 		}
 	}
 
@@ -419,22 +482,22 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 		glsns := sortedKeys(finalSet)
 		switch {
 		case body.AggKind == AggCount:
-			return sendFinal(ctx, mb, body.Coordinator, session, finalBody{IsAgg: true, Agg: float64(len(glsns))})
+			return sendFinal(ctx, mb, body.Coordinator, session, finalBody{IsAgg: true, Agg: float64(len(glsns)), Quarantined: quar})
 		case body.AggKind != "":
 			if self == body.AggOwner {
 				val, err := computeAggregate(node, body.AggKind, body.AggAttr, glsns)
 				if err != nil {
 					return err
 				}
-				return sendFinal(ctx, mb, body.Coordinator, session, finalBody{IsAgg: true, Agg: val})
+				return sendFinal(ctx, mb, body.Coordinator, session, finalBody{IsAgg: true, Agg: val, Quarantined: quar})
 			}
-			out, err := transport.NewMessage(body.AggOwner, MsgAggReq, session, finalBody{GLSNs: glsns})
+			out, err := transport.NewMessage(body.AggOwner, MsgAggReq, session, finalBody{GLSNs: glsns, Quarantined: quar})
 			if err != nil {
 				return err
 			}
 			return mb.Send(ctx, out)
 		default:
-			return sendFinal(ctx, mb, body.Coordinator, session, finalBody{GLSNs: glsns, Cert: cert})
+			return sendFinal(ctx, mb, body.Coordinator, session, finalBody{GLSNs: glsns, Cert: cert, Quarantined: quar})
 		}
 	}
 
@@ -453,9 +516,36 @@ func execute(ctx context.Context, node NodeState, session string, body *execBody
 		if err != nil {
 			return err
 		}
-		return sendFinal(ctx, mb, body.Coordinator, session, finalBody{IsAgg: true, Agg: val})
+		// The owner folds the aggregate over its own store, so its own
+		// quarantine taints the value alongside whatever the receiver
+		// already collected.
+		return sendFinal(ctx, mb, body.Coordinator, session, finalBody{
+			IsAgg: true, Agg: val,
+			Quarantined: mergeQuarantine(req.Quarantined, quarantineOf(node)),
+		})
 	}
 	return nil
+}
+
+// planReporters is the union of every plan's involved nodes — the set
+// the final receiver expects exactly one quarantine report (or ring
+// signature) from. Derived from the dispatched plans on both sides so
+// sender and collector always agree. The aggregate owner is excluded:
+// when it sits outside every plan it never runs the plan loop, and its
+// quarantine is merged on the MsgAggReq path instead.
+func planReporters(plans []wirePlan) []string {
+	set := make(map[string]struct{})
+	for i := range plans {
+		for _, n := range plans[i].involved() {
+			set[n] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func sortedKeys(set map[string]struct{}) []string {

@@ -26,6 +26,8 @@ import (
 	"confaudit/internal/logmodel"
 	"confaudit/internal/mathx"
 	"confaudit/internal/resilience"
+	"confaudit/internal/storage"
+	"confaudit/internal/storage/faultfs"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 	"confaudit/internal/workload"
@@ -53,6 +55,17 @@ type Options struct {
 	// Policy is the retry/circuit-breaker policy wrapped around every
 	// endpoint.
 	Policy resilience.Policy
+	// Backend selects node durability: "" or storage.BackendWAL for the
+	// JSON-lines WAL under DataRoot (the pre-PR6 behavior), or
+	// storage.BackendDisk for the crash-safe segment store.
+	Backend string
+	// Disk tunes the segment store when Backend is storage.BackendDisk
+	// (Backend and Dir are filled per node).
+	Disk storage.Options
+	// NewFS, when set, supplies the filesystem seam for each node's
+	// segment store — the torture suites hand back per-node
+	// faultfs.Injectors here. nil means the real OS.
+	NewFS func(id string) faultfs.FS
 }
 
 // Cluster is a running chaos deployment.
@@ -142,11 +155,33 @@ func (c *Cluster) StartNode(id string) error {
 	mb := transport.NewMailbox(resilience.Wrap(ep, c.opts.Policy))
 	cfg := c.Boot.NodeConfig(id)
 	if c.opts.DataRoot != "" {
-		cfg.DataDir = filepath.Join(c.opts.DataRoot, id)
+		if c.opts.Backend == storage.BackendDisk {
+			// The crash-safe segment store: opened (and thereby
+			// recovered) here, handed to the node, closed by the node's
+			// CloseStorage on Crash.
+			sOpts := c.opts.Disk
+			sOpts.Backend = storage.BackendDisk
+			sOpts.Dir = filepath.Join(c.opts.DataRoot, id)
+			var fsys faultfs.FS
+			if c.opts.NewFS != nil {
+				fsys = c.opts.NewFS(id)
+			}
+			st, err := storage.Open(sOpts, c.Boot.AccParams, fsys)
+			if err != nil {
+				mb.Close() //nolint:errcheck
+				return err
+			}
+			cfg.Storage = st
+		} else {
+			cfg.DataDir = filepath.Join(c.opts.DataRoot, id)
+		}
 	}
 	cfg.Health = c.opts.Health
 	node, err := cluster.New(cfg, mb)
 	if err != nil {
+		if cfg.Storage != nil {
+			cfg.Storage.Close() //nolint:errcheck
+		}
 		mb.Close() //nolint:errcheck
 		return err
 	}
@@ -199,7 +234,11 @@ func (c *Cluster) Crash(id string) error {
 	p.cancel()
 	p.mb.Close() //nolint:errcheck
 	<-p.done
-	return p.node.CloseStorage()
+	// A fault-poisoned store errors on close by design; the handle is
+	// released either way and Restart recovers from disk, so the crash
+	// itself still succeeded.
+	p.node.CloseStorage() //nolint:errcheck
+	return nil
 }
 
 // Restart boots a crashed node again; the WAL replays the state it

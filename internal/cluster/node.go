@@ -17,6 +17,7 @@ import (
 	"confaudit/internal/logmodel"
 	"confaudit/internal/mathx"
 	"confaudit/internal/resilience"
+	"confaudit/internal/storage"
 	"confaudit/internal/telemetry"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
@@ -72,8 +73,21 @@ type Config struct {
 	// FirstGLSN is the first sequence number the leader assigns.
 	FirstGLSN logmodel.GLSN
 	// DataDir, when set, enables durable state: every mutation is
-	// journaled to DataDir/node.wal and replayed on restart.
+	// journaled to DataDir/node.wal and replayed on restart. Ignored
+	// when Storage is set.
 	DataDir string
+	// WALSync selects the journal fsync policy for the DataDir WAL
+	// (storage.SyncAlways when empty); WALSyncEvery is the interval
+	// under storage.SyncInterval.
+	WALSync      storage.SyncPolicy
+	WALSyncEvery time.Duration
+	// Storage, when set, journals mutations through the given store —
+	// typically the crash-safe segment store — instead of the JSON-lines
+	// WAL. The node takes ownership and closes it in CloseStorage. The
+	// store must already be opened (and thereby recovered): New replays
+	// it into memory and surfaces any quarantined extents via
+	// QuarantinedExtents.
+	Storage storage.Store
 	// Health tunes the node's heartbeat failure detector (zero fields
 	// take the resilience package defaults).
 	Health resilience.DetectorConfig
@@ -130,7 +144,14 @@ type Node struct {
 	notifyMu sync.Mutex
 	notifyCh chan struct{}
 
-	wal *WAL
+	wal     journal
+	durable bool
+	// quarantined names the glsn extents recovery refused to serve
+	// (crc/accumulator mismatches), prefixed with this node's ID. The
+	// audit layer folds them into PartialResultError so a degraded
+	// answer says exactly which history is missing.
+	quarantined []string
+
 	det *resilience.Detector
 
 	wg sync.WaitGroup
@@ -165,23 +186,59 @@ func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
 		idx:       make(map[logmodel.Attr]*attrIndex),
 		notifyCh:  make(chan struct{}),
 	}
-	if cfg.DataDir != "" {
+	n.wal = (*WAL)(nil) // nil-receiver WAL: journaling into the void
+	switch {
+	case cfg.Storage != nil:
+		if err := replayStore(cfg.Storage, n.applyWALEntry); err != nil {
+			return nil, err
+		}
+		n.wal = storeJournal{s: cfg.Storage}
+		n.durable = true
+		for _, q := range cfg.Storage.Status().Quarantined {
+			n.quarantined = append(n.quarantined, cfg.ID+": "+q.Extent())
+		}
+	case cfg.DataDir != "":
 		if err := n.restore(cfg.DataDir); err != nil {
 			return nil, err
 		}
-		wal, err := OpenWAL(cfg.DataDir)
+		wal, err := OpenWALSync(cfg.DataDir, cfg.WALSync, cfg.WALSyncEvery)
 		if err != nil {
 			return nil, err
 		}
 		n.wal = wal
+		n.durable = true
 	}
 	n.det = resilience.NewDetector(mb, n.roster, cfg.Health)
 	return n, nil
 }
 
-// CloseStorage flushes and closes the node's journal (no-op without a
-// data directory). Call after the node's server loops have stopped.
+// CloseStorage flushes and closes the node's journal (no-op without
+// durable storage). Call after the node's server loops have stopped.
 func (n *Node) CloseStorage() error { return n.wal.Close() }
+
+// QuarantinedExtents names the glsn extents this node's recovery
+// refused to serve, each prefixed with the node ID. Empty on a healthy
+// node.
+func (n *Node) QuarantinedExtents() []string {
+	return append([]string(nil), n.quarantined...)
+}
+
+// StorageStatus snapshots the node's durable storage engine. Memory and
+// WAL-backed nodes synthesize a Status so `dlactl storage status` works
+// against every backend.
+func (n *Node) StorageStatus() storage.Status {
+	switch j := n.wal.(type) {
+	case storeJournal:
+		return j.s.Status()
+	case *WAL:
+		if j != nil {
+			return storage.Status{Backend: storage.BackendWAL, Dir: j.dir}
+		}
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return storage.Status{Backend: storage.BackendMemory, Records: int64(len(n.frags))}
+}
 
 // ID returns the node's cluster identity.
 func (n *Node) ID() string { return n.id }
@@ -245,6 +302,32 @@ func (n *Node) Start(ctx context.Context) {
 		defer n.wg.Done()
 		n.det.Wait()
 	}()
+	// Background compaction for the segment store: when enough sealed
+	// history accumulates, rewrite it as a snapshot so the next restart
+	// replays O(live + delta) instead of the full history. Driven from
+	// the node (not the store) because the snapshot needs the node's
+	// state lock; polling NeedsCompaction keeps the lock ordering
+	// n.mu → store.mu in both the append and compaction paths.
+	if j, ok := n.wal.(storeJournal); ok {
+		if nc, ok := j.s.(interface{ NeedsCompaction() bool }); ok {
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				tick := time.NewTicker(2 * time.Second)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+						if nc.NeedsCompaction() {
+							n.CompactStorage() //nolint:errcheck // poisoned stores refuse appends loudly
+						}
+					}
+				}
+			}()
+		}
+	}
 	// A restarted follower may have missed sequencer commits while it
 	// was down; pull them eagerly instead of waiting for the next
 	// proposal to expose the gap.

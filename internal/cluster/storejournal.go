@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"confaudit/internal/storage"
+)
+
+// journal is the node's durability seam. Two implementations exist: the
+// JSON-lines *WAL in this package (the "wal" backend, nil-receiver safe
+// so a memory-only node journals into the void), and storeJournal, which
+// adapts any storage.Store — in particular the crash-safe segment store.
+type journal interface {
+	append(e walEntry) error
+	appendBatch(entries []walEntry) error
+	rewrite(entries []walEntry) error
+	Close() error
+}
+
+// storeJournal adapts a storage.Store to the journal seam. Each walEntry
+// travels as a Record: Kind for the replay switch, the entry's glsn so
+// segments track the extents they hold, and the JSON encoding as the
+// opaque payload.
+type storeJournal struct {
+	s storage.Store
+}
+
+// entryRecord converts one walEntry to its storage Record.
+func entryRecord(e walEntry) (storage.Record, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return storage.Record{}, fmt.Errorf("cluster: encoding journal entry: %w", err)
+	}
+	g := uint64(e.GLSN)
+	if e.Fragment != nil {
+		g = uint64(e.Fragment.GLSN)
+	}
+	return storage.Record{Kind: e.Kind, GLSN: g, Data: data}, nil
+}
+
+func (j storeJournal) append(e walEntry) error {
+	rec, err := entryRecord(e)
+	if err != nil {
+		return err
+	}
+	return j.s.Append(rec)
+}
+
+func (j storeJournal) appendBatch(entries []walEntry) error {
+	recs := make([]storage.Record, 0, len(entries))
+	for _, e := range entries {
+		rec, err := entryRecord(e)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	return j.s.AppendBatch(recs)
+}
+
+// rewrite maps the WAL's snapshot-rewrite onto the store's compaction.
+func (j storeJournal) rewrite(entries []walEntry) error {
+	recs := make([]storage.Record, 0, len(entries))
+	for _, e := range entries {
+		rec, err := entryRecord(e)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	return j.s.Compact(recs)
+}
+
+func (j storeJournal) Close() error { return j.s.Close() }
+
+// replayStore streams a store's surviving records back as walEntries.
+func replayStore(s storage.Store, fn func(walEntry) error) error {
+	return s.Replay(func(rec storage.Record) error {
+		var e walEntry
+		if err := json.Unmarshal(rec.Data, &e); err != nil {
+			return fmt.Errorf("cluster: decoding journal record (kind %q): %w", rec.Kind, err)
+		}
+		return fn(e)
+	})
+}

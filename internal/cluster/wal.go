@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"confaudit/internal/logmodel"
+	"confaudit/internal/storage"
 	"confaudit/internal/telemetry"
+	"confaudit/internal/ticket"
 )
 
 // Durable node state. A DLA node journals every state mutation — ticket
@@ -41,13 +43,44 @@ type WAL struct {
 	dir string
 	f   *os.File
 	bw  *bufio.Writer
+
+	// syncPolicy governs when acknowledged appends are fsynced. The
+	// pre-PR6 WAL flushed to the OS but never fsynced, so a machine
+	// crash (not just a process crash) could lose acknowledged
+	// mutations; the default is now storage.SyncAlways.
+	syncPolicy storage.SyncPolicy
+	syncEvery  time.Duration
+	lastSync   time.Time
+
+	// failed poisons the journal after an I/O failure that leaves its
+	// durable state unknowable (a failed fsync, a rewrite that could not
+	// reopen the live handle). Every later mutation is refused.
+	failed error
 }
 
 // walFile names the journal inside a node data directory.
 const walFile = "node.wal"
 
-// OpenWAL opens (creating if necessary) the journal in dir.
+// OpenWAL opens (creating if necessary) the journal in dir with the
+// fsync-per-append policy.
 func OpenWAL(dir string) (*WAL, error) {
+	return OpenWALSync(dir, storage.SyncAlways, 0)
+}
+
+// OpenWALSync opens the journal with an explicit sync policy. every is
+// the fsync interval under storage.SyncInterval (0 means 50ms).
+func OpenWALSync(dir string, policy storage.SyncPolicy, every time.Duration) (*WAL, error) {
+	switch policy {
+	case "", storage.SyncAlways, storage.SyncInterval, storage.SyncNever:
+	default:
+		return nil, fmt.Errorf("cluster: unknown WAL sync policy %q", policy)
+	}
+	if policy == "" {
+		policy = storage.SyncAlways
+	}
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cluster: creating data dir: %w", err)
 	}
@@ -55,7 +88,49 @@ func OpenWAL(dir string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: opening WAL: %w", err)
 	}
-	return &WAL{dir: dir, f: f, bw: bufio.NewWriter(f)}, nil
+	return &WAL{dir: dir, f: f, bw: bufio.NewWriter(f), syncPolicy: policy, syncEvery: every}, nil
+}
+
+// syncDir fsyncs a directory so renames inside it survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// flushLocked flushes the buffered writer and applies the sync policy.
+// An fsync failure poisons the journal: the OS may or may not have the
+// bytes, so no further acknowledgement can be honest.
+func (w *WAL) flushLocked() error {
+	if err := w.bw.Flush(); err != nil {
+		w.failed = fmt.Errorf("%w: %v", storage.ErrFailed, err)
+		return w.failed
+	}
+	doSync := false
+	switch w.syncPolicy {
+	case storage.SyncAlways, "":
+		doSync = true
+	case storage.SyncInterval:
+		doSync = time.Since(w.lastSync) >= w.syncEvery
+	case storage.SyncNever:
+	}
+	if !doSync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.failed = fmt.Errorf("%w: %v", storage.ErrFailed, err)
+		return w.failed
+	}
+	w.lastSync = time.Now()
+	telemetry.M.Counter(telemetry.CtrStorageFsync).Add(1)
+	return nil
 }
 
 // rewrite atomically replaces the journal with a snapshot of entries.
@@ -65,6 +140,9 @@ func (w *WAL) rewrite(entries []walEntry) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
 	tmpPath := filepath.Join(w.dir, walFile+".tmp")
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
@@ -96,12 +174,23 @@ func (w *WAL) rewrite(entries []walEntry) error {
 	if err := os.Rename(tmpPath, filepath.Join(w.dir, walFile)); err != nil {
 		return fmt.Errorf("cluster: swapping snapshot: %w", err)
 	}
-	// Reopen the live handle on the new file.
-	w.bw.Flush() //nolint:errcheck // old file is obsolete
+	// The rename is only durable once the directory itself is synced.
+	if err := syncDir(w.dir); err != nil {
+		w.failed = fmt.Errorf("%w: %v", storage.ErrFailed, err)
+		return w.failed
+	}
+	// Reopen the live handle on the new file. Failures here must be
+	// loud: a nil writer behind a "successful" rewrite would panic the
+	// next append, and a silently dropped old-handle flush error is how
+	// durable state diverges from memory. The journal is poisoned
+	// instead so every later append refuses.
+	w.bw.Flush() //nolint:errcheck // old file is obsolete post-swap
 	w.f.Close()  //nolint:errcheck
 	f, err := os.OpenFile(filepath.Join(w.dir, walFile), os.O_APPEND|os.O_WRONLY, 0o600)
 	if err != nil {
-		return fmt.Errorf("cluster: reopening WAL: %w", err)
+		w.failed = fmt.Errorf("%w: reopening WAL after snapshot: %v", storage.ErrFailed, err)
+		w.f, w.bw = nil, nil
+		return w.failed
 	}
 	w.f = f
 	w.bw = bufio.NewWriter(f)
@@ -117,6 +206,9 @@ func (w *WAL) append(e walEntry) error {
 	defer telemetry.M.Histogram(telemetry.HistWALFlush).Since(time.Now())
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
 	data, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("cluster: encoding WAL entry: %w", err)
@@ -124,7 +216,7 @@ func (w *WAL) append(e walEntry) error {
 	if _, err := w.bw.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("cluster: appending WAL entry: %w", err)
 	}
-	return w.bw.Flush()
+	return w.flushLocked()
 }
 
 // appendBatch journals several entries under one lock acquisition and a
@@ -139,6 +231,9 @@ func (w *WAL) appendBatch(entries []walEntry) error {
 	defer telemetry.M.Histogram(telemetry.HistWALFlush).Since(time.Now())
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
 	for _, e := range entries {
 		data, err := json.Marshal(e)
 		if err != nil {
@@ -148,20 +243,29 @@ func (w *WAL) appendBatch(entries []walEntry) error {
 			return fmt.Errorf("cluster: appending WAL entry: %w", err)
 		}
 	}
-	return w.bw.Flush()
+	return w.flushLocked()
 }
 
-// Close flushes and closes the journal.
+// Close flushes, fsyncs, and closes the journal.
 func (w *WAL) Close() error {
 	if w == nil {
 		return nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.failed
+	}
+	if w.failed != nil {
+		w.f.Close() //nolint:errcheck // already poisoned; release the handle
+		return w.failed
+	}
 	if err := w.bw.Flush(); err != nil {
+		w.f.Close() //nolint:errcheck
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
+		w.f.Close() //nolint:errcheck
 		return err
 	}
 	return w.f.Close()
@@ -213,7 +317,7 @@ func ReplayWAL(dir string, fn func(walEntry) error) error {
 // delete tombstones). It holds the node's state lock across snapshot
 // and swap, so no mutation can land in the discarded journal.
 func (n *Node) CompactStorage() error {
-	if n.wal == nil {
+	if !n.durable {
 		return nil
 	}
 	n.mu.Lock()
@@ -243,56 +347,79 @@ func (n *Node) CompactStorage() error {
 	return n.wal.rewrite(entries)
 }
 
+// applyWALEntry applies one journaled mutation to the node's in-memory
+// state. It is shared by every recovery path (JSON-lines WAL replay and
+// segment-store replay) and tolerates duplicates: a checkpoint snapshot
+// followed by a delta that re-journals the same ticket or grant must
+// converge, not fail, because registration and grants are idempotent
+// facts, not counters.
+func (n *Node) applyWALEntry(e walEntry) error {
+	switch e.Kind {
+	case "ticket":
+		if e.Ticket == nil {
+			return errors.New("cluster: WAL ticket entry without ticket")
+		}
+		if err := n.acl.Register(e.Ticket.ticket()); err != nil {
+			if errors.Is(err, ticket.ErrDuplicateTicket) {
+				return nil
+			}
+			return fmt.Errorf("cluster: replaying ticket: %w", err)
+		}
+	case "grant":
+		count := e.Count
+		if count < 1 {
+			count = 1
+		}
+		for g := e.GLSN; g < e.GLSN+logmodel.GLSN(count); g++ {
+			if err := n.acl.Grant(e.TicketID, g); err != nil {
+				if errors.Is(err, ticket.ErrUnknownTicket) {
+					// The registration entry was lost with a quarantined
+					// segment. The node still boots (degraded, with the
+					// loss named in its quarantine extents); the grant is
+					// skipped rather than failing the whole recovery, and
+					// the glsn counter still advances so the sequencer
+					// never reissues it.
+					if g >= n.nextGLSN {
+						n.nextGLSN = g + 1
+					}
+					continue
+				}
+				return fmt.Errorf("cluster: replaying grant: %w", err)
+			}
+			if g >= n.nextGLSN {
+				n.nextGLSN = g + 1
+			}
+		}
+	case "frag":
+		if e.Fragment == nil {
+			return errors.New("cluster: WAL frag entry without fragment")
+		}
+		if old, ok := n.frags[e.Fragment.GLSN]; ok {
+			n.indexRemove(old)
+		}
+		n.frags[e.Fragment.GLSN] = *e.Fragment
+		n.indexAdd(*e.Fragment)
+		if e.Digest != nil {
+			n.digests[e.Fragment.GLSN] = e.Digest
+		}
+		if e.Prov != nil {
+			n.provs[e.Fragment.GLSN] = e.Prov
+		}
+	case "delete":
+		if old, ok := n.frags[e.GLSN]; ok {
+			n.indexRemove(old)
+		}
+		delete(n.frags, e.GLSN)
+		delete(n.digests, e.GLSN)
+		delete(n.provs, e.GLSN)
+	default:
+		return fmt.Errorf("cluster: unknown WAL entry kind %q", e.Kind)
+	}
+	return nil
+}
+
 // restore applies the journal in dir to the node's in-memory state.
 // Called from New before the node serves traffic.
 func (n *Node) restore(dir string) error {
-	return ReplayWAL(dir, func(e walEntry) error {
-		switch e.Kind {
-		case "ticket":
-			if e.Ticket == nil {
-				return errors.New("cluster: WAL ticket entry without ticket")
-			}
-			if err := n.acl.Register(e.Ticket.ticket()); err != nil {
-				return fmt.Errorf("cluster: replaying ticket: %w", err)
-			}
-		case "grant":
-			count := e.Count
-			if count < 1 {
-				count = 1
-			}
-			for g := e.GLSN; g < e.GLSN+logmodel.GLSN(count); g++ {
-				if err := n.acl.Grant(e.TicketID, g); err != nil {
-					return fmt.Errorf("cluster: replaying grant: %w", err)
-				}
-				if g >= n.nextGLSN {
-					n.nextGLSN = g + 1
-				}
-			}
-		case "frag":
-			if e.Fragment == nil {
-				return errors.New("cluster: WAL frag entry without fragment")
-			}
-			if old, ok := n.frags[e.Fragment.GLSN]; ok {
-				n.indexRemove(old)
-			}
-			n.frags[e.Fragment.GLSN] = *e.Fragment
-			n.indexAdd(*e.Fragment)
-			if e.Digest != nil {
-				n.digests[e.Fragment.GLSN] = e.Digest
-			}
-			if e.Prov != nil {
-				n.provs[e.Fragment.GLSN] = e.Prov
-			}
-		case "delete":
-			if old, ok := n.frags[e.GLSN]; ok {
-				n.indexRemove(old)
-			}
-			delete(n.frags, e.GLSN)
-			delete(n.digests, e.GLSN)
-			delete(n.provs, e.GLSN)
-		default:
-			return fmt.Errorf("cluster: unknown WAL entry kind %q", e.Kind)
-		}
-		return nil
-	})
+	return ReplayWAL(dir, n.applyWALEntry)
 }

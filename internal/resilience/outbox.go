@@ -119,6 +119,11 @@ func (o *Outbox) Append(e OutboxEntry) (uint64, error) {
 	if err := o.bw.Flush(); err != nil {
 		return 0, err
 	}
+	// The spool is the only durability promise a message to a dead peer
+	// has; flushing to the OS is not enough if the machine dies too.
+	if err := o.f.Sync(); err != nil {
+		return 0, fmt.Errorf("resilience: syncing outbox: %w", err)
+	}
 	o.nextSeq++
 	o.entries = append(o.entries, e)
 	return e.Seq, nil
@@ -210,6 +215,18 @@ func (o *Outbox) rewriteLocked() error {
 	}
 	if err := os.Rename(tmpPath, o.path); err != nil {
 		return fmt.Errorf("resilience: swapping outbox snapshot: %w", err)
+	}
+	// The rename is only durable once the directory is synced; without
+	// this a crash can resurrect entries the caller saw acknowledged.
+	if d, err := os.Open(filepath.Dir(o.path)); err == nil {
+		syncErr := d.Sync()
+		closeErr := d.Close()
+		if syncErr != nil {
+			return fmt.Errorf("resilience: syncing outbox dir: %w", syncErr)
+		}
+		if closeErr != nil {
+			return fmt.Errorf("resilience: syncing outbox dir: %w", closeErr)
+		}
 	}
 	o.bw.Flush() //nolint:errcheck // old file is obsolete
 	o.f.Close()  //nolint:errcheck

@@ -1,0 +1,357 @@
+// Package faultfs is the filesystem seam under the durable storage
+// engine. Production code runs on OS{} (thin wrappers over package os);
+// the crash-torture suites run on an Injector, which wraps any FS and
+// injects the failure modes a real disk exhibits at seeded, deterministic
+// points:
+//
+//   - torn tails: a write persists only a prefix of its buffer and the
+//     process "loses power" (every later operation fails),
+//   - short writes: a write persists a prefix and returns an error while
+//     the process keeps running,
+//   - failed fsyncs: Sync returns an error without making the buffered
+//     bytes durable,
+//   - bit flips: at-rest corruption of an already-written file.
+//
+// The injector counts operations process-wide (not per file), so a seeded
+// schedule reproduces the same failure point run to run.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Errors surfaced by injected faults.
+var (
+	// ErrInjected marks a single injected failure (short write, failed
+	// fsync) after which the process keeps running.
+	ErrInjected = errors.New("faultfs: injected fault")
+	// ErrCrashed marks every operation after an injected crash point:
+	// the simulated process is dead and must "restart" by discarding
+	// this FS and opening a fresh one over the same directory.
+	ErrCrashed = errors.New("faultfs: crashed")
+)
+
+// File is the handle surface the storage engine needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.ReaderAt
+	Name() string
+	Stat() (fs.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem surface the storage engine needs.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(name string, perm fs.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making renames and creates inside it
+	// durable.
+	SyncDir(name string) error
+}
+
+// OS is the production FS: direct delegation to package os.
+type OS struct{}
+
+// OpenFile opens name with os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename renames a file.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes a file.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir lists a directory.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// MkdirAll creates a directory tree.
+func (OS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+// Stat stats a file.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir fsyncs the directory so renames/creates inside it survive
+// power loss.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Injector wraps an FS with seeded fault injection. Arm* methods set
+// countdowns in units of matching operations; a countdown of n fires on
+// the nth such operation from now. All methods are safe for concurrent
+// use.
+type Injector struct {
+	under FS
+
+	mu sync.Mutex
+	// crashIn counts writes until a torn-tail crash: the firing write
+	// persists only tornBytes (or a deterministic fraction) of its
+	// buffer, then the injector enters the crashed state. <0 disarmed.
+	crashIn   int64
+	tornFrac  float64 // fraction of the firing write persisted, [0,1)
+	crashed   bool
+	shortIn   int64 // writes until one short write (+ErrInjected); <0 disarmed
+	fsyncIn   int64 // Syncs until one failed fsync (+ErrInjected); <0 disarmed
+	writes    int64 // total writes observed (for schedule reporting)
+	syncs     int64 // total syncs observed
+	lastFault string
+}
+
+// NewInjector wraps under (OS{} if nil) with all faults disarmed.
+func NewInjector(under FS) *Injector {
+	if under == nil {
+		under = OS{}
+	}
+	return &Injector{under: under, crashIn: -1, shortIn: -1, fsyncIn: -1, tornFrac: 0.5}
+}
+
+// ArmCrash schedules a torn-tail power loss on the nth write from now
+// (n >= 1): that write persists frac of its buffer, every subsequent
+// operation fails with ErrCrashed. frac outside [0,1) keeps the prior
+// setting.
+func (i *Injector) ArmCrash(n int64, frac float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.crashIn = n
+	if frac >= 0 && frac < 1 {
+		i.tornFrac = frac
+	}
+}
+
+// ArmShortWrite schedules a short write on the nth write from now: half
+// the buffer is persisted and the write returns ErrInjected, but the
+// process keeps running.
+func (i *Injector) ArmShortWrite(n int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.shortIn = n
+}
+
+// ArmFsyncFailure schedules a failed fsync on the nth Sync from now:
+// nothing is made durable and Sync returns ErrInjected.
+func (i *Injector) ArmFsyncFailure(n int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.fsyncIn = n
+}
+
+// CrashNow fails every subsequent operation with ErrCrashed.
+func (i *Injector) CrashNow() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.crashed = true
+	i.lastFault = "crash"
+}
+
+// Crashed reports whether the injector has hit a crash point.
+func (i *Injector) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// LastFault names the most recent injected fault ("" if none fired).
+func (i *Injector) LastFault() string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.lastFault
+}
+
+// Ops reports the total writes and syncs observed, for picking seeded
+// injection points relative to a known workload.
+func (i *Injector) Ops() (writes, syncs int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.writes, i.syncs
+}
+
+// checkAlive returns ErrCrashed once the crash point has fired.
+func (i *Injector) checkAlive() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// OpenFile opens a fault-wrapped file handle.
+func (i *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := i.checkAlive(); err != nil {
+		return nil, err
+	}
+	f, err := i.under.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, inj: i}, nil
+}
+
+// Rename renames unless crashed.
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if err := i.checkAlive(); err != nil {
+		return err
+	}
+	return i.under.Rename(oldpath, newpath)
+}
+
+// Remove removes unless crashed.
+func (i *Injector) Remove(name string) error {
+	if err := i.checkAlive(); err != nil {
+		return err
+	}
+	return i.under.Remove(name)
+}
+
+// ReadDir lists unless crashed.
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := i.checkAlive(); err != nil {
+		return nil, err
+	}
+	return i.under.ReadDir(name)
+}
+
+// MkdirAll creates unless crashed.
+func (i *Injector) MkdirAll(name string, perm fs.FileMode) error {
+	if err := i.checkAlive(); err != nil {
+		return err
+	}
+	return i.under.MkdirAll(name, perm)
+}
+
+// Stat stats unless crashed.
+func (i *Injector) Stat(name string) (fs.FileInfo, error) {
+	if err := i.checkAlive(); err != nil {
+		return nil, err
+	}
+	return i.under.Stat(name)
+}
+
+// SyncDir fsyncs the directory, subject to the same failed-fsync
+// injection as file syncs.
+func (i *Injector) SyncDir(name string) error {
+	if err := i.syncGate(); err != nil {
+		return err
+	}
+	return i.under.SyncDir(name)
+}
+
+// syncGate runs the per-Sync countdowns.
+func (i *Injector) syncGate() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return ErrCrashed
+	}
+	i.syncs++
+	if i.fsyncIn > 0 {
+		i.fsyncIn--
+		if i.fsyncIn == 0 {
+			i.fsyncIn = -1
+			i.lastFault = "fsync"
+			return fmt.Errorf("%w: fsync failed", ErrInjected)
+		}
+	}
+	return nil
+}
+
+// faultFile threads every write/sync through the injector's countdowns.
+type faultFile struct {
+	File
+	inj *Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	i := f.inj
+	i.mu.Lock()
+	if i.crashed {
+		i.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	i.writes++
+	if i.shortIn > 0 {
+		i.shortIn--
+		if i.shortIn == 0 {
+			i.shortIn = -1
+			i.lastFault = "short-write"
+			i.mu.Unlock()
+			n, _ := f.File.Write(p[:len(p)/2])
+			return n, fmt.Errorf("%w: short write", ErrInjected)
+		}
+	}
+	if i.crashIn > 0 {
+		i.crashIn--
+		if i.crashIn == 0 {
+			i.crashIn = -1
+			i.crashed = true
+			i.lastFault = "torn-tail"
+			keep := int(float64(len(p)) * i.tornFrac)
+			i.mu.Unlock()
+			if keep > 0 {
+				f.File.Write(p[:keep]) //nolint:errcheck // power is already "off"
+				f.File.Sync()          //nolint:errcheck // make the torn prefix visible to the reopen
+			}
+			return keep, ErrCrashed
+		}
+	}
+	i.mu.Unlock()
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.inj.syncGate(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Close() error {
+	// Closing is allowed even when crashed, so a torture harness can
+	// release handles before "rebooting".
+	return f.File.Close()
+}
+
+// FlipBit flips one bit of an at-rest file, simulating silent media
+// corruption. It operates through package os directly: the corruption
+// model is an external actor (cosmic ray, misdirected write), not the
+// process's own handle.
+func FlipBit(path string, byteOffset int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], byteOffset); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	if _, err := f.WriteAt(b[:], byteOffset); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,85 @@
+package storage
+
+import "sync"
+
+// Mem is the in-RAM backend: the journal the cluster has always had
+// when no data directory is configured. Appends are retained only so
+// Compact/Replay keep the Store contract inside one process lifetime;
+// nothing survives a restart.
+type Mem struct {
+	mu      sync.Mutex
+	recs    []Record
+	bytes   int64
+	closed  bool
+	touched int64
+}
+
+// NewMem builds an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// Append retains the record in RAM.
+func (m *Mem) Append(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, rec)
+	m.bytes += int64(len(rec.Data))
+	return nil
+}
+
+// AppendBatch retains the records in RAM.
+func (m *Mem) AppendBatch(recs []Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, recs...)
+	for i := range recs {
+		m.bytes += int64(len(recs[i].Data))
+	}
+	return nil
+}
+
+// Replay streams the retained records in append order.
+func (m *Mem) Replay(fn func(Record) error) error {
+	m.mu.Lock()
+	recs := append([]Record(nil), m.recs...)
+	m.mu.Unlock()
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact replaces the retained history with the snapshot.
+func (m *Mem) Compact(snapshot []Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append([]Record(nil), snapshot...)
+	m.bytes = 0
+	for i := range m.recs {
+		m.bytes += int64(len(m.recs[i].Data))
+	}
+	return nil
+}
+
+// Sync is a no-op: RAM has no durable tier.
+func (m *Mem) Sync() error { return nil }
+
+// Status reports the in-memory shape.
+func (m *Mem) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Status{
+		Backend:       BackendMemory,
+		Records:       int64(len(m.recs)),
+		AppendedBytes: m.bytes,
+	}
+}
+
+// Close releases nothing.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+
+	"confaudit/internal/crypto/accumulator"
+	"confaudit/internal/storage/faultfs"
+)
+
+// Backend names, as accepted by dlad's -backend flag.
+const (
+	// BackendMemory keeps the journal in RAM (the pre-PR6 default when no
+	// data directory is set).
+	BackendMemory = "memory"
+	// BackendWAL is the JSON-lines write-ahead log in internal/cluster —
+	// selected there, not constructed by this package.
+	BackendWAL = "wal"
+	// BackendDisk is the crash-safe segment store.
+	BackendDisk = "disk"
+)
+
+// SyncPolicy says when acknowledged appends are fsynced.
+type SyncPolicy string
+
+// Sync policies, strictest first.
+const (
+	// SyncAlways fsyncs every append before it returns: an acknowledged
+	// record survives any crash.
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval fsyncs at most once per SyncEvery, amortizing the
+	// fsync over a window of appends; a crash can lose the unsynced
+	// window (but never corrupt what precedes it).
+	SyncInterval SyncPolicy = "interval"
+	// SyncNever fsyncs only on rotation and close. Fast, test-grade
+	// durability.
+	SyncNever SyncPolicy = "never"
+)
+
+// Options configures a storage backend. Build it, Validate it, Open it
+// (the struct carries no hidden state; an all-zero value plus a Backend
+// and Dir validates to sensible defaults via withDefaults).
+type Options struct {
+	// Backend selects the engine: BackendMemory or BackendDisk.
+	// (BackendWAL is handled by the cluster layer.)
+	Backend string
+	// Dir is the segment directory (disk backend only).
+	Dir string
+	// Sync is the fsync policy for acknowledged appends.
+	Sync SyncPolicy
+	// SyncEvery is the fsync interval under SyncInterval.
+	SyncEvery time.Duration
+	// SegmentBytes seals the active segment once it reaches this size.
+	SegmentBytes int64
+	// CheckpointEvery writes an accumulator checkpoint after this many
+	// seals (0 disables seal-driven checkpoints; Compact always writes
+	// one).
+	CheckpointEvery int
+	// CompactSegments is the sealed-segment count at which
+	// NeedsCompaction starts reporting true.
+	CompactSegments int
+}
+
+// withDefaults fills zero fields with production defaults.
+func (o Options) withDefaults() Options {
+	if o.Backend == "" {
+		o.Backend = BackendMemory
+	}
+	if o.Sync == "" {
+		o.Sync = SyncAlways
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CheckpointEvery < 0 {
+		o.CheckpointEvery = 0
+	}
+	if o.CheckpointEvery == 0 && o.Backend == BackendDisk {
+		o.CheckpointEvery = 4
+	}
+	if o.CompactSegments <= 0 {
+		o.CompactSegments = 8
+	}
+	return o
+}
+
+// Validate rejects contradictions before any file is touched.
+func (o Options) Validate() error {
+	switch o.Backend {
+	case BackendMemory, BackendWAL, BackendDisk:
+	case "":
+		return fmt.Errorf("storage: no backend selected")
+	default:
+		return fmt.Errorf("storage: unknown backend %q (want %s, %s or %s)",
+			o.Backend, BackendMemory, BackendWAL, BackendDisk)
+	}
+	switch o.Sync {
+	case "", SyncAlways, SyncInterval, SyncNever:
+	default:
+		return fmt.Errorf("storage: unknown sync policy %q (want %s, %s or %s)",
+			o.Sync, SyncAlways, SyncInterval, SyncNever)
+	}
+	if o.Backend == BackendDisk && o.Dir == "" {
+		return fmt.Errorf("storage: disk backend requires a directory")
+	}
+	if o.SegmentBytes < 0 {
+		return fmt.Errorf("storage: negative segment size %d", o.SegmentBytes)
+	}
+	if o.SegmentBytes > 0 && o.SegmentBytes < int64(headerSize) {
+		return fmt.Errorf("storage: segment size %d smaller than the header", o.SegmentBytes)
+	}
+	return nil
+}
+
+// Open validates o and constructs the selected backend. params supplies
+// the accumulator group for checkpoints (disk only); fsys is the
+// filesystem seam, nil meaning the real OS.
+func Open(o Options, params *accumulator.Params, fsys faultfs.FS) (Store, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	switch o.Backend {
+	case BackendMemory:
+		return NewMem(), nil
+	case BackendDisk:
+		return openDisk(o, params, fsys)
+	default:
+		return nil, fmt.Errorf("storage: backend %q is not constructed by storage.Open", o.Backend)
+	}
+}

@@ -88,6 +88,17 @@ func TestRedactionFullQuery(t *testing.T) {
 	// machines where the shared pool never spawns a worker (GOMAXPROCS
 	// 1: callers run their batches inline).
 	telemetry.M.Gauge(telemetry.GaugeWorkpoolBusy).Set(0)
+	// Same for the storage-engine counters: this deployment is
+	// in-memory, so put their names on the surface explicitly and let
+	// the sweep below prove the names themselves leak nothing.
+	for _, ctr := range []string{
+		telemetry.CtrStorageFsync,
+		telemetry.CtrStorageRotations,
+		telemetry.CtrStorageCheckpoints,
+		telemetry.CtrStorageQuarantined,
+	} {
+		telemetry.M.Counter(ctr).Add(0)
+	}
 
 	// Gather the complete observability surface: the metrics snapshot,
 	// every stored trace as JSON, and every rendered tree.
@@ -110,6 +121,16 @@ func TestRedactionFullQuery(t *testing.T) {
 	}
 	if _, ok := snap.Gauges[telemetry.GaugeWorkpoolBusy]; !ok {
 		t.Error("workpool busy gauge missing from the snapshot")
+	}
+	for _, ctr := range []string{
+		telemetry.CtrStorageFsync,
+		telemetry.CtrStorageRotations,
+		telemetry.CtrStorageCheckpoints,
+		telemetry.CtrStorageQuarantined,
+	} {
+		if _, ok := snap.Counters[ctr]; !ok {
+			t.Errorf("storage counter %s missing from the snapshot", ctr)
+		}
 	}
 	sessions := telemetry.T.Sessions()
 	if len(sessions) == 0 {

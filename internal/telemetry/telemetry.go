@@ -389,6 +389,13 @@ const (
 	// Leak ledger: alarms tripped by a querier exceeding its configured
 	// leak budget (see ledger.go).
 	CtrLeakAlarms = "leak.alarms"
+
+	// Durable storage engine. Counts only; no record contents, kinds, or
+	// glsn values ever reach a metric name or value.
+	CtrStorageFsync       = "storage.fsync"                // fsyncs issued by the segment store
+	CtrStorageRotations   = "storage.segment_rotations"    // active-segment seals
+	CtrStorageCheckpoints = "storage.checkpoints"          // accumulator checkpoints written
+	CtrStorageQuarantined = "storage.quarantined_segments" // segments refused by recovery
 )
 
 // SentTo records one outbound message of the given protocol type and

@@ -11,9 +11,18 @@ import (
 // loads two BENCH_PR*.json artifacts written by scripts/bench.sh,
 // prints the ratio table between the two "after" sections, and fails
 // when either headline benchmark regressed by more than the tolerance.
-// Rows with missing or null fields are refused outright — a silently
-// skipped row is how an alloc regression hides — so artifacts must be
-// regenerated with the current bench.sh before they can be compared.
+// `benchtab -benchdiff file.json` (one path) instead diffs the
+// artifact's embedded "baseline" section against its "after" section —
+// the two sides of a single bench.sh run's comparison, measured on the
+// same box in the same period. Prefer the single-file form for the
+// pre-merge gate: the hosting box's absolute speed drifts between PRs
+// (shared vCPUs), so cross-artifact ns/op ratios conflate machine drift
+// with code changes, while the embedded baseline is re-measured from
+// the previous PR's tree on the SAME box whenever the artifact is
+// regenerated. Rows with missing or null fields are refused outright —
+// a silently skipped row is how an alloc regression hides — so
+// artifacts must be regenerated with the current bench.sh before they
+// can be compared.
 
 type benchRow struct {
 	Name     string   `json:"name"`
@@ -62,23 +71,40 @@ func loadBenchFile(path string) (*benchFile, error) {
 
 func runBenchDiff(spec string) error {
 	parts := strings.Split(spec, ",")
-	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-		return fmt.Errorf("-benchdiff wants old.json,new.json, got %q", spec)
+	var oldRowsSrc []benchRow
+	var title string
+	switch {
+	case len(parts) == 1 && parts[0] != "":
+		// Single artifact: embedded baseline vs after.
+		f, err := loadBenchFile(parts[0])
+		if err != nil {
+			return err
+		}
+		if len(f.Baseline) == 0 {
+			return fmt.Errorf("%s: no \"baseline\" rows to diff against", parts[0])
+		}
+		oldRowsSrc = f.Baseline
+		title = fmt.Sprintf("Benchmark diff: %s baseline -> after", parts[0])
+	case len(parts) == 2 && parts[0] != "" && parts[1] != "":
+		oldF, err := loadBenchFile(parts[0])
+		if err != nil {
+			return err
+		}
+		oldRowsSrc = oldF.After
+		title = fmt.Sprintf("Benchmark diff: %s -> %s", parts[0], parts[1])
+	default:
+		return fmt.Errorf("-benchdiff wants file.json or old.json,new.json, got %q", spec)
 	}
-	oldF, err := loadBenchFile(parts[0])
+	newF, err := loadBenchFile(parts[len(parts)-1])
 	if err != nil {
 		return err
 	}
-	newF, err := loadBenchFile(parts[1])
-	if err != nil {
-		return err
-	}
-	oldRows := make(map[string]benchRow, len(oldF.After))
-	for _, r := range oldF.After {
+	oldRows := make(map[string]benchRow, len(oldRowsSrc))
+	for _, r := range oldRowsSrc {
 		oldRows[r.Name] = r
 	}
 
-	section(fmt.Sprintf("Benchmark diff: %s -> %s", parts[0], parts[1]))
+	section(title)
 	fmt.Printf("%-45s %14s %14s %7s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "B/op Δ", "allocs Δ")
 	var failures []string
 	for _, nr := range newF.After {

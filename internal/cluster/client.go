@@ -438,7 +438,7 @@ func (c *Client) LogBatch(ctx context.Context, records []map[logmodel.Attr]logmo
 		gs[i] = g
 		rec := logmodel.Record{GLSN: g, Values: values}
 		frags := c.part.Split(rec)
-		digest := c.digestOf(frags)
+		digest, wits := c.digestAndWitnesses(frags)
 		var prov *big.Int
 		if c.signer != nil {
 			if prov, err = c.signer.Sign(ProvenanceStatement(g, digest)); err != nil {
@@ -446,7 +446,7 @@ func (c *Client) LogBatch(ctx context.Context, records []map[logmodel.Attr]logmo
 			}
 		}
 		for node, frag := range frags {
-			perNode[node] = append(perNode[node], batchItem{Fragment: frag, Digest: digest, Provenance: prov})
+			perNode[node] = append(perNode[node], batchItem{Fragment: frag, Digest: digest, Provenance: prov, WitnessExp: wits[node]})
 		}
 	}
 	session := c.nextSession("storebatch")
@@ -497,7 +497,7 @@ func (c *Client) LogBatch(ctx context.Context, records []map[logmodel.Attr]logmo
 // acks are awaited only for the fragments actually sent.
 func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 	frags := c.part.Split(rec)
-	digest := c.digestOf(frags)
+	digest, wits := c.digestAndWitnesses(frags)
 	var prov *big.Int
 	if c.signer != nil {
 		var err error
@@ -508,7 +508,7 @@ func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 	session := c.nextSession("store")
 	sent := 0
 	for node, frag := range frags {
-		body := storeBody{TicketID: c.tk.ID, Fragment: frag, Digest: digest, Provenance: prov}
+		body := storeBody{TicketID: c.tk.ID, Fragment: frag, Digest: digest, Provenance: prov, WitnessExp: wits[node]}
 		msg, err := transport.NewMessage(node, MsgLogStore, session, body)
 		if err != nil {
 			return err
@@ -564,7 +564,32 @@ func (c *Client) digestOf(frags map[string]logmodel.Fragment) *big.Int {
 	for _, node := range c.part.Nodes() {
 		items = append(items, frags[node].Canonical())
 	}
-	return c.acc.AccumulateAll(items)
+	// One wide fixed-base evaluation of X0^(∏ e_i) instead of n chained
+	// exponentiations; identical result by commutativity (eq. 9).
+	_, total := c.acc.WitnessExponents(items)
+	return c.acc.PowX0(total)
+}
+
+// digestAndWitnesses computes the record digest together with every
+// node's membership-witness EXPONENT: ∏ of the other fragments' hash
+// exponents, two multiplication sweeps and one fixed-base evaluation
+// for the digest — no extra modular exponentiation on the write path.
+// Each node materializes the witness group element (X0^wexp) lazily,
+// the first time an integrity check needs it, and from then on verifies
+// with a single local exponentiation instead of recomputing all-but-one
+// accumulations at every check.
+func (c *Client) digestAndWitnesses(frags map[string]logmodel.Fragment) (*big.Int, map[string]*big.Int) {
+	nodes := c.part.Nodes()
+	items := make([][]byte, 0, len(nodes))
+	for _, node := range nodes {
+		items = append(items, frags[node].Canonical())
+	}
+	wexps, total := c.acc.WitnessExponents(items)
+	wits := make(map[string]*big.Int, len(nodes))
+	for i, node := range nodes {
+		wits[node] = wexps[i]
+	}
+	return c.acc.PowX0(total), wits
 }
 
 // Delete removes the client's record from every node. Requires the

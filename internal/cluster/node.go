@@ -128,10 +128,18 @@ type Node struct {
 	accParams *accumulator.Params
 	mb        *transport.Mailbox
 
-	mu       sync.RWMutex
-	frags    map[logmodel.GLSN]logmodel.Fragment
-	digests  map[logmodel.GLSN]*big.Int
-	provs    map[logmodel.GLSN]*big.Int
+	mu      sync.RWMutex
+	frags   map[logmodel.GLSN]logmodel.Fragment
+	digests map[logmodel.GLSN]*big.Int
+	provs   map[logmodel.GLSN]*big.Int
+	// witExps holds the membership-witness EXPONENT of THIS node's
+	// fragment in each record digest — the product of the OTHER
+	// fragments' hash exponents, shipped by the writer — so appends pay
+	// only a big-integer install. witCache holds the materialized group
+	// element X0^wexp, computed lazily the first time an integrity check
+	// needs it and reused thereafter.
+	witExps  map[logmodel.GLSN]*big.Int
+	witCache map[logmodel.GLSN]*big.Int
 	acl      *ticket.AccessTable
 	nextGLSN logmodel.GLSN
 	idx      map[logmodel.Attr]*attrIndex
@@ -181,6 +189,8 @@ func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
 		frags:     make(map[logmodel.GLSN]logmodel.Fragment),
 		digests:   make(map[logmodel.GLSN]*big.Int),
 		provs:     make(map[logmodel.GLSN]*big.Int),
+		witExps:   make(map[logmodel.GLSN]*big.Int),
+		witCache:  make(map[logmodel.GLSN]*big.Int),
 		acl:       ticket.NewAccessTable(cfg.TicketIssuer),
 		nextGLSN:  first,
 		idx:       make(map[logmodel.Attr]*attrIndex),
@@ -702,6 +712,12 @@ type storeBody struct {
 	// record digest (see ProvenanceStatement), making the record
 	// non-repudiable: the writer cannot later deny having logged it.
 	Provenance *big.Int `json:"provenance,omitempty"`
+	// WitnessExp is this node's membership-witness exponent in Digest —
+	// the product of every OTHER fragment's hash exponent — letting the
+	// node materialize X0^wexp once and then verify its slice with one
+	// exponentiation instead of a ring circulation. Absent from pre-PR7
+	// writers.
+	WitnessExp *big.Int `json:"wexp,omitempty"`
 }
 
 // ProvenanceStatement is the byte string a writer signs to make a
@@ -794,7 +810,7 @@ func (n *Node) storeFragment(body storeBody) error {
 	defer n.mu.Unlock()
 	n.storeLocked(body)
 	frag := n.frags[body.Fragment.GLSN]
-	return n.wal.append(walEntry{Kind: "frag", Fragment: &frag, Digest: body.Digest, Prov: body.Provenance})
+	return n.wal.append(walEntry{Kind: "frag", Fragment: &frag, Digest: body.Digest, Prov: body.Provenance, WitnessExp: body.WitnessExp})
 }
 
 // storeLocked installs a validated fragment and maintains the attribute
@@ -813,6 +829,15 @@ func (n *Node) storeLocked(body storeBody) {
 	if body.Provenance != nil {
 		n.provs[frag.GLSN] = body.Provenance
 	}
+	// Any (over)write invalidates a previously materialized witness: the
+	// digest changed and the stale element would falsely refute.
+	delete(n.witCache, frag.GLSN)
+	if body.WitnessExp != nil {
+		n.witExps[frag.GLSN] = body.WitnessExp
+		telemetry.M.Counter(telemetry.CtrWitnessUpdates).Add(1)
+	} else {
+		delete(n.witExps, frag.GLSN)
+	}
 }
 
 // --- batched fragment storage ---
@@ -822,6 +847,7 @@ type batchItem struct {
 	Fragment   logmodel.Fragment `json:"fragment"`
 	Digest     *big.Int          `json:"digest"`
 	Provenance *big.Int          `json:"provenance,omitempty"`
+	WitnessExp *big.Int          `json:"wexp,omitempty"`
 }
 
 type storeBatchBody struct {
@@ -896,9 +922,10 @@ func (n *Node) storeFragmentBatch(body storeBatchBody) error {
 			Fragment:   item.Fragment,
 			Digest:     item.Digest,
 			Provenance: item.Provenance,
+			WitnessExp: item.WitnessExp,
 		})
 		frag := n.frags[item.Fragment.GLSN]
-		entries = append(entries, walEntry{Kind: "frag", Fragment: &frag, Digest: item.Digest, Prov: item.Provenance})
+		entries = append(entries, walEntry{Kind: "frag", Fragment: &frag, Digest: item.Digest, Prov: item.Provenance, WitnessExp: item.WitnessExp})
 	}
 	return n.wal.appendBatch(entries)
 }
@@ -980,6 +1007,8 @@ func (n *Node) deleteFragment(ticketID string, g logmodel.GLSN) error {
 	delete(n.frags, g)
 	delete(n.digests, g)
 	delete(n.provs, g)
+	delete(n.witExps, g)
+	delete(n.witCache, g)
 	return n.wal.append(walEntry{Kind: "delete", GLSN: g})
 }
 
@@ -999,6 +1028,37 @@ func (n *Node) Digest(g logmodel.GLSN) (*big.Int, bool) {
 	defer n.mu.RUnlock()
 	d, ok := n.digests[g]
 	return d, ok
+}
+
+// Witness returns this node's membership witness for a glsn — the group
+// element X0^wexp — when the writer supplied a witness exponent.
+// Materialization is lazy: the first call pays one fixed-base
+// exponentiation (outside the state lock) and caches the element;
+// integrity checks then verify the local fragment against the record
+// digest without circulating the ring.
+func (n *Node) Witness(g logmodel.GLSN) (*big.Int, bool) {
+	for {
+		n.mu.RLock()
+		if w, ok := n.witCache[g]; ok {
+			n.mu.RUnlock()
+			return w, true
+		}
+		e, ok := n.witExps[g]
+		n.mu.RUnlock()
+		if !ok {
+			return nil, false
+		}
+		w := n.accParams.PowX0(e)
+		n.mu.Lock()
+		if cur, still := n.witExps[g]; still && cur.Cmp(e) == 0 {
+			n.witCache[g] = w
+			n.mu.Unlock()
+			return w, true
+		}
+		// The record was overwritten or deleted while materializing;
+		// retry against the current state.
+		n.mu.Unlock()
+	}
 }
 
 // Provenance returns the writer's non-repudiation signature for a glsn,

@@ -35,6 +35,9 @@ type walEntry struct {
 	Fragment *logmodel.Fragment `json:"fragment,omitempty"`
 	Digest   *big.Int           `json:"digest,omitempty"`
 	Prov     *big.Int           `json:"prov,omitempty"`
+	// WitnessExp is the writer-shipped membership-witness exponent; the
+	// group element is rematerialized lazily after replay, never stored.
+	WitnessExp *big.Int `json:"wexp,omitempty"`
 }
 
 // WAL is an append-only JSON-lines journal of node state.
@@ -342,6 +345,9 @@ func (n *Node) CompactStorage() error {
 		if p, ok := n.provs[g]; ok {
 			e.Prov = p
 		}
+		if w, ok := n.witExps[g]; ok {
+			e.WitnessExp = w
+		}
 		entries = append(entries, e)
 	}
 	return n.wal.rewrite(entries)
@@ -405,6 +411,12 @@ func (n *Node) applyWALEntry(e walEntry) error {
 		if e.Prov != nil {
 			n.provs[e.Fragment.GLSN] = e.Prov
 		}
+		delete(n.witCache, e.Fragment.GLSN)
+		if e.WitnessExp != nil {
+			n.witExps[e.Fragment.GLSN] = e.WitnessExp
+		} else {
+			delete(n.witExps, e.Fragment.GLSN)
+		}
 	case "delete":
 		if old, ok := n.frags[e.GLSN]; ok {
 			n.indexRemove(old)
@@ -412,6 +424,8 @@ func (n *Node) applyWALEntry(e walEntry) error {
 		delete(n.frags, e.GLSN)
 		delete(n.digests, e.GLSN)
 		delete(n.provs, e.GLSN)
+		delete(n.witExps, e.GLSN)
+		delete(n.witCache, e.GLSN)
 	default:
 		return fmt.Errorf("cluster: unknown WAL entry kind %q", e.Kind)
 	}

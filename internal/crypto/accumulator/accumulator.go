@@ -49,7 +49,19 @@ type Params struct {
 	// Params (provisioning, tests) get it transparently.
 	x0Once  sync.Once
 	x0Table *mathx.FixedBase
+
+	// x0Wide extends the table to product-of-exponents width for the
+	// witness paths: a record digest is X0^(∏ e_i) and a membership
+	// witness X0^(∏_{j≠i} e_j), so their exponents are several HashItem
+	// widths long. Built only when PowX0 first sees such an exponent.
+	x0WideOnce sync.Once
+	x0Wide     *mathx.FixedBase
 }
+
+// x0WideBits covers exponent products of up to eight 256-bit item
+// exponents — more fragments than any partition in the paper. Wider
+// products fall back to a general exponentiation.
+const x0WideBits = 8 * 256
 
 // GenerateParams creates fresh parameters with a modulus of the given
 // bit length. The prime factors are generated and immediately discarded
@@ -131,15 +143,42 @@ func HashItem(data []byte) *big.Int {
 func (p *Params) Accumulate(x *big.Int, item []byte) *big.Int {
 	e := HashItem(item)
 	if x != nil && p.X0 != nil && (x == p.X0 || x.Cmp(p.X0) == 0) {
-		p.x0Once.Do(func() {
-			// HashItem exponents are exactly 256 bits wide.
-			p.x0Table = mathx.NewFixedBase(p.X0, p.N, 256)
-		})
-		if r := p.x0Table.Exp(e); r != nil {
+		if r := p.powX0Narrow(e); r != nil {
 			return r
 		}
 	}
 	return new(big.Int).Exp(x, e, p.N)
+}
+
+// powX0Narrow evaluates X0^e from the single-item-width table, or nil
+// when e is wider than one HashItem exponent.
+func (p *Params) powX0Narrow(e *big.Int) *big.Int {
+	p.x0Once.Do(func() {
+		// HashItem exponents are exactly 256 bits wide.
+		p.x0Table = mathx.NewFixedBase(p.X0, p.N, 256)
+	})
+	return p.x0Table.Exp(e)
+}
+
+// PowX0 computes X0^e mod N for an arbitrary non-negative exponent,
+// using the cached fixed-base tables: the single-item table for
+// HashItem-width exponents, the wide table for exponent products
+// (digests and witnesses), and a general exponentiation beyond that.
+// Fixed-base evaluation replaces the |e| squarings of a general
+// exponentiation with one multiplication per radix-16 digit, which is
+// what makes shipping witness EXPONENTS (cheap big-integer products)
+// and materializing the group elements lazily a net win.
+func (p *Params) PowX0(e *big.Int) *big.Int {
+	if r := p.powX0Narrow(e); r != nil {
+		return r
+	}
+	p.x0WideOnce.Do(func() {
+		p.x0Wide = mathx.NewFixedBase(p.X0, p.N, x0WideBits)
+	})
+	if r := p.x0Wide.Exp(e); r != nil {
+		return r
+	}
+	return new(big.Int).Exp(p.X0, e, p.N)
 }
 
 // AccumulateAll folds every item into the digest starting from X0. Per

@@ -24,6 +24,7 @@ import (
 	"math/big"
 
 	"confaudit/internal/mathx"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/workpool"
 )
 
@@ -213,9 +214,15 @@ var pool = workpool.Shared
 // Batches above parallelThreshold are fanned out over the shared
 // GOMAXPROCS-sized worker pool; the output is byte-identical to a
 // serial Encrypt loop for any worker count (pinned by the equivalence
-// tests).
+// tests). Batches served while the group's fixed-base engine is live
+// (tables built with Montgomery squaring chains) are counted on
+// crypto.montgomery_batches.
 func (k *PHKey) EncryptBlocks(blocks [][]byte) ([][]byte, error) {
-	return mapBlocks(blocks, k.Encrypt, "encrypting")
+	out, err := mapBlocks(blocks, k.Encrypt, "encrypting")
+	if err == nil && len(blocks) > 0 && cacheFor(k.group).hasTables() {
+		telemetry.M.Counter(telemetry.CtrMontgomeryBatches).Add(1)
+	}
+	return out, err
 }
 
 // DecryptBlocks decrypts every block under the key, preserving order;

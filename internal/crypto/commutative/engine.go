@@ -36,12 +36,11 @@ const (
 	// cannot grow the cache without bound.
 	maxCachedBases = 4096
 	// maxTables bounds built tables per group (a 768-bit group table is
-	// ~6 KiB; 768 tables ≈ 4.5 MiB). Sized so a steady working set of
-	// repeating bases — plaintext encodings plus the relayed
-	// ciphertexts that recur while pooled keys are live — fits without
-	// thrashing: with pooled session keys the SAME elements produce the
-	// SAME intermediate ciphertexts query after query, so those bases
-	// amortize tables exactly like HashToQR encodings do.
+	// ~6 KiB; 768 tables ≈ 4.5 MiB). Sized for the working set of
+	// HashToQR plaintext encodings: session keys are handed out exactly
+	// once (the pool pre-generates but never reuses them), so relayed
+	// ciphertext bases are fresh uniform elements every round and never
+	// reach the build threshold — only deterministic encodings recur.
 	maxTables = 768
 )
 
@@ -50,6 +49,15 @@ type baseCache struct {
 	mu      sync.Mutex
 	entries map[string]*baseEntry
 	tables  int
+}
+
+// hasTables reports whether any Montgomery-form fixed-base table is
+// live for the group (the batch APIs use it to count batches served by
+// the Montgomery engine).
+func (c *baseCache) hasTables() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tables > 0
 }
 
 type baseEntry struct {

@@ -26,10 +26,14 @@ import (
 
 // Message types: relays travel as MsgCirculate; the full-circle value
 // returns to the initiator as MsgResult so responder loops never consume
-// it.
+// it. Witness-backed checks use MsgAttest/MsgAttestResult instead: one
+// parallel round trip per peer, each peer verifying its own fragment
+// locally.
 const (
-	MsgCirculate = "integrity.circulate"
-	MsgResult    = "integrity.result"
+	MsgCirculate    = "integrity.circulate"
+	MsgResult       = "integrity.result"
+	MsgAttest       = "integrity.attest"
+	MsgAttestResult = "integrity.attest_result"
 )
 
 // Errors reported by integrity checking.
@@ -39,6 +43,9 @@ var (
 	ErrNoDigest = errors.New("integrity: no stored digest")
 	// ErrFragmentMissing indicates a ring node without the fragment.
 	ErrFragmentMissing = errors.New("integrity: fragment missing on a node")
+	// ErrNoWitness indicates a record stored without a membership
+	// witness (a pre-witness writer), so only circulation can verify it.
+	ErrNoWitness = errors.New("integrity: no stored witness")
 )
 
 // Store is the node-local state the protocol reads: the fragment and
@@ -46,6 +53,16 @@ var (
 type Store interface {
 	Fragment(g logmodel.GLSN) (logmodel.Fragment, bool)
 	Digest(g logmodel.GLSN) (*big.Int, bool)
+}
+
+// WitnessStore is the optional extension a store implements when the
+// writer shipped per-node membership witnesses at log time. With a
+// witness, a node verifies its fragment against the record digest in
+// one local exponentiation — no ring traffic — and a whole-record check
+// becomes one parallel attest round instead of a sequential
+// circulation.
+type WitnessStore interface {
+	Witness(g logmodel.GLSN) (*big.Int, bool)
 }
 
 type circulateBody struct {
@@ -57,11 +74,22 @@ type circulateBody struct {
 	Missing string `json:"missing,omitempty"`
 }
 
-// Serve runs the responder loop: fold the local fragment into incoming
-// partial accumulations and forward them along the ring. It returns when
-// ctx is cancelled or the mailbox closes. Every ring node (including
-// check initiators) must run Serve.
+// Serve runs the responder loops — circulation relay and witness
+// attestation — until ctx is cancelled or the mailbox closes. Every
+// ring node (including check initiators) must run Serve.
 func Serve(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store) error {
+	done := make(chan error, 1)
+	go func() { done <- serveAttest(ctx, mb, params, store) }()
+	err := serveCirculate(ctx, mb, ring, params, store)
+	if aerr := <-done; err == nil {
+		err = aerr
+	}
+	return err
+}
+
+// serveCirculate folds the local fragment into incoming partial
+// accumulations and forwards them along the ring.
+func serveCirculate(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store) error {
 	self := mb.ID()
 	next, err := smc.NextInRing(ring, self)
 	if err != nil {
@@ -104,14 +132,134 @@ func Serve(ctx context.Context, mb *transport.Mailbox, ring []string, params *ac
 	}
 }
 
+type attestBody struct {
+	GLSN      logmodel.GLSN `json:"glsn"`
+	Initiator string        `json:"initiator"`
+}
+
+type attestResult struct {
+	GLSN logmodel.GLSN `json:"glsn"`
+	// OK reports that the responder's fragment verified against its
+	// witness and the stored digest. Any other outcome — no witness, no
+	// digest, missing fragment, mismatch — leaves OK false and sends the
+	// initiator back to authoritative circulation.
+	OK bool `json:"ok"`
+}
+
+// serveAttest answers witness attestation requests: verify the local
+// fragment against the local witness and digest, reply with the verdict.
+func serveAttest(ctx context.Context, mb *transport.Mailbox, params *accumulator.Params, store Store) error {
+	for {
+		msg, err := mb.ExpectType(ctx, MsgAttest)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		var body attestBody
+		if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+			continue
+		}
+		resp := attestResult{GLSN: body.GLSN, OK: CheckLocal(params, store, body.GLSN) == nil}
+		out, err := transport.NewMessage(body.Initiator, MsgAttestResult, msg.Session, resp)
+		if err != nil {
+			continue
+		}
+		mb.Send(ctx, out) //nolint:errcheck // lost reply surfaces as initiator timeout
+	}
+}
+
+// CheckLocal verifies this node's fragment against its stored witness
+// and the record digest — one exponentiation, no messages. It returns
+// ErrNoWitness when the record predates witness-shipping writers (only
+// circulation can verify those).
+func CheckLocal(params *accumulator.Params, store Store, g logmodel.GLSN) error {
+	ws, ok := store.(WitnessStore)
+	if !ok {
+		return fmt.Errorf("%w: store does not maintain witnesses", ErrNoWitness)
+	}
+	w, ok := ws.Witness(g)
+	if !ok {
+		return fmt.Errorf("%w: glsn %s", ErrNoWitness, g)
+	}
+	digest, ok := store.Digest(g)
+	if !ok {
+		return fmt.Errorf("%w: glsn %s", ErrNoDigest, g)
+	}
+	frag, ok := store.Fragment(g)
+	if !ok {
+		return fmt.Errorf("%w: glsn %s", ErrFragmentMissing, g)
+	}
+	if !params.VerifyWitness(digest, w, frag.Canonical()) {
+		return fmt.Errorf("integrity: witness mismatch for glsn %s: fragment tampered or corrupted", g)
+	}
+	return nil
+}
+
 // checkSeq makes concurrent checks from one node collision-free.
 var checkSeq atomic.Uint64
 
-// Check circulates the accumulator for one glsn around the ring and
-// compares the result with the stored digest. The caller's node must be
-// a ring member running Serve (for other initiators' checks); its own
-// fragment is folded in locally before the first hop.
+// checkAttest runs the witness fast path for one glsn: verify the local
+// fragment, then ask every peer to verify its own in parallel. It
+// reports clean only when the local check and every peer's attestation
+// pass; any other outcome (a peer without a witness, a mismatch, a
+// transport failure) sends the caller back to circulation, which stays
+// the authoritative verdict. The whole round is one parallel RTT, so a
+// sweep's critical path drops from n sequential fold-and-forward hops
+// per record to a single exchange.
+func checkAttest(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store, g logmodel.GLSN) bool {
+	self := mb.ID()
+	if CheckLocal(params, store, g) != nil {
+		return false
+	}
+	session := "iatt/" + self + "/" + g.String() + "/" + strconv.FormatUint(checkSeq.Add(1), 10)
+	sent := 0
+	for _, node := range ring {
+		if node == self {
+			continue
+		}
+		out, err := transport.NewMessage(node, MsgAttest, session, attestBody{GLSN: g, Initiator: self})
+		if err != nil || mb.Send(ctx, out) != nil {
+			break
+		}
+		sent++
+	}
+	clean := sent == len(ring)-1
+	// Collect every reply that was solicited, even after a failure, so
+	// stray results do not linger in the mailbox.
+	for i := 0; i < sent; i++ {
+		res, err := mb.Expect(ctx, MsgAttestResult, session)
+		if err != nil {
+			return false
+		}
+		var r attestResult
+		if err := transport.Unmarshal(res.Payload, &r); err != nil || r.GLSN != g || !r.OK {
+			clean = false
+		}
+	}
+	return clean
+}
+
+// Check verifies one glsn against the stored digest. Witness-backed
+// records take the attest fast path (one parallel round, each node
+// verifying locally); records without witnesses — and any attest round
+// that does not come back unanimously clean — fall back to circulating
+// the accumulator around the ring. The caller's node must be a ring
+// member running Serve (for other initiators' checks).
 func Check(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store, g logmodel.GLSN) error {
+	if ws, ok := store.(WitnessStore); ok {
+		if _, ok := ws.Witness(g); ok && checkAttest(ctx, mb, ring, params, store, g) {
+			return nil
+		}
+	}
+	return checkCirculate(ctx, mb, ring, params, store, g)
+}
+
+// checkCirculate circulates the accumulator for one glsn around the
+// ring and compares the result with the stored digest; the initiator's
+// own fragment is folded in locally before the first hop.
+func checkCirculate(ctx context.Context, mb *transport.Mailbox, ring []string, params *accumulator.Params, store Store, g logmodel.GLSN) error {
 	self := mb.ID()
 	next, err := smc.NextInRing(ring, self)
 	if err != nil {

@@ -3,6 +3,8 @@ package mathx
 import (
 	"crypto/rand"
 	"math/big"
+	mrand "math/rand"
+	"sync"
 	"testing"
 )
 
@@ -86,4 +88,64 @@ func benchExp(b *testing.B, bits int, fixed bool) {
 			new(big.Int).Exp(base, e, g.P)
 		}
 	}
+}
+
+// TestFixedBaseEvenModulus pins the big.Int construction path kept for
+// even moduli, where the Montgomery engine refuses service.
+func TestFixedBaseEvenModulus(t *testing.T) {
+	m := big.NewInt(1 << 20) // even
+	fb := NewFixedBase(big.NewInt(7), m, 64)
+	for e := int64(0); e < 200; e += 13 {
+		got := fb.Exp(big.NewInt(e))
+		want := new(big.Int).Exp(big.NewInt(7), big.NewInt(e), m)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("e=%d: got %v want %v", e, got, want)
+		}
+	}
+}
+
+// TestFixedBaseAllocStable pins the pooled-scratch contract: after
+// warmup, a fixed-base exponentiation allocates only its result (the
+// big.Int header plus its limb array), never per-call scratch.
+func TestFixedBaseAllocStable(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under the race detector")
+	}
+	g := Oakley768
+	base, _ := rand.Int(rand.Reader, g.P)
+	e, _ := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 144))
+	e.SetBit(e, 143, 1)
+	fb := NewFixedBase(base, g.P, 256)
+	fb.Exp(e) // warm the scratch pool
+	allocs := testing.AllocsPerRun(50, func() { fb.Exp(e) })
+	if allocs > 3 {
+		t.Fatalf("fixed-base Exp allocates %.1f objects per call, want <=3 (result only)", allocs)
+	}
+}
+
+// TestFixedBaseConcurrent hammers one table from many goroutines; under
+// -race this pins that the pooled scratch is never shared between
+// concurrent evaluations.
+func TestFixedBaseConcurrent(t *testing.T) {
+	g := Oakley768
+	base, _ := rand.Int(rand.Reader, g.P)
+	fb := NewFixedBase(base, g.P, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(seed))
+			for i := 0; i < 25; i++ {
+				e := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 160))
+				got := fb.Exp(e)
+				want := new(big.Int).Exp(base, e, g.P)
+				if got.Cmp(want) != 0 {
+					t.Errorf("concurrent fixed-base mismatch (seed %d)", seed)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package mathx
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Allocation-count assertions are skipped under -race: the
+// detector's instrumentation allocates on its own behalf and defeats
+// sync.Pool reuse, so AllocsPerRun measures the tool, not the code.
+const raceEnabled = false

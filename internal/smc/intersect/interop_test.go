@@ -11,11 +11,14 @@ import (
 	"confaudit/internal/transport"
 )
 
-// runMixedTCP drives a 3-node intersection over real TCP where P3 runs
-// a JSON-only (legacy) transport: it never advertises the binary codec
-// and rejects binary frames, so the run only completes if the
-// binary-capable nodes correctly negotiate per peer and keep the packed
-// relay bodies decodable from plain JSON.
+// runMixedTCP drives a 3-node intersection over real TCP across three
+// transport generations: P1 runs the current build (binary frames AND
+// binary payloads, "bin3"), P2 a pre-payload-codec build ("bin2" —
+// binary frames, JSON payloads), and P3 a JSON-only legacy build that
+// never advertises any codec and rejects binary frames. The run only
+// completes if every node negotiates per peer and falls back to an
+// encoding its neighbor decodes — packed relay bodies must survive
+// binary payloads, JSON payloads in binary frames, and plain JSON.
 func runMixedTCP(t *testing.T, session string, sets map[string][][]byte) map[string]*Result {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -24,12 +27,16 @@ func runMixedTCP(t *testing.T, session string, sets map[string][][]byte) map[str
 	addrs := map[string]string{"P1": "127.0.0.1:0", "P2": "127.0.0.1:0", "P3": "127.0.0.1:0"}
 
 	// Each node gets its own TCPNetwork (its own process's view of the
-	// address book); P3's is pinned to the legacy JSON codec.
+	// address book); P2 is pinned to the pre-payload-codec level and P3
+	// to the legacy JSON codec.
 	nets := make(map[string]*transport.TCPNetwork, len(ring))
 	eps := make(map[string]transport.Endpoint, len(ring))
 	for _, node := range ring {
 		n := transport.NewTCPNetwork(addrs)
-		if node == "P3" {
+		switch node {
+		case "P2":
+			n.SetCodecCap(transport.CodecBinaryV2)
+		case "P3":
 			n.SetJSONOnly(true)
 		}
 		ep, err := n.Endpoint(node)
@@ -80,10 +87,10 @@ func runMixedTCP(t *testing.T, session string, sets map[string][][]byte) map[str
 	return results
 }
 
-// TestMixedClusterInterop runs the full protocol across a binary-codec
-// cluster containing one JSON-only node, in both the chunked framing
-// (chunk size 2 forces multi-chunk streams) and the default single
-// chunk framing.
+// TestMixedClusterInterop runs the full protocol across a cluster
+// mixing all three transport generations (bin3, bin2, JSON-only), in
+// both the chunked framing (chunk size 2 forces multi-chunk streams)
+// and the default single chunk framing.
 func TestMixedClusterInterop(t *testing.T) {
 	sets := map[string][][]byte{
 		"P1": {[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")},

@@ -147,6 +147,39 @@ func newRelayBody(origin string, hops int, blocks [][]byte, seq, total int) rela
 	return b
 }
 
+// relayWire views the body as the shared relay wire shape.
+func (b *relayBody) relayWire() smc.RelayWire {
+	return smc.RelayWire{
+		Origin: b.Origin, Hops: b.Hops, Seq: b.Seq, Total: b.Total,
+		BlockLen: b.BlockLen, Packed: b.Packed, Blocks: b.Blocks,
+	}
+}
+
+// BinarySize, AppendBinary, and DecodeBinary implement
+// transport.BinaryBody, so relay chunks ride the binary payload codec
+// toward capable peers (and its zero-copy TCP frame path).
+func (b *relayBody) BinarySize() int {
+	w := b.relayWire()
+	return w.BinarySize()
+}
+
+func (b *relayBody) AppendBinary(dst []byte) []byte {
+	w := b.relayWire()
+	return w.AppendBinary(dst)
+}
+
+func (b *relayBody) DecodeBinary(src []byte) error {
+	var w smc.RelayWire
+	if err := w.DecodeBinary(src); err != nil {
+		return err
+	}
+	*b = relayBody{
+		Origin: w.Origin, Hops: w.Hops, Seq: w.Seq, Total: w.Total,
+		BlockLen: w.BlockLen, Packed: w.Packed, Blocks: w.Blocks,
+	}
+	return nil
+}
+
 // blockSlice returns the chunk's blocks regardless of which encoding
 // the sender used.
 func (b *relayBody) blockSlice() ([][]byte, error) {
@@ -246,6 +279,28 @@ func (b *finalBody) blockSlice() ([][]byte, error) {
 	return b.Blocks, nil
 }
 
+// BinarySize, AppendBinary, and DecodeBinary implement
+// transport.BinaryBody through the shared relay wire shape (the hops
+// and chunk-framing fields encode as zero).
+func (b *finalBody) BinarySize() int {
+	w := smc.RelayWire{Origin: b.Origin, BlockLen: b.BlockLen, Packed: b.Packed, Blocks: b.Blocks}
+	return w.BinarySize()
+}
+
+func (b *finalBody) AppendBinary(dst []byte) []byte {
+	w := smc.RelayWire{Origin: b.Origin, BlockLen: b.BlockLen, Packed: b.Packed, Blocks: b.Blocks}
+	return w.AppendBinary(dst)
+}
+
+func (b *finalBody) DecodeBinary(src []byte) error {
+	var w smc.RelayWire
+	if err := w.DecodeBinary(src); err != nil {
+		return err
+	}
+	*b = finalBody{Origin: w.Origin, BlockLen: w.BlockLen, Packed: w.Packed, Blocks: w.Blocks}
+	return nil
+}
+
 // Run executes one party's role in the protocol. Every ring member must
 // call Run concurrently with its own mailbox and local set.
 func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]byte) (out *Result, err error) {
@@ -276,19 +331,28 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 
 	// Round 1: encrypt own set and stream it into the ring chunk by
 	// chunk, so downstream hops start re-encrypting before the whole
-	// set is done here.
+	// set is done here. The encryption stream runs ahead of the sends
+	// (double-buffered; see smc.EncryptStream), overlapping this hop's
+	// modexp work with its own wire time.
+	runCtx, cancelStream := context.WithCancel(ctx)
+	defer cancelStream()
 	myChunks := splitChunks(blocks)
-	for seq, chunk := range myChunks {
-		csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
-		chunkStart := time.Now()
-		enc, err := key.EncryptBlocks(chunk)
-		if err != nil {
-			csp.End(err)
-			return nil, fmt.Errorf("intersect: encrypting local set: %w", err)
+	encCh := smc.EncryptStream(runCtx, cfg.Session, self, key, myChunks)
+	for range myChunks {
+		ec, ok := smc.NextEncChunk(encCh)
+		if !ok {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("intersect: encrypting local set: %w", cerr)
+			}
+			return nil, fmt.Errorf("%w: encryption stream ended early", smc.ErrProtocol)
 		}
-		body := newRelayBody(self, 1, enc, seq, len(myChunks))
-		err = send(ctx, mb, next, msgRelay, cfg.Session, body)
-		smc.ObserveRelayChunk(csp, chunkStart, next, seq, len(myChunks), enc, err)
+		if ec.Err != nil {
+			ec.Span.End(ec.Err)
+			return nil, fmt.Errorf("intersect: encrypting local set: %w", ec.Err)
+		}
+		body := newRelayBody(self, 1, ec.Blocks, ec.Seq, len(myChunks))
+		err = send(ctx, mb, next, msgRelay, cfg.Session, &body)
+		smc.ObserveRelayChunk(ec.Span, ec.Start, next, ec.Seq, len(myChunks), ec.Blocks, err)
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +390,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 				return nil, fmt.Errorf("intersect: re-encrypting set from %s: %w", body.Origin, err)
 			}
 			fwd := newRelayBody(body.Origin, body.Hops+1, enc, body.Seq, body.Total)
-			err = send(ctx, mb, next, msgRelay, cfg.Session, fwd)
+			err = send(ctx, mb, next, msgRelay, cfg.Session, &fwd)
 			smc.ObserveRelayChunk(csp, chunkStart, next, body.Seq, body.chunkTotal(), enc, err)
 			if err != nil {
 				return nil, err
@@ -356,12 +420,12 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	// Publish the fully-encrypted set to every receiver and observer.
 	myFinalBody := newFinalBody(self, myFinal)
 	for _, r := range cfg.Receivers {
-		if err := send(ctx, mb, r, msgFinal, cfg.Session, myFinalBody); err != nil {
+		if err := send(ctx, mb, r, msgFinal, cfg.Session, &myFinalBody); err != nil {
 			return nil, err
 		}
 	}
 	for _, o := range cfg.Observers {
-		if err := send(ctx, mb, o, msgFinal, cfg.Session, myFinalBody); err != nil {
+		if err := send(ctx, mb, o, msgFinal, cfg.Session, &myFinalBody); err != nil {
 			return nil, err
 		}
 	}
@@ -479,11 +543,11 @@ func intersectAll(ring []string, finals map[string][][]byte) map[string]struct{}
 	return common
 }
 
-func send(ctx context.Context, mb *transport.Mailbox, to, typ, session string, body any) error {
-	msg, err := transport.NewMessage(to, typ, session, body)
-	if err != nil {
-		return err
-	}
+// send defers the body's payload encoding to the transport (binary
+// toward capable peers — the zero-copy frame path — JSON toward
+// everyone else).
+func send(ctx context.Context, mb *transport.Mailbox, to, typ, session string, body transport.BinaryBody) error {
+	msg := transport.NewBinaryMessage(to, typ, session, body)
 	if err := mb.Send(ctx, msg); err != nil {
 		return fmt.Errorf("intersect: sending %s to %s: %w", typ, to, err)
 	}

@@ -153,6 +153,39 @@ func newRelayBody(origin string, hops int, blocks [][]byte, seq, total int) rela
 	return b
 }
 
+// relayWire views the body as the shared relay wire shape.
+func (b *relayBody) relayWire() smc.RelayWire {
+	return smc.RelayWire{
+		Origin: b.Origin, Hops: b.Hops, Seq: b.Seq, Total: b.Total,
+		BlockLen: b.BlockLen, Packed: b.Packed, Blocks: b.Blocks,
+	}
+}
+
+// BinarySize, AppendBinary, and DecodeBinary implement
+// transport.BinaryBody, so relay chunks ride the binary payload codec
+// toward capable peers (and its zero-copy TCP frame path).
+func (b *relayBody) BinarySize() int {
+	w := b.relayWire()
+	return w.BinarySize()
+}
+
+func (b *relayBody) AppendBinary(dst []byte) []byte {
+	w := b.relayWire()
+	return w.AppendBinary(dst)
+}
+
+func (b *relayBody) DecodeBinary(src []byte) error {
+	var w smc.RelayWire
+	if err := w.DecodeBinary(src); err != nil {
+		return err
+	}
+	*b = relayBody{
+		Origin: w.Origin, Hops: w.Hops, Seq: w.Seq, Total: w.Total,
+		BlockLen: w.BlockLen, Packed: w.Packed, Blocks: w.Blocks,
+	}
+	return nil
+}
+
 // blockSlice returns the chunk's blocks regardless of encoding.
 func (b *relayBody) blockSlice() ([][]byte, error) {
 	if len(b.Packed) > 0 {
@@ -247,6 +280,28 @@ func (b *blocksBody) blockSlice() ([][]byte, error) {
 	return b.Blocks, nil
 }
 
+// BinarySize, AppendBinary, and DecodeBinary implement
+// transport.BinaryBody through the shared relay wire shape (Origin and
+// the chunk-framing fields encode as zero).
+func (b *blocksBody) BinarySize() int {
+	w := smc.RelayWire{Hops: b.Hops, BlockLen: b.BlockLen, Packed: b.Packed, Blocks: b.Blocks}
+	return w.BinarySize()
+}
+
+func (b *blocksBody) AppendBinary(dst []byte) []byte {
+	w := smc.RelayWire{Hops: b.Hops, BlockLen: b.BlockLen, Packed: b.Packed, Blocks: b.Blocks}
+	return w.AppendBinary(dst)
+}
+
+func (b *blocksBody) DecodeBinary(src []byte) error {
+	var w smc.RelayWire
+	if err := w.DecodeBinary(src); err != nil {
+		return err
+	}
+	*b = blocksBody{Hops: w.Hops, BlockLen: w.BlockLen, Packed: w.Packed, Blocks: w.Blocks}
+	return nil
+}
+
 // Run executes one party's role. Every ring member calls Run
 // concurrently; receivers (and only receivers) obtain the union.
 func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]byte) (out [][]byte, err error) {
@@ -289,19 +344,28 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	}
 
 	// Phase 1: ring circulation, as in intersection, streamed chunk by
-	// chunk so hops overlap.
+	// chunk so hops overlap. The encryption stream runs ahead of the
+	// sends (double-buffered; see smc.EncryptStream), overlapping this
+	// hop's modexp work with its own wire time.
+	runCtx, cancelStream := context.WithCancel(ctx)
+	defer cancelStream()
 	myChunks := splitChunks(blocks)
-	for seq, chunk := range myChunks {
-		csp, _ := telemetry.StartSpan(ctx, cfg.Session, self, "smc.relay_chunk")
-		chunkStart := time.Now()
-		enc, err := key.EncryptBlocks(chunk)
-		if err != nil {
-			csp.End(err)
-			return nil, fmt.Errorf("union: encrypting local set: %w", err)
+	encCh := smc.EncryptStream(runCtx, cfg.Session, self, key, myChunks)
+	for range myChunks {
+		ec, ok := smc.NextEncChunk(encCh)
+		if !ok {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("union: encrypting local set: %w", cerr)
+			}
+			return nil, fmt.Errorf("%w: encryption stream ended early", smc.ErrProtocol)
 		}
-		body := newRelayBody(self, 1, enc, seq, len(myChunks))
-		err = send(ctx, mb, next, msgRelay, cfg.Session, body)
-		smc.ObserveRelayChunk(csp, chunkStart, next, seq, len(myChunks), enc, err)
+		if ec.Err != nil {
+			ec.Span.End(ec.Err)
+			return nil, fmt.Errorf("union: encrypting local set: %w", ec.Err)
+		}
+		body := newRelayBody(self, 1, ec.Blocks, ec.Seq, len(myChunks))
+		err = send(ctx, mb, next, msgRelay, cfg.Session, &body)
+		smc.ObserveRelayChunk(ec.Span, ec.Start, next, ec.Seq, len(myChunks), ec.Blocks, err)
 		if err != nil {
 			return nil, err
 		}
@@ -334,7 +398,7 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 				return nil, fmt.Errorf("union: re-encrypting set from %s: %w", body.Origin, err)
 			}
 			fwd := newRelayBody(body.Origin, body.Hops+1, enc, body.Seq, body.Total)
-			err = send(ctx, mb, next, msgRelay, cfg.Session, fwd)
+			err = send(ctx, mb, next, msgRelay, cfg.Session, &fwd)
 			smc.ObserveRelayChunk(csp, chunkStart, next, body.Seq, body.chunkTotal(), enc, err)
 			if err != nil {
 				return nil, err
@@ -360,7 +424,8 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	// Phase 2: every party ships its fully-encrypted set to the
 	// collector, which dedups and sorts (sorting erases contribution
 	// order, hence ownership).
-	if err := send(ctx, mb, collector, msgCollect, cfg.Session, newBlocksBody(0, myFinal)); err != nil {
+	collectBody := newBlocksBody(0, myFinal)
+	if err := send(ctx, mb, collector, msgCollect, cfg.Session, &collectBody); err != nil {
 		return nil, err
 	}
 	if self == collector {
@@ -393,7 +458,8 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		if err != nil {
 			return nil, fmt.Errorf("union: stripping collector layer: %w", err)
 		}
-		if err := send(ctx, mb, next, msgDecrypt, cfg.Session, newBlocksBody(1, dec)); err != nil {
+		decBody := newBlocksBody(1, dec)
+		if err := send(ctx, mb, next, msgDecrypt, cfg.Session, &decBody); err != nil {
 			return nil, err
 		}
 	}
@@ -419,7 +485,8 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		if err != nil {
 			return nil, fmt.Errorf("union: stripping layer: %w", err)
 		}
-		if err := send(ctx, mb, next, msgDecrypt, cfg.Session, newBlocksBody(body.Hops+1, dec)); err != nil {
+		fwdBody := newBlocksBody(body.Hops+1, dec)
+		if err := send(ctx, mb, next, msgDecrypt, cfg.Session, &fwdBody); err != nil {
 			return nil, err
 		}
 	} else {
@@ -448,11 +515,12 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 		}
 		sort.Slice(plain, func(i, j int) bool { return bytes.Compare(plain[i], plain[j]) < 0 })
 		// Distribute to receivers.
+		resultBody := newBlocksBody(0, plain)
 		for _, r := range cfg.Receivers {
 			if r == self {
 				continue
 			}
-			if err := send(ctx, mb, r, msgResult, cfg.Session, newBlocksBody(0, plain)); err != nil {
+			if err := send(ctx, mb, r, msgResult, cfg.Session, &resultBody); err != nil {
 				return nil, err
 			}
 		}
@@ -475,11 +543,11 @@ func Run(ctx context.Context, mb *transport.Mailbox, cfg Config, localSet [][]by
 	return body.blockSlice()
 }
 
-func send(ctx context.Context, mb *transport.Mailbox, to, typ, session string, body any) error {
-	msg, err := transport.NewMessage(to, typ, session, body)
-	if err != nil {
-		return err
-	}
+// send defers the body's payload encoding to the transport (binary
+// toward capable peers — the zero-copy frame path — JSON toward
+// everyone else).
+func send(ctx context.Context, mb *transport.Mailbox, to, typ, session string, body transport.BinaryBody) error {
+	msg := transport.NewBinaryMessage(to, typ, session, body)
 	if err := mb.Send(ctx, msg); err != nil {
 		return fmt.Errorf("union: sending %s to %s: %w", typ, to, err)
 	}

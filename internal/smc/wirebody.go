@@ -1,0 +1,181 @@
+package smc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Shared binary payload encoding for the ring-relay body shape.
+//
+// Every relay-style body in the SMC protocols (intersect/union relay
+// chunks, final-set publications, union collect/decrypt batches) is the
+// same seven fields: an origin, small integer framing (hops, chunk
+// seq/total, block width), and a block batch carried either as one
+// packed run or as an element-wise list. RelayWire is that shape's
+// binary encoding, so each protocol's body type implements
+// transport.BinaryBody by delegating here rather than re-deriving the
+// codec.
+//
+// Layout (all integers uvarint):
+//
+//	len(Origin) ‖ Origin ‖ Hops ‖ Seq ‖ Total ‖ BlockLen ‖
+//	len(Packed) ‖ Packed ‖ count(Blocks) ‖ { len(block) ‖ block }*
+//
+// The packed run dominates in practice — PackBlocks produces it for
+// uniform-width ciphertext batches — and rides the wire raw: no base64,
+// no per-element framing, and on the TCP fast path it is appended
+// straight into the envelope codec's pooled frame buffer (BinarySize is
+// exact, so the frame length prefix can be written first). Only sizes
+// and counts are visible in the framing, the secondary information
+// Definition 1 permits.
+
+// RelayWire is the union of fields the relay-shaped bodies carry.
+// Unused fields encode as zero and cost one byte each.
+type RelayWire struct {
+	Origin   string
+	Hops     int
+	Seq      int
+	Total    int
+	BlockLen int
+	Packed   []byte
+	Blocks   [][]byte
+}
+
+// uvarintLen is the encoded size of v.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// BinarySize returns the exact encoded size in bytes.
+func (w *RelayWire) BinarySize() int {
+	n := uvarintLen(uint64(len(w.Origin))) + len(w.Origin)
+	n += uvarintLen(uint64(w.Hops))
+	n += uvarintLen(uint64(w.Seq))
+	n += uvarintLen(uint64(w.Total))
+	n += uvarintLen(uint64(w.BlockLen))
+	n += uvarintLen(uint64(len(w.Packed))) + len(w.Packed)
+	n += uvarintLen(uint64(len(w.Blocks)))
+	for _, b := range w.Blocks {
+		n += uvarintLen(uint64(len(b))) + len(b)
+	}
+	return n
+}
+
+// AppendBinary appends the encoding to dst and returns the extended
+// slice. It appends exactly BinarySize bytes and retains nothing.
+func (w *RelayWire) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(w.Origin)))
+	dst = append(dst, w.Origin...)
+	dst = binary.AppendUvarint(dst, uint64(w.Hops))
+	dst = binary.AppendUvarint(dst, uint64(w.Seq))
+	dst = binary.AppendUvarint(dst, uint64(w.Total))
+	dst = binary.AppendUvarint(dst, uint64(w.BlockLen))
+	dst = binary.AppendUvarint(dst, uint64(len(w.Packed)))
+	dst = append(dst, w.Packed...)
+	dst = binary.AppendUvarint(dst, uint64(len(w.Blocks)))
+	for _, b := range w.Blocks {
+		dst = binary.AppendUvarint(dst, uint64(len(b)))
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// DecodeBinary decodes an encoding produced by AppendBinary into w,
+// copying everything it keeps — the source buffer may be recycled by
+// the transport after the call.
+func (w *RelayWire) DecodeBinary(src []byte) error {
+	rest := src
+	num := func() (uint64, error) {
+		v, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return 0, fmt.Errorf("%w: truncated relay wire body", ErrBadWireValue)
+		}
+		rest = rest[sz:]
+		return v, nil
+	}
+	run := func() ([]byte, error) {
+		n, err := num()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(rest)) {
+			return nil, fmt.Errorf("%w: relay wire run of %d bytes exceeds remaining %d", ErrBadWireValue, n, len(rest))
+		}
+		b := rest[:n]
+		rest = rest[n:]
+		return b, nil
+	}
+	small := func() (int, error) {
+		v, err := num()
+		if err != nil {
+			return 0, err
+		}
+		// Counts and widths are bounded by the frame they arrived in;
+		// anything wider than 32 bits is a hostile encoding.
+		if v > 1<<31 {
+			return 0, fmt.Errorf("%w: relay wire field %d out of range", ErrBadWireValue, v)
+		}
+		return int(v), nil
+	}
+
+	origin, err := run()
+	if err != nil {
+		return err
+	}
+	w.Origin = string(origin)
+	if w.Hops, err = small(); err != nil {
+		return err
+	}
+	if w.Seq, err = small(); err != nil {
+		return err
+	}
+	if w.Total, err = small(); err != nil {
+		return err
+	}
+	if w.BlockLen, err = small(); err != nil {
+		return err
+	}
+	packed, err := run()
+	if err != nil {
+		return err
+	}
+	w.Packed = nil
+	if len(packed) > 0 {
+		w.Packed = append([]byte(nil), packed...)
+	}
+	count, err := small()
+	if err != nil {
+		return err
+	}
+	w.Blocks = nil
+	if count > 0 {
+		if count > len(rest) {
+			// Each block costs at least its one-byte length prefix.
+			return fmt.Errorf("%w: relay wire claims %d blocks in %d bytes", ErrBadWireValue, count, len(rest))
+		}
+		// Copy the remaining run once and subslice blocks out of the
+		// copy, so the legacy element-wise path costs one allocation
+		// instead of one per block.
+		backing := append([]byte(nil), rest...)
+		w.Blocks = make([][]byte, 0, count)
+		pos := 0
+		for i := 0; i < count; i++ {
+			n, sz := binary.Uvarint(backing[pos:])
+			if sz <= 0 {
+				return fmt.Errorf("%w: truncated relay wire body", ErrBadWireValue)
+			}
+			pos += sz
+			if n > uint64(len(backing)-pos) {
+				return fmt.Errorf("%w: relay wire run of %d bytes exceeds remaining %d", ErrBadWireValue, n, len(backing)-pos)
+			}
+			w.Blocks = append(w.Blocks, backing[pos:pos+int(n):pos+int(n)])
+			pos += int(n)
+		}
+		rest = rest[pos:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after relay wire body", ErrBadWireValue, len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package smc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRelayWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		w    RelayWire
+	}{
+		{"empty", RelayWire{}},
+		{"packed", RelayWire{Origin: "P1", Hops: 3, Seq: 2, Total: 7, BlockLen: 96, Packed: bytes.Repeat([]byte{0xAB}, 96*4)}},
+		{"element-wise", RelayWire{Origin: "node-with-long-name", Blocks: [][]byte{{1}, {2, 3}, nil, {4, 5, 6, 7}}}},
+		{"final-shaped", RelayWire{Origin: "P2", BlockLen: 8, Packed: []byte{1, 2, 3, 4, 5, 6, 7, 8}}},
+		{"blocks-shaped", RelayWire{Hops: 2, Blocks: [][]byte{[]byte("plain"), []byte("texts")}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := tc.w.AppendBinary(nil)
+			if len(enc) != tc.w.BinarySize() {
+				t.Fatalf("encoded %d bytes, BinarySize promised %d", len(enc), tc.w.BinarySize())
+			}
+			var got RelayWire
+			if err := got.DecodeBinary(enc); err != nil {
+				t.Fatal(err)
+			}
+			if got.Origin != tc.w.Origin || got.Hops != tc.w.Hops || got.Seq != tc.w.Seq ||
+				got.Total != tc.w.Total || got.BlockLen != tc.w.BlockLen {
+				t.Fatalf("scalar mismatch: %+v != %+v", got, tc.w)
+			}
+			if !bytes.Equal(got.Packed, tc.w.Packed) {
+				t.Fatalf("packed mismatch: % x != % x", got.Packed, tc.w.Packed)
+			}
+			if len(got.Blocks) != len(tc.w.Blocks) {
+				t.Fatalf("block count %d != %d", len(got.Blocks), len(tc.w.Blocks))
+			}
+			for i := range got.Blocks {
+				if !bytes.Equal(got.Blocks[i], tc.w.Blocks[i]) {
+					t.Fatalf("block %d mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRelayWireDecodeCopies pins the recycled-buffer contract: mutating
+// the source after decode must not change the decoded body.
+func TestRelayWireDecodeCopies(t *testing.T) {
+	w := RelayWire{Origin: "P1", Packed: []byte{1, 2, 3, 4}, Blocks: nil}
+	enc := w.AppendBinary(nil)
+	var got RelayWire
+	if err := got.DecodeBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		enc[i] = 0xFF
+	}
+	if !bytes.Equal(got.Packed, []byte{1, 2, 3, 4}) {
+		t.Fatalf("decode aliased the source buffer: % x", got.Packed)
+	}
+
+	w = RelayWire{Blocks: [][]byte{{9, 8}, {7}}}
+	enc = w.AppendBinary(nil)
+	if err := got.DecodeBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		enc[i] = 0xFF
+	}
+	if !bytes.Equal(got.Blocks[0], []byte{9, 8}) || !bytes.Equal(got.Blocks[1], []byte{7}) {
+		t.Fatalf("decode aliased the source buffer: %v", got.Blocks)
+	}
+}
+
+func TestRelayWireDecodeRejectsMalformed(t *testing.T) {
+	good := (&RelayWire{Origin: "P1", Packed: []byte{1, 2, 3}, BlockLen: 3}).AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":             {},
+		"truncated origin":  good[:1],
+		"truncated packed":  good[:len(good)-2],
+		"trailing garbage":  append(append([]byte(nil), good...), 0x00),
+		"block count lies":  append(append([]byte(nil), good[:len(good)-1]...), good[len(good)-1]|0x7F),
+		"oversized uvarint": bytes.Repeat([]byte{0xFF}, 12),
+	}
+	for name, src := range cases {
+		var w RelayWire
+		if err := w.DecodeBinary(src); err == nil {
+			t.Errorf("%s: decoded", name)
+		} else if !errors.Is(err, ErrBadWireValue) {
+			t.Errorf("%s: error %v is not ErrBadWireValue", name, err)
+		}
+	}
+}

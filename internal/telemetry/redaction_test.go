@@ -88,6 +88,10 @@ func TestRedactionFullQuery(t *testing.T) {
 	// machines where the shared pool never spawns a worker (GOMAXPROCS
 	// 1: callers run their batches inline).
 	telemetry.M.Gauge(telemetry.GaugeWorkpoolBusy).Set(0)
+	// The overlap-stall counter records only when the relay outpaces the
+	// encryption stream, which is timing dependent; pin its name to the
+	// surface regardless.
+	telemetry.M.Counter(telemetry.CtrOverlapStalls).Add(0)
 	// Same for the storage-engine counters: this deployment is
 	// in-memory, so put their names on the surface explicitly and let
 	// the sweep below prove the names themselves leak nothing.
@@ -131,6 +135,17 @@ func TestRedactionFullQuery(t *testing.T) {
 		if _, ok := snap.Counters[ctr]; !ok {
 			t.Errorf("storage counter %s missing from the snapshot", ctr)
 		}
+	}
+	// The crypto hot path must have recorded its work: batched modexps
+	// behind the ring relay, and witness installs behind the batch write.
+	if snap.Counters[telemetry.CtrMontgomeryBatches] == 0 {
+		t.Error("montgomery_batches recorded nothing for a ring-relay query")
+	}
+	if snap.Counters[telemetry.CtrWitnessUpdates] == 0 {
+		t.Error("witness_updates recorded nothing for a batch write")
+	}
+	if _, ok := snap.Counters[telemetry.CtrOverlapStalls]; !ok {
+		t.Error("overlap_stalls counter missing from the snapshot")
 	}
 	sessions := telemetry.T.Sessions()
 	if len(sessions) == 0 {

@@ -396,6 +396,17 @@ const (
 	CtrStorageRotations   = "storage.segment_rotations"    // active-segment seals
 	CtrStorageCheckpoints = "storage.checkpoints"          // accumulator checkpoints written
 	CtrStorageQuarantined = "storage.quarantined_segments" // segments refused by recovery
+
+	// Montgomery crypto engine and overlapped relay. montgomery_batches
+	// counts block batches served while a group's fixed-base tables
+	// (built with Montgomery squaring chains) are live; overlap_stalls
+	// counts relay sends that had to wait on the crypto producer
+	// (crypto time not hidden by network time); witness_updates counts
+	// witness-exponent installs on the fragment write path.
+	// All are counts only — Definition 1 secondary information.
+	CtrMontgomeryBatches = "crypto.montgomery_batches"
+	CtrOverlapStalls     = "smc.overlap_stalls"
+	CtrWitnessUpdates    = "integrity.witness_updates"
 )
 
 // SentTo records one outbound message of the given protocol type and

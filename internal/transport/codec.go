@@ -31,11 +31,20 @@ import (
 // them), peers advertising "bin2" get v2, and peers advertising nothing
 // get JSON — which always carries the trace fields, since JSON decoding
 // tolerates unknown fields on legacy nodes.
+// The "bin3" capability does not change the frame format — bin3 peers
+// still exchange v2 frames — it advertises that the receiver's PAYLOAD
+// decoder understands the binary payload codec (payload.go), so senders
+// may defer body encoding and append it raw into the frame buffer.
+// Peers at bin2 or below receive JSON payloads inside whatever frames
+// their level allows, byte-identical to a pre-payload-codec build.
 const (
 	// CodecBinary is the v1 capability name advertised in Message.Codec.
 	CodecBinary = "bin"
 	// CodecBinaryV2 is the v2 (trace-context) capability name.
 	CodecBinaryV2 = "bin2"
+	// CodecBinaryV3 advertises binary-payload decoding on top of v2
+	// frames.
+	CodecBinaryV3 = "bin3"
 
 	binMagic    = 0xD1
 	binVersion  = 1
@@ -47,11 +56,26 @@ const (
 	codecJSON = iota
 	codecBin
 	codecBin2
+	codecBin3
 )
+
+// maxFrameVersion caps the binary frame version a negotiation level
+// implies (bin3 changes payload encoding, not frame format).
+func maxFrameVersion(level int) byte {
+	if level > codecBin2 {
+		level = codecBin2
+	}
+	if level < 0 {
+		level = 0
+	}
+	return byte(level)
+}
 
 // codecLevel maps a Message.Codec advertisement to a negotiation level.
 func codecLevel(advert string) int {
 	switch advert {
+	case CodecBinaryV3:
+		return codecBin3
 	case CodecBinaryV2:
 		return codecBin2
 	case CodecBinary:
@@ -64,6 +88,8 @@ func codecLevel(advert string) int {
 // codecAdvert is the capability string a node at the given level sends.
 func codecAdvert(level int) string {
 	switch level {
+	case codecBin3:
+		return CodecBinaryV3
 	case codecBin2:
 		return CodecBinaryV2
 	case codecBin:
@@ -89,11 +115,21 @@ func binFields(msg *Message, version byte) []*string {
 // appendBinaryMessage appends the binary encoding of msg to dst at the
 // given frame version. Encoding at v1 silently drops the trace-context
 // fields — the compatibility cost of talking to a v1-only peer.
+//
+// A message still carrying a deferred binary body (payload.go) has it
+// encoded DIRECTLY into dst — the zero-copy path: the exact payload
+// length is known up front from BinarySize, so the length prefix is
+// written first and the packed blocks land straight in the pooled frame
+// buffer. Callers take this path only toward bin3 peers.
 func appendBinaryMessage(dst []byte, msg *Message, version byte) []byte {
 	dst = append(dst, binMagic, version)
 	for _, f := range binFields(msg, version) {
 		dst = binary.AppendUvarint(dst, uint64(len(*f)))
 		dst = append(dst, *f...)
+	}
+	if body, ok := msg.pendingBody(); ok {
+		dst = binary.AppendUvarint(dst, uint64(payloadHdrLen+body.BinarySize()))
+		return appendBinaryPayload(dst, body)
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(msg.Payload)))
 	dst = append(dst, msg.Payload...)

@@ -150,14 +150,14 @@ func TestTCPCodecNegotiation(t *testing.T) {
 	if got.TraceSpan != "A:1" {
 		t.Fatalf("JSON frame lost trace context: %+v", got)
 	}
-	if b.peerLevel("A") != codecBin2 {
+	if b.peerLevel("A") != codecBin3 {
 		t.Fatal("B did not learn A's codec capability")
 	}
 	got = ping(epB, epA, "t2") // binary v2 toward A; A learns B speaks v2
 	if got.TraceSpan != "B:1" {
 		t.Fatalf("v2 frame lost trace context: %+v", got)
 	}
-	if a.peerLevel("B") != codecBin2 {
+	if a.peerLevel("B") != codecBin3 {
 		t.Fatal("A did not learn B's codec capability")
 	}
 	ping(epA, epB, "t3") // now binary both ways

@@ -71,9 +71,13 @@ func (m *Mailbox) Send(ctx context.Context, msg Message) error {
 	if msg.TraceSession == "" && msg.TraceSpan == "" {
 		msg.TraceSession, msg.TraceSpan = telemetry.SpanRef(ctx)
 	}
+	n := len(msg.Payload)
+	if body, ok := msg.pendingBody(); ok {
+		n = payloadHdrLen + body.BinarySize()
+	}
 	err := m.ep.Send(ctx, msg)
 	if err == nil {
-		telemetry.SentTo(msg.Type, len(msg.Payload))
+		telemetry.SentTo(msg.Type, n)
 	}
 	return err
 }

@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testBody is a minimal BinaryBody mirroring the relay-body shape: a
+// string field plus a packed byte run, with JSON tags for the fallback
+// encoding.
+type testBody struct {
+	Origin string `json:"origin"`
+	Packed []byte `json:"packed,omitempty"`
+}
+
+func (b *testBody) BinarySize() int { return 1 + len(b.Origin) + 1 + len(b.Packed) }
+
+func (b *testBody) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(len(b.Origin)))
+	dst = append(dst, b.Origin...)
+	dst = append(dst, byte(len(b.Packed)))
+	return append(dst, b.Packed...)
+}
+
+func (b *testBody) DecodeBinary(src []byte) error {
+	if len(src) < 1 {
+		return fmt.Errorf("short body")
+	}
+	n := int(src[0])
+	src = src[1:]
+	if len(src) < n+1 {
+		return fmt.Errorf("short origin")
+	}
+	b.Origin = string(src[:n])
+	src = src[n:]
+	m := int(src[0])
+	src = src[1:]
+	if len(src) != m {
+		return fmt.Errorf("bad packed length")
+	}
+	b.Packed = append([]byte(nil), src...)
+	return nil
+}
+
+func TestBinaryPayloadRoundTrip(t *testing.T) {
+	in := &testBody{Origin: "N1", Packed: []byte{1, 2, 3, 4}}
+	msg := NewBinaryMessage("B", "t", "s", in)
+	msg.EncodePayload()
+	if !IsBinaryPayload(msg.Payload) {
+		t.Fatalf("payload not binary: % x", msg.Payload)
+	}
+	if want := payloadHdrLen + in.BinarySize(); len(msg.Payload) != want {
+		t.Fatalf("payload %d bytes, BinarySize promised %d", len(msg.Payload), want)
+	}
+	var out testBody
+	if err := Unmarshal(msg.Payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Origin != in.Origin || !bytes.Equal(out.Packed, in.Packed) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestBinaryPayloadJSONFallback(t *testing.T) {
+	in := &testBody{Origin: "N1", Packed: []byte{9, 8}}
+	msg := NewBinaryMessage("B", "t", "s", in)
+	if err := msg.EncodePayloadJSON(); err != nil {
+		t.Fatal(err)
+	}
+	if IsBinaryPayload(msg.Payload) {
+		t.Fatal("JSON fallback produced a binary payload")
+	}
+	// Byte-identical to what a pre-payload-codec sender marshals.
+	legacy, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg.Payload, legacy) {
+		t.Fatalf("fallback %s != legacy %s", msg.Payload, legacy)
+	}
+	var out testBody
+	if err := Unmarshal(msg.Payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Origin != in.Origin || !bytes.Equal(out.Packed, in.Packed) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestBinaryPayloadVersionRejected(t *testing.T) {
+	msg := NewBinaryMessage("B", "t", "s", &testBody{Origin: "x"})
+	msg.EncodePayload()
+	msg.Payload[1] = payloadVersion + 1
+	var out testBody
+	if err := Unmarshal(msg.Payload, &out); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future payload version accepted: %v", err)
+	}
+}
+
+func TestBinaryPayloadNeedsBinaryBody(t *testing.T) {
+	msg := NewBinaryMessage("B", "t", "s", &testBody{Origin: "x"})
+	msg.EncodePayload()
+	var plain struct {
+		Origin string `json:"origin"`
+	}
+	if err := Unmarshal(msg.Payload, &plain); err == nil {
+		t.Fatal("binary payload decoded into a JSON-only target")
+	}
+}
+
+// TestMemNetNoAliasingAfterSend pins the zero-copy contract on the
+// in-memory transport: once Send returns, the sender may mutate the
+// buffers backing the body without corrupting what the receiver sees.
+func TestMemNetNoAliasingAfterSend(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	net := NewMemNetwork()
+	epA, err := net.Endpoint("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := []byte{10, 20, 30, 40}
+	body := &testBody{Origin: "A", Packed: packed}
+	if err := SendBody(ctx, epA, "B", "t", "s", body); err != nil {
+		t.Fatal(err)
+	}
+	for i := range packed {
+		packed[i] = 0xFF // sender reuses the buffer immediately
+	}
+	got, err := epB.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out testBody
+	if err := Unmarshal(got.Payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Packed, []byte{10, 20, 30, 40}) {
+		t.Fatalf("receiver saw mutated buffer: % x", out.Packed)
+	}
+}
+
+// TestTCPMixedClusterPayloads drives one bin3 sender against three
+// receiver generations — current (bin3), pre-payload-codec (bin2), and
+// JSON-only — and checks each decodes what it was sent: binary payloads
+// toward bin3, JSON payloads (inside the frames its level allows)
+// toward everyone older. It also pins the no-aliasing contract on the
+// TCP path.
+func TestTCPMixedClusterPayloads(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	mk := func(id, cap string, peers map[string]string) (*TCPNetwork, Endpoint) {
+		t.Helper()
+		book := map[string]string{id: "127.0.0.1:0"}
+		for p, a := range peers {
+			book[p] = a
+		}
+		n := NewTCPNetwork(book)
+		n.SetCodecCap(cap)
+		ep, err := n.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, ep
+	}
+
+	netA, epA := mk("A", CodecBinaryV3, nil)
+	defer epA.Close()
+	netC, epC := mk("C", CodecBinaryV3, map[string]string{"A": netA.addrs["A"]})
+	defer epC.Close()
+	netL2, epL2 := mk("L2", CodecBinaryV2, map[string]string{"A": netA.addrs["A"]})
+	defer epL2.Close()
+	netLJ, epLJ := mk("LJ", "", map[string]string{"A": netA.addrs["A"]})
+	defer epLJ.Close()
+	netA.Register("C", netC.addrs["C"])
+	netA.Register("L2", netL2.addrs["L2"])
+	netA.Register("LJ", netLJ.addrs["LJ"])
+
+	// Each peer introduces itself so A learns its codec level.
+	for _, ep := range []Endpoint{epC, epL2, epLJ} {
+		if err := ep.Send(ctx, Message{To: "A", Type: "hello", Session: "s", Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := epA.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := epA.(*tcpEndpoint)
+	if a.peerLevel("C") != codecBin3 || a.peerLevel("L2") != codecBin2 || a.peerLevel("LJ") != codecJSON {
+		t.Fatalf("negotiation: C=%d L2=%d LJ=%d", a.peerLevel("C"), a.peerLevel("L2"), a.peerLevel("LJ"))
+	}
+
+	packed := []byte{1, 2, 3, 4, 5, 6}
+	want := append([]byte(nil), packed...)
+	body := &testBody{Origin: "A", Packed: packed}
+	for _, to := range []string{"C", "L2", "LJ"} {
+		if err := SendBody(ctx, epA, to, "t", "s", body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sender reuses the packed buffer as soon as the sends return; no
+	// receiver may observe the mutation.
+	for i := range packed {
+		packed[i] = 0xEE
+	}
+
+	check := func(ep Endpoint, wantBinary bool) {
+		t.Helper()
+		got, err := ep.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsBinaryPayload(got.Payload) != wantBinary {
+			t.Fatalf("payload codec toward %s: binary=%v, want %v", ep.ID(), !wantBinary, wantBinary)
+		}
+		var out testBody
+		if err := Unmarshal(got.Payload, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Origin != "A" || !bytes.Equal(out.Packed, want) {
+			t.Fatalf("receiver %s saw %+v", ep.ID(), out)
+		}
+	}
+	check(epC, true)   // current peer: binary payload
+	check(epL2, false) // pre-payload-codec build: JSON payload
+	check(epLJ, false) // JSON-only build: JSON payload in a JSON frame
+}

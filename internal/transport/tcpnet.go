@@ -28,7 +28,8 @@ type TCPNetwork struct {
 	// capLevel pins the maximum codec this network's endpoints speak:
 	// codecJSON emulates a peer built before the binary codec existed,
 	// codecBin a pre-trace-context build (binary v1 only, v2 frames
-	// rejected), codecBin2 (the default) the current build.
+	// rejected), codecBin2 a pre-payload-codec build, codecBin3 (the
+	// default) the current build.
 	capLevel int
 }
 
@@ -39,7 +40,7 @@ func NewTCPNetwork(addrs map[string]string) *TCPNetwork {
 	for id, a := range addrs {
 		book[id] = a
 	}
-	return &TCPNetwork{addrs: book, capLevel: codecBin2}
+	return &TCPNetwork{addrs: book, capLevel: codecBin3}
 }
 
 var _ Network = (*TCPNetwork)(nil)
@@ -60,14 +61,14 @@ func (n *TCPNetwork) SetJSONOnly(v bool) {
 	if v {
 		n.capLevel = codecJSON
 	} else {
-		n.capLevel = codecBin2
+		n.capLevel = codecBin3
 	}
 }
 
 // SetCodecCap pins the maximum codec this network's endpoints speak, by
 // capability name: "" for legacy JSON, CodecBinary for binary v1 (a
-// pre-trace-context build), CodecBinaryV2 for current. Call before
-// creating endpoints.
+// pre-trace-context build), CodecBinaryV2 for a pre-payload-codec
+// build, CodecBinaryV3 for current. Call before creating endpoints.
 func (n *TCPNetwork) SetCodecCap(codec string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -181,7 +182,7 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		}
 	}()
 	br := bufio.NewReader(conn)
-	maxVer := byte(e.net.maxLevel()) // codec levels == binary frame versions
+	maxVer := maxFrameVersion(e.net.maxLevel())
 	for {
 		msg, err := readFrame(br, maxVer)
 		if err != nil {
@@ -225,6 +226,14 @@ func (e *tcpEndpoint) Send(ctx context.Context, msg Message) error {
 			level = own
 		}
 	}
+	// Peers below bin3 cannot decode binary payloads: materialize any
+	// deferred body as JSON before framing, exactly what a
+	// pre-payload-codec build would have sent.
+	if level < codecBin3 {
+		if err := msg.EncodePayloadJSON(); err != nil {
+			return err
+		}
+	}
 	sc, cached, err := e.dial(ctx, msg.To)
 	if err != nil {
 		return err
@@ -261,7 +270,9 @@ func (e *tcpEndpoint) writeTo(ctx context.Context, sc *sendConn, msg Message, le
 		sc.conn.SetWriteDeadline(noDeadline()) //nolint:errcheck
 	}
 	switch level {
-	case codecBin2:
+	case codecBin3, codecBin2:
+		// bin3 differs from bin2 only in payload encoding (a deferred
+		// body rides the frame buffer raw); the frame format is v2.
 		return writeBinaryFrame(sc.bw, &msg, binVersion2)
 	case codecBin:
 		return writeBinaryFrame(sc.bw, &msg, binVersion)
@@ -380,6 +391,9 @@ func (e *tcpEndpoint) isClosed() bool {
 }
 
 func writeFrame(bw *bufio.Writer, msg Message) error {
+	if err := msg.EncodePayloadJSON(); err != nil {
+		return err
+	}
 	body, err := json.Marshal(msg)
 	if err != nil {
 		return fmt.Errorf("encoding frame: %w", err)
@@ -401,6 +415,10 @@ func writeFrame(bw *bufio.Writer, msg Message) error {
 // writeBinaryFrame frames msg with the binary envelope codec at the
 // given frame version, reusing pooled encode buffers.
 func writeBinaryFrame(bw *bufio.Writer, msg *Message, version byte) error {
+	payloadLen := len(msg.Payload)
+	if body, ok := msg.pendingBody(); ok {
+		payloadLen = payloadHdrLen + body.BinarySize()
+	}
 	bufp := encBufPool.Get().(*[]byte)
 	body := appendBinaryMessage((*bufp)[:0], msg, version)
 	*bufp = body
@@ -416,7 +434,7 @@ func writeBinaryFrame(bw *bufio.Writer, msg *Message, version byte) error {
 	if _, err := bw.Write(body); err != nil {
 		return err
 	}
-	observeBinaryFrame(len(body), len(msg.Payload))
+	observeBinaryFrame(len(body), payloadLen)
 	return bw.Flush()
 }
 

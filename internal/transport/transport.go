@@ -68,6 +68,13 @@ type Message struct {
 	// negotiated (see codec.go), so legacy binary peers never see them.
 	TraceSession string `json:"trace_session,omitempty"`
 	TraceSpan    string `json:"trace_span,omitempty"`
+
+	// body is a protocol body whose payload encoding is deferred until
+	// the transport knows what the receiver can decode (see payload.go).
+	// Unexported: a Message-level JSON marshal never sees it, so every
+	// encode path must materialize it via EncodePayload or
+	// EncodePayloadJSON before framing.
+	body BinaryBody
 }
 
 // Endpoint is one node's attachment to the network.
@@ -97,14 +104,6 @@ func Marshal(v any) ([]byte, error) {
 		return nil, fmt.Errorf("transport: encoding payload: %w", err)
 	}
 	return b, nil
-}
-
-// Unmarshal decodes a message payload into a protocol body.
-func Unmarshal(payload []byte, v any) error {
-	if err := json.Unmarshal(payload, v); err != nil {
-		return fmt.Errorf("transport: decoding payload: %w", err)
-	}
-	return nil
 }
 
 // NewMessage builds a message with an encoded payload.

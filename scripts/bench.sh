@@ -1,67 +1,108 @@
 #!/bin/sh
-# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR5.json.
+# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR7.json.
 #
-# Usage: scripts/bench.sh [benchtime]
+# Usage: scripts/bench.sh [benchtime] [profile-dir]
 #   benchtime defaults to 3s; pass e.g. 1x for a smoke run.
+#   profile-dir, when given, additionally captures a CPU profile per
+#   headline benchmark (go test -cpuprofile) into that directory, so a
+#   regression flagged by benchdiff can be attributed to a function
+#   without re-running anything.
+#   BASE_REF (env) overrides the baseline commit; defaults to the
+#   previous PR's tip.
 #
 # The JSON records ns/op, B/op and allocs/op for every benchmark in the
-# hot-path set, next to the previous PR's post-optimization numbers
-# measured on the same machine (Intel Xeon @ 2.10 GHz, 1 vCPU, Go 1.24),
-# so the improvement ratio is auditable from the artifact alone. Every
-# row must carry all three fields: a row with a missing B/op or
-# allocs/op (a benchmark that forgot ReportAllocs, or a -benchmem drop)
-# fails the run instead of silently emitting null.
+# hot-path set, next to a baseline the script itself re-measures from
+# the PREVIOUS PR's tree: it checks BASE_REF out into a throwaway git
+# worktree and runs the identical sweep there, back to back with the
+# after sweep on the same box (Intel Xeon @ 2.10 GHz, 1 vCPU, Go 1.24).
+# The improvement ratio is therefore auditable from the artifact alone
+# and free of machine drift: the hosting vCPU's absolute speed moves
+# between PRs — and even between runs minutes apart — so comparing
+# against a weeks-old artifact, or against numbers pasted in by hand
+# earlier the same day, would conflate that drift with code changes.
+# `benchtab -benchdiff BENCH_PR7.json` diffs the two embedded sections
+# and gates the headline rows. Every row must carry all three fields: a
+# row with a missing B/op or allocs/op (a benchmark that forgot
+# ReportAllocs, or a -benchmem drop) fails the run instead of silently
+# emitting null. The witness rows come from the accumulator package:
+# flat ns/op across history=100 and history=1000 is the PR 7 acceptance
+# bar for amortized witnesses. They have no baseline counterpart (the
+# benchmark is new in this PR), so the baseline sweep covers the root
+# package only.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-3s}"
-OUT="BENCH_PR5.json"
-BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkQueryShapes|BenchmarkTelemetryOverhead'
+PROFILE_DIR="${2:-}"
+BASE_REF="${BASE_REF:-5c06c63}"
+OUT="BENCH_PR7.json"
+BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkQueryShapes|BenchmarkTelemetryOverhead|BenchmarkWitnessMaintain'
 
-RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)"
-printf '%s\n' "$RAW" >&2
-
-printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op")     ns = $(i - 1)
-        if ($(i) == "B/op")      bytes = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
+# parse_rows turns `go test -bench` output into JSON row objects,
+# failing loudly on any row missing alloc fields.
+parse_rows() {
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns = $(i - 1)
+            if ($(i) == "B/op")      bytes = $(i - 1)
+            if ($(i) == "allocs/op") allocs = $(i - 1)
+        }
+        if (ns == "") next
+        if (bytes == "" || allocs == "") {
+            printf "bench.sh: %s is missing B/op or allocs/op (run with -benchmem and ReportAllocs)\n", name > "/dev/stderr"
+            exit 1
+        }
+        row = sprintf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
+                      name, ns, bytes, allocs)
+        rows = rows (rows == "" ? "" : ",\n") row
     }
-    if (ns == "") next
-    if (bytes == "" || allocs == "") {
-        printf "bench.sh: %s is missing B/op or allocs/op (run with -benchmem and ReportAllocs)\n", name > "/dev/stderr"
-        bad = 1
-        exit 1
-    }
-    row = sprintf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
-                  name, ns, bytes, allocs)
-    rows = rows (rows == "" ? "" : ",\n") row
+    END {
+        if (rows == "") {
+            print "bench.sh: no benchmark rows parsed" > "/dev/stderr"
+            exit 1
+        }
+        print rows
+    }'
 }
-END {
-    if (bad) exit 1
-    if (rows == "") {
-        print "bench.sh: no benchmark rows parsed" > "/dev/stderr"
-        exit 1
-    }
-    print "{"
-    print "  \"benchtime\": \"" benchtime "\","
-    print "  \"baseline\": ["
-    print "    {\"name\": \"BenchmarkFigure2DLAQuery\", \"ns_op\": 13826018, \"b_op\": 993810, \"allocs_op\": 5959},"
-    print "    {\"name\": \"BenchmarkClusterLogThroughput\", \"ns_op\": 1701760, \"b_op\": 120192, \"allocs_op\": 1056},"
-    print "    {\"name\": \"BenchmarkQueryShapes/local\", \"ns_op\": 336535, \"b_op\": 26159, \"allocs_op\": 311},"
-    print "    {\"name\": \"BenchmarkQueryShapes/conjunction-3-nodes\", \"ns_op\": 9120898, \"b_op\": 689919, \"allocs_op\": 4107},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-union\", \"ns_op\": 7900918, \"b_op\": 256986, \"allocs_op\": 1640},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-equality\", \"ns_op\": 6878457, \"b_op\": 510107, \"allocs_op\": 3007},"
-    print "    {\"name\": \"BenchmarkQueryShapes/cross-compare\", \"ns_op\": 691010, \"b_op\": 139148, \"allocs_op\": 1481}"
-    print "  ],"
-    print "  \"after\": ["
-    print rows
-    print "  ]"
-    print "}"
-}' >"$OUT"
+
+# Baseline sweep: the previous PR's tree, in a throwaway worktree,
+# immediately before the after sweep so both see the same box speed.
+BASE_DIR="$(mktemp -d)/base"
+git worktree add --detach "$BASE_DIR" "$BASE_REF" >&2
+trap 'git worktree remove --force "$BASE_DIR" >/dev/null 2>&1 || true' EXIT INT TERM
+echo "bench.sh: baseline sweep ($BASE_REF)" >&2
+BASE_RAW="$(cd "$BASE_DIR" && go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)"
+printf '%s\n' "$BASE_RAW" >&2
+BASE_ROWS="$(printf '%s\n' "$BASE_RAW" | parse_rows)"
+
+echo "bench.sh: after sweep (working tree)" >&2
+AFTER_RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" . ./internal/crypto/accumulator/)"
+printf '%s\n' "$AFTER_RAW" >&2
+AFTER_ROWS="$(printf '%s\n' "$AFTER_RAW" | parse_rows)"
+
+{
+    printf '{\n'
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "baseline_ref": "%s",\n' "$BASE_REF"
+    printf '  "baseline": [\n%s\n  ],\n' "$BASE_ROWS"
+    printf '  "after": [\n%s\n  ]\n' "$AFTER_ROWS"
+    printf '}\n'
+} >"$OUT"
 
 echo "wrote $OUT" >&2
+
+# Optional per-headline CPU profiles. One go test invocation per
+# benchmark: -cpuprofile only works against a single package, and
+# separate runs keep each profile attributable to one benchmark.
+if [ -n "$PROFILE_DIR" ]; then
+    mkdir -p "$PROFILE_DIR"
+    for b in BenchmarkFigure2DLAQuery BenchmarkClusterLogThroughput; do
+        go test -run '^$' -bench "^${b}\$" -benchtime "$BENCHTIME" \
+            -cpuprofile "$PROFILE_DIR/$b.pprof" -o "$PROFILE_DIR/$b.test" . >&2
+    done
+    echo "wrote CPU profiles to $PROFILE_DIR (inspect: go tool pprof <bench>.test <bench>.pprof)" >&2
+fi

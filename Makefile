@@ -6,25 +6,26 @@ GO ?= go
 # Headline-benchmark artifact checked by benchdiff: its embedded
 # baseline (the previous PR's tree, re-measured on the same box when
 # the artifact was generated) against its "after" rows. Override when a
-# new PR lands a fresh artifact: make benchdiff BENCH_HEAD=BENCH_PR8.json
+# new PR lands a fresh artifact: make benchdiff BENCH_HEAD=BENCH_PR9.json
 # Cross-artifact diffs remain available by hand:
-#   go run ./cmd/benchtab -benchdiff BENCH_PR5.json,BENCH_PR7.json
+#   go run ./cmd/benchtab -benchdiff BENCH_PR7.json,BENCH_PR8.json
 # but are not the gate, because box-speed drift between PRs would be
 # indistinguishable from code regressions.
-BENCH_HEAD ?= BENCH_PR7.json
+BENCH_HEAD ?= BENCH_PR8.json
 
-.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos crash-torture examples obs-smoke tables fuzz clean
+.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos crash-torture examples obs-smoke load-smoke tables fuzz clean
 
 all: build vet test
 
 # Pre-merge gate: static checks (vet always, staticcheck when
 # installed), a race pass over the telemetry-instrumented packages,
 # the observability smoke (cluster trace + leak ledger end to end),
+# the streaming-ingestion smoke (dlaload burst, zero lost acks),
 # the crash-recovery torture suites, the full race-enabled test suite,
 # a single-iteration pass over every benchmark so perf-path regressions
 # that only benchmarks exercise break the gate too, and the
 # headline-benchmark diff between the committed artifacts.
-check: bench-smoke vet staticcheck race-telemetry obs-smoke crash-torture benchdiff
+check: bench-smoke vet staticcheck race-telemetry obs-smoke load-smoke crash-torture benchdiff
 	$(GO) test -race ./...
 
 # Observability smoke: boot a 3+-node in-memory cluster, run one
@@ -32,6 +33,12 @@ check: bench-smoke vet staticcheck race-telemetry obs-smoke crash-torture benchd
 # non-empty per-querier leak ledger through the dlactl merge paths.
 obs-smoke:
 	$(GO) test -run '^TestObsSmoke$$' -count=1 -v ./cmd/dlactl/
+
+# Ingestion smoke: the dlaload burst scenario against a memnet cluster
+# through the loadgen engine — every record acked, zero lost acks, and a
+# non-empty knee row with the synchronous baseline in the same run.
+load-smoke:
+	$(GO) test -run '^TestLoadSmoke$$' -count=1 -v ./internal/loadgen/
 
 # staticcheck is optional tooling; skip quietly where not installed.
 staticcheck:
@@ -50,7 +57,7 @@ race-telemetry:
 		./internal/resilience/ ./internal/cluster/ ./internal/audit/ \
 		./internal/smc/intersect/ ./internal/smc/union/ ./pkg/dla/ \
 		./internal/workpool/ ./internal/crypto/commutative/ \
-		./internal/integrity/ ./internal/mathx/
+		./internal/integrity/ ./internal/mathx/ ./internal/loadgen/
 
 # Fault-schedule suite: crash/restart, seeded loss, degraded auditing.
 chaos:

@@ -632,6 +632,41 @@ func BenchmarkClusterLogThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkAppenderThroughput measures the streaming ingest path: b.N
+// records staged through one Appender (batched, pipelined quorum
+// rounds, digest-exponent shipping) including the final drain, so the
+// per-record figure amortizes glsn rounds and store fan-out the way a
+// real producer sees them. Compare with BenchmarkClusterLogThroughput,
+// the synchronous one-round-per-record write.
+func BenchmarkAppenderThroughput(b *testing.B) {
+	ex := paperExample(b)
+	d, err := core.Deploy(core.Options{Partition: ex.Partition})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close() //nolint:errcheck
+	ctx := context.Background()
+	user, err := d.NewUser(ctx, "ap-user", "TAP1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := ex.Records[0].Values
+	b.ReportAllocs()
+	b.ResetTimer()
+	ap, err := user.NewAppender(ctx, cluster.AppendOptions{MaxBatchRecords: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := ap.Append(ctx, values); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ap.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- Query-shape sweep: cost by criteria structure ---
 
 // BenchmarkQueryShapes measures the end-to-end DLA query cost for the

@@ -15,6 +15,7 @@
 //	dlactl trace -addrs 127.0.0.1:6060,127.0.0.1:6061,127.0.0.1:6062 q/aud/1
 //	dlactl leaks -addrs 127.0.0.1:6060,127.0.0.1:6061
 //	dlactl storage status -addrs 127.0.0.1:6060,127.0.0.1:6061
+//	dlactl ingest status -addrs 127.0.0.1:6060,127.0.0.1:6061
 package main
 
 import (
@@ -80,6 +81,8 @@ func main() {
 		err = cmdLeaks(args)
 	case "storage":
 		err = cmdStorage(args)
+	case "ingest":
+		err = cmdIngest(args)
 	default:
 		usage()
 	}
@@ -89,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|aclcheck|trace|leaks|storage [flags] [args]")
+	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|aclcheck|trace|leaks|storage|ingest [flags] [args]")
 	os.Exit(2)
 }
 

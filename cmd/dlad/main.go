@@ -9,13 +9,18 @@
 //	dlad run -dir <dir> -id P0 [-data <dir>] [-backend memory|wal|disk]
 //	    [-sync always|interval|never] [-segment-bytes N]
 //	    [-checkpoint-every N] [-pprof 127.0.0.1:6060]
+//	    [-ingest-rate N] [-ingest-burst N] [-ingest-inflight-bytes N]
 //		start one DLA node: fragment store, glsn sequencer/voter,
 //		audit executor, and integrity responder, serving over TCP
 //		until interrupted. -backend selects durability: the JSON-lines
 //		WAL (default when -data is set) or the crash-safe segment
-//		store; -sync and the segment flags tune it. With -pprof, an
-//		HTTP server exposes net/http/pprof profiles, expvar counters,
-//		and /debug/dla/storage engine status for live diagnosis.
+//		store; -sync and the segment flags tune it. The -ingest-*
+//		flags bound ingest admission (token-bucket rate and inflight
+//		bytes); refused stores answer ERR_OVERLOADED and streaming
+//		writers back off. With -pprof, an HTTP server exposes
+//		net/http/pprof profiles, expvar counters, and the
+//		/debug/dla/storage and /debug/dla/ingest status endpoints for
+//		live diagnosis (`dlactl storage|ingest status`).
 package main
 
 import (
@@ -146,6 +151,9 @@ func run(args []string) error {
 		compactAt  = fs.Int("compact-segments", 0, "disk backend: sealed-segment count that triggers compaction (0 = 8)")
 		pprof      = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
 		leakBudget = fs.Float64("leak-budget", 0, "default per-querier leak budget (sum of 1-C_query); 0 disables the alarm")
+		ingestRPS  = fs.Float64("ingest-rate", 0, "ingest admission: records/sec token-bucket refill (0 = unbounded)")
+		ingestBst  = fs.Int("ingest-burst", 0, "ingest admission: token-bucket capacity in records (0 = one second's refill)")
+		ingestInfl = fs.Int64("ingest-inflight-bytes", 0, "ingest admission: cap on store bytes concurrently being processed (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -204,6 +212,11 @@ func run(args []string) error {
 	mb := transport.NewMailbox(resilience.Wrap(ep, resilience.Policy{}))
 	defer mb.Close() //nolint:errcheck
 	cfg := boot.NodeConfig(*id)
+	cfg.Admission = cluster.AdmissionConfig{
+		RecordsPerSec:    *ingestRPS,
+		Burst:            *ingestBst,
+		MaxInflightBytes: *ingestInfl,
+	}
 	switch *backend {
 	case storage.BackendDisk:
 		st, err := storage.Open(sOpts, boot.AccParams, nil)
@@ -237,6 +250,14 @@ func run(args []string) error {
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			enc.Encode(node.StorageStatus()) //nolint:errcheck
+		})
+		// Live ingest-admission state (bounds, bucket fill, inflight
+		// bytes, admit/reject counts) for `dlactl ingest status`.
+		http.HandleFunc("/debug/dla/ingest", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(node.AdmissionStatus()) //nolint:errcheck
 		})
 		srv := &http.Server{Addr: *pprof} // DefaultServeMux: pprof + expvar + /debug/dla
 		go func() {

@@ -19,12 +19,7 @@ import (
 	"sync"
 	"time"
 
-	"confaudit/internal/audit"
-	"confaudit/internal/core"
-	"confaudit/internal/smc/compare"
-	"confaudit/internal/smc/sum"
-	"confaudit/internal/transport"
-	"confaudit/internal/workload"
+	"confaudit/pkg/dla"
 )
 
 func main() {
@@ -39,47 +34,46 @@ func run() error {
 
 	// Schema with four undefined (application-private) attributes,
 	// partitioned over four DLA nodes.
-	schema, err := workload.ECommerceSchema(4)
+	schema, err := dla.ECommerceSchema(4)
 	if err != nil {
 		return err
 	}
-	part, err := workload.RoundRobinPartition(schema, 4)
+	part, err := dla.RoundRobinPartition(schema, 4)
 	if err != nil {
 		return err
 	}
-	dla, err := core.Deploy(core.Options{Partition: part})
+	cl, err := dla.Deploy(dla.ClusterOptions{Partition: part})
 	if err != nil {
 		return err
 	}
-	defer dla.Close() //nolint:errcheck
+	defer cl.Close() //nolint:errcheck
 
 	// Three merchants log synthetic transaction streams.
-	gen := workload.New(2026)
+	gen := dla.NewWorkload(2026)
 	for i, merchant := range []string{"acme", "globex", "initech"} {
-		user, err := dla.NewUser(ctx, merchant, fmt.Sprintf("T-%s", merchant))
+		user, err := dla.Connect(ctx, cl, dla.SessionConfig{ID: merchant, TicketID: fmt.Sprintf("T-%s", merchant)})
 		if err != nil {
 			return err
 		}
-		for _, vals := range gen.Transactions(schema, 30, 4) {
-			if _, err := user.Log(ctx, vals); err != nil {
-				return err
-			}
+		if _, err := user.LogBatch(ctx, gen.Transactions(schema, 30, 4)); err != nil {
+			return err
 		}
 		fmt.Printf("merchant %d (%s): 30 transaction events logged\n", i+1, merchant)
 	}
 
 	// The regulator audits the combined activity.
-	reg, err := dla.NewAuditor(ctx, "regulator", "T-REG")
+	reg, err := dla.Connect(ctx, cl, dla.SessionConfig{ID: "regulator", TicketID: "T-REG", Ops: []dla.Op{dla.OpRead}})
 	if err != nil {
 		return err
 	}
-	n, err := reg.Aggregate(ctx, "*", audit.AggCount, "")
+	defer reg.Close() //nolint:errcheck
+	n, err := reg.Aggregate(ctx, "*", dla.AggCount, "")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nregulator: %v events across all merchants\n", n)
 
-	udpVolume, err := reg.Aggregate(ctx, `protocl = "UDP"`, audit.AggSum, "C2")
+	udpVolume, err := reg.Aggregate(ctx, `protocl = "UDP"`, dla.AggSum, "C2")
 	if err != nil {
 		return err
 	}
@@ -102,18 +96,18 @@ func run() error {
 		"m-initech": big.NewInt(640_000),
 	}
 	parties := []string{"m-acme", "m-globex", "m-initech"}
-	net := transport.NewMemNetwork()
+	net := dla.NewMemNetwork()
 	defer net.Close() //nolint:errcheck
-	mbs := make(map[string]*transport.Mailbox, len(parties)+1)
+	mbs := make(map[string]*dla.Mailbox, len(parties)+1)
 	for _, p := range append([]string{}, parties...) {
 		ep, err := net.Endpoint(p)
 		if err != nil {
 			return err
 		}
-		mbs[p] = transport.NewMailbox(ep)
+		mbs[p] = dla.NewMailbox(ep)
 		defer mbs[p].Close() //nolint:errcheck
 	}
-	cfg := sum.Config{
+	cfg := dla.SumConfig{
 		P:         big.NewInt(2305843009213693951), // 2^61-1
 		Parties:   parties,
 		K:         2,
@@ -128,7 +122,7 @@ func run() error {
 		wg.Add(1)
 		go func(p string) {
 			defer wg.Done()
-			res, err := sum.Run(ctx, mbs[p], cfg, revenues[p])
+			res, err := dla.SecureSum(ctx, mbs[p], cfg, revenues[p])
 			if err != nil {
 				log.Printf("%s: %v", p, err)
 				return
@@ -148,19 +142,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ttpMB := transport.NewMailbox(ttpEp)
+	ttpMB := dla.NewMailbox(ttpEp)
 	defer ttpMB.Close() //nolint:errcheck
-	rankCfg := compare.RankConfig{
+	rankCfg := dla.RankConfig{
 		Holders:  parties,
 		TTP:      "ttp",
 		MaxValue: big.NewInt(10_000_000),
 		Session:  "rank-2026",
 	}
-	var rankRes *compare.RankResult
+	var rankRes *dla.RankResult
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := compare.ServeRank(ctx, ttpMB, rankCfg); err != nil {
+		if err := dla.ServeRank(ctx, ttpMB, rankCfg); err != nil {
 			log.Printf("ttp: %v", err)
 		}
 	}()
@@ -168,7 +162,7 @@ func run() error {
 		wg.Add(1)
 		go func(p string) {
 			defer wg.Done()
-			res, err := compare.Rank(ctx, mbs[p], rankCfg, revenues[p])
+			res, err := dla.Rank(ctx, mbs[p], rankCfg, revenues[p])
 			if err != nil {
 				log.Printf("%s: %v", p, err)
 				return

@@ -13,9 +13,7 @@ import (
 	"log"
 	"time"
 
-	"confaudit/internal/audit"
-	"confaudit/internal/core"
-	"confaudit/internal/workload"
+	"confaudit/pkg/dla"
 )
 
 const (
@@ -34,26 +32,32 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()
 
-	schema, err := workload.ECommerceSchema(2)
+	schema, err := dla.ECommerceSchema(2)
 	if err != nil {
 		return err
 	}
-	part, err := workload.RoundRobinPartition(schema, 3)
+	part, err := dla.RoundRobinPartition(schema, 3)
 	if err != nil {
 		return err
 	}
-	dla, err := core.Deploy(core.Options{Partition: part})
+	cl, err := dla.Deploy(dla.ClusterOptions{Partition: part})
 	if err != nil {
 		return err
 	}
-	defer dla.Close() //nolint:errcheck
+	defer cl.Close() //nolint:errcheck
 
-	// One client per monitored host submits that host's events.
-	gen := workload.New(1337)
+	// One session per monitored host streams that host's events through
+	// an Appender: events batch client-side and pipeline through the
+	// cluster, and each ack carries the record's glsn.
+	gen := dla.NewWorkload(1337)
 	stream := gen.IntrusionEvents(schema, events, hosts, burstAt)
 	for h := 0; h < hosts; h++ {
 		id := fmt.Sprintf("host-%d", h)
-		user, err := dla.NewUser(ctx, id, "T-"+id)
+		user, err := dla.Connect(ctx, cl, dla.SessionConfig{ID: id, TicketID: "T-" + id})
+		if err != nil {
+			return err
+		}
+		ap, err := user.Appender(ctx, dla.AppendOptions{})
 		if err != nil {
 			return err
 		}
@@ -62,25 +66,29 @@ func run() error {
 			if e["id"].S != id {
 				continue
 			}
-			if _, err := user.Log(ctx, e); err != nil {
+			if _, err := ap.Append(ctx, e); err != nil {
 				return err
 			}
 			count++
 		}
+		if err := ap.Close(ctx); err != nil {
+			return err
+		}
 		fmt.Printf("%s: %d events logged\n", id, count)
 	}
 
-	soc, err := dla.NewAuditor(ctx, "soc", "T-SOC")
+	soc, err := dla.Connect(ctx, cl, dla.SessionConfig{ID: "soc", TicketID: "T-SOC", Ops: []dla.Op{dla.OpRead}})
 	if err != nil {
 		return err
 	}
+	defer soc.Close() //nolint:errcheck
 
 	// Step 1: the failure rate across the estate.
-	fails, err := soc.Aggregate(ctx, `Tid = "login-fail"`, audit.AggCount, "")
+	fails, err := soc.Aggregate(ctx, `Tid = "login-fail"`, dla.AggCount, "")
 	if err != nil {
 		return err
 	}
-	total, err := soc.Aggregate(ctx, "*", audit.AggCount, "")
+	total, err := soc.Aggregate(ctx, "*", dla.AggCount, "")
 	if err != nil {
 		return err
 	}
@@ -100,7 +108,7 @@ func run() error {
 	// Step 3: severity profile of the burst (C2 carries severity here).
 	sev, err := soc.Aggregate(ctx,
 		fmt.Sprintf(`Tid = "login-fail" AND time = "tick-%06d"`, burstAt),
-		audit.AggMax, "C2")
+		dla.AggMax, "C2")
 	if err != nil {
 		return err
 	}

@@ -16,9 +16,7 @@ import (
 	"sync"
 	"time"
 
-	"confaudit/internal/crypto/blind"
-	"confaudit/internal/evidence"
-	"confaudit/internal/transport"
+	"confaudit/pkg/dla"
 )
 
 func main() {
@@ -32,7 +30,7 @@ func run() error {
 	defer cancel()
 
 	// The credential authority.
-	ca, err := blind.NewAuthority(rand.Reader, 1024)
+	ca, err := dla.NewCredentialAuthority(rand.Reader, 1024)
 	if err != nil {
 		return err
 	}
@@ -42,9 +40,9 @@ func run() error {
 	// blinded requests: it can meter admission but cannot link a token
 	// to the pseudonym that later appears in the chain.
 	names := []string{"P0", "P1", "P2", "P3"}
-	members := make([]*evidence.Member, len(names))
+	members := make([]*dla.Member, len(names))
 	for i := range names {
-		m, err := evidence.NewMember(rand.Reader, 1024, ca.Public(), ca.SignBlinded)
+		m, err := dla.NewMember(rand.Reader, 1024, ca.Public(), ca.SignBlinded)
 		if err != nil {
 			return err
 		}
@@ -53,37 +51,37 @@ func run() error {
 	}
 
 	// The network and one mailbox per node.
-	net := transport.NewMemNetwork()
+	net := dla.NewMemNetwork()
 	defer net.Close() //nolint:errcheck
-	mbs := make([]*transport.Mailbox, len(names))
+	mbs := make([]*dla.Mailbox, len(names))
 	for i, n := range names {
 		ep, err := net.Endpoint(n)
 		if err != nil {
 			return err
 		}
-		mbs[i] = transport.NewMailbox(ep)
+		mbs[i] = dla.NewMailbox(ep)
 		defer mbs[i].Close() //nolint:errcheck
 	}
 
 	// Build the chain: P0 founds it, each member invites the next.
-	chain := &evidence.Chain{CA: ca.Public()}
+	chain := &dla.EvidenceChain{CA: ca.Public()}
 	for i := 1; i < len(members); i++ {
 		session := fmt.Sprintf("join-%d", i)
 		var (
 			wg       sync.WaitGroup
-			invPiece *evidence.Piece
+			invPiece *dla.EvidencePiece
 			invErr   error
 			joinErr  error
 		)
 		wg.Add(2)
 		go func(inv int) {
 			defer wg.Done()
-			invPiece, invErr = evidence.Invite(ctx, mbs[inv], session, members[inv], chain,
+			invPiece, invErr = dla.Invite(ctx, mbs[inv], session, members[inv], chain,
 				names[inv+1], "store fragments, serve audits, join integrity ring")
 		}(i - 1)
 		go func(joiner int) {
 			defer wg.Done()
-			_, joinErr = evidence.Join(ctx, mbs[joiner], session, members[joiner],
+			_, joinErr = dla.Join(ctx, mbs[joiner], session, members[joiner],
 				names[joiner-1], []string{"logging", "auditing", "integrity"})
 		}(i)
 		wg.Wait()
@@ -105,9 +103,9 @@ func run() error {
 
 	// Enforcement 1: P1 already passed its authority to P2; a second
 	// invite by P1 is refused client-side.
-	rogue := &evidence.Chain{CA: ca.Public(), Pieces: chain.Pieces[:1]} // pretend tail is P1
+	rogue := &dla.EvidenceChain{CA: ca.Public(), Pieces: chain.Pieces[:1]} // pretend tail is P1
 	shortCtx, shortCancel := context.WithTimeout(ctx, 2*time.Second)
-	_, err = evidence.Invite(shortCtx, mbs[0], "rogue", members[0], rogue, "P3", "rogue proposal")
+	_, err = dla.Invite(shortCtx, mbs[0], "rogue", members[0], rogue, "P3", "rogue proposal")
 	shortCancel()
 	if err != nil {
 		fmt.Printf("enforcement: stale inviter refused (%v)\n", err)
@@ -118,7 +116,7 @@ func run() error {
 	forkA := chain.Pieces[1]
 	forkB := chain.Pieces[1]
 	forkB.Joiner = members[0].Pseudonym() // fabricated second invite
-	if m := evidence.DetectDoubleInvite([]evidence.Piece{forkA, forkB}); m != nil {
+	if m := dla.DetectDoubleInvite([]dla.EvidencePiece{forkA, forkB}); m != nil {
 		fmt.Println("enforcement: double invite detected; offender's pseudonym exposed by its own signatures")
 	}
 	return nil

@@ -10,7 +10,6 @@ import (
 	"log"
 	"time"
 
-	"confaudit/internal/logmodel"
 	"confaudit/pkg/dla"
 )
 
@@ -26,7 +25,7 @@ func run() error {
 
 	// The paper's example: 12-attribute schema partitioned over four DLA
 	// nodes P0..P3 (Tables 2-5).
-	ex, err := logmodel.NewPaperExample()
+	ex, err := dla.NewPaperExample()
 	if err != nil {
 		return err
 	}
@@ -109,7 +108,7 @@ func run() error {
 
 	// Simulate a compromised node and catch it.
 	p2, _ := cluster.Deployment().Node("P2")
-	p2.TamperFragment(matches[0], "Tid", logmodel.String("T-FORGED"))
+	p2.TamperFragment(matches[0], "Tid", dla.String("T-FORGED"))
 	report, err = cluster.CheckIntegrity(ctx, "P0")
 	if err != nil {
 		return err

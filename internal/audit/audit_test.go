@@ -98,7 +98,7 @@ func newRig(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wc, err := cluster.NewClient(wmb, boot.Roster, boot.Partition, boot.AccParams, wtk)
+	wc, err := cluster.OpenClient(wmb, cluster.ClientConfig{Roster: boot.Roster, Partition: boot.Partition, Accumulator: boot.AccParams, Ticket: wtk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func newRig(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ac, err := cluster.NewClient(amb, boot.Roster, boot.Partition, boot.AccParams, atk)
+	ac, err := cluster.OpenClient(amb, cluster.ClientConfig{Roster: boot.Roster, Partition: boot.Partition, Accumulator: boot.AccParams, Ticket: atk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestCrossEqualityPredicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wc, err := cluster.NewClient(wmb, r.boot.Roster, r.boot.Partition, r.boot.AccParams, wtk)
+	wc, err := cluster.OpenClient(wmb, cluster.ClientConfig{Roster: r.boot.Roster, Partition: r.boot.Partition, Accumulator: r.boot.AccParams, Ticket: wtk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestQueryDeniedWriteOnlyTicket(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := cluster.NewClient(mb, r.boot.Roster, r.boot.Partition, r.boot.AccParams, tk)
+	c, err := cluster.OpenClient(mb, cluster.ClientConfig{Roster: r.boot.Roster, Partition: r.boot.Partition, Accumulator: r.boot.AccParams, Ticket: tk})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,6 +52,9 @@ type Options struct {
 	DataRoot string
 	// Health tunes every participant's failure detector.
 	Health resilience.DetectorConfig
+	// Admission bounds every node's ingest admission (token-bucket rate
+	// + inflight bytes); the zero value admits everything.
+	Admission cluster.AdmissionConfig
 	// Policy is the retry/circuit-breaker policy wrapped around every
 	// endpoint.
 	Policy resilience.Policy
@@ -177,6 +180,7 @@ func (c *Cluster) StartNode(id string) error {
 		}
 	}
 	cfg.Health = c.opts.Health
+	cfg.Admission = c.opts.Admission
 	node, err := cluster.New(cfg, mb)
 	if err != nil {
 		if cfg.Storage != nil {

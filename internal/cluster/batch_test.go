@@ -121,7 +121,7 @@ func TestLogBatchWALReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := NewClient(mb, tc2.boot.Roster, tc2.boot.Partition, tc2.boot.AccParams, tk)
+	orig, err := OpenClient(mb, ClientConfig{Roster: tc2.boot.Roster, Partition: tc2.boot.Partition, Accumulator: tc2.boot.AccParams, Ticket: tk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestLogBatchCrashMidBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := NewClient(mb, tc2.boot.Roster, tc2.boot.Partition, tc2.boot.AccParams, tk)
+	orig, err := OpenClient(mb, ClientConfig{Roster: tc2.boot.Roster, Partition: tc2.boot.Partition, Accumulator: tc2.boot.AccParams, Ticket: tk})
 	if err != nil {
 		t.Fatal(err)
 	}

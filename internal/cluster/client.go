@@ -291,20 +291,6 @@ func (c *Client) spool(node, msgType string, payload []byte, g logmodel.GLSN) er
 // StoreRecord calls attach provenance signatures.
 func (c *Client) SetSigner(signer *blind.Authority) { c.signer = signer }
 
-// NewClient builds a cluster client for the holder of the ticket.
-//
-// Deprecated: use OpenClient with a ClientConfig; the positional
-// parameter list stopped scaling. This shim will be removed after one
-// release.
-func NewClient(mb *transport.Mailbox, roster []string, part *logmodel.Partition, acc *accumulator.Params, tk *ticket.Ticket) (*Client, error) {
-	return OpenClient(mb, ClientConfig{
-		Roster:      roster,
-		Partition:   part,
-		Accumulator: acc,
-		Ticket:      tk,
-	})
-}
-
 // Ticket returns the client's ticket.
 func (c *Client) Ticket() *ticket.Ticket { return c.tk }
 
@@ -579,6 +565,17 @@ func (c *Client) digestOf(frags map[string]logmodel.Fragment) *big.Int {
 // with a single local exponentiation instead of recomputing all-but-one
 // accumulations at every check.
 func (c *Client) digestAndWitnesses(frags map[string]logmodel.Fragment) (*big.Int, map[string]*big.Int) {
+	total, wits := c.witnessExponents(frags)
+	return c.acc.PowX0(total), wits
+}
+
+// witnessExponents is digestAndWitnesses without the fixed-base
+// evaluation: it returns the digest EXPONENT (∏ of all fragments' hash
+// exponents) alongside the per-node witness exponents. The streaming
+// path ships the exponent and lets each node materialize the digest
+// group element lazily — the evaluation is the dominant per-record CPU
+// cost, and most records are never individually audited.
+func (c *Client) witnessExponents(frags map[string]logmodel.Fragment) (*big.Int, map[string]*big.Int) {
 	nodes := c.part.Nodes()
 	items := make([][]byte, 0, len(nodes))
 	for _, node := range nodes {
@@ -589,7 +586,7 @@ func (c *Client) digestAndWitnesses(frags map[string]logmodel.Fragment) (*big.In
 	for i, node := range nodes {
 		wits[node] = wexps[i]
 	}
-	return c.acc.PowX0(total), wits
+	return total, wits
 }
 
 // Delete removes the client's record from every node. Requires the

@@ -87,7 +87,7 @@ func (tc *testCluster) client(t *testing.T, clientID, ticketID string, ops ...ti
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewClient(mb, tc.boot.Roster, tc.boot.Partition, tc.boot.AccParams, tk)
+	c, err := OpenClient(mb, ClientConfig{Roster: tc.boot.Roster, Partition: tc.boot.Partition, Accumulator: tc.boot.AccParams, Ticket: tk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestForgedTicketRefusedAtRegistration(t *testing.T) {
 	mb := transport.NewMailbox(ep)
 	defer mb.Close() //nolint:errcheck
 	forged := &ticket.Ticket{ID: "TF", Holder: "forger", Ops: []ticket.Op{ticket.OpWrite}, Sig: big.NewInt(99)}
-	c, err := NewClient(mb, tc.boot.Roster, tc.boot.Partition, tc.boot.AccParams, forged)
+	c, err := OpenClient(mb, ClientConfig{Roster: tc.boot.Roster, Partition: tc.boot.Partition, Accumulator: tc.boot.AccParams, Ticket: forged})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,6 +91,9 @@ type Config struct {
 	// Health tunes the node's heartbeat failure detector (zero fields
 	// take the resilience package defaults).
 	Health resilience.DetectorConfig
+	// Admission bounds the node's ingest boundary (token-bucket record
+	// rate + inflight store bytes); the zero value admits everything.
+	Admission AdmissionConfig
 }
 
 func (c *Config) validate() error {
@@ -140,6 +143,11 @@ type Node struct {
 	// needs it and reused thereafter.
 	witExps  map[logmodel.GLSN]*big.Int
 	witCache map[logmodel.GLSN]*big.Int
+	// digExps holds the record-digest EXPONENT for records whose writer
+	// deferred digest materialization (the streaming Appender without a
+	// provenance signer). Digest() materializes X0^dexp lazily into
+	// digests on first use, mirroring the witness path.
+	digExps  map[logmodel.GLSN]*big.Int
 	acl      *ticket.AccessTable
 	nextGLSN logmodel.GLSN
 	idx      map[logmodel.Attr]*attrIndex
@@ -161,6 +169,7 @@ type Node struct {
 	quarantined []string
 
 	det *resilience.Detector
+	adm *admission // nil = admit everything
 
 	wg sync.WaitGroup
 }
@@ -191,6 +200,7 @@ func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
 		provs:     make(map[logmodel.GLSN]*big.Int),
 		witExps:   make(map[logmodel.GLSN]*big.Int),
 		witCache:  make(map[logmodel.GLSN]*big.Int),
+		digExps:   make(map[logmodel.GLSN]*big.Int),
 		acl:       ticket.NewAccessTable(cfg.TicketIssuer),
 		nextGLSN:  first,
 		idx:       make(map[logmodel.Attr]*attrIndex),
@@ -219,6 +229,7 @@ func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
 		n.durable = true
 	}
 	n.det = resilience.NewDetector(mb, n.roster, cfg.Health)
+	n.adm = newAdmission(cfg.Admission)
 	return n, nil
 }
 
@@ -554,6 +565,10 @@ func (w wireTicket) ticket() *ticket.Ticket {
 type ackBody struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Overloaded marks an admission-control refusal (ErrOverloaded): the
+	// store was shed at the door, not attempted and failed, so the
+	// sender may retry with backoff. Legacy nodes never set it.
+	Overloaded bool `json:"overloaded,omitempty"`
 }
 
 // registerTicket admits and journals a ticket; the node lock serializes
@@ -708,6 +723,10 @@ type storeBody struct {
 	TicketID string            `json:"ticket_id"`
 	Fragment logmodel.Fragment `json:"fragment"`
 	Digest   *big.Int          `json:"digest"`
+	// DigestExp carries the digest's exponent instead of the group
+	// element when the writer defers materialization (streaming path);
+	// exactly one of Digest/DigestExp is set.
+	DigestExp *big.Int `json:"dexp,omitempty"`
 	// Provenance optionally carries the writer's signature over the
 	// record digest (see ProvenanceStatement), making the record
 	// non-repudiable: the writer cannot later deny having logged it.
@@ -746,10 +765,16 @@ func (n *Node) serveStore(ctx context.Context) {
 func (n *Node) handleStore(ctx context.Context, msg transport.Message) {
 	var body storeBody
 	ack := ackBody{OK: true}
+	bytes := int64(len(msg.Payload))
 	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 		ack = ackBody{Error: err.Error()}
-	} else if err := n.storeWhenGranted(ctx, func() error { return n.storeFragment(body) }); err != nil {
-		ack = ackBody{Error: err.Error()}
+	} else if err := n.adm.admit(1, bytes); err != nil {
+		ack = ackBody{Error: overloadedMarker, Overloaded: true}
+	} else {
+		if err := n.storeWhenGranted(ctx, func() error { return n.storeFragment(body) }); err != nil {
+			ack = ackBody{Error: err.Error()}
+		}
+		n.adm.release(bytes)
 	}
 	n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
 }
@@ -810,7 +835,7 @@ func (n *Node) storeFragment(body storeBody) error {
 	defer n.mu.Unlock()
 	n.storeLocked(body)
 	frag := n.frags[body.Fragment.GLSN]
-	return n.wal.append(walEntry{Kind: "frag", Fragment: &frag, Digest: body.Digest, Prov: body.Provenance, WitnessExp: body.WitnessExp})
+	return n.wal.append(walEntry{Kind: "frag", Fragment: &frag, Digest: body.Digest, DigestExp: body.DigestExp, Prov: body.Provenance, WitnessExp: body.WitnessExp})
 }
 
 // storeLocked installs a validated fragment and maintains the attribute
@@ -825,6 +850,12 @@ func (n *Node) storeLocked(body storeBody) {
 	n.indexAdd(frag)
 	if body.Digest != nil {
 		n.digests[frag.GLSN] = body.Digest
+		delete(n.digExps, frag.GLSN)
+	} else if body.DigestExp != nil {
+		n.digExps[frag.GLSN] = body.DigestExp
+		// An overwrite with a deferred digest invalidates any eagerly (or
+		// lazily) materialized element for the old content.
+		delete(n.digests, frag.GLSN)
 	}
 	if body.Provenance != nil {
 		n.provs[frag.GLSN] = body.Provenance
@@ -844,10 +875,13 @@ func (n *Node) storeLocked(body storeBody) {
 
 // batchItem is one record's slice of a store batch.
 type batchItem struct {
-	Fragment   logmodel.Fragment `json:"fragment"`
-	Digest     *big.Int          `json:"digest"`
-	Provenance *big.Int          `json:"provenance,omitempty"`
-	WitnessExp *big.Int          `json:"wexp,omitempty"`
+	Fragment logmodel.Fragment `json:"fragment"`
+	Digest   *big.Int          `json:"digest,omitempty"`
+	// DigestExp replaces Digest on the streaming path: the digest's
+	// exponent, materialized lazily by the node (see storeBody).
+	DigestExp  *big.Int `json:"dexp,omitempty"`
+	Provenance *big.Int `json:"provenance,omitempty"`
+	WitnessExp *big.Int `json:"wexp,omitempty"`
 }
 
 type storeBatchBody struct {
@@ -875,10 +909,19 @@ func (n *Node) serveStoreBatch(ctx context.Context) {
 func (n *Node) handleStoreBatch(ctx context.Context, msg transport.Message) {
 	var body storeBatchBody
 	ack := ackBody{OK: true}
+	bytes := int64(len(msg.Payload))
 	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
 		ack = ackBody{Error: err.Error()}
-	} else if err := n.storeWhenGranted(ctx, func() error { return n.storeFragmentBatch(body) }); err != nil {
-		ack = ackBody{Error: err.Error()}
+	} else if err := n.adm.admit(len(body.Items), bytes); err != nil {
+		// Shed at the door: no grant wait, no lock, no WAL touch. The
+		// writer retries with backoff or fails its acks with
+		// ErrOverloaded, per its policy.
+		ack = ackBody{Error: overloadedMarker, Overloaded: true}
+	} else {
+		if err := n.storeWhenGranted(ctx, func() error { return n.storeFragmentBatch(body) }); err != nil {
+			ack = ackBody{Error: err.Error()}
+		}
+		n.adm.release(bytes)
 	}
 	if ack.OK {
 		telemetry.M.Counter(telemetry.CtrStoreBatches).Add(1)
@@ -921,11 +964,12 @@ func (n *Node) storeFragmentBatch(body storeBatchBody) error {
 			TicketID:   body.TicketID,
 			Fragment:   item.Fragment,
 			Digest:     item.Digest,
+			DigestExp:  item.DigestExp,
 			Provenance: item.Provenance,
 			WitnessExp: item.WitnessExp,
 		})
 		frag := n.frags[item.Fragment.GLSN]
-		entries = append(entries, walEntry{Kind: "frag", Fragment: &frag, Digest: item.Digest, Prov: item.Provenance, WitnessExp: item.WitnessExp})
+		entries = append(entries, walEntry{Kind: "frag", Fragment: &frag, Digest: item.Digest, DigestExp: item.DigestExp, Prov: item.Provenance, WitnessExp: item.WitnessExp})
 	}
 	return n.wal.appendBatch(entries)
 }
@@ -1006,6 +1050,7 @@ func (n *Node) deleteFragment(ticketID string, g logmodel.GLSN) error {
 	n.indexRemove(frag)
 	delete(n.frags, g)
 	delete(n.digests, g)
+	delete(n.digExps, g)
 	delete(n.provs, g)
 	delete(n.witExps, g)
 	delete(n.witCache, g)
@@ -1022,12 +1067,34 @@ func (n *Node) Fragment(g logmodel.GLSN) (logmodel.Fragment, bool) {
 	return f, ok
 }
 
-// Digest returns the user-supplied record digest for a glsn.
+// Digest returns the record digest for a glsn. Writers either ship the
+// group element directly (synchronous path, provenance-signing path) or
+// ship its exponent and defer materialization to the first reader; in
+// the deferred case this call pays one fixed-base exponentiation
+// (outside the state lock) and memoizes the element.
 func (n *Node) Digest(g logmodel.GLSN) (*big.Int, bool) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	d, ok := n.digests[g]
-	return d, ok
+	for {
+		n.mu.RLock()
+		if d, ok := n.digests[g]; ok {
+			n.mu.RUnlock()
+			return d, true
+		}
+		e, ok := n.digExps[g]
+		n.mu.RUnlock()
+		if !ok {
+			return nil, false
+		}
+		d := n.accParams.PowX0(e)
+		n.mu.Lock()
+		if cur, still := n.digExps[g]; still && cur.Cmp(e) == 0 {
+			n.digests[g] = d
+			n.mu.Unlock()
+			return d, true
+		}
+		// The record was overwritten or deleted while materializing;
+		// retry against the current state.
+		n.mu.Unlock()
+	}
 }
 
 // Witness returns this node's membership witness for a glsn — the group
@@ -1075,8 +1142,8 @@ func (n *Node) Provenance(g logmodel.GLSN) (*big.Int, bool) {
 // Returns an error if the record, digest, or signature is missing or
 // the signature does not verify.
 func (n *Node) VerifyProvenance(g logmodel.GLSN, writer blind.PublicKey) error {
+	digest, haveDigest := n.Digest(g)
 	n.mu.RLock()
-	digest, haveDigest := n.digests[g]
 	sig, haveSig := n.provs[g]
 	n.mu.RUnlock()
 	if !haveDigest {

@@ -200,7 +200,7 @@ func TestProvisionedClusterRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := NewClient(mb, common.Roster, part, boot.AccParams, tk)
+	client, err := OpenClient(mb, ClientConfig{Roster: common.Roster, Partition: part, Accumulator: boot.AccParams, Ticket: tk})
 	if err != nil {
 		t.Fatal(err)
 	}

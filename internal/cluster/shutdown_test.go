@@ -65,7 +65,7 @@ func TestNodeStartReleasesGoroutinesOnCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewClient(mb, boot.Roster, boot.Partition, boot.AccParams, tk)
+	c, err := OpenClient(mb, ClientConfig{Roster: boot.Roster, Partition: boot.Partition, Accumulator: boot.AccParams, Ticket: tk})
 	if err != nil {
 		t.Fatal(err)
 	}

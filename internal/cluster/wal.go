@@ -34,7 +34,10 @@ type walEntry struct {
 	Count    int                `json:"count,omitempty"` // grant range size; 0/absent means 1
 	Fragment *logmodel.Fragment `json:"fragment,omitempty"`
 	Digest   *big.Int           `json:"digest,omitempty"`
-	Prov     *big.Int           `json:"prov,omitempty"`
+	// DigestExp is the writer-shipped digest exponent for records whose
+	// digest element is materialized lazily (see Node.Digest).
+	DigestExp *big.Int `json:"dexp,omitempty"`
+	Prov      *big.Int `json:"prov,omitempty"`
 	// WitnessExp is the writer-shipped membership-witness exponent; the
 	// group element is rematerialized lazily after replay, never stored.
 	WitnessExp *big.Int `json:"wexp,omitempty"`
@@ -341,6 +344,8 @@ func (n *Node) CompactStorage() error {
 		e := walEntry{Kind: "frag", Fragment: &frag}
 		if d, ok := n.digests[g]; ok {
 			e.Digest = d
+		} else if x, ok := n.digExps[g]; ok {
+			e.DigestExp = x
 		}
 		if p, ok := n.provs[g]; ok {
 			e.Prov = p
@@ -407,6 +412,10 @@ func (n *Node) applyWALEntry(e walEntry) error {
 		n.indexAdd(*e.Fragment)
 		if e.Digest != nil {
 			n.digests[e.Fragment.GLSN] = e.Digest
+			delete(n.digExps, e.Fragment.GLSN)
+		} else if e.DigestExp != nil {
+			n.digExps[e.Fragment.GLSN] = e.DigestExp
+			delete(n.digests, e.Fragment.GLSN)
 		}
 		if e.Prov != nil {
 			n.provs[e.Fragment.GLSN] = e.Prov
@@ -423,6 +432,7 @@ func (n *Node) applyWALEntry(e walEntry) error {
 		}
 		delete(n.frags, e.GLSN)
 		delete(n.digests, e.GLSN)
+		delete(n.digExps, e.GLSN)
 		delete(n.provs, e.GLSN)
 		delete(n.witExps, e.GLSN)
 		delete(n.witCache, e.GLSN)

@@ -90,7 +90,7 @@ func TestWALSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := NewClient(mb, tc2.boot.Roster, tc2.boot.Partition, tc2.boot.AccParams, tk)
+	orig, err := OpenClient(mb, ClientConfig{Roster: tc2.boot.Roster, Partition: tc2.boot.Partition, Accumulator: tc2.boot.AccParams, Ticket: tk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestCompactionShrinksAndPreserves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := NewClient(mb, tc2.boot.Roster, tc2.boot.Partition, tc2.boot.AccParams, tk)
+	orig, err := OpenClient(mb, ClientConfig{Roster: tc2.boot.Roster, Partition: tc2.boot.Partition, Accumulator: tc2.boot.AccParams, Ticket: tk})
 	if err != nil {
 		t.Fatal(err)
 	}

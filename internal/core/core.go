@@ -46,6 +46,9 @@ type Options struct {
 	// DataDir, when set, makes every node durable: node state is
 	// journaled under DataDir/<nodeID> and replayed on redeploy.
 	DataDir string
+	// Admission bounds every node's ingest admission (token-bucket rate
+	// + inflight bytes); the zero value admits everything.
+	Admission cluster.AdmissionConfig
 	// Rand is the entropy source (default crypto/rand).
 	Rand io.Reader
 }
@@ -106,6 +109,7 @@ func Deploy(opts Options) (*Deployment, error) {
 		if opts.DataDir != "" {
 			cfg.DataDir = filepath.Join(opts.DataDir, id)
 		}
+		cfg.Admission = opts.Admission
 		node, err := cluster.New(cfg, mb)
 		if err != nil {
 			cancel()

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"confaudit/internal/cluster"
+	"confaudit/internal/workload"
+)
+
+// TestLoadSmoke is the `make load-smoke` gate: the burst scenario on a
+// memnet cluster must ack every record, lose none, and produce a
+// non-empty knee row.
+func TestLoadSmoke(t *testing.T) {
+	sc, err := workload.ScenarioByName("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Scenario:  sc,
+		Nodes:     3,
+		Producers: 2,
+		Records:   600,
+		Rates:     []float64{500, 0},
+		Seed:      42,
+		Append:    cluster.AppendOptions{MaxBatchRecords: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("want 2 knee rows, got %d", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Acked != 600 || p.Failed != 0 {
+			t.Fatalf("point %+v: want 600 acked, 0 failed", p)
+		}
+		if p.AchievedRPS <= 0 || p.MaxMs <= 0 {
+			t.Fatalf("point %+v: empty knee row", p)
+		}
+	}
+	if rep.Baseline == nil || rep.Baseline.Acked != 600 {
+		t.Fatalf("baseline missing or short: %+v", rep.Baseline)
+	}
+	if rep.LostAcks != 0 {
+		t.Fatalf("%d acked records lost", rep.LostAcks)
+	}
+}
+
+// TestLoadCrashNoLostAcks is the ack-contract test under failure: a
+// durable node is crashed and restarted mid-stream, producers ride out
+// the gap through retries, and the post-run audit must find every acked
+// glsn on every node — zero acked-record loss.
+func TestLoadCrashNoLostAcks(t *testing.T) {
+	sc, err := workload.ScenarioByName("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Scenario:     sc,
+		Nodes:        3,
+		Producers:    2,
+		Records:      800,
+		Rates:        []float64{0},
+		Seed:         7,
+		Append:       cluster.AppendOptions{MaxBatchRecords: 64},
+		DataRoot:     t.TempDir(),
+		CrashNode:    "P1",
+		CrashPause:   100 * time.Millisecond,
+		SkipBaseline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashed != "P1" {
+		t.Fatalf("crash cycle did not run: %+v", rep)
+	}
+	pt := rep.Points[0]
+	if pt.Acked == 0 {
+		t.Fatalf("nothing acked across the crash: %+v", pt)
+	}
+	if rep.LostAcks != 0 {
+		t.Fatalf("%d acked records missing after recovery (acked %d, failed %d)",
+			rep.LostAcks, pt.Acked, pt.Failed)
+	}
+	t.Logf("crash run: %d acked, %d failed, 0 lost", pt.Acked, pt.Failed)
+}
+
+// BenchmarkIngestPoint drives one unpaced point — the profiling hook
+// for the streaming path.
+func BenchmarkIngestPoint(b *testing.B) {
+	sc, _ := workload.ScenarioByName("burst")
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(ctx, Config{
+			Scenario: sc, Nodes: 3, Producers: 2, Records: 4000, Rates: []float64{0},
+			Append: cluster.AppendOptions{MaxBatchRecords: 256}, SkipBaseline: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Points[0].AchievedRPS, "records/sec")
+	}
+}

@@ -103,6 +103,33 @@ func TestRedactionFullQuery(t *testing.T) {
 	} {
 		telemetry.M.Counter(ctr).Add(0)
 	}
+	// The streaming-ingest and admission metrics fire only on the
+	// Appender path and only under configured admission bounds; pin every
+	// name onto the surface so the sweep proves none of them can carry
+	// record content.
+	for _, ctr := range []string{
+		telemetry.CtrIngestAppends,
+		telemetry.CtrIngestAcks,
+		telemetry.CtrIngestBatches,
+		telemetry.CtrIngestFlushSize,
+		telemetry.CtrIngestFlushBytes,
+		telemetry.CtrIngestFlushLinger,
+		telemetry.CtrIngestFlushDrain,
+		telemetry.CtrIngestRetries,
+		telemetry.CtrIngestDropped,
+		telemetry.CtrAdmissionAdmitted,
+		telemetry.CtrAdmissionRejected,
+	} {
+		telemetry.M.Counter(ctr).Add(0)
+	}
+	for _, g := range []string{
+		telemetry.GaugeIngestStaged,
+		telemetry.GaugeIngestInflight,
+		telemetry.GaugeAdmissionBytes,
+		telemetry.GaugeAdmissionTokens,
+	} {
+		telemetry.M.Gauge(g).Set(0)
+	}
 
 	// Gather the complete observability surface: the metrics snapshot,
 	// every stored trace as JSON, and every rendered tree.
@@ -134,6 +161,15 @@ func TestRedactionFullQuery(t *testing.T) {
 	} {
 		if _, ok := snap.Counters[ctr]; !ok {
 			t.Errorf("storage counter %s missing from the snapshot", ctr)
+		}
+	}
+	for _, ctr := range []string{
+		telemetry.CtrIngestAppends,
+		telemetry.CtrIngestDropped,
+		telemetry.CtrAdmissionRejected,
+	} {
+		if _, ok := snap.Counters[ctr]; !ok {
+			t.Errorf("ingest counter %s missing from the snapshot", ctr)
 		}
 	}
 	// The crypto hot path must have recorded its work: batched modexps

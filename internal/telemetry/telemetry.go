@@ -397,6 +397,29 @@ const (
 	CtrStorageCheckpoints = "storage.checkpoints"          // accumulator checkpoints written
 	CtrStorageQuarantined = "storage.quarantined_segments" // segments refused by recovery
 
+	// Streaming ingestion front end. Client side: appends staged into the
+	// Appender, acks resolved (OK or error), batches dispatched, and the
+	// reason each staged batch sealed (count bound, byte bound, linger
+	// timer, explicit Flush/Close). Node side: batches admitted by or
+	// refused at the admission boundary. Queue-depth gauges expose the
+	// staged/inflight levels. Counts and sizes only — Definition 1
+	// secondary information; record contents never reach a metric.
+	CtrIngestAppends     = "ingest.appends"
+	CtrIngestAcks        = "ingest.acks"
+	CtrIngestBatches     = "ingest.batches"
+	CtrIngestFlushSize   = "ingest.flush_reason_size"
+	CtrIngestFlushBytes  = "ingest.flush_reason_bytes"
+	CtrIngestFlushLinger = "ingest.flush_reason_linger"
+	CtrIngestFlushDrain  = "ingest.flush_reason_drain"
+	CtrIngestRetries     = "ingest.overload_retries"
+	CtrIngestDropped     = "ingest.dropped"
+	GaugeIngestStaged    = "ingest.staged_records"
+	GaugeIngestInflight  = "ingest.inflight_batches"
+	CtrAdmissionAdmitted = "ingest.admitted"
+	CtrAdmissionRejected = "ingest.overload_rejections"
+	GaugeAdmissionBytes  = "ingest.inflight_bytes"
+	GaugeAdmissionTokens = "ingest.admission_tokens"
+
 	// Montgomery crypto engine and overlapped relay. montgomery_batches
 	// counts block batches served while a group's fixed-base tables
 	// (built with Montgomery squaring chains) are live; overlap_stalls

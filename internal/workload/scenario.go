@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"confaudit/internal/logmodel"
+)
+
+// Scenario shapes a load-generation run: what fraction of operations
+// write, how arrivals bunch, how skewed the key distribution is, and
+// whether the driver should inject a slow-node tail. Scenarios describe
+// intent; the loadgen engine interprets them against a live cluster.
+type Scenario struct {
+	// Name identifies the scenario on the dlaload command line.
+	Name string
+	// Description is one line for -list output.
+	Description string
+	// WriteFrac is the fraction of operations that are record writes;
+	// the remainder are auditing queries drawn from QueryMix.
+	WriteFrac float64
+	// BurstLen > 0 concentrates writes into on/off cycles: BurstLen
+	// records arrive back to back, then the producer idles IdleEvery of
+	// the cycle. Zero means a smooth arrival process.
+	BurstLen int
+	// IdleFrac is the fraction of each burst cycle spent idle (only
+	// meaningful with BurstLen > 0).
+	IdleFrac float64
+	// HotKeyBias sends this fraction of records to a single hot user id
+	// ("U1"), modelling attribute skew; the rest draw uniformly.
+	HotKeyBias float64
+	// Jitter asks the driver to run the cluster under chaos-injected
+	// delivery latency — the slow-node tail.
+	Jitter time.Duration
+}
+
+// Scenarios is the built-in library, the dlaload menu.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "burst",
+			Description: "write-only firehose arriving in on/off bursts",
+			WriteFrac:   1.0,
+			BurstLen:    512,
+			IdleFrac:    0.5,
+		},
+		{
+			Name:        "mixed",
+			Description: "80/20 write/query mix with smooth arrivals",
+			WriteFrac:   0.8,
+		},
+		{
+			Name:        "hotkey",
+			Description: "write-heavy stream with 90% of records on one hot user id",
+			WriteFrac:   1.0,
+			HotKeyBias:  0.9,
+		},
+		{
+			Name:        "slownode",
+			Description: "smooth write stream against a cluster with injected delivery jitter",
+			WriteFrac:   1.0,
+			Jitter:      2 * time.Millisecond,
+		},
+	}
+}
+
+// ScenarioByName finds a built-in scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	names := make([]string, 0, 4)
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+		names = append(names, sc.Name)
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// ScenarioEvents generates count records for the scenario over the
+// schema: Transactions-shaped values with the scenario's hot-key skew
+// applied to the id attribute. Deterministic in the generator's seed.
+func (g *Gen) ScenarioEvents(schema *logmodel.Schema, sc Scenario, count, users int) []map[logmodel.Attr]logmodel.Value {
+	out := g.Transactions(schema, count, users)
+	if sc.HotKeyBias <= 0 {
+		return out
+	}
+	for _, vals := range out {
+		if _, ok := vals["id"]; !ok {
+			continue
+		}
+		if g.rng.Float64() < sc.HotKeyBias {
+			vals["id"] = logmodel.String("U1")
+		}
+	}
+	return out
+}
+
+// UserPool names n distinct synthetic producers (the "million users" of
+// a full-scale run are just a large n).
+func UserPool(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "load-u" + strconv.Itoa(i)
+	}
+	return ids
+}

@@ -28,9 +28,9 @@ type task struct {
 	n    int
 	fn   func(int) error
 
-	mu   sync.Mutex
-	err  error
-	wg   sync.WaitGroup // open worker claims on this task
+	mu  sync.Mutex
+	err error
+	wg  sync.WaitGroup // open worker claims on this task
 }
 
 // run drains indices until the range is exhausted or a call fails.

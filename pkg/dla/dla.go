@@ -11,6 +11,20 @@
 //	g, _ := s.Log(ctx, map[dla.Attr]dla.Value{"id": dla.String("U1")})
 //	matches, _ := s.Query(ctx, `id = "U1"`)
 //
+// Session.Log is one full quorum round trip per record — right for
+// occasional events, wrong for a firehose. Callers with many records in
+// hand should use Session.LogBatch (one glsn reservation and one store
+// round per node for the whole slice). Callers ingesting a continuous
+// stream should open a Session.Appender, which batches concurrent
+// Appends client-side, pipelines several batches through the quorum
+// machinery, and converts node overload (ErrOverloaded) into
+// backpressure:
+//
+//	ap, _ := s.Appender(ctx, dla.AppendOptions{})
+//	ack, _ := ap.Append(ctx, map[dla.Attr]dla.Value{"id": dla.String("U1")})
+//	g, _ := ack.GLSN() // resolves once the record is stored everywhere
+//	_ = ap.Close(ctx)  // drains: every ack resolves before Close returns
+//
 // Everything underneath stays in internal/ packages; the type aliases
 // below re-export the vocabulary types so callers never import them.
 package dla
@@ -61,7 +75,37 @@ type (
 	Op = ticket.Op
 	// PublicKey verifies node signatures on certified results.
 	PublicKey = blind.PublicKey
+	// Appender is the streaming write path; open one with
+	// Session.Appender.
+	Appender = cluster.Appender
+	// AppendOptions tune an Appender (batch bounds, linger, inflight
+	// window, overload policy).
+	AppendOptions = cluster.AppendOptions
+	// Ack is the per-record future an Appender.Append returns.
+	Ack = cluster.Ack
+	// OverloadPolicy selects block-or-drop behavior under ErrOverloaded.
+	OverloadPolicy = cluster.OverloadPolicy
+	// AdmissionConfig bounds a node's ingest admission; set on
+	// ClusterOptions.Admission.
+	AdmissionConfig = cluster.AdmissionConfig
+	// AdmissionStatus snapshots a node's admission state (token fill,
+	// inflight bytes, rejection counts).
+	AdmissionStatus = cluster.AdmissionStatus
 )
+
+// Backpressure policies for AppendOptions.OnOverload.
+const (
+	OverloadBlock = cluster.OverloadBlock
+	OverloadDrop  = cluster.OverloadDrop
+)
+
+// ErrOverloaded is a node's typed ingest-admission refusal; the
+// Appender converts it into backpressure per AppendOptions.OnOverload.
+// Wrap-checked with errors.Is.
+var ErrOverloaded = cluster.ErrOverloaded
+
+// ErrAppenderClosed is returned by Appender.Append after Close began.
+var ErrAppenderClosed = cluster.ErrAppenderClosed
 
 // Aggregate kinds for Session.Aggregate.
 const (
@@ -100,6 +144,11 @@ type ClusterOptions struct {
 	Partition *Partition
 	// DataDir, when set, journals node state for durable redeploys.
 	DataDir string
+	// Admission bounds every node's ingest admission (token-bucket
+	// records/sec + inflight payload bytes). The zero value admits
+	// everything; with bounds set, overloaded nodes refuse stores with
+	// ErrOverloaded instead of queueing unboundedly.
+	Admission AdmissionConfig
 }
 
 // Cluster is a running DLA deployment.
@@ -110,7 +159,7 @@ type Cluster struct {
 // Deploy provisions keys, starts every DLA node in-process, and
 // launches the audit and integrity services.
 func Deploy(opts ClusterOptions) (*Cluster, error) {
-	d, err := core.Deploy(core.Options{Partition: opts.Partition, DataDir: opts.DataDir})
+	d, err := core.Deploy(core.Options{Partition: opts.Partition, DataDir: opts.DataDir, Admission: opts.Admission})
 	if err != nil {
 		return nil, err
 	}
@@ -223,9 +272,20 @@ func (s *Session) Log(ctx context.Context, values map[Attr]Value) (GLSN, error) 
 }
 
 // LogBatch writes records under one glsn reservation and one store
-// round per node — the high-throughput write path.
+// round per node — the right call when a slice of records is already in
+// hand. For continuous streams, use Appender.
 func (s *Session) LogBatch(ctx context.Context, records []map[Attr]Value) ([]GLSN, error) {
 	return s.client.LogBatch(ctx, records)
+}
+
+// Appender opens the streaming write path: concurrent Appends batch
+// client-side (sealed by count, bytes, or linger time), batches
+// pipeline through the quorum machinery up to AppendOptions.MaxInflight
+// deep, and each record's Ack future resolves with its glsn. Node
+// overload becomes backpressure per AppendOptions.OnOverload. The
+// context bounds the appender's lifetime; Close drains it.
+func (s *Session) Appender(ctx context.Context, opts AppendOptions) (*Appender, error) {
+	return s.client.NewAppender(ctx, opts)
 }
 
 // Read reassembles a record this session's ticket grants access to.

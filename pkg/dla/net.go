@@ -1,0 +1,23 @@
+package dla
+
+import "confaudit/internal/transport"
+
+// Transport vocabulary re-exported for callers that run the standalone
+// secure-multiparty protocols (SecureSum, Rank) or the membership
+// handshake outside a deployed cluster.
+type (
+	// Network hosts endpoints; MemNetwork is the in-process one.
+	Network = transport.Network
+	// MemNetwork is the in-memory network used by examples and tests.
+	MemNetwork = transport.MemNetwork
+	// Endpoint is one participant's attachment to a Network.
+	Endpoint = transport.Endpoint
+	// Mailbox sends and receives protocol messages over an Endpoint.
+	Mailbox = transport.Mailbox
+)
+
+// NewMemNetwork starts an in-process network.
+func NewMemNetwork() *MemNetwork { return transport.NewMemNetwork() }
+
+// NewMailbox wraps an endpoint in a mailbox.
+func NewMailbox(ep Endpoint) *Mailbox { return transport.NewMailbox(ep) }

@@ -1,0 +1,38 @@
+package dla
+
+import (
+	"context"
+	"math/big"
+
+	"confaudit/internal/smc/compare"
+	"confaudit/internal/smc/sum"
+)
+
+// Secure-multiparty vocabulary (paper §3.3 and §3.5) re-exported so
+// cross-organization computations run through pkg/dla alone.
+type (
+	// SumConfig configures a (k,n) secret-sharing secure sum.
+	SumConfig = sum.Config
+	// RankConfig configures the blind-TTP comparison protocol.
+	RankConfig = compare.RankConfig
+	// RankResult is a participant's view of the ranking outcome.
+	RankResult = compare.RankResult
+)
+
+// SecureSum runs one party's side of the §3.5 secure sum: the parties
+// jointly compute the total of their private addends; only the
+// configured receivers learn it (others get nil).
+func SecureSum(ctx context.Context, mb *Mailbox, cfg SumConfig, value *big.Int) (*big.Int, error) {
+	return sum.Run(ctx, mb, cfg, value)
+}
+
+// Rank runs one value-holder's side of the §3.3 blind-TTP ranking; the
+// TTP sees only monotone-transformed values.
+func Rank(ctx context.Context, mb *Mailbox, cfg RankConfig, value *big.Int) (*RankResult, error) {
+	return compare.Rank(ctx, mb, cfg, value)
+}
+
+// ServeRank runs the blind TTP's side of the §3.3 ranking.
+func ServeRank(ctx context.Context, mb *Mailbox, cfg RankConfig) error {
+	return compare.ServeRank(ctx, mb, cfg)
+}

@@ -1,0 +1,36 @@
+package dla
+
+import (
+	"confaudit/internal/logmodel"
+	"confaudit/internal/workload"
+)
+
+// Workload vocabulary re-exported so examples and load drivers build
+// schemas, partitions, and synthetic event streams without importing
+// internal packages.
+type (
+	// Schema declares a workload's attributes.
+	Schema = logmodel.Schema
+	// PaperExample is the paper's Tables 1-5 worked example: a
+	// 12-attribute schema, its partition over four nodes, and the sample
+	// records.
+	PaperExample = logmodel.PaperExample
+	// Workload generates deterministic synthetic event streams
+	// (Transactions, IntrusionEvents) from a seed.
+	Workload = workload.Gen
+)
+
+// NewPaperExample builds the paper's worked example.
+func NewPaperExample() (*PaperExample, error) { return logmodel.NewPaperExample() }
+
+// NewWorkload seeds a deterministic synthetic-event generator.
+func NewWorkload(seed uint64) *Workload { return workload.New(seed) }
+
+// ECommerceSchema builds the e-commerce audit schema with the given
+// number of application-private ("undefined") attributes.
+func ECommerceSchema(undefined int) (*Schema, error) { return workload.ECommerceSchema(undefined) }
+
+// RoundRobinPartition spreads the schema's attributes over n nodes.
+func RoundRobinPartition(schema *Schema, n int) (*Partition, error) {
+	return workload.RoundRobinPartition(schema, n)
+}

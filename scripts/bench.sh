@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR7.json.
+# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR8.json.
 #
 # Usage: scripts/bench.sh [benchtime] [profile-dir]
 #   benchtime defaults to 3s; pass e.g. 1x for a smoke run.
@@ -20,26 +20,37 @@
 # between PRs — and even between runs minutes apart — so comparing
 # against a weeks-old artifact, or against numbers pasted in by hand
 # earlier the same day, would conflate that drift with code changes.
-# `benchtab -benchdiff BENCH_PR7.json` diffs the two embedded sections
+# Each sweep runs -count=$BENCHCOUNT and keeps the per-row MINIMUM
+# ns/op (best-of-N, applied identically to both sides): the box's
+# minute-scale contention spikes inflate single samples by 1.5-2x,
+# which a 10% gate cannot survive, while the minimum estimates the
+# uncontended cost each side actually achieves in the same window.
+# `benchtab -benchdiff BENCH_PR8.json` diffs the two embedded sections
 # and gates the headline rows. Every row must carry all three fields: a
 # row with a missing B/op or allocs/op (a benchmark that forgot
 # ReportAllocs, or a -benchmem drop) fails the run instead of silently
-# emitting null. The witness rows come from the accumulator package:
-# flat ns/op across history=100 and history=1000 is the PR 7 acceptance
-# bar for amortized witnesses. They have no baseline counterpart (the
-# benchmark is new in this PR), so the baseline sweep covers the root
-# package only.
+# emitting null. New-in-this-PR benchmarks (the streaming Appender row)
+# have no baseline counterpart; benchdiff gates only rows present in
+# both sections.
+#
+# The "ingest" section is the PR 8 knee of curve: a dlaload burst sweep
+# (>=3 offered-load points plus the synchronous per-event LogBatch
+# baseline measured in the same run) and a crash-scenario run whose
+# lost_acks row must be zero. benchtab ignores keys it does not know,
+# so the section rides in the same artifact the benchdiff gate reads.
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-3s}"
+BENCHTIME="${1:-2s}"
 PROFILE_DIR="${2:-}"
-BASE_REF="${BASE_REF:-5c06c63}"
-OUT="BENCH_PR7.json"
-BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkQueryShapes|BenchmarkTelemetryOverhead|BenchmarkWitnessMaintain'
+BASE_REF="${BASE_REF:-8e688ab}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
+OUT="BENCH_PR8.json"
+BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkAppenderThroughput|BenchmarkQueryShapes|BenchmarkTelemetryOverhead|BenchmarkWitnessMaintain'
 
-# parse_rows turns `go test -bench` output into JSON row objects,
-# failing loudly on any row missing alloc fields.
+# parse_rows turns `go test -bench -count=N` output into JSON row
+# objects, keeping the minimum-ns/op sample per benchmark (with that
+# sample's alloc fields) and failing loudly on any row missing them.
 parse_rows() {
     awk '
     /^Benchmark/ {
@@ -56,14 +67,23 @@ parse_rows() {
             printf "bench.sh: %s is missing B/op or allocs/op (run with -benchmem and ReportAllocs)\n", name > "/dev/stderr"
             exit 1
         }
-        row = sprintf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
-                      name, ns, bytes, allocs)
-        rows = rows (rows == "" ? "" : ",\n") row
+        if (!(name in best_ns)) {
+            order[++n] = name
+            best_ns[name] = ns; best_b[name] = bytes; best_a[name] = allocs
+        } else if (ns + 0 < best_ns[name] + 0) {
+            best_ns[name] = ns; best_b[name] = bytes; best_a[name] = allocs
+        }
     }
     END {
-        if (rows == "") {
+        if (n == 0) {
             print "bench.sh: no benchmark rows parsed" > "/dev/stderr"
             exit 1
+        }
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            row = sprintf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
+                          name, best_ns[name], best_b[name], best_a[name])
+            rows = rows (rows == "" ? "" : ",\n") row
         }
         print rows
     }'
@@ -74,22 +94,36 @@ parse_rows() {
 BASE_DIR="$(mktemp -d)/base"
 git worktree add --detach "$BASE_DIR" "$BASE_REF" >&2
 trap 'git worktree remove --force "$BASE_DIR" >/dev/null 2>&1 || true' EXIT INT TERM
-echo "bench.sh: baseline sweep ($BASE_REF)" >&2
-BASE_RAW="$(cd "$BASE_DIR" && go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)"
+echo "bench.sh: baseline sweep ($BASE_REF, best of $BENCHCOUNT)" >&2
+BASE_RAW="$(cd "$BASE_DIR" && go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" .)"
 printf '%s\n' "$BASE_RAW" >&2
 BASE_ROWS="$(printf '%s\n' "$BASE_RAW" | parse_rows)"
 
-echo "bench.sh: after sweep (working tree)" >&2
-AFTER_RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" . ./internal/crypto/accumulator/)"
+echo "bench.sh: after sweep (working tree, best of $BENCHCOUNT)" >&2
+AFTER_RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . ./internal/crypto/accumulator/)"
 printf '%s\n' "$AFTER_RAW" >&2
 AFTER_ROWS="$(printf '%s\n' "$AFTER_RAW" | parse_rows)"
+
+# Ingest knee of curve: a dlaload burst sweep (paced points plus the
+# unpaced right-hand end, with the synchronous per-event baseline in the
+# same run) and a crash-scenario run auditing acked-record loss.
+echo "bench.sh: ingest knee sweep (dlaload burst)" >&2
+INGEST_JSON="$(go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
+    -records 2000 -rates 2000,6000,0 -json)"
+echo "bench.sh: ingest crash run (dlaload burst -crash)" >&2
+CRASH_ROOT="$(mktemp -d)"
+INGEST_CRASH_JSON="$(go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
+    -records 800 -rates 0 -crash P1 -dataroot "$CRASH_ROOT" -json)"
+rm -rf "$CRASH_ROOT"
 
 {
     printf '{\n'
     printf '  "benchtime": "%s",\n' "$BENCHTIME"
     printf '  "baseline_ref": "%s",\n' "$BASE_REF"
     printf '  "baseline": [\n%s\n  ],\n' "$BASE_ROWS"
-    printf '  "after": [\n%s\n  ]\n' "$AFTER_ROWS"
+    printf '  "after": [\n%s\n  ],\n' "$AFTER_ROWS"
+    printf '  "ingest": %s,\n' "$INGEST_JSON"
+    printf '  "ingest_crash": %s\n' "$INGEST_CRASH_JSON"
     printf '}\n'
 } >"$OUT"
 

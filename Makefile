@@ -11,7 +11,7 @@ GO ?= go
 #   go run ./cmd/benchtab -benchdiff BENCH_PR7.json,BENCH_PR8.json
 # but are not the gate, because box-speed drift between PRs would be
 # indistinguishable from code regressions.
-BENCH_HEAD ?= BENCH_PR8.json
+BENCH_HEAD ?= BENCH_PR9.json
 
 .PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos crash-torture examples obs-smoke load-smoke tables fuzz clean
 

@@ -35,6 +35,38 @@ type benchFile struct {
 	Benchtime string     `json:"benchtime"`
 	Baseline  []benchRow `json:"baseline"`
 	After     []benchRow `json:"after"`
+
+	// Ingest knee sections (dlaload burst sweeps). Ingest is the head
+	// tree, IngestBaseline the same sweep from the BASE_REF worktree in
+	// the same bench.sh run; IngestScaling holds the unpaced run at
+	// pinned GOMAXPROCS values. Older artifacts may lack all three.
+	Ingest         *ingestSection            `json:"ingest"`
+	IngestBaseline *ingestSection            `json:"ingest_baseline"`
+	IngestScaling  map[string]*ingestSection `json:"ingest_scaling"`
+}
+
+type ingestSection struct {
+	Points []ingestPoint `json:"points"`
+}
+
+type ingestPoint struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+}
+
+// knee is the headline rec/s row: the best achieved throughput across
+// the sweep's offered-load points.
+func (s *ingestSection) knee() float64 {
+	if s == nil {
+		return 0
+	}
+	var best float64
+	for _, p := range s.Points {
+		if p.AchievedRPS > best {
+			best = p.AchievedRPS
+		}
+	}
+	return best
 }
 
 // headlineBenches are the two gate benchmarks: more than
@@ -132,6 +164,30 @@ func runBenchDiff(spec string) error {
 		if *nr.NsOp > *or.NsOp*regressionTolerance {
 			failures = append(failures, fmt.Sprintf("%s regressed: %.0f -> %.0f ns/op (> %.0f%% tolerance)",
 				name, *or.NsOp, *nr.NsOp, (regressionTolerance-1)*100))
+		}
+	}
+	// Ingest knee gate: the artifact's same-run dlaload sweep against
+	// the BASE_REF worktree's. Only artifacts carrying both sections are
+	// gated (older ones predate the sections); a head knee more than the
+	// tolerance below the baseline knee fails like a headline ns/op row.
+	if newF.Ingest != nil && newF.IngestBaseline != nil {
+		head, base := newF.Ingest.knee(), newF.IngestBaseline.knee()
+		if base <= 0 {
+			failures = append(failures, "ingest_baseline section has no achieved_rps rows")
+		} else {
+			fmt.Printf("\n%-45s %14.0f %14.0f %6.2fx\n", "ingest knee (rec/s, same-run baseline)", base, head, head/base)
+			if head*regressionTolerance < base {
+				failures = append(failures, fmt.Sprintf("ingest knee regressed: %.0f -> %.0f rec/s (> %.0f%% tolerance)",
+					base, head, (regressionTolerance-1)*100))
+			}
+		}
+		g1, g4 := newF.IngestScaling["gomaxprocs1"], newF.IngestScaling["gomaxprocs4"]
+		if g1.knee() <= 0 || g4.knee() <= 0 {
+			failures = append(failures, "ingest_scaling rows missing (want gomaxprocs1 and gomaxprocs4)")
+		} else {
+			// Informational on a 1-vCPU box, where the two rows tie; on
+			// multi-core hosts the ratio shows the node-side fan-out.
+			fmt.Printf("%-45s %14.0f %14.0f %6.2fx\n", "ingest scaling (GOMAXPROCS 1 -> 4)", g1.knee(), g4.knee(), g4.knee()/g1.knee())
 		}
 	}
 	if len(failures) > 0 {

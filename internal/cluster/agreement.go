@@ -98,7 +98,7 @@ func (n *Node) propose(ctx context.Context, session string, statement []byte) (*
 	quorum := Quorum(len(n.roster))
 	refusals := 0
 	for _, peer := range n.peers() {
-		if err := n.send(ctx, peer, msgAgreeReq, session, req); err != nil {
+		if err := n.send(ctx, peer, msgAgreeReq, session, &req); err != nil {
 			// An unreachable peer cannot vote; treat it as a refusal so
 			// a minority of dead nodes does not block the sequencer.
 			refusals++
@@ -135,7 +135,7 @@ func (n *Node) propose(ctx context.Context, session string, statement []byte) (*
 		// Best effort: a node that misses the commit catches up through
 		// the sync protocol when it next sees a proposal ahead of its
 		// state.
-		n.send(ctx, peer, msgAgreeCommit, session, commit) //nolint:errcheck
+		n.send(ctx, peer, msgAgreeCommit, session, &commit) //nolint:errcheck
 	}
 	return cert, nil
 }
@@ -239,7 +239,7 @@ func (n *Node) serveAgreement(ctx context.Context) {
 				vote.Sig = sig
 			}
 		}
-		if err := n.send(ctx, msg.From, msgAgreeVote, msg.Session, vote); err != nil {
+		if err := n.send(ctx, msg.From, msgAgreeVote, msg.Session, &vote); err != nil {
 			continue
 		}
 	}

@@ -442,11 +442,13 @@ func (a *Appender) sendNodeBatch(node string, items []batchItem, first logmodel.
 	transient := 0
 	for {
 		session := c.nextSession("apstore")
-		msg, err := transport.NewMessage(node, MsgLogStoreBatch, session, body)
-		if err != nil {
-			return err
-		}
+		msg := transport.NewBinaryMessage(node, MsgLogStoreBatch, session, &body)
 		if c.outbox != nil && c.det != nil && c.det.Status(node) == resilience.StatusDead {
+			// Spooled payloads are always JSON: the outbox may outlive
+			// this build, and replay resends the stored bytes verbatim.
+			if err := msg.EncodePayloadJSON(); err != nil {
+				return err
+			}
 			return c.spool(node, MsgLogStoreBatch, msg.Payload, first)
 		}
 		if err := c.mb.Send(a.ctx, msg); err != nil {
@@ -454,6 +456,9 @@ func (a *Appender) sendNodeBatch(node string, items []batchItem, first logmodel.
 				return err
 			}
 			if c.outbox != nil {
+				if err := msg.EncodePayloadJSON(); err != nil {
+					return err
+				}
 				return c.spool(node, MsgLogStoreBatch, msg.Payload, first)
 			}
 			if transient++; transient > a.opts.MaxRetries {

@@ -332,10 +332,7 @@ func (c *Client) RegisterTicket(ctx context.Context) error {
 func (c *Client) RequestGLSN(ctx context.Context) (logmodel.GLSN, error) {
 	defer telemetry.M.Histogram(telemetry.HistClientGLSN).Since(time.Now())
 	session := c.nextSession("glsn")
-	msg, err := transport.NewMessage(c.roster[0], MsgGLSNRequest, session, glsnRequestBody{TicketID: c.tk.ID})
-	if err != nil {
-		return 0, err
-	}
+	msg := transport.NewBinaryMessage(c.roster[0], MsgGLSNRequest, session, &glsnRequestBody{TicketID: c.tk.ID})
 	if err := c.mb.Send(ctx, msg); err != nil {
 		return 0, fmt.Errorf("cluster: requesting glsn: %w", err)
 	}
@@ -358,11 +355,8 @@ func (c *Client) RequestGLSN(ctx context.Context) (logmodel.GLSN, error) {
 func (c *Client) RequestGLSNRange(ctx context.Context, count int) (logmodel.GLSN, error) {
 	defer telemetry.M.Histogram(telemetry.HistClientGLSN).Since(time.Now())
 	session := c.nextSession("glsnrange")
-	msg, err := transport.NewMessage(c.roster[0], MsgGLSNRange, session,
-		glsnRangeReqBody{TicketID: c.tk.ID, Count: count})
-	if err != nil {
-		return 0, err
-	}
+	msg := transport.NewBinaryMessage(c.roster[0], MsgGLSNRange, session,
+		&glsnRangeReqBody{TicketID: c.tk.ID, Count: count})
 	if err := c.mb.Send(ctx, msg); err != nil {
 		return 0, fmt.Errorf("cluster: requesting glsn range: %w", err)
 	}
@@ -439,11 +433,13 @@ func (c *Client) LogBatch(ctx context.Context, records []map[logmodel.Attr]logmo
 	sent := 0
 	for node, items := range perNode {
 		body := storeBatchBody{TicketID: c.tk.ID, Items: items}
-		msg, err := transport.NewMessage(node, MsgLogStoreBatch, session, body)
-		if err != nil {
-			return nil, err
-		}
+		msg := transport.NewBinaryMessage(node, MsgLogStoreBatch, session, &body)
 		if c.outbox != nil && c.det != nil && c.det.Status(node) == resilience.StatusDead {
+			// Spooled payloads are always JSON: the outbox may outlive
+			// this build, and replay resends the stored bytes verbatim.
+			if err := msg.EncodePayloadJSON(); err != nil {
+				return nil, err
+			}
 			if err := c.spool(node, MsgLogStoreBatch, msg.Payload, first); err != nil {
 				return nil, err
 			}
@@ -452,6 +448,9 @@ func (c *Client) LogBatch(ctx context.Context, records []map[logmodel.Attr]logmo
 		if err := c.mb.Send(ctx, msg); err != nil {
 			if c.outbox == nil || ctx.Err() != nil || errors.Is(err, transport.ErrUnknownNode) {
 				return nil, fmt.Errorf("cluster: storing batch on %s: %w", node, err)
+			}
+			if err := msg.EncodePayloadJSON(); err != nil {
+				return nil, err
 			}
 			if err := c.spool(node, MsgLogStoreBatch, msg.Payload, first); err != nil {
 				return nil, err
@@ -495,11 +494,13 @@ func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 	sent := 0
 	for node, frag := range frags {
 		body := storeBody{TicketID: c.tk.ID, Fragment: frag, Digest: digest, Provenance: prov, WitnessExp: wits[node]}
-		msg, err := transport.NewMessage(node, MsgLogStore, session, body)
-		if err != nil {
-			return err
-		}
+		msg := transport.NewBinaryMessage(node, MsgLogStore, session, &body)
 		if c.outbox != nil && c.det != nil && c.det.Status(node) == resilience.StatusDead {
+			// Spooled payloads are always JSON: the outbox may outlive
+			// this build, and replay resends the stored bytes verbatim.
+			if err := msg.EncodePayloadJSON(); err != nil {
+				return err
+			}
 			if err := c.spool(node, MsgLogStore, msg.Payload, rec.GLSN); err != nil {
 				return err
 			}
@@ -510,6 +511,9 @@ func (c *Client) StoreRecord(ctx context.Context, rec logmodel.Record) error {
 			// misaddressing stay hard errors.
 			if c.outbox == nil || ctx.Err() != nil || errors.Is(err, transport.ErrUnknownNode) {
 				return fmt.Errorf("cluster: storing fragment on %s: %w", node, err)
+			}
+			if err := msg.EncodePayloadJSON(); err != nil {
+				return err
 			}
 			if err := c.spool(node, MsgLogStore, msg.Payload, rec.GLSN); err != nil {
 				return err

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/storage"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+// mixedTCPCluster is a DLA cluster over real TCP where some nodes run
+// the legacy JSON-only transport: they never advertise a codec, reject
+// binary frames, and decode only JSON payloads. The current build's
+// binary store-batch, ack, glsn, and agreement bodies must fall back
+// per peer or the cluster cannot commit a single record.
+type mixedTCPCluster struct {
+	boot  *Bootstrap
+	addrs map[string]string
+	nets  map[string]*transport.TCPNetwork
+	nodes map[string]*Node
+}
+
+func startMixedTCPCluster(t *testing.T, jsonOnly ...string) *mixedTCPCluster {
+	t.Helper()
+	boot := sharedBootstrap(t)
+	legacy := make(map[string]bool, len(jsonOnly))
+	for _, id := range jsonOnly {
+		legacy[id] = true
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	mc := &mixedTCPCluster{
+		boot:  boot,
+		addrs: make(map[string]string, len(boot.Roster)),
+		nets:  make(map[string]*transport.TCPNetwork, len(boot.Roster)),
+		nodes: make(map[string]*Node, len(boot.Roster)),
+	}
+	for _, id := range boot.Roster {
+		mc.addrs[id] = "127.0.0.1:0"
+	}
+	var eps []transport.Endpoint
+	for _, id := range boot.Roster {
+		net := transport.NewTCPNetwork(mc.addrs)
+		if legacy[id] {
+			net.SetJSONOnly(true)
+		}
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps = append(eps, ep)
+		// Propagate the actual bound address (":0" ephemeral ports) to
+		// the views created so far and to later ones via addrs.
+		mc.addrs[id] = ep.(interface{ Addr() string }).Addr()
+		for _, other := range mc.nets {
+			other.Register(id, mc.addrs[id])
+		}
+		mc.nets[id] = net
+		node, err := New(boot.NodeConfig(id), transport.NewMailbox(ep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start(ctx)
+		mc.nodes[id] = node
+	}
+	t.Cleanup(func() {
+		cancel()
+		for _, ep := range eps {
+			ep.Close() //nolint:errcheck
+		}
+		for _, n := range mc.nodes {
+			n.Wait()
+		}
+	})
+	return mc
+}
+
+// client opens a client on its own TCP view; jsonOnly pins it to the
+// legacy codec, modeling an old writer against upgraded nodes.
+func (mc *mixedTCPCluster) client(t *testing.T, clientID, ticketID string, jsonOnly bool, ops ...ticket.Op) *Client {
+	t.Helper()
+	net := transport.NewTCPNetwork(mc.addrs)
+	if jsonOnly {
+		net.SetJSONOnly(true)
+	}
+	net.Register(clientID, "127.0.0.1:0")
+	ep, err := net.Endpoint(clientID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ep.(interface{ Addr() string }).Addr()
+	for _, other := range mc.nets {
+		other.Register(clientID, addr)
+	}
+	mb := transport.NewMailbox(ep)
+	t.Cleanup(func() { mb.Close() }) //nolint:errcheck
+	tk, err := mc.boot.Issuer.Issue(ticketID, clientID, ops...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenClient(mb, ClientConfig{Roster: mc.boot.Roster, Partition: mc.boot.Partition, Accumulator: mc.boot.AccParams, Ticket: tk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestMixedCodecClusterStoreBatch runs batched ingest over TCP against
+// a cluster where P1 and P3 are JSON-only. The sequencer's quorum
+// rounds cross the codec boundary (P0 leads, legacy followers vote),
+// and every store batch fans to all four nodes — so a commit proves
+// binary glsn-range, agreement, store-batch, and ack bodies all fell
+// back to JSON for the legacy peers and stayed binary for the rest.
+func TestMixedCodecClusterStoreBatch(t *testing.T) {
+	mc := startMixedTCPCluster(t, "P1", "P3")
+	ctx := testCtx(t)
+
+	// Current-build client: binary bodies toward P0/P2, JSON to P1/P3.
+	c := mc.client(t, "mix-u", "TMIX", false, ticket.OpWrite, ticket.OpRead)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	records := make([]map[logmodel.Attr]logmodel.Value, 10) // >= fanout threshold
+	for i := range records {
+		records[i] = map[logmodel.Attr]logmodel.Value{
+			"id": logmodel.String("M" + string(rune('0'+i))),
+			"C1": logmodel.Int(int64(1000 + i)),
+			"C2": logmodel.Float(float64(i) + 0.25),
+		}
+	}
+	gs, err := c.LogBatch(ctx, records)
+	if err != nil {
+		t.Fatalf("batch across mixed codecs: %v", err)
+	}
+	for i, g := range gs {
+		rec, err := c.Read(ctx, g)
+		if err != nil {
+			t.Fatalf("reading record %d back: %v", i, err)
+		}
+		if rec.Values["C1"].I != int64(1000+i) || rec.Values["id"].S != records[i]["id"].S {
+			t.Fatalf("record %d read back %v", i, rec.Values)
+		}
+	}
+	// The JSON-only C1 owner really stored its slice — the acks the
+	// client saw were not vacuous.
+	for i, g := range gs {
+		frag, ok := mc.nodes["P3"].Fragment(g)
+		if !ok {
+			t.Fatalf("legacy node P3 missing fragment %s", g)
+		}
+		if frag.Values["C1"].I != int64(1000+i) {
+			t.Fatalf("legacy node P3 fragment %s stored %v", g, frag.Values)
+		}
+	}
+
+	// Legacy client against the same cluster: upgraded nodes must keep
+	// decoding plain JSON store bodies and answer in kind.
+	lc := mc.client(t, "mix-legacy", "TMIXL", true, ticket.OpWrite, ticket.OpRead)
+	if err := lc.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	lgs, err := lc.LogBatch(ctx, records[:3])
+	if err != nil {
+		t.Fatalf("legacy client batch: %v", err)
+	}
+	for i, g := range lgs {
+		rec, err := lc.Read(ctx, g)
+		if err != nil {
+			t.Fatalf("legacy client reading %d back: %v", i, err)
+		}
+		if rec.Values["C1"].I != int64(1000+i) {
+			t.Fatalf("legacy record %d read back %v", i, rec.Values)
+		}
+	}
+}
+
+// legacyWALEntries is a journal history as an old build would have
+// written it, covering every entry kind and the big.Int side channels.
+func legacyWALEntries(t *testing.T) []walEntry {
+	t.Helper()
+	boot := sharedBootstrap(t)
+	tk, err := boot.Issuer.Issue("TLEG", "leg-u", ticket.OpWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := ToWire(tk)
+	return []walEntry{
+		{Kind: "ticket", Ticket: &wt},
+		{Kind: "grant", TicketID: "TLEG", GLSN: 10},
+		{Kind: "grant", TicketID: "TLEG", GLSN: 16, Count: 4},
+		{Kind: "frag", Fragment: &logmodel.Fragment{
+			GLSN: 10, Node: "P1",
+			Values: map[logmodel.Attr]logmodel.Value{
+				"id": logmodel.String("U1"),
+				"C1": logmodel.Int(-7),
+				"C2": logmodel.Float(2.5),
+			},
+		}, Digest: big.NewInt(123456789), Prov: big.NewInt(42), WitnessExp: new(big.Int).Lsh(big.NewInt(1), 300)},
+		{Kind: "delete", GLSN: 17},
+	}
+}
+
+// entriesJSON canonicalizes entries for comparison.
+func entriesJSON(t *testing.T, entries []walEntry) []string {
+	t.Helper()
+	out := make([]string, len(entries))
+	for i := range entries {
+		b, err := json.Marshal(&entries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// TestReplayWALLegacyJSONLines replays a journal written entirely by a
+// pre-binary build — JSON lines, one entry per line — and requires
+// zero loss: every entry kind, every big.Int side value.
+func TestReplayWALLegacyJSONLines(t *testing.T) {
+	dir := t.TempDir()
+	entries := legacyWALEntries(t)
+	f, err := os.Create(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw) // the legacy writer: json.Marshal + newline
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []walEntry
+	if err := ReplayWAL(dir, func(e walEntry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("legacy JSON journal replay: %v", err)
+	}
+	want := entriesJSON(t, entries)
+	have := entriesJSON(t, got)
+	if len(have) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("entry %d replayed as\n%s\nwant\n%s", i, have[i], want[i])
+		}
+	}
+}
+
+// TestReplayWALMixedJSONThenBinary models an in-place upgrade: the
+// node's journal starts with legacy JSON lines, then the upgraded
+// build appends binary records to the same file. Replay must walk both
+// regions in order.
+func TestReplayWALMixedJSONThenBinary(t *testing.T) {
+	dir := t.TempDir()
+	entries := legacyWALEntries(t)
+	jsonHalf, binHalf := entries[:3], entries[3:]
+
+	f, err := os.Create(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for i := range jsonHalf {
+		if err := enc.Encode(&jsonHalf[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The upgraded build opens the same journal and appends.
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.appendBatch(binHalf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []walEntry
+	if err := ReplayWAL(dir, func(e walEntry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("mixed journal replay: %v", err)
+	}
+	want := entriesJSON(t, entries)
+	have := entriesJSON(t, got)
+	if len(have) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("entry %d replayed as\n%s\nwant\n%s", i, have[i], want[i])
+		}
+	}
+}
+
+// TestReplayStoreLegacyJSONRecords covers the segment-store journal the
+// same way: records appended by an earlier release carry JSON payloads,
+// and replayStore must sniff per record so a store appended to across
+// the upgrade (JSON then binary in one store) replays cleanly.
+func TestReplayStoreLegacyJSONRecords(t *testing.T) {
+	s, err := storage.Open(storage.Options{Backend: storage.BackendMemory}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+	entries := legacyWALEntries(t)
+	for i := range entries {
+		e := &entries[i]
+		g := uint64(e.GLSN)
+		if e.Fragment != nil {
+			g = uint64(e.Fragment.GLSN)
+		}
+		if i < 3 { // legacy region: raw JSON payloads
+			data, err := json.Marshal(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Append(storage.Record{Kind: e.Kind, GLSN: g, Data: data}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := (storeJournal{s}).append(*e); err != nil { // upgraded region
+			t.Fatal(err)
+		}
+	}
+	var got []walEntry
+	if err := replayStore(s, func(e walEntry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("mixed store replay: %v", err)
+	}
+	want := entriesJSON(t, entries)
+	have := entriesJSON(t, got)
+	if len(have) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("record %d replayed as\n%s\nwant\n%s", i, have[i], want[i])
+		}
+	}
+}

@@ -162,6 +162,14 @@ type Node struct {
 
 	wal     journal
 	durable bool
+	// compactMu fences journal compaction off from the pipelined batch
+	// store path. Batched stores append to the journal concurrently with
+	// the n.mu-locked install (group commit overlapping apply), so a
+	// compaction snapshot taken under n.mu alone could rewrite the
+	// journal without a batch whose append was still in flight — losing
+	// acknowledged mutations on the next restart. Stores take the read
+	// side; CompactStorage takes the write side before n.mu.
+	compactMu sync.RWMutex
 	// quarantined names the glsn extents recovery refused to serve
 	// (crc/accumulator mismatches), prefixed with this node's ID. The
 	// audit layer folds them into PartialResultError so a degraded
@@ -598,7 +606,7 @@ func (n *Node) serveTickets(ctx context.Context) {
 		} else if err := n.registerTicket(&body); err != nil {
 			ack = ackBody{Error: err.Error()}
 		}
-		n.send(ctx, msg.From, MsgTicketAck, msg.Session, ack) //nolint:errcheck // client timeout handles loss
+		n.send(ctx, msg.From, MsgTicketAck, msg.Session, &ack) //nolint:errcheck // client timeout handles loss
 	}
 }
 
@@ -630,7 +638,7 @@ func (n *Node) serveGLSN(ctx context.Context) {
 		} else {
 			resp.GLSN = g
 		}
-		n.send(ctx, msg.From, MsgGLSNResponse, msg.Session, resp) //nolint:errcheck
+		n.send(ctx, msg.From, MsgGLSNResponse, msg.Session, &resp) //nolint:errcheck
 	}
 }
 
@@ -687,7 +695,7 @@ func (n *Node) serveGLSNRange(ctx context.Context) {
 			resp.First = first
 			resp.Count = body.Count
 		}
-		n.send(ctx, msg.From, MsgGLSNRangeResp, msg.Session, resp) //nolint:errcheck
+		n.send(ctx, msg.From, MsgGLSNRangeResp, msg.Session, &resp) //nolint:errcheck
 	}
 }
 
@@ -776,7 +784,7 @@ func (n *Node) handleStore(ctx context.Context, msg transport.Message) {
 		}
 		n.adm.release(bytes)
 	}
-	n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
+	n.send(ctx, msg.From, MsgLogAck, msg.Session, &ack) //nolint:errcheck
 }
 
 // storeWhenGranted runs store until it stops failing with
@@ -926,7 +934,7 @@ func (n *Node) handleStoreBatch(ctx context.Context, msg transport.Message) {
 	if ack.OK {
 		telemetry.M.Counter(telemetry.CtrStoreBatches).Add(1)
 	}
-	n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
+	n.send(ctx, msg.From, MsgLogAck, msg.Session, &ack) //nolint:errcheck
 }
 
 // storeFragmentBatch validates every item, then installs them all under
@@ -934,6 +942,17 @@ func (n *Node) handleStoreBatch(ctx context.Context, msg transport.Message) {
 // all-or-nothing up front: any invalid item refuses the whole batch
 // before state changes, so a client never has to puzzle out a partial
 // ack.
+//
+// Large batches on a durable node pipeline the two halves: the WAL
+// group commit (encode, CRC, write, fsync) runs concurrently with the
+// n.mu-locked in-memory install instead of serializing after it, so a
+// node's ingest path keeps the disk and the other cores busy at the
+// same time. This is crash-safe — the ack waits for both halves, so a
+// crash between them loses only unacknowledged work, and replaying a
+// journaled batch over an already-installed one is idempotent
+// (applyWALEntry tolerates duplicates). Compaction is fenced out by
+// compactMu so the snapshot rewrite can never drop an append still in
+// flight.
 func (n *Node) storeFragmentBatch(body storeBatchBody) error {
 	if len(body.Items) == 0 {
 		return errors.New("cluster: empty store batch")
@@ -956,9 +975,28 @@ func (n *Node) storeFragmentBatch(body storeBatchBody) error {
 			}
 		}
 	}
+	// Build the journal entries before any lock: the installed fragment
+	// differs from the shipped one only by Node being stamped with this
+	// node's ID, which storeLocked applies identically.
+	entries := make([]walEntry, len(body.Items))
+	for i := range body.Items {
+		item := &body.Items[i]
+		frag := item.Fragment
+		frag.Node = n.id
+		entries[i] = walEntry{Kind: "frag", Fragment: &frag, Digest: item.Digest, DigestExp: item.DigestExp, Prov: item.Provenance, WitnessExp: item.WitnessExp}
+	}
+	pipeline := n.durable && len(body.Items) >= ingestFanoutThreshold
+	var walErr error
+	walDone := make(chan struct{})
+	if pipeline {
+		telemetry.M.Counter(telemetry.CtrIngestFanout).Add(1)
+		n.compactMu.RLock()
+		go func() {
+			defer close(walDone)
+			walErr = n.wal.appendBatch(entries)
+		}()
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	entries := make([]walEntry, 0, len(body.Items))
 	for _, item := range body.Items {
 		n.storeLocked(storeBody{
 			TicketID:   body.TicketID,
@@ -968,10 +1006,15 @@ func (n *Node) storeFragmentBatch(body storeBatchBody) error {
 			Provenance: item.Provenance,
 			WitnessExp: item.WitnessExp,
 		})
-		frag := n.frags[item.Fragment.GLSN]
-		entries = append(entries, walEntry{Kind: "frag", Fragment: &frag, Digest: item.Digest, DigestExp: item.DigestExp, Prov: item.Provenance, WitnessExp: item.WitnessExp})
 	}
-	return n.wal.appendBatch(entries)
+	if !pipeline {
+		defer n.mu.Unlock()
+		return n.wal.appendBatch(entries)
+	}
+	n.mu.Unlock()
+	<-walDone
+	n.compactMu.RUnlock()
+	return walErr
 }
 
 // --- fragment reads ---
@@ -1033,7 +1076,7 @@ func (n *Node) serveDelete(ctx context.Context) {
 		} else if err := n.deleteFragment(body.TicketID, body.GLSN); err != nil {
 			ack = ackBody{Error: err.Error()}
 		}
-		n.send(ctx, msg.From, MsgLogAck, msg.Session, ack) //nolint:errcheck
+		n.send(ctx, msg.From, MsgLogAck, msg.Session, &ack) //nolint:errcheck
 	}
 }
 
@@ -1216,9 +1259,18 @@ func (n *Node) TicketAllows(ticketID string, op ticket.Op) error {
 }
 
 func (n *Node) send(ctx context.Context, to, typ, session string, body any) error {
-	msg, err := transport.NewMessage(to, typ, session, body)
-	if err != nil {
-		return err
+	var msg transport.Message
+	var err error
+	// Bodies with a binary encoding ride the bin3 frame path; the
+	// transport falls back to JSON toward peers that never advertised
+	// the capability, so one send site serves every peer generation.
+	if bb, ok := body.(transport.BinaryBody); ok {
+		msg = transport.NewBinaryMessage(to, typ, session, bb)
+	} else {
+		msg, err = transport.NewMessage(to, typ, session, body)
+		if err != nil {
+			return err
+		}
 	}
 	if err := n.mb.Send(ctx, msg); err != nil {
 		return fmt.Errorf("cluster: sending %s to %s: %w", typ, to, err)

@@ -5,12 +5,15 @@ import (
 	"fmt"
 
 	"confaudit/internal/storage"
+	"confaudit/internal/telemetry"
+	"confaudit/internal/workpool"
 )
 
 // journal is the node's durability seam. Two implementations exist: the
-// JSON-lines *WAL in this package (the "wal" backend, nil-receiver safe
-// so a memory-only node journals into the void), and storeJournal, which
-// adapts any storage.Store — in particular the crash-safe segment store.
+// record-framed *WAL in this package (the "wal" backend, nil-receiver
+// safe so a memory-only node journals into the void), and storeJournal,
+// which adapts any storage.Store — in particular the crash-safe segment
+// store.
 type journal interface {
 	append(e walEntry) error
 	appendBatch(entries []walEntry) error
@@ -20,18 +23,24 @@ type journal interface {
 
 // storeJournal adapts a storage.Store to the journal seam. Each walEntry
 // travels as a Record: Kind for the replay switch, the entry's glsn so
-// segments track the extents they hold, and the JSON encoding as the
-// opaque payload.
+// segments track the extents they hold, and the binary wire encoding as
+// the opaque payload. The segment store frames and checksums records
+// itself, so the payload carries only the magic/version prefix plus the
+// entry bytes — no length or CRC of its own. Stores written by earlier
+// releases hold JSON payloads; replayStore sniffs per record.
 type storeJournal struct {
 	s storage.Store
 }
 
 // entryRecord converts one walEntry to its storage Record.
 func entryRecord(e walEntry) (storage.Record, error) {
-	data, err := json.Marshal(e)
+	data := make([]byte, 0, 2+walEntrySize(&e))
+	data = append(data, walBinMagic, walBinVersion)
+	data, err := appendWALEntry(data, &e)
 	if err != nil {
 		return storage.Record{}, fmt.Errorf("cluster: encoding journal entry: %w", err)
 	}
+	telemetry.M.Counter(telemetry.CtrWALBinaryRecords).Add(1)
 	g := uint64(e.GLSN)
 	if e.Fragment != nil {
 		g = uint64(e.Fragment.GLSN)
@@ -48,13 +57,22 @@ func (j storeJournal) append(e walEntry) error {
 }
 
 func (j storeJournal) appendBatch(entries []walEntry) error {
-	recs := make([]storage.Record, 0, len(entries))
-	for _, e := range entries {
-		rec, err := entryRecord(e)
-		if err != nil {
+	recs := make([]storage.Record, len(entries))
+	if len(entries) >= ingestFanoutThreshold {
+		if err := workpool.Map(len(entries), func(i int) error {
+			var err error
+			recs[i], err = entryRecord(entries[i])
+			return err
+		}); err != nil {
 			return err
 		}
-		recs = append(recs, rec)
+		return j.s.AppendBatch(recs)
+	}
+	for i := range entries {
+		var err error
+		if recs[i], err = entryRecord(entries[i]); err != nil {
+			return err
+		}
 	}
 	return j.s.AppendBatch(recs)
 }
@@ -75,9 +93,22 @@ func (j storeJournal) rewrite(entries []walEntry) error {
 func (j storeJournal) Close() error { return j.s.Close() }
 
 // replayStore streams a store's surviving records back as walEntries.
+// Payloads are sniffed per record: legacy stores hold JSON objects
+// (opening '{'), current ones the binary magic — a store appended to
+// across the upgrade holds both and replays cleanly.
 func replayStore(s storage.Store, fn func(walEntry) error) error {
 	return s.Replay(func(rec storage.Record) error {
 		var e walEntry
+		if len(rec.Data) >= 2 && rec.Data[0] == walBinMagic {
+			if rec.Data[1] != walBinVersion {
+				return fmt.Errorf("cluster: decoding journal record (kind %q): unsupported version %d", rec.Kind, rec.Data[1])
+			}
+			var err error
+			if e, err = decodeWALEntry(rec.Data[2:]); err != nil {
+				return fmt.Errorf("cluster: decoding journal record (kind %q): %w", rec.Kind, err)
+			}
+			return fn(e)
+		}
 		if err := json.Unmarshal(rec.Data, &e); err != nil {
 			return fmt.Errorf("cluster: decoding journal record (kind %q): %w", rec.Kind, err)
 		}

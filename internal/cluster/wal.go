@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/big"
 	"os"
@@ -16,6 +18,7 @@ import (
 	"confaudit/internal/storage"
 	"confaudit/internal/telemetry"
 	"confaudit/internal/ticket"
+	"confaudit/internal/workpool"
 )
 
 // Durable node state. A DLA node journals every state mutation — ticket
@@ -66,6 +69,65 @@ type WAL struct {
 
 // walFile names the journal inside a node data directory.
 const walFile = "node.wal"
+
+// Binary WAL record framing. Entries used to travel as JSON lines; the
+// hot path now writes the compact wire encoding from wirecodec.go,
+// framed as
+//
+//	0xDA ‖ version ‖ uvarint(len) ‖ payload ‖ crc32(payload) LE
+//
+// The magic byte cannot open a JSON object ('{' is 0x7B), so replay
+// sniffs the first byte of every record and handles mixed journals: a
+// node upgraded in place appends binary records after its legacy JSON
+// lines and restarts cleanly.
+const (
+	walBinMagic   = 0xDA
+	walBinVersion = 1
+	// walMaxRecord bounds a claimed payload length during replay; a
+	// larger claim is corruption, not a record worth buffering.
+	walMaxRecord = 16 << 20
+)
+
+// encodeWALRecord frames one entry as a binary journal record.
+func encodeWALRecord(e *walEntry) ([]byte, error) {
+	payload := make([]byte, 0, walEntrySize(e))
+	payload, err := appendWALEntry(payload, e)
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]byte, 0, 2+binary.MaxVarintLen64+len(payload)+4)
+	rec = append(rec, walBinMagic, walBinVersion)
+	rec = binary.AppendUvarint(rec, uint64(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	telemetry.M.Counter(telemetry.CtrWALBinaryRecords).Add(1)
+	return rec, nil
+}
+
+// encodeWALRecords frames a batch, fanning the per-entry encode (and
+// CRC) over the shared worker pool for large groups. Encoding happens
+// before the journal lock, which is what lets the group commit overlap
+// the in-memory apply on the batched store path.
+func encodeWALRecords(entries []walEntry) ([][]byte, error) {
+	recs := make([][]byte, len(entries))
+	if len(entries) >= ingestFanoutThreshold {
+		if err := workpool.Map(len(entries), func(i int) error {
+			var err error
+			recs[i], err = encodeWALRecord(&entries[i])
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		return recs, nil
+	}
+	for i := range entries {
+		var err error
+		if recs[i], err = encodeWALRecord(&entries[i]); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
 
 // OpenWAL opens (creating if necessary) the journal in dir with the
 // fsync-per-append policy.
@@ -155,13 +217,13 @@ func (w *WAL) rewrite(entries []walEntry) error {
 		return fmt.Errorf("cluster: creating snapshot: %w", err)
 	}
 	bw := bufio.NewWriter(tmp)
-	for _, e := range entries {
-		data, err := json.Marshal(e)
+	for i := range entries {
+		rec, err := encodeWALRecord(&entries[i])
 		if err != nil {
 			tmp.Close() //nolint:errcheck
 			return fmt.Errorf("cluster: encoding snapshot entry: %w", err)
 		}
-		if _, err := bw.Write(append(data, '\n')); err != nil {
+		if _, err := bw.Write(rec); err != nil {
 			tmp.Close() //nolint:errcheck
 			return fmt.Errorf("cluster: writing snapshot: %w", err)
 		}
@@ -210,16 +272,16 @@ func (w *WAL) append(e walEntry) error {
 		return nil
 	}
 	defer telemetry.M.Histogram(telemetry.HistWALFlush).Since(time.Now())
+	rec, err := encodeWALRecord(&e)
+	if err != nil {
+		return err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
 		return w.failed
 	}
-	data, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("cluster: encoding WAL entry: %w", err)
-	}
-	if _, err := w.bw.Write(append(data, '\n')); err != nil {
+	if _, err := w.bw.Write(rec); err != nil {
 		return fmt.Errorf("cluster: appending WAL entry: %w", err)
 	}
 	return w.flushLocked()
@@ -235,17 +297,17 @@ func (w *WAL) appendBatch(entries []walEntry) error {
 		return nil
 	}
 	defer telemetry.M.Histogram(telemetry.HistWALFlush).Since(time.Now())
+	recs, err := encodeWALRecords(entries)
+	if err != nil {
+		return err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
 		return w.failed
 	}
-	for _, e := range entries {
-		data, err := json.Marshal(e)
-		if err != nil {
-			return fmt.Errorf("cluster: encoding WAL entry: %w", err)
-		}
-		if _, err := w.bw.Write(append(data, '\n')); err != nil {
+	for _, rec := range recs {
+		if _, err := w.bw.Write(rec); err != nil {
 			return fmt.Errorf("cluster: appending WAL entry: %w", err)
 		}
 	}
@@ -278,12 +340,16 @@ func (w *WAL) Close() error {
 }
 
 // ReplayWAL streams the journal in dir (if any) to fn in append order.
-// A missing journal is not an error (fresh node). A torn final record —
-// the node crashed mid-append, leaving a truncated trailing line —
+// A missing journal is not an error (fresh node). Records are sniffed
+// one at a time: legacy entries are JSON lines (opening '{'), current
+// ones carry the binary framing from encodeWALRecord, and a journal
+// may mix both — a node upgraded in place appends binary records after
+// its JSON history. A torn final record — the node crashed mid-append,
+// leaving a truncated trailing line or a half-written binary frame —
 // stops the replay at the last intact entry instead of failing the
 // whole recovery; every complete entry was flushed before its mutation
 // was acknowledged, so the torn tail was never promised to anyone.
-// Corruption anywhere before the final line still fails the replay.
+// Corruption anywhere before the final record still fails the replay.
 func ReplayWAL(dir string, fn func(walEntry) error) error {
 	f, err := os.Open(filepath.Join(dir, walFile))
 	if errors.Is(err, os.ErrNotExist) {
@@ -295,6 +361,26 @@ func ReplayWAL(dir string, fn func(walEntry) error) error {
 	defer f.Close() //nolint:errcheck
 	br := bufio.NewReader(f)
 	for {
+		first, err := br.Peek(1)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: reading WAL: %w", err)
+		}
+		if first[0] == walBinMagic {
+			e, ok, err := readBinaryWALRecord(br)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil // torn final append; recover up to here
+			}
+			if err := fn(e); err != nil {
+				return err
+			}
+			continue
+		}
 		line, err := br.ReadBytes('\n')
 		atEOF := errors.Is(err, io.EOF)
 		if err != nil && !atEOF {
@@ -318,14 +404,73 @@ func ReplayWAL(dir string, fn func(walEntry) error) error {
 	}
 }
 
+// tornErr reports whether a read failed because the file simply ended —
+// the signature of a record cut off by a crash mid-append.
+func tornErr(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// readBinaryWALRecord consumes one binary record (the magic byte is
+// still unread). ok=false with a nil error means a torn tail: the file
+// ended inside the record, so replay stops at the previous entry.
+func readBinaryWALRecord(br *bufio.Reader) (walEntry, bool, error) {
+	var e walEntry
+	hdr := make([]byte, 2)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		if tornErr(err) {
+			return e, false, nil
+		}
+		return e, false, fmt.Errorf("cluster: reading WAL: %w", err)
+	}
+	if hdr[1] != walBinVersion {
+		return e, false, fmt.Errorf("cluster: corrupt WAL record: version %d", hdr[1])
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		if tornErr(err) {
+			return e, false, nil
+		}
+		return e, false, fmt.Errorf("cluster: reading WAL: %w", err)
+	}
+	if n > walMaxRecord {
+		return e, false, fmt.Errorf("cluster: corrupt WAL record: %d-byte payload", n)
+	}
+	buf := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if tornErr(err) {
+			return e, false, nil
+		}
+		return e, false, fmt.Errorf("cluster: reading WAL: %w", err)
+	}
+	payload, sum := buf[:n], binary.LittleEndian.Uint32(buf[n:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		// A checksum mismatch on the very last record is a partial
+		// final write (power loss can zero-fill a tail the filesystem
+		// never truncated); anywhere else it is corruption.
+		if _, err := br.Peek(1); errors.Is(err, io.EOF) {
+			return e, false, nil
+		}
+		return e, false, errors.New("cluster: corrupt WAL record: checksum mismatch")
+	}
+	e, err = decodeWALEntry(payload)
+	if err != nil {
+		return e, false, fmt.Errorf("cluster: corrupt WAL entry: %w", err)
+	}
+	return e, true, nil
+}
+
 // CompactStorage rewrites the journal as a snapshot of the node's
 // current state, discarding superseded entries (overwritten fragments,
-// delete tombstones). It holds the node's state lock across snapshot
-// and swap, so no mutation can land in the discarded journal.
+// delete tombstones). It holds the compaction fence and the node's
+// state lock across snapshot and swap, so no mutation — including a
+// pipelined batch append running off the state lock — can land in the
+// discarded journal.
 func (n *Node) CompactStorage() error {
 	if !n.durable {
 		return nil
 	}
+	n.compactMu.Lock()
+	defer n.compactMu.Unlock()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	entries := make([]walEntry, 0, len(n.frags)+64)

@@ -1,7 +1,7 @@
 package cluster
 
 import (
-	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -43,13 +43,37 @@ func writeTornTestWAL(t *testing.T, dir string) ([]byte, int) {
 	return data, len(entries)
 }
 
+// walRecordEnds walks the binary record framing and returns the byte
+// offset just past each record.
+func walRecordEnds(t *testing.T, data []byte) []int {
+	t.Helper()
+	var ends []int
+	off := 0
+	for off < len(data) {
+		if data[off] != walBinMagic {
+			t.Fatalf("record at offset %d does not start with the binary magic", off)
+		}
+		n, sz := binary.Uvarint(data[off+2:])
+		if sz <= 0 {
+			t.Fatalf("bad length varint at offset %d", off)
+		}
+		off += 2 + sz + int(n) + 4
+		if off > len(data) {
+			t.Fatalf("record at offset %d overruns the file", ends[len(ends)-1])
+		}
+		ends = append(ends, off)
+	}
+	return ends
+}
+
 // TestReplayWALToleratesTornFinalRecord truncates the journal at every
 // byte offset inside the final entry — simulating a crash mid-append —
 // and verifies replay recovers every intact entry instead of failing.
 func TestReplayWALToleratesTornFinalRecord(t *testing.T) {
 	dir := t.TempDir()
 	data, total := writeTornTestWAL(t, dir)
-	lastStart := bytes.LastIndexByte(bytes.TrimRight(data, "\n"), '\n') + 1
+	ends := walRecordEnds(t, data)
+	lastStart := ends[len(ends)-2]
 
 	for cut := lastStart; cut <= len(data); cut++ {
 		if err := os.WriteFile(filepath.Join(dir, walFile), data[:cut], 0o600); err != nil {
@@ -63,10 +87,10 @@ func TestReplayWALToleratesTornFinalRecord(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut at byte %d of %d: replay failed: %v", cut, len(data), err)
 		}
-		// The torn tail yields the intact prefix; an undamaged file (or
-		// one missing only the trailing newline) yields every entry.
+		// A cut anywhere inside the final record yields the intact
+		// prefix; only the undamaged file yields every entry.
 		want := total - 1
-		if cut >= len(data)-1 {
+		if cut == len(data) {
 			want = total
 		}
 		if len(got) != want {
@@ -76,19 +100,15 @@ func TestReplayWALToleratesTornFinalRecord(t *testing.T) {
 }
 
 // TestReplayWALTornAtRecordBoundary cuts the journal exactly at each
-// newline — a crash after a complete append but before the next one
-// began. That is not damage at all: replay must yield exactly the
+// record boundary — a crash after a complete append but before the next
+// one began. That is not damage at all: replay must yield exactly the
 // entries before the cut, with no error and no spillover.
 func TestReplayWALTornAtRecordBoundary(t *testing.T) {
 	dir := t.TempDir()
 	data, total := writeTornTestWAL(t, dir)
-	boundary := 0
-	for i, b := range data {
-		if b != '\n' {
-			continue
-		}
-		boundary++
-		if err := os.WriteFile(filepath.Join(dir, walFile), data[:i+1], 0o600); err != nil {
+	ends := walRecordEnds(t, data)
+	for i, end := range ends {
+		if err := os.WriteFile(filepath.Join(dir, walFile), data[:end], 0o600); err != nil {
 			t.Fatal(err)
 		}
 		var got []walEntry
@@ -96,14 +116,14 @@ func TestReplayWALTornAtRecordBoundary(t *testing.T) {
 			got = append(got, e)
 			return nil
 		}); err != nil {
-			t.Fatalf("cut at boundary %d: %v", boundary, err)
+			t.Fatalf("cut at boundary %d: %v", i+1, err)
 		}
-		if len(got) != boundary {
-			t.Fatalf("cut at boundary %d: replayed %d entries", boundary, len(got))
+		if len(got) != i+1 {
+			t.Fatalf("cut at boundary %d: replayed %d entries", i+1, len(got))
 		}
 	}
-	if boundary != total {
-		t.Fatalf("walked %d boundaries, want %d", boundary, total)
+	if len(ends) != total {
+		t.Fatalf("walked %d boundaries, want %d", len(ends), total)
 	}
 }
 
@@ -265,13 +285,14 @@ func TestRestoreToleratesDuplicateReplay(t *testing.T) {
 }
 
 // TestReplayWALStillRejectsMidFileCorruption keeps the strict failure
-// mode for damage that is not a torn tail.
+// mode for damage that is not a torn tail: flipping payload bytes in a
+// record with records after it is a checksum mismatch, not a crash.
 func TestReplayWALStillRejectsMidFileCorruption(t *testing.T) {
 	dir := t.TempDir()
 	data, _ := writeTornTestWAL(t, dir)
-	firstEnd := bytes.IndexByte(data, '\n')
+	ends := walRecordEnds(t, data)
 	corrupted := append([]byte(nil), data...)
-	copy(corrupted[firstEnd/2:], "garbage") // clobber inside the first line
+	corrupted[ends[0]-5] ^= 0xFF // last payload byte of the first record
 	if err := os.WriteFile(filepath.Join(dir, walFile), corrupted, 0o600); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+
+	"confaudit/internal/logmodel"
+)
+
+// fuzzStr coerces fuzz input to valid UTF-8: encoding/json replaces
+// invalid bytes with U+FFFD (lossy by design), so only valid strings
+// are in scope for the binary-vs-JSON differential. The binary codec
+// itself is byte-faithful either way.
+func fuzzStr(s string) string { return strings.ToValidUTF8(s, "�") }
+
+// fuzzBig builds a big.Int from fuzz bytes; nil input stays nil so the
+// fuzzer reaches the absent-field encodings.
+func fuzzBig(b []byte, neg bool) *big.Int {
+	if b == nil {
+		return nil
+	}
+	v := new(big.Int).SetBytes(b)
+	if neg {
+		v.Neg(v)
+	}
+	return v
+}
+
+// checkBinaryJSONAgree round-trips body through the binary codec and,
+// when the body is JSON-representable, through encoding/json, and
+// requires the two decoded results to be identical — the codecs must
+// describe the same body or a mixed-generation cluster diverges. enc
+// must re-encode bit-exactly (the codec is deterministic). rt points at
+// a zero value of the body's type for each decode.
+func checkBinaryJSONAgree[T interface {
+	BinarySize() int
+	AppendBinary([]byte) []byte
+	DecodeBinary([]byte) error
+}](t *testing.T, body T, newT func() T) {
+	t.Helper()
+	enc := body.AppendBinary(make([]byte, 0, body.BinarySize()))
+	if len(enc) != body.BinarySize() {
+		t.Fatalf("AppendBinary wrote %d bytes, BinarySize says %d", len(enc), body.BinarySize())
+	}
+	bgot := newT()
+	if err := bgot.DecodeBinary(enc); err != nil {
+		t.Fatalf("decoding own encoding: %v", err)
+	}
+	if enc2 := bgot.AppendBinary(nil); !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encode differs:\n %x\n %x", enc, enc2)
+	}
+	jb, err := json.Marshal(body)
+	if err != nil {
+		return // not JSON-representable (NaN/Inf); binary-only bodies are fine
+	}
+	jgot := newT()
+	if err := json.Unmarshal(jb, jgot); err != nil {
+		t.Fatalf("decoding own JSON: %v", err)
+	}
+	b1, err := json.Marshal(bgot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(jgot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("binary and JSON decodes disagree:\n binary: %s\n json:   %s", b1, b2)
+	}
+}
+
+// FuzzStoreBodyRoundTrip differentially fuzzes the single-store body:
+// the binary path and the JSON path must decode to identical bodies,
+// and the decoder must never panic on arbitrary bytes.
+func FuzzStoreBodyRoundTrip(f *testing.F) {
+	f.Add("T1", "P0", uint64(0x139aef78), false, "user", "U1", uint8(1), int64(-42), 1.5,
+		[]byte{0xDE, 0xAD}, []byte(nil), []byte{0x01}, []byte{}, uint8(0), []byte(nil))
+	f.Add("", "", uint64(0), true, "", "", uint8(0), int64(0), 0.0,
+		[]byte(nil), []byte{0xFF}, []byte(nil), []byte(nil), uint8(2), []byte{0x00, 0x01})
+	f.Add("T-neg", "P2", uint64(1)<<63, false, "amt", "", uint8(3), int64(math.MinInt64), math.Inf(1),
+		[]byte{0x80}, []byte{}, []byte{0x7F, 0xFF}, []byte{0x01, 0x02, 0x03}, uint8(0x0F), []byte{0xB7, 0x01})
+	f.Fuzz(func(t *testing.T, ticketID, node string, glsn uint64, nilValues bool,
+		attr, s string, kind uint8, i int64, fv float64,
+		digest, dexp, prov, wexp []byte, signs uint8, raw []byte) {
+		ticketID, node, attr, s = fuzzStr(ticketID), fuzzStr(node), fuzzStr(attr), fuzzStr(s)
+		body := storeBody{
+			TicketID:   ticketID,
+			Fragment:   logmodel.Fragment{GLSN: logmodel.GLSN(glsn), Node: node},
+			Digest:     fuzzBig(digest, signs&1 != 0),
+			DigestExp:  fuzzBig(dexp, signs&2 != 0),
+			Provenance: fuzzBig(prov, signs&4 != 0),
+			WitnessExp: fuzzBig(wexp, signs&8 != 0),
+		}
+		if !nilValues {
+			body.Fragment.Values = map[logmodel.Attr]logmodel.Value{}
+			if attr != "" {
+				body.Fragment.Values[logmodel.Attr(attr)] = logmodel.Value{Kind: logmodel.Kind(kind % 4), S: s, I: i, F: fv}
+				body.Fragment.Values[logmodel.Attr(attr+"'")] = logmodel.Value{Kind: logmodel.KindInt, I: i ^ 7}
+			}
+		}
+		checkBinaryJSONAgree(t, &body, func() *storeBody { return &storeBody{} })
+		var junk storeBody
+		junk.DecodeBinary(raw) //nolint:errcheck // must not panic; errors are fine
+	})
+}
+
+// FuzzStoreBatchBodyRoundTrip differentially fuzzes the batched store
+// body, including batches past ingestFanoutThreshold so the parallel
+// item decode path is exercised against the serial JSON path.
+func FuzzStoreBatchBodyRoundTrip(f *testing.F) {
+	f.Add("T1", uint8(3), []byte{0x01, 0x02}, false, []byte(nil))
+	f.Add("", uint8(0), []byte(nil), true, []byte{0xB7})
+	f.Add("T-wide", uint8(12), []byte{0xFF, 0x00, 0x7A}, false, []byte{0x00})
+	f.Fuzz(func(t *testing.T, ticketID string, n uint8, seed []byte, nilItems bool, raw []byte) {
+		ticketID = fuzzStr(ticketID)
+		body := storeBatchBody{TicketID: ticketID}
+		if !nilItems {
+			count := int(n % 24)
+			body.Items = make([]batchItem, 0, count)
+			for i := 0; i < count; i++ {
+				b := byte(i * 31)
+				if len(seed) > 0 {
+					b ^= seed[i%len(seed)]
+				}
+				it := batchItem{Fragment: logmodel.Fragment{
+					GLSN: logmodel.GLSN(uint64(i)<<8 | uint64(b)),
+					Node: string(rune('A' + i%26)),
+				}}
+				if b&1 != 0 {
+					it.Fragment.Values = map[logmodel.Attr]logmodel.Value{
+						"k": {Kind: logmodel.KindString, S: fuzzStr(string(seed))},
+					}
+				}
+				if b&2 != 0 {
+					it.Digest = new(big.Int).SetBytes(append(seed, b))
+				}
+				if b&4 != 0 {
+					it.DigestExp = big.NewInt(int64(b) << 20)
+				}
+				if b&8 != 0 {
+					it.Provenance = big.NewInt(-int64(b))
+				}
+				if b&16 != 0 {
+					it.WitnessExp = new(big.Int).SetBytes(seed)
+				}
+				body.Items = append(body.Items, it)
+			}
+		}
+		checkBinaryJSONAgree(t, &body, func() *storeBatchBody { return &storeBatchBody{} })
+		var junk storeBatchBody
+		junk.DecodeBinary(raw) //nolint:errcheck // must not panic; errors are fine
+	})
+}
+
+// TestWireBodiesRoundTrip pins the binary/JSON agreement for every
+// remaining ingest-round body at representative values, including the
+// nil-vs-empty distinctions JSON can express.
+func TestWireBodiesRoundTrip(t *testing.T) {
+	checkBinaryJSONAgree(t, &ackBody{OK: true}, func() *ackBody { return &ackBody{} })
+	checkBinaryJSONAgree(t, &ackBody{Error: "cluster: no", Overloaded: true}, func() *ackBody { return &ackBody{} })
+	checkBinaryJSONAgree(t, &glsnRequestBody{TicketID: "T9"}, func() *glsnRequestBody { return &glsnRequestBody{} })
+	checkBinaryJSONAgree(t, &glsnResponseBody{GLSN: 0x139aef78}, func() *glsnResponseBody { return &glsnResponseBody{} })
+	checkBinaryJSONAgree(t, &glsnResponseBody{Error: "not leader"}, func() *glsnResponseBody { return &glsnResponseBody{} })
+	checkBinaryJSONAgree(t, &glsnRangeReqBody{TicketID: "T", Count: 4096}, func() *glsnRangeReqBody { return &glsnRangeReqBody{} })
+	checkBinaryJSONAgree(t, &glsnRangeRespBody{First: 7, Count: 12}, func() *glsnRangeRespBody { return &glsnRangeRespBody{} })
+	checkBinaryJSONAgree(t, &agreeReqBody{Statement: []byte("glsn|5|T1")}, func() *agreeReqBody { return &agreeReqBody{} })
+	checkBinaryJSONAgree(t, &agreeReqBody{}, func() *agreeReqBody { return &agreeReqBody{} })
+	checkBinaryJSONAgree(t, &agreeVoteBody{Sig: big.NewInt(987654)}, func() *agreeVoteBody { return &agreeVoteBody{} })
+	checkBinaryJSONAgree(t, &agreeVoteBody{Refused: "stale"}, func() *agreeVoteBody { return &agreeVoteBody{} })
+	checkBinaryJSONAgree(t, &agreeCommitBody{Cert: Certificate{
+		Statement: []byte("glsn|5|T1"),
+		Votes:     map[string]*big.Int{"P0": big.NewInt(1), "P2": big.NewInt(-3), "P1": nil},
+	}}, func() *agreeCommitBody { return &agreeCommitBody{} })
+	checkBinaryJSONAgree(t, &agreeCommitBody{}, func() *agreeCommitBody { return &agreeCommitBody{} })
+}
+
+// TestWALEntryBinaryRoundTrip pins the journal payload encoding across
+// every entry kind.
+func TestWALEntryBinaryRoundTrip(t *testing.T) {
+	entries := []walEntry{
+		{Kind: "ticket", Ticket: &wireTicket{ID: "T1", Holder: "u1", Ops: []int{1, 2, 4}, Sig: big.NewInt(0xBEEF)}},
+		{Kind: "ticket", Ticket: &wireTicket{ID: "", Holder: "u2"}},
+		{Kind: "grant", TicketID: "T1", GLSN: 42, Count: 128},
+		{Kind: "frag", Fragment: &logmodel.Fragment{
+			GLSN: 9, Node: "P1",
+			Values: map[logmodel.Attr]logmodel.Value{"a": logmodel.Int(3), "b": logmodel.Float(2.5)},
+		}, Digest: big.NewInt(123456789), WitnessExp: big.NewInt(77)},
+		{Kind: "frag", Fragment: &logmodel.Fragment{GLSN: 10, Node: "P2"}, DigestExp: big.NewInt(5), Prov: big.NewInt(-9)},
+		{Kind: "delete", GLSN: 7},
+	}
+	for i, e := range entries {
+		payload, err := appendWALEntry(make([]byte, 0, walEntrySize(&e)), &e)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if len(payload) != walEntrySize(&e) {
+			t.Fatalf("entry %d: wrote %d bytes, size says %d", i, len(payload), walEntrySize(&e))
+		}
+		got, err := decodeWALEntry(payload)
+		if err != nil {
+			t.Fatalf("entry %d: decode: %v", i, err)
+		}
+		want, _ := json.Marshal(e)
+		have, _ := json.Marshal(got)
+		if !bytes.Equal(want, have) {
+			t.Fatalf("entry %d round trip:\n want %s\n have %s", i, want, have)
+		}
+	}
+	if _, err := appendWALEntry(nil, &walEntry{Kind: "bogus"}); err == nil {
+		t.Fatal("unknown kind encoded")
+	}
+}
+
+// TestWireDecodeRejectsHostileEncodings pins the decoder's defenses:
+// trailing bytes, truncations, wild counts, and bad tags must error,
+// never panic or over-allocate.
+func TestWireDecodeRejectsHostileEncodings(t *testing.T) {
+	good := (&storeBody{TicketID: "T", Digest: big.NewInt(5)}).AppendBinary(nil)
+	var b storeBody
+	if err := b.DecodeBinary(append(good, 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	for cut := 0; cut < len(good); cut++ {
+		var tr storeBody
+		if err := tr.DecodeBinary(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A batch claiming 2^30 items in a 4-byte body must fail fast.
+	hostile := []byte{0x00 /* empty ticket */, 0x84, 0x80, 0x80, 0x80, 0x01}
+	var bb storeBatchBody
+	if err := bb.DecodeBinary(hostile); err == nil {
+		t.Fatal("hostile item count accepted")
+	}
+	// A big.Int with an invalid sign tag.
+	var ab agreeVoteBody
+	if err := ab.DecodeBinary([]byte{0x09, 0x01, 0xAA, 0x00}); err == nil {
+		t.Fatal("bad big-int tag accepted")
+	}
+	if _, err := decodeWALEntry([]byte{0x09}); err == nil {
+		t.Fatal("bad WAL kind code accepted")
+	}
+}

@@ -130,6 +130,12 @@ func TestRedactionFullQuery(t *testing.T) {
 	} {
 		telemetry.M.Gauge(g).Set(0)
 	}
+	// Binary ingest-plane counters: store_bytes_saved records on every
+	// binary store-body encode (asserted nonzero below); the fan-out and
+	// WAL-record counters fire only on durable nodes with big batches,
+	// so pin their names onto the surface here.
+	telemetry.M.Counter(telemetry.CtrIngestFanout).Add(0)
+	telemetry.M.Counter(telemetry.CtrWALBinaryRecords).Add(0)
 
 	// Gather the complete observability surface: the metrics snapshot,
 	// every stored trace as JSON, and every rendered tree.
@@ -182,6 +188,16 @@ func TestRedactionFullQuery(t *testing.T) {
 	}
 	if _, ok := snap.Counters[telemetry.CtrOverlapStalls]; !ok {
 		t.Error("overlap_stalls counter missing from the snapshot")
+	}
+	// The batched write travelled as binary store bodies, so the codec
+	// must have banked savings against the JSON estimate — sizes only.
+	if snap.Counters[telemetry.CtrCodecStoreSaved] == 0 {
+		t.Error("store_bytes_saved recorded nothing for a batched binary write")
+	}
+	for _, ctr := range []string{telemetry.CtrIngestFanout, telemetry.CtrWALBinaryRecords} {
+		if _, ok := snap.Counters[ctr]; !ok {
+			t.Errorf("ingest-plane counter %s missing from the snapshot", ctr)
+		}
 	}
 	sessions := telemetry.T.Sessions()
 	if len(sessions) == 0 {

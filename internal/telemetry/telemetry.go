@@ -375,6 +375,18 @@ const (
 	CtrCodecBytesSent  = "transport.codec_bytes_sent"
 	CtrCodecBytesSaved = "transport.codec_bytes_saved"
 
+	// Binary ingest plane. store_bytes_saved estimates the JSON bytes the
+	// binary store-body payload codec avoided (decimal big-int rendering
+	// plus field framing); ingest_fanout_batches counts node-side store
+	// batches whose decode/encode work fanned over the shared worker pool
+	// with the WAL group commit pipelined against the in-memory apply;
+	// binary_records counts length-prefixed binary journal records
+	// encoded for the WAL or segment store. Sizes and counts only —
+	// Definition 1 secondary information.
+	CtrCodecStoreSaved  = "codec.store_bytes_saved"
+	CtrIngestFanout     = "cluster.ingest_fanout_batches"
+	CtrWALBinaryRecords = "wal.binary_records"
+
 	// Worker pool: gauge of workers currently executing a crypto batch.
 	GaugeWorkpoolBusy = "workpool.busy"
 

@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR8.json.
+# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR9.json.
 #
 # Usage: scripts/bench.sh [benchtime] [profile-dir]
 #   benchtime defaults to 3s; pass e.g. 1x for a smoke run.
@@ -20,11 +20,14 @@
 # between PRs — and even between runs minutes apart — so comparing
 # against a weeks-old artifact, or against numbers pasted in by hand
 # earlier the same day, would conflate that drift with code changes.
-# Each sweep runs -count=$BENCHCOUNT and keeps the per-row MINIMUM
-# ns/op (best-of-N, applied identically to both sides): the box's
-# minute-scale contention spikes inflate single samples by 1.5-2x,
-# which a 10% gate cannot survive, while the minimum estimates the
-# uncontended cost each side actually achieves in the same window.
+# The two sweeps run as $BENCHCOUNT INTERLEAVED passes — baseline,
+# after, baseline, after, … — and each side keeps its per-row MINIMUM
+# ns/op. Interleaving matters as much as the minimum: the box's speed
+# drifts on a minutes scale (the same tree re-measured ten minutes
+# apart moves +/-15%), so two back-to-back mega-sweeps hand one side
+# the faster window and a 10% gate flags phantom regressions; with
+# alternating passes both sides sample every window, and the minimum
+# additionally discards the 1.5-2x contention spikes within them.
 # `benchtab -benchdiff BENCH_PR8.json` diffs the two embedded sections
 # and gates the headline rows. Every row must carry all three fields: a
 # row with a missing B/op or allocs/op (a benchmark that forgot
@@ -38,14 +41,26 @@
 # baseline measured in the same run) and a crash-scenario run whose
 # lost_acks row must be zero. benchtab ignores keys it does not know,
 # so the section rides in the same artifact the benchdiff gate reads.
+#
+# PR 9 adds two sections benchdiff does gate:
+#   "ingest_baseline" — the identical dlaload knee sweep run from the
+#     BASE_REF worktree, back to back with the head sweep, so the
+#     binary-ingest-plane speedup is same-box/same-run auditable the
+#     way the ns/op rows already are. benchdiff fails if the head knee
+#     (max achieved_rps) regresses against it.
+#   "ingest_scaling" — the unpaced burst run at GOMAXPROCS=1 and =4 on
+#     the head tree. On a multi-core box the ratio shows the node-side
+#     fan-out scaling; on this 1-vCPU host the two rows are expected to
+#     tie (GOMAXPROCS cannot exceed the core count), so benchdiff
+#     prints the ratio but only enforces presence.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
 PROFILE_DIR="${2:-}"
-BASE_REF="${BASE_REF:-8e688ab}"
+BASE_REF="${BASE_REF:-eea19b3}"
 BENCHCOUNT="${BENCHCOUNT:-3}"
-OUT="BENCH_PR8.json"
+OUT="BENCH_PR9.json"
 BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkAppenderThroughput|BenchmarkQueryShapes|BenchmarkTelemetryOverhead|BenchmarkWitnessMaintain'
 
 # parse_rows turns `go test -bench -count=N` output into JSON row
@@ -94,22 +109,39 @@ parse_rows() {
 BASE_DIR="$(mktemp -d)/base"
 git worktree add --detach "$BASE_DIR" "$BASE_REF" >&2
 trap 'git worktree remove --force "$BASE_DIR" >/dev/null 2>&1 || true' EXIT INT TERM
-echo "bench.sh: baseline sweep ($BASE_REF, best of $BENCHCOUNT)" >&2
-BASE_RAW="$(cd "$BASE_DIR" && go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" .)"
-printf '%s\n' "$BASE_RAW" >&2
+BASE_RAW=""
+AFTER_RAW=""
+i=1
+while [ "$i" -le "$BENCHCOUNT" ]; do
+    echo "bench.sh: pass $i/$BENCHCOUNT baseline sweep ($BASE_REF)" >&2
+    PASS="$(cd "$BASE_DIR" && go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count 1 .)"
+    printf '%s\n' "$PASS" >&2
+    BASE_RAW="$BASE_RAW$PASS
+"
+    echo "bench.sh: pass $i/$BENCHCOUNT after sweep (working tree)" >&2
+    PASS="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count 1 . ./internal/crypto/accumulator/)"
+    printf '%s\n' "$PASS" >&2
+    AFTER_RAW="$AFTER_RAW$PASS
+"
+    i=$((i + 1))
+done
 BASE_ROWS="$(printf '%s\n' "$BASE_RAW" | parse_rows)"
-
-echo "bench.sh: after sweep (working tree, best of $BENCHCOUNT)" >&2
-AFTER_RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . ./internal/crypto/accumulator/)"
-printf '%s\n' "$AFTER_RAW" >&2
 AFTER_ROWS="$(printf '%s\n' "$AFTER_RAW" | parse_rows)"
 
 # Ingest knee of curve: a dlaload burst sweep (paced points plus the
 # unpaced right-hand end, with the synchronous per-event baseline in the
 # same run) and a crash-scenario run auditing acked-record loss.
-echo "bench.sh: ingest knee sweep (dlaload burst)" >&2
+echo "bench.sh: ingest knee sweep (dlaload burst, head tree)" >&2
 INGEST_JSON="$(go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
     -records 2000 -rates 2000,6000,0 -json)"
+echo "bench.sh: ingest knee sweep (dlaload burst, $BASE_REF worktree)" >&2
+INGEST_BASE_JSON="$(cd "$BASE_DIR" && go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
+    -records 2000 -rates 2000,6000,0 -json)"
+echo "bench.sh: ingest scaling rows (unpaced burst, GOMAXPROCS=1 and =4)" >&2
+INGEST_GOMAX1_JSON="$(GOMAXPROCS=1 go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
+    -records 2000 -rates 0 -json)"
+INGEST_GOMAX4_JSON="$(GOMAXPROCS=4 go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
+    -records 2000 -rates 0 -json)"
 echo "bench.sh: ingest crash run (dlaload burst -crash)" >&2
 CRASH_ROOT="$(mktemp -d)"
 INGEST_CRASH_JSON="$(go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
@@ -123,6 +155,9 @@ rm -rf "$CRASH_ROOT"
     printf '  "baseline": [\n%s\n  ],\n' "$BASE_ROWS"
     printf '  "after": [\n%s\n  ],\n' "$AFTER_ROWS"
     printf '  "ingest": %s,\n' "$INGEST_JSON"
+    printf '  "ingest_baseline": %s,\n' "$INGEST_BASE_JSON"
+    printf '  "ingest_scaling": {"gomaxprocs1": %s, "gomaxprocs4": %s},\n' \
+        "$INGEST_GOMAX1_JSON" "$INGEST_GOMAX4_JSON"
     printf '  "ingest_crash": %s\n' "$INGEST_CRASH_JSON"
     printf '}\n'
 } >"$OUT"

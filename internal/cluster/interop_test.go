@@ -343,7 +343,7 @@ func TestReplayStoreLegacyJSONRecords(t *testing.T) {
 			}
 			continue
 		}
-		if err := (storeJournal{s}).append(*e); err != nil { // upgraded region
+		if err := (&storeJournal{s: s}).append(*e); err != nil { // upgraded region
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,238 @@
+package cluster
+
+// Regression tests for journal/apply ordering on the pipelined batch
+// store path. The invariant under test: once a batch's journal position
+// is STAGED (which storeFragmentBatch does while still holding n.mu,
+// right after the in-memory install), every later journal append — a
+// delete tombstone, a single-store overwrite — lands AFTER the batch's
+// records, even though the batch's bytes reach the journal only in the
+// off-lock commit. Without that ordering, crash replay could apply
+// delete-then-frag and resurrect a fragment whose deletion was
+// acknowledged.
+
+import (
+	"errors"
+	"testing"
+
+	"confaudit/internal/logmodel"
+	"confaudit/internal/storage"
+	"confaudit/internal/ticket"
+	"confaudit/internal/transport"
+)
+
+// stagedFragEntries builds a pipelined-size batch of frag entries.
+func stagedFragEntries(n int) []walEntry {
+	entries := make([]walEntry, n)
+	for i := range entries {
+		frag := &logmodel.Fragment{
+			GLSN: logmodel.GLSN(10 + i), Node: "P1",
+			Values: map[logmodel.Attr]logmodel.Value{"C1": logmodel.Int(int64(i))},
+		}
+		entries[i] = walEntry{Kind: "frag", Fragment: frag}
+	}
+	return entries
+}
+
+// TestWALStagedBatchOrdersBeforeLaterAppend pins the review scenario at
+// the WAL layer: a batch staged before a delete append must replay
+// before it, even though the batch's commit runs after the delete's
+// append completed.
+func TestWALStagedBatchOrdersBeforeLaterAppend(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := stagedFragEntries(ingestFanoutThreshold)
+	staged, err := w.prepareBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged.stage()
+	// The conflicting mutator journals while the batch commit is still
+	// pending — pre-fix this delete hit the file first.
+	if err := w.append(walEntry{Kind: "delete", GLSN: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := staged.commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []string
+	if err := ReplayWAL(dir, func(e walEntry) error {
+		kinds = append(kinds, e.Kind)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != len(entries)+1 {
+		t.Fatalf("replayed %d records, want %d", len(kinds), len(entries)+1)
+	}
+	for i := range entries {
+		if kinds[i] != "frag" {
+			t.Fatalf("record %d is %q; staged batch did not keep its reserved position (order %v)", i, kinds[i], kinds)
+		}
+	}
+	if kinds[len(kinds)-1] != "delete" {
+		t.Fatalf("delete journaled before staged batch: replay order %v would resurrect the fragment", kinds)
+	}
+}
+
+// TestStoreJournalStagedBatchOrdersBeforeLaterAppend covers the same
+// invariant on the segment-store journal seam.
+func TestStoreJournalStagedBatchOrdersBeforeLaterAppend(t *testing.T) {
+	s, err := storage.Open(storage.Options{Backend: storage.BackendMemory}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &storeJournal{s: s}
+	entries := stagedFragEntries(ingestFanoutThreshold)
+	staged, err := j.prepareBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged.stage()
+	if err := j.append(walEntry{Kind: "delete", GLSN: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := staged.commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []string
+	if err := replayStore(s, func(e walEntry) error {
+		kinds = append(kinds, e.Kind)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != len(entries)+1 || kinds[len(kinds)-1] != "delete" {
+		t.Fatalf("store journal order %v: staged batch must precede the later delete", kinds)
+	}
+}
+
+// TestWALStagedCommitFailurePoisons verifies that a staged batch whose
+// commit cannot reach disk poisons the journal: the batch was already
+// applied in memory, so every later mutation must be refused rather
+// than letting memory silently run ahead of the journal.
+func TestWALStagedCommitFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := w.prepareBatch(stagedFragEntries(ingestFanoutThreshold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged.stage()
+	// Yank the file out from under the buffered writer so the commit's
+	// flush fails.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := staged.commit(); err == nil {
+		t.Fatal("commit over a closed journal file succeeded")
+	}
+	if err := w.append(walEntry{Kind: "delete", GLSN: 12}); !errors.Is(err, storage.ErrFailed) {
+		t.Fatalf("append after failed staged commit = %v; want poisoned journal (storage.ErrFailed)", err)
+	}
+}
+
+// failingStore forces AppendBatch errors to exercise storeJournal's
+// poisoning; everything else delegates to the in-memory backend.
+type failingStore struct {
+	storage.Store
+	fail bool
+}
+
+func (f *failingStore) AppendBatch(recs []storage.Record) error {
+	if f.fail {
+		return errors.New("injected append failure")
+	}
+	return f.Store.AppendBatch(recs)
+}
+
+func TestStoreJournalStagedCommitFailurePoisons(t *testing.T) {
+	fs := &failingStore{Store: storage.NewMem(), fail: true}
+	j := &storeJournal{s: fs}
+	staged, err := j.prepareBatch(stagedFragEntries(ingestFanoutThreshold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged.stage()
+	if err := staged.commit(); err == nil {
+		t.Fatal("commit over a failing store succeeded")
+	}
+	fs.fail = false
+	if err := j.append(walEntry{Kind: "delete", GLSN: 12}); err == nil {
+		t.Fatal("append after failed staged commit succeeded; journal must stay poisoned")
+	}
+}
+
+// TestPipelinedBatchThenDeleteSurvivesRestart drives the scenario end
+// to end: a pipelined-size batch, a delete of one of its records, a
+// restart from the journal. The deleted record must stay deleted — a
+// frag record replaying after its delete tombstone is exactly the
+// resurrection the staged ordering forbids.
+func TestPipelinedBatchThenDeleteSurvivesRestart(t *testing.T) {
+	root := t.TempDir()
+	ctx := testCtx(t)
+
+	tc, stop := walCluster(t, root)
+	c := tc.client(t, "ord-u", "TORD", ticket.OpWrite, ticket.OpRead, ticket.OpDelete)
+	if err := c.RegisterTicket(ctx); err != nil {
+		t.Fatal(err)
+	}
+	records := make([]map[logmodel.Attr]logmodel.Value, ingestFanoutThreshold+2)
+	for i := range records {
+		records[i] = map[logmodel.Attr]logmodel.Value{"C1": logmodel.Int(int64(i))}
+	}
+	gs, err := c.LogBatch(ctx, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := gs[len(gs)/2]
+	if err := c.Delete(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	tc2, stop2 := walCluster(t, root)
+	defer stop2()
+	ep, err := tc2.net.Endpoint("ord-u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := transport.NewMailbox(ep)
+	defer mb.Close() //nolint:errcheck
+	tk, err := tc2.boot.Issuer.Issue("TORD", "ord-u", ticket.OpWrite, ticket.OpRead, ticket.OpDelete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := OpenClient(mb, ClientConfig{Roster: tc2.boot.Roster, Partition: tc2.boot.Partition, Accumulator: tc2.boot.AccParams, Ticket: tk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Read(ctx, victim); err == nil {
+		t.Fatalf("deleted batch record %s resurrected by restart", victim)
+	}
+	for i, g := range gs {
+		if g == victim {
+			continue
+		}
+		rec, err := orig.Read(ctx, g)
+		if err != nil {
+			t.Fatalf("surviving batch record %d lost across restart: %v", i, err)
+		}
+		if rec.Values["C1"].I != int64(i) {
+			t.Fatalf("record %d restored as %v", i, rec.Values)
+		}
+	}
+}

@@ -163,12 +163,12 @@ type Node struct {
 	wal     journal
 	durable bool
 	// compactMu fences journal compaction off from the pipelined batch
-	// store path. Batched stores append to the journal concurrently with
-	// the n.mu-locked install (group commit overlapping apply), so a
-	// compaction snapshot taken under n.mu alone could rewrite the
-	// journal without a batch whose append was still in flight — losing
-	// acknowledged mutations on the next restart. Stores take the read
-	// side; CompactStorage takes the write side before n.mu.
+	// store path. Batched stores stage their journal records under n.mu
+	// but write them (group commit) after releasing it, so a compaction
+	// snapshot taken under n.mu alone could rewrite the journal while a
+	// staged batch's commit was still in flight — losing acknowledged
+	// mutations on the next restart. Stores take the read side across
+	// stage and commit; CompactStorage takes the write side before n.mu.
 	compactMu sync.RWMutex
 	// quarantined names the glsn extents recovery refused to serve
 	// (crc/accumulator mismatches), prefixed with this node's ID. The
@@ -220,7 +220,7 @@ func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
 		if err := replayStore(cfg.Storage, n.applyWALEntry); err != nil {
 			return nil, err
 		}
-		n.wal = storeJournal{s: cfg.Storage}
+		n.wal = &storeJournal{s: cfg.Storage}
 		n.durable = true
 		for _, q := range cfg.Storage.Status().Quarantined {
 			n.quarantined = append(n.quarantined, cfg.ID+": "+q.Extent())
@@ -257,7 +257,7 @@ func (n *Node) QuarantinedExtents() []string {
 // against every backend.
 func (n *Node) StorageStatus() storage.Status {
 	switch j := n.wal.(type) {
-	case storeJournal:
+	case *storeJournal:
 		return j.s.Status()
 	case *WAL:
 		if j != nil {
@@ -337,7 +337,7 @@ func (n *Node) Start(ctx context.Context) {
 	// the node (not the store) because the snapshot needs the node's
 	// state lock; polling NeedsCompaction keeps the lock ordering
 	// n.mu → store.mu in both the append and compaction paths.
-	if j, ok := n.wal.(storeJournal); ok {
+	if j, ok := n.wal.(*storeJournal); ok {
 		if nc, ok := j.s.(interface{ NeedsCompaction() bool }); ok {
 			n.wg.Add(1)
 			go func() {
@@ -943,16 +943,27 @@ func (n *Node) handleStoreBatch(ctx context.Context, msg transport.Message) {
 // before state changes, so a client never has to puzzle out a partial
 // ack.
 //
-// Large batches on a durable node pipeline the two halves: the WAL
-// group commit (encode, CRC, write, fsync) runs concurrently with the
-// n.mu-locked in-memory install instead of serializing after it, so a
-// node's ingest path keeps the disk and the other cores busy at the
-// same time. This is crash-safe — the ack waits for both halves, so a
-// crash between them loses only unacknowledged work, and replaying a
+// Large batches on a durable node pipeline the journal against the
+// install in three phases: the records are encoded (CRC, workpool
+// fan-out) before any lock, their journal position is STAGED while
+// still holding n.mu after the in-memory install, and the group commit
+// (write, flush, fsync) runs after n.mu is released — so the disk write
+// of one batch overlaps the next batch's install instead of
+// serializing the whole node. Staging under n.mu is what makes this
+// crash-safe against concurrent mutators: any deleteFragment or
+// single-store overwrite that applies after the batch also journals
+// after it (every journal write path drains staged records first), so
+// replay order matches apply order for every GLSN and a replayed "frag"
+// record can never resurrect a fragment whose later delete was
+// acknowledged. The ack waits for the commit, so a crash between
+// install and commit loses only unacknowledged work, and replaying a
 // journaled batch over an already-installed one is idempotent
-// (applyWALEntry tolerates duplicates). Compaction is fenced out by
-// compactMu so the snapshot rewrite can never drop an append still in
-// flight.
+// (applyWALEntry tolerates duplicates). A commit failure poisons the
+// journal: the batch is nacked but already installed, and a poisoned
+// journal refusing every later mutation is the only honest way to keep
+// that divergence from persisting silently. Compaction is fenced out by
+// compactMu so the snapshot rewrite can never drop a staged commit
+// still in flight.
 func (n *Node) storeFragmentBatch(body storeBatchBody) error {
 	if len(body.Items) == 0 {
 		return errors.New("cluster: empty store batch")
@@ -986,15 +997,16 @@ func (n *Node) storeFragmentBatch(body storeBatchBody) error {
 		entries[i] = walEntry{Kind: "frag", Fragment: &frag, Digest: item.Digest, DigestExp: item.DigestExp, Prov: item.Provenance, WitnessExp: item.WitnessExp}
 	}
 	pipeline := n.durable && len(body.Items) >= ingestFanoutThreshold
-	var walErr error
-	walDone := make(chan struct{})
+	var staged journalBatch
 	if pipeline {
 		telemetry.M.Counter(telemetry.CtrIngestFanout).Add(1)
+		// Encode off every lock; an encode error refuses the batch
+		// before any state changes.
+		var err error
+		if staged, err = n.wal.prepareBatch(entries); err != nil {
+			return err
+		}
 		n.compactMu.RLock()
-		go func() {
-			defer close(walDone)
-			walErr = n.wal.appendBatch(entries)
-		}()
 	}
 	n.mu.Lock()
 	for _, item := range body.Items {
@@ -1011,8 +1023,12 @@ func (n *Node) storeFragmentBatch(body storeBatchBody) error {
 		defer n.mu.Unlock()
 		return n.wal.appendBatch(entries)
 	}
+	// Reserve the batch's journal position before releasing the state
+	// lock: a conflicting mutation that applies after this point also
+	// journals after it.
+	staged.stage()
 	n.mu.Unlock()
-	<-walDone
+	walErr := staged.commit()
 	n.compactMu.RUnlock()
 	return walErr
 }

@@ -65,6 +65,14 @@ type WAL struct {
 	// durable state unknowable (a failed fsync, a rewrite that could not
 	// reopen the live handle). Every later mutation is refused.
 	failed error
+
+	// pending holds encoded record groups whose journal position has
+	// been reserved (journalBatch.stage, called under the node state
+	// lock) but whose bytes have not reached the buffered writer yet.
+	// Every write path drains this queue before adding its own records,
+	// so on-disk record order always matches the reservation order —
+	// which is the in-memory apply order.
+	pending [][][]byte
 }
 
 // walFile names the journal inside a node data directory.
@@ -281,6 +289,9 @@ func (w *WAL) append(e walEntry) error {
 	if w.failed != nil {
 		return w.failed
 	}
+	if err := w.drainLocked(); err != nil {
+		return err
+	}
 	if _, err := w.bw.Write(rec); err != nil {
 		return fmt.Errorf("cluster: appending WAL entry: %w", err)
 	}
@@ -306,10 +317,78 @@ func (w *WAL) appendBatch(entries []walEntry) error {
 	if w.failed != nil {
 		return w.failed
 	}
+	if err := w.drainLocked(); err != nil {
+		return err
+	}
 	for _, rec := range recs {
 		if _, err := w.bw.Write(rec); err != nil {
 			return fmt.Errorf("cluster: appending WAL entry: %w", err)
 		}
+	}
+	return w.flushLocked()
+}
+
+// drainLocked writes every staged record group to the buffered writer
+// in reservation order. A write failure poisons the journal: part of a
+// reserved group may already be buffered, so the durable record order
+// is no longer knowable and no later acknowledgement can be honest.
+func (w *WAL) drainLocked() error {
+	for len(w.pending) > 0 {
+		for _, rec := range w.pending[0] {
+			if _, err := w.bw.Write(rec); err != nil {
+				w.failed = fmt.Errorf("%w: appending staged WAL entry: %v", storage.ErrFailed, err)
+				return w.failed
+			}
+		}
+		w.pending = w.pending[1:]
+	}
+	return nil
+}
+
+// walStagedBatch is a prepared group commit against the *WAL backend.
+type walStagedBatch struct {
+	w    *WAL
+	recs [][]byte
+}
+
+// prepareBatch encodes a batch off every lock. The returned handle is
+// staged under the node state lock (fixing the records' journal
+// position relative to every later append) and committed off-lock
+// (write, flush, fsync). An encode error surfaces here, before the
+// caller has mutated any state.
+func (w *WAL) prepareBatch(entries []walEntry) (journalBatch, error) {
+	if w == nil || len(entries) == 0 {
+		return noopStagedBatch{}, nil
+	}
+	recs, err := encodeWALRecords(entries)
+	if err != nil {
+		return nil, err
+	}
+	return &walStagedBatch{w: w, recs: recs}, nil
+}
+
+// stage reserves the batch's position in the journal write stream.
+// Memory-only: safe to call under the node state lock.
+func (b *walStagedBatch) stage() {
+	b.w.mu.Lock()
+	b.w.pending = append(b.w.pending, b.recs)
+	b.w.mu.Unlock()
+}
+
+// commit drains the staged queue through this batch and flushes per the
+// sync policy. Any failure poisons the journal (via drainLocked or
+// flushLocked), so a batch that was applied in memory but never reached
+// disk cannot leave the node silently serving unjournaled state.
+func (b *walStagedBatch) commit() error {
+	defer telemetry.M.Histogram(telemetry.HistWALFlush).Since(time.Now())
+	w := b.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
+	if err := w.drainLocked(); err != nil {
+		return err
 	}
 	return w.flushLocked()
 }
@@ -327,6 +406,10 @@ func (w *WAL) Close() error {
 	if w.failed != nil {
 		w.f.Close() //nolint:errcheck // already poisoned; release the handle
 		return w.failed
+	}
+	if err := w.drainLocked(); err != nil {
+		w.f.Close() //nolint:errcheck
+		return err
 	}
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close() //nolint:errcheck

@@ -177,7 +177,10 @@ func (d *wireDec) small() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if v > 1<<31 {
+	// math.MaxInt32, not 1<<31: admitting exactly 2^31 would wrap the
+	// int conversion negative on 32-bit platforms and reach a slice
+	// expression with a negative index.
+	if v > math.MaxInt32 {
 		return 0, fmt.Errorf("%w: field %d out of range", errBadWire, v)
 	}
 	return int(v), nil

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"math"
 	"math/big"
@@ -244,5 +245,23 @@ func TestWireDecodeRejectsHostileEncodings(t *testing.T) {
 	}
 	if _, err := decodeWALEntry([]byte{0x09}); err == nil {
 		t.Fatal("bad WAL kind code accepted")
+	}
+}
+
+// TestWireDecSmallBoundary pins the 32-bit guard: exactly 2^31 must be
+// rejected — on a 32-bit platform int(1<<31) wraps negative, and a
+// hostile length that survives small() reaches a slice expression.
+func TestWireDecSmallBoundary(t *testing.T) {
+	enc := func(v uint64) *wireDec {
+		return &wireDec{rest: binary.AppendUvarint(nil, v)}
+	}
+	if _, err := enc(1 << 31).small(); err == nil {
+		t.Fatal("small() admitted 2^31; int conversion wraps negative on 32-bit platforms")
+	}
+	if _, err := enc(1<<31 + 1).small(); err == nil {
+		t.Fatal("small() admitted 2^31+1")
+	}
+	if n, err := enc(math.MaxInt32).small(); err != nil || n != math.MaxInt32 {
+		t.Fatalf("small() rejected MaxInt32: n=%d err=%v", n, err)
 	}
 }

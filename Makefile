@@ -6,14 +6,14 @@ GO ?= go
 # Headline-benchmark artifact checked by benchdiff: its embedded
 # baseline (the previous PR's tree, re-measured on the same box when
 # the artifact was generated) against its "after" rows. Override when a
-# new PR lands a fresh artifact: make benchdiff BENCH_HEAD=BENCH_PR9.json
+# new PR lands a fresh artifact: make benchdiff BENCH_HEAD=BENCH_PR10.json
 # Cross-artifact diffs remain available by hand:
 #   go run ./cmd/benchtab -benchdiff BENCH_PR7.json,BENCH_PR8.json
 # but are not the gate, because box-speed drift between PRs would be
 # indistinguishable from code regressions.
-BENCH_HEAD ?= BENCH_PR9.json
+BENCH_HEAD ?= BENCH_PR10.json
 
-.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos crash-torture examples obs-smoke load-smoke tables fuzz clean
+.PHONY: all build test race race-telemetry bench bench-json bench-smoke benchdiff vet staticcheck fmt check chaos crash-torture examples obs-smoke obs-ingest-smoke load-smoke tables fuzz clean
 
 all: build vet test
 
@@ -25,7 +25,7 @@ all: build vet test
 # a single-iteration pass over every benchmark so perf-path regressions
 # that only benchmarks exercise break the gate too, and the
 # headline-benchmark diff between the committed artifacts.
-check: bench-smoke vet staticcheck race-telemetry obs-smoke load-smoke crash-torture benchdiff
+check: bench-smoke vet staticcheck race-telemetry obs-smoke obs-ingest-smoke load-smoke crash-torture benchdiff
 	$(GO) test -race ./...
 
 # Observability smoke: boot a 3+-node in-memory cluster, run one
@@ -33,6 +33,14 @@ check: bench-smoke vet staticcheck race-telemetry obs-smoke load-smoke crash-tor
 # non-empty per-querier leak ledger through the dlactl merge paths.
 obs-smoke:
 	$(GO) test -run '^TestObsSmoke$$' -count=1 -v ./cmd/dlactl/
+
+# Ingest-plane observability smoke: a 3-node durable cluster takes an
+# appender burst, then every write-pipeline stage histogram, the
+# ordered glsn watermarks, the flight recorder (HTTP + dlactl flight),
+# and the dlactl top table are asserted, with a redaction sweep over
+# all of it.
+obs-ingest-smoke:
+	$(GO) test -run '^TestObsIngestSmoke$$' -count=1 -v ./cmd/dlactl/
 
 # Ingestion smoke: the dlaload burst scenario against a memnet cluster
 # through the loadgen engine — every record acked, zero lost acks, and a
@@ -57,7 +65,8 @@ race-telemetry:
 		./internal/resilience/ ./internal/cluster/ ./internal/audit/ \
 		./internal/smc/intersect/ ./internal/smc/union/ ./pkg/dla/ \
 		./internal/workpool/ ./internal/crypto/commutative/ \
-		./internal/integrity/ ./internal/mathx/ ./internal/loadgen/
+		./internal/integrity/ ./internal/mathx/ ./internal/loadgen/ \
+		./cmd/dlactl/
 
 # Fault-schedule suite: crash/restart, seeded loss, degraded auditing.
 chaos:

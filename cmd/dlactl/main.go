@@ -16,6 +16,8 @@
 //	dlactl leaks -addrs 127.0.0.1:6060,127.0.0.1:6061
 //	dlactl storage status -addrs 127.0.0.1:6060,127.0.0.1:6061
 //	dlactl ingest status -addrs 127.0.0.1:6060,127.0.0.1:6061
+//	dlactl flight -addrs 127.0.0.1:6060,127.0.0.1:6061 -since 10m
+//	dlactl top -addrs 127.0.0.1:6060,127.0.0.1:6061,127.0.0.1:6062
 package main
 
 import (
@@ -83,6 +85,10 @@ func main() {
 		err = cmdStorage(args)
 	case "ingest":
 		err = cmdIngest(args)
+	case "flight":
+		err = cmdFlight(args)
+	case "top":
+		err = cmdTop(args)
 	default:
 		usage()
 	}
@@ -92,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|aclcheck|trace|leaks|storage|ingest [flags] [args]")
+	fmt.Fprintln(os.Stderr, "usage: dlactl issue|register|log|read|query|agg|check|aclcheck|trace|leaks|storage|ingest|flight|top [flags] [args]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"confaudit/internal/telemetry"
+)
+
+// cmdTop is the cluster's live ingest-health view: it polls
+// /debug/dla/prom on every -addrs target and renders one refreshing
+// row per node — ingest rate (from successive scrapes), fsync
+// p50/p99, the reserved/durable watermark lag, admission headroom,
+// breaker trips, and flight-event counts. Everything shown is parsed
+// back out of the zero-plaintext exposition; dlactl adds no channel
+// of its own.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6060", "dlad -pprof address serving /debug/dla")
+	addrs := fs.String("addrs", "", "comma-separated dlad -pprof addresses; one table row per node")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	rounds := fs.Int("n", 0, "number of refreshes before exiting (0 means run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := splitAddrs(*addrs)
+	if len(targets) == 0 {
+		targets = []string{*addr}
+	}
+	var prev map[string]topSample
+	for i := 0; *rounds == 0 || i < *rounds; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+			// Redraw in place: clear screen, home the cursor.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		cur, err := topFrame(os.Stdout, targets, prev)
+		if err != nil {
+			return err
+		}
+		prev = cur
+	}
+	return nil
+}
+
+// topSample is one node's scrape plus when it was taken, kept between
+// frames so counters can be turned into rates.
+type topSample struct {
+	scrape *telemetry.PromScrape
+	at     time.Time
+}
+
+// Exposition names of the metrics the table reads, derived from the
+// telemetry constants so a rename cannot silently blank a column.
+var (
+	promStoreRecords = telemetry.PromName(telemetry.CtrStoreRecords)
+	promFsync        = telemetry.PromName(telemetry.HistWALFsync)
+	promReserved     = telemetry.PromName(telemetry.GaugeGLSNReserved)
+	promDurable      = telemetry.PromName(telemetry.GaugeGLSNDurable)
+	promAcked        = telemetry.PromName(telemetry.GaugeGLSNAcked)
+	promTokens       = telemetry.PromName(telemetry.GaugeAdmissionTokens)
+	promInflightB    = telemetry.PromName(telemetry.GaugeAdmissionBytes)
+	promTrips        = telemetry.PromName(telemetry.CtrBreakerTrips)
+	promFlight       = telemetry.PromName(telemetry.CtrFlightEvents)
+)
+
+// topFrame scrapes every target once and renders one table. It
+// returns the scrapes so the next frame can compute rates; prev may
+// be nil (first frame shows "-" rates). Unreachable nodes are warned
+// about and skipped; the frame fails only if no node answered.
+func topFrame(w io.Writer, targets []string, prev map[string]topSample) (map[string]topSample, error) {
+	cur := make(map[string]topSample, len(targets))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-21s %8s %9s %9s %8s %8s %6s %6s %8s %4s %4s\n",
+		"NODE", "REC/S", "P50FS(ms)", "P99FS(ms)", "RESV", "DURB", "LAG", "ACKD", "TOKENS", "BRK", "FLT")
+	ok := 0
+	for _, a := range targets {
+		scrape, err := fetchPromScrape("http://" + a)
+		now := time.Now()
+		if err != nil {
+			log.Printf("warning: %s: %v", a, err)
+			continue
+		}
+		ok++
+		cur[a] = topSample{scrape: scrape, at: now}
+		rate := "-"
+		if p, found := prev[a]; found {
+			if dt := now.Sub(p.at).Seconds(); dt > 0 {
+				rate = fmt.Sprintf("%.0f", (scrape.Counter(promStoreRecords)-p.scrape.Counter(promStoreRecords))/dt)
+			}
+		}
+		reserved := scrape.Gauges[promReserved]
+		durable := scrape.Gauges[promDurable]
+		tokens := "-"
+		if v, found := scrape.Gauges[promTokens]; found {
+			tokens = fmt.Sprintf("%.0f", v)
+			if ib, found := scrape.Gauges[promInflightB]; found && ib > 0 {
+				tokens += fmt.Sprintf("/%.0fB", ib)
+			}
+		}
+		fmt.Fprintf(&b, "%-21s %8s %9s %9s %8.0f %8.0f %6.0f %6.0f %8s %4.0f %4.0f\n",
+			a, rate,
+			fmtQuantile(scrape, promFsync, 0.5), fmtQuantile(scrape, promFsync, 0.99),
+			reserved, durable, reserved-durable, scrape.Gauges[promAcked],
+			tokens, scrape.Counter(promTrips), scrape.Counter(promFlight))
+	}
+	if ok == 0 {
+		return nil, fmt.Errorf("no node returned metrics")
+	}
+	_, err := io.WriteString(w, b.String())
+	return cur, err
+}
+
+// fmtQuantile renders a bucket-estimated quantile in ms, "-" when the
+// histogram is absent or empty.
+func fmtQuantile(s *telemetry.PromScrape, hist string, q float64) string {
+	v := s.Quantile(hist, q)
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// fetchPromScrape pulls and parses one node's /debug/dla/prom.
+func fetchPromScrape(baseURL string) (*telemetry.PromScrape, error) {
+	resp, err := http.Get(baseURL + "/debug/dla/prom")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("prom endpoint: %s", resp.Status)
+	}
+	return telemetry.ParsePrometheus(resp.Body)
+}

@@ -189,6 +189,9 @@ func run(args []string) error {
 	if *leakBudget > 0 {
 		telemetry.L.SetDefaultBudget(*leakBudget)
 	}
+	// One node per dlad process: stamp its ID on flight events recorded
+	// deep in the pipeline (WAL, breaker) that don't know who owns them.
+	telemetry.F.SetDefaultNode(*id)
 	common, err := cluster.LoadCommon(*dir)
 	if err != nil {
 		return err

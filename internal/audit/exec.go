@@ -137,6 +137,14 @@ func handleQuery(ctx context.Context, node NodeState, msg transport.Message) {
 		if dead := hv.HealthView().Dead(); len(dead) > 0 {
 			deadNodes = dead
 			plans, unanswerable = degradePlans(plans, part.Nodes(), dead)
+			outcome := "ok"
+			if len(unanswerable) > 0 {
+				outcome = "partial"
+			}
+			telemetry.F.Record(telemetry.FlightEvent{
+				Kind: telemetry.FlightDegraded, Node: node.ID(), Peer: dead[0],
+				Count: len(unanswerable), Outcome: outcome,
+			})
 		}
 	}
 	exec := execBody{

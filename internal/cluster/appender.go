@@ -158,7 +158,8 @@ type Appender struct {
 	mu          sync.Mutex
 	cur         []pendingRec
 	curBytes    int
-	gen         uint64 // staging generation; invalidates stale linger timers
+	curStart    time.Time // first Append of the open batch, for seal-wait
+	gen         uint64    // staging generation; invalidates stale linger timers
 	queue       []*stagedBatch
 	outstanding int // sealed batches not yet fully acked
 	notifyCh    chan struct{}
@@ -217,6 +218,9 @@ func (a *Appender) Append(ctx context.Context, values map[logmodel.Attr]logmodel
 	}
 	ack := &Ack{done: make(chan struct{})}
 	a.cur = append(a.cur, pendingRec{values: values, ack: ack})
+	if len(a.cur) == 1 {
+		a.curStart = time.Now()
+	}
 	a.curBytes += estimateRecordBytes(values)
 	telemetry.M.Counter(telemetry.CtrIngestAppends).Add(1)
 	telemetry.M.Gauge(telemetry.GaugeIngestStaged).Set(int64(len(a.cur)))
@@ -260,6 +264,7 @@ func (a *Appender) sealLocked(reason string) {
 	if len(a.cur) == 0 {
 		return
 	}
+	telemetry.M.Histogram(telemetry.HistIngestSealWait).Since(a.curStart)
 	bt := &stagedBatch{recs: a.cur, reason: reason}
 	a.cur = nil
 	a.curBytes = 0
@@ -327,7 +332,9 @@ func (a *Appender) dispatch() {
 		}
 		telemetry.M.Counter(bt.reason).Add(1)
 		telemetry.M.Counter(telemetry.CtrIngestBatches).Add(1)
+		reserveStart := time.Now()
 		first, err := a.c.RequestGLSNRange(a.ctx, len(bt.recs))
+		telemetry.M.Histogram(telemetry.HistIngestReserve).Since(reserveStart)
 		if err != nil {
 			a.failBatch(bt, err)
 			continue
@@ -411,6 +418,7 @@ func (a *Appender) storeBatch(bt *stagedBatch, first logmodel.GLSN) {
 	for i, r := range bt.recs {
 		r.ack.resolve(glsns[i], nil)
 	}
+	telemetry.M.Gauge(telemetry.GaugeGLSNAcked).Max(int64(glsns[len(glsns)-1]))
 	telemetry.M.Counter(telemetry.CtrRecordsLogged).Add(int64(len(bt.recs)))
 }
 
@@ -440,6 +448,12 @@ func (a *Appender) sendNodeBatch(node string, items []batchItem, first logmodel.
 	body := storeBatchBody{TicketID: c.tk.ID, Items: items}
 	backoff := a.opts.RetryBackoff
 	transient := 0
+	resend := func(outcome string) {
+		telemetry.F.Record(telemetry.FlightEvent{
+			Kind: telemetry.FlightResend, Peer: node,
+			GLSN: uint64(first), Count: len(items), Outcome: outcome,
+		})
+	}
 	for {
 		session := c.nextSession("apstore")
 		msg := transport.NewBinaryMessage(node, MsgLogStoreBatch, session, &body)
@@ -451,6 +465,7 @@ func (a *Appender) sendNodeBatch(node string, items []batchItem, first logmodel.
 			}
 			return c.spool(node, MsgLogStoreBatch, msg.Payload, first)
 		}
+		roundStart := time.Now()
 		if err := c.mb.Send(a.ctx, msg); err != nil {
 			if a.ctx.Err() != nil || errors.Is(err, transport.ErrUnknownNode) {
 				return err
@@ -464,6 +479,7 @@ func (a *Appender) sendNodeBatch(node string, items []batchItem, first logmodel.
 			if transient++; transient > a.opts.MaxRetries {
 				return err
 			}
+			resend(telemetry.ErrClass(err))
 			if err := a.sleep(&backoff); err != nil {
 				return err
 			}
@@ -479,6 +495,7 @@ func (a *Appender) sendNodeBatch(node string, items []batchItem, first logmodel.
 			if transient++; transient > a.opts.MaxRetries {
 				return fmt.Errorf("cluster: awaiting batch ack: %w", err)
 			}
+			resend(telemetry.ErrClass(err))
 			if err := a.sleep(&backoff); err != nil {
 				return err
 			}
@@ -488,6 +505,9 @@ func (a *Appender) sendNodeBatch(node string, items []batchItem, first logmodel.
 		if err := transport.Unmarshal(resp.Payload, &ack); err != nil {
 			return err
 		}
+		rtt := time.Since(roundStart)
+		telemetry.M.Histogram(telemetry.HistIngestStoreRTT).Observe(rtt)
+		telemetry.M.Histogram(telemetry.HistIngestStoreRTT + "." + node).Observe(rtt)
 		switch {
 		case ack.OK:
 			return nil
@@ -496,6 +516,7 @@ func (a *Appender) sendNodeBatch(node string, items []batchItem, first logmodel.
 				return ErrOverloaded
 			}
 			telemetry.M.Counter(telemetry.CtrIngestRetries).Add(1)
+			resend("overloaded")
 			if err := a.sleep(&backoff); err != nil {
 				return err
 			}

@@ -16,6 +16,7 @@ import (
 
 	"confaudit/internal/logmodel"
 	"confaudit/internal/storage"
+	"confaudit/internal/telemetry"
 	"confaudit/internal/ticket"
 	"confaudit/internal/transport"
 )
@@ -142,6 +143,52 @@ func TestWALStagedCommitFailurePoisons(t *testing.T) {
 	}
 	if err := w.append(walEntry{Kind: "delete", GLSN: 12}); !errors.Is(err, storage.ErrFailed) {
 		t.Fatalf("append after failed staged commit = %v; want poisoned journal (storage.ErrFailed)", err)
+	}
+}
+
+// countPoisonEvents tallies journal.poison events in the process-wide
+// flight recorder.
+func countPoisonEvents() int {
+	n := 0
+	for _, e := range telemetry.F.Snapshot().Events {
+		if e.Kind == telemetry.FlightJournalPoison {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWALPoisonRecordsFlightEvent verifies the incident is in the
+// flight recorder by the time the poisoning commit returns — before
+// the node has refused a single later write — so the recorder shows
+// the cause ahead of the symptoms.
+func TestWALPoisonRecordsFlightEvent(t *testing.T) {
+	w, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := w.prepareBatch(stagedFragEntries(ingestFanoutThreshold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged.stage()
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := countPoisonEvents()
+	if err := staged.commit(); err == nil {
+		t.Fatal("commit over a closed journal file succeeded")
+	}
+	// The event must already be retained here, before any later write
+	// observes the poisoned journal.
+	if got := countPoisonEvents(); got != before+1 {
+		t.Fatalf("poison events after failed commit = %d, want %d: event must precede the first refused write", got, before+1)
+	}
+	if err := w.append(walEntry{Kind: "delete", GLSN: 12}); !errors.Is(err, storage.ErrFailed) {
+		t.Fatalf("append after poisoning = %v; want storage.ErrFailed", err)
+	}
+	if got := countPoisonEvents(); got != before+1 {
+		t.Fatalf("refused writes must not re-record the poisoning: %d events", got)
 	}
 }
 

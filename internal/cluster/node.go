@@ -225,6 +225,11 @@ func New(cfg Config, mb *transport.Mailbox) (*Node, error) {
 		for _, q := range cfg.Storage.Status().Quarantined {
 			n.quarantined = append(n.quarantined, cfg.ID+": "+q.Extent())
 		}
+		if len(n.quarantined) > 0 {
+			telemetry.F.Record(telemetry.FlightEvent{
+				Kind: telemetry.FlightQuarantine, Node: cfg.ID, Count: len(n.quarantined),
+			})
+		}
 	case cfg.DataDir != "":
 		if err := n.restore(cfg.DataDir); err != nil {
 			return nil, err
@@ -533,6 +538,7 @@ func (n *Node) applyGrantRange(first logmodel.GLSN, count int, ticketID string) 
 		}
 	}
 	n.nextGLSN = last + 1
+	telemetry.M.Gauge(telemetry.GaugeGLSNReserved).Max(int64(last))
 	if count == 1 {
 		return n.wal.append(walEntry{Kind: "grant", TicketID: ticketID, GLSN: first})
 	}
@@ -771,6 +777,7 @@ func (n *Node) serveStore(ctx context.Context) {
 }
 
 func (n *Node) handleStore(ctx context.Context, msg transport.Message) {
+	start := time.Now()
 	var body storeBody
 	ack := ackBody{OK: true}
 	bytes := int64(len(msg.Payload))
@@ -778,12 +785,17 @@ func (n *Node) handleStore(ctx context.Context, msg transport.Message) {
 		ack = ackBody{Error: err.Error()}
 	} else if err := n.adm.admit(1, bytes); err != nil {
 		ack = ackBody{Error: overloadedMarker, Overloaded: true}
+		telemetry.F.Record(telemetry.FlightEvent{Kind: telemetry.FlightOverload, Node: n.id, Peer: msg.From, Count: 1})
 	} else {
 		if err := n.storeWhenGranted(ctx, func() error { return n.storeFragment(body) }); err != nil {
 			ack = ackBody{Error: err.Error()}
+		} else {
+			telemetry.M.Counter(telemetry.CtrStoreRecords).Add(1)
+			telemetry.M.Gauge(telemetry.GaugeGLSNDurable).Max(int64(body.Fragment.GLSN))
 		}
 		n.adm.release(bytes)
 	}
+	telemetry.M.Histogram(telemetry.HistIngestAckTurn).Since(start)
 	n.send(ctx, msg.From, MsgLogAck, msg.Session, &ack) //nolint:errcheck
 }
 
@@ -915,16 +927,21 @@ func (n *Node) serveStoreBatch(ctx context.Context) {
 // WAL group commit, answering with a single ack — so a spooled batch
 // replays through the client outbox exactly like a single store.
 func (n *Node) handleStoreBatch(ctx context.Context, msg transport.Message) {
+	start := time.Now()
 	var body storeBatchBody
 	ack := ackBody{OK: true}
 	bytes := int64(len(msg.Payload))
-	if err := transport.Unmarshal(msg.Payload, &body); err != nil {
+	decodeStart := time.Now()
+	err := transport.Unmarshal(msg.Payload, &body)
+	telemetry.M.Histogram(telemetry.HistIngestDecode).Since(decodeStart)
+	if err != nil {
 		ack = ackBody{Error: err.Error()}
 	} else if err := n.adm.admit(len(body.Items), bytes); err != nil {
 		// Shed at the door: no grant wait, no lock, no WAL touch. The
 		// writer retries with backoff or fails its acks with
 		// ErrOverloaded, per its policy.
 		ack = ackBody{Error: overloadedMarker, Overloaded: true}
+		telemetry.F.Record(telemetry.FlightEvent{Kind: telemetry.FlightOverload, Node: n.id, Peer: msg.From, Count: len(body.Items)})
 	} else {
 		if err := n.storeWhenGranted(ctx, func() error { return n.storeFragmentBatch(body) }); err != nil {
 			ack = ackBody{Error: err.Error()}
@@ -933,7 +950,16 @@ func (n *Node) handleStoreBatch(ctx context.Context, msg transport.Message) {
 	}
 	if ack.OK {
 		telemetry.M.Counter(telemetry.CtrStoreBatches).Add(1)
+		telemetry.M.Counter(telemetry.CtrStoreRecords).Add(int64(len(body.Items)))
+		maxGLSN := int64(0)
+		for i := range body.Items {
+			if g := int64(body.Items[i].Fragment.GLSN); g > maxGLSN {
+				maxGLSN = g
+			}
+		}
+		telemetry.M.Gauge(telemetry.GaugeGLSNDurable).Max(maxGLSN)
 	}
+	telemetry.M.Histogram(telemetry.HistIngestAckTurn).Since(start)
 	n.send(ctx, msg.From, MsgLogAck, msg.Session, &ack) //nolint:errcheck
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"confaudit/internal/storage"
 	"confaudit/internal/telemetry"
@@ -86,6 +87,7 @@ func entryRecord(e walEntry) (storage.Record, error) {
 // encodeStoreRecords converts a batch, fanning the per-entry encode over
 // the shared worker pool for large groups.
 func encodeStoreRecords(entries []walEntry) ([]storage.Record, error) {
+	defer telemetry.M.Histogram(telemetry.HistWALEncode).Since(time.Now())
 	recs := make([]storage.Record, len(entries))
 	if len(entries) >= ingestFanoutThreshold {
 		if err := workpool.Map(len(entries), func(i int) error {
@@ -113,6 +115,9 @@ func (j *storeJournal) drainLocked() error {
 	for len(j.pending) > 0 {
 		if err := j.s.AppendBatch(j.pending[0]); err != nil {
 			j.failed = fmt.Errorf("cluster: appending staged journal batch: %w", err)
+			telemetry.F.Record(telemetry.FlightEvent{
+				Kind: telemetry.FlightJournalPoison, Outcome: telemetry.ErrClass(err),
+			})
 			return j.failed
 		}
 		j.pending = j.pending[1:]
@@ -170,6 +175,7 @@ func (j *storeJournal) prepareBatch(entries []walEntry) (journalBatch, error) {
 }
 
 func (b *storeStagedBatch) stage() {
+	defer telemetry.M.Histogram(telemetry.HistWALStage).Since(time.Now())
 	b.j.mu.Lock()
 	b.j.pending = append(b.j.pending, b.recs)
 	b.j.mu.Unlock()

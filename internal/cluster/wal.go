@@ -117,6 +117,7 @@ func encodeWALRecord(e *walEntry) ([]byte, error) {
 // before the journal lock, which is what lets the group commit overlap
 // the in-memory apply on the batched store path.
 func encodeWALRecords(entries []walEntry) ([][]byte, error) {
+	defer telemetry.M.Histogram(telemetry.HistWALEncode).Since(time.Now())
 	recs := make([][]byte, len(entries))
 	if len(entries) >= ingestFanoutThreshold {
 		if err := workpool.Map(len(entries), func(i int) error {
@@ -181,13 +182,30 @@ func syncDir(dir string) error {
 	return closeErr
 }
 
+// poison marks the journal failed and records the incident in the
+// flight recorder — by contract BEFORE any caller observes the
+// failure, so post-incident triage always finds the poisoning event
+// even if the node dies moments later.
+func (w *WAL) poison(err error) error {
+	w.failed = err
+	telemetry.F.Record(telemetry.FlightEvent{
+		Kind: telemetry.FlightJournalPoison, Outcome: telemetry.ErrClass(err),
+	})
+	return w.failed
+}
+
+// fsyncStallThreshold is the WAL fsync duration beyond which a
+// wal.fsync_stall flight event is recorded: a healthy fsync is
+// sub-millisecond on SSDs, and a multi-hundred-ms stall is the usual
+// smoking gun behind a collapsed ingest knee.
+const fsyncStallThreshold = 100 * time.Millisecond
+
 // flushLocked flushes the buffered writer and applies the sync policy.
 // An fsync failure poisons the journal: the OS may or may not have the
 // bytes, so no further acknowledgement can be honest.
 func (w *WAL) flushLocked() error {
 	if err := w.bw.Flush(); err != nil {
-		w.failed = fmt.Errorf("%w: %v", storage.ErrFailed, err)
-		return w.failed
+		return w.poison(fmt.Errorf("%w: %v", storage.ErrFailed, err))
 	}
 	doSync := false
 	switch w.syncPolicy {
@@ -200,9 +218,18 @@ func (w *WAL) flushLocked() error {
 	if !doSync {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
-		w.failed = fmt.Errorf("%w: %v", storage.ErrFailed, err)
-		return w.failed
+	syncStart := time.Now()
+	err := w.f.Sync()
+	syncDur := time.Since(syncStart)
+	telemetry.M.Histogram(telemetry.HistWALFsync).Observe(syncDur)
+	if syncDur >= fsyncStallThreshold {
+		telemetry.F.Record(telemetry.FlightEvent{
+			Kind: telemetry.FlightFsyncStall, DurMS: float64(syncDur.Microseconds()) / 1000,
+			Outcome: telemetry.ErrClass(err),
+		})
+	}
+	if err != nil {
+		return w.poison(fmt.Errorf("%w: %v", storage.ErrFailed, err))
 	}
 	w.lastSync = time.Now()
 	telemetry.M.Counter(telemetry.CtrStorageFsync).Add(1)
@@ -252,8 +279,7 @@ func (w *WAL) rewrite(entries []walEntry) error {
 	}
 	// The rename is only durable once the directory itself is synced.
 	if err := syncDir(w.dir); err != nil {
-		w.failed = fmt.Errorf("%w: %v", storage.ErrFailed, err)
-		return w.failed
+		return w.poison(fmt.Errorf("%w: %v", storage.ErrFailed, err))
 	}
 	// Reopen the live handle on the new file. Failures here must be
 	// loud: a nil writer behind a "successful" rewrite would panic the
@@ -264,9 +290,8 @@ func (w *WAL) rewrite(entries []walEntry) error {
 	w.f.Close()  //nolint:errcheck
 	f, err := os.OpenFile(filepath.Join(w.dir, walFile), os.O_APPEND|os.O_WRONLY, 0o600)
 	if err != nil {
-		w.failed = fmt.Errorf("%w: reopening WAL after snapshot: %v", storage.ErrFailed, err)
 		w.f, w.bw = nil, nil
-		return w.failed
+		return w.poison(fmt.Errorf("%w: reopening WAL after snapshot: %v", storage.ErrFailed, err))
 	}
 	w.f = f
 	w.bw = bufio.NewWriter(f)
@@ -336,8 +361,7 @@ func (w *WAL) drainLocked() error {
 	for len(w.pending) > 0 {
 		for _, rec := range w.pending[0] {
 			if _, err := w.bw.Write(rec); err != nil {
-				w.failed = fmt.Errorf("%w: appending staged WAL entry: %v", storage.ErrFailed, err)
-				return w.failed
+				return w.poison(fmt.Errorf("%w: appending staged WAL entry: %v", storage.ErrFailed, err))
 			}
 		}
 		w.pending = w.pending[1:]
@@ -368,8 +392,11 @@ func (w *WAL) prepareBatch(entries []walEntry) (journalBatch, error) {
 }
 
 // stage reserves the batch's position in the journal write stream.
-// Memory-only: safe to call under the node state lock.
+// Memory-only: safe to call under the node state lock. The stage
+// histogram is dominated by journal-lock contention — a committing
+// batch holding w.mu is what a slow stage means.
 func (b *walStagedBatch) stage() {
+	defer telemetry.M.Histogram(telemetry.HistWALStage).Since(time.Now())
 	b.w.mu.Lock()
 	b.w.pending = append(b.w.pending, b.recs)
 	b.w.mu.Unlock()

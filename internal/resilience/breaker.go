@@ -41,6 +41,7 @@ func (s BreakerState) String() string {
 type Breaker struct {
 	threshold int
 	openFor   time.Duration
+	peer      string // flight-recorder attribution; "" when unknown
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -52,13 +53,20 @@ type Breaker struct {
 // NewBreaker creates a closed breaker that opens after threshold
 // consecutive failures and admits a probe openFor after opening.
 func NewBreaker(threshold int, openFor time.Duration) *Breaker {
+	return NewPeerBreaker("", threshold, openFor)
+}
+
+// NewPeerBreaker is NewBreaker with the guarded peer's node ID
+// attached, so open/close transitions land in the flight recorder with
+// the peer named.
+func NewPeerBreaker(peer string, threshold int, openFor time.Duration) *Breaker {
 	if threshold <= 0 {
 		threshold = 5
 	}
 	if openFor <= 0 {
 		openFor = time.Second
 	}
-	return &Breaker{threshold: threshold, openFor: openFor}
+	return &Breaker{peer: peer, threshold: threshold, openFor: openFor}
 }
 
 // Allow reports whether a send may proceed now. In the open state it
@@ -88,13 +96,19 @@ func (b *Breaker) Allow() bool {
 	return false
 }
 
-// Success records a successful send, closing the breaker.
+// Success records a successful send, closing the breaker. A recovery
+// (the circuit was open or probing half-open) is a flight event; the
+// routine closed→closed path records nothing.
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	recovered := b.state != BreakerClosed
 	b.state = BreakerClosed
 	b.failures = 0
 	b.probing = false
+	if recovered {
+		telemetry.F.Record(telemetry.FlightEvent{Kind: telemetry.FlightBreakerClose, Peer: b.peer, Outcome: "ok"})
+	}
 }
 
 // Failure records a failed send. In the closed state it counts toward
@@ -107,17 +121,25 @@ func (b *Breaker) Failure() {
 		b.state = BreakerOpen
 		b.openedAt = time.Now()
 		b.probing = false
-		telemetry.M.Counter(telemetry.CtrBreakerTrips).Add(1)
+		b.tripLocked()
 	case BreakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = BreakerOpen
 			b.openedAt = time.Now()
-			telemetry.M.Counter(telemetry.CtrBreakerTrips).Add(1)
+			b.tripLocked()
 		}
 	case BreakerOpen:
 		// Already open; refresh nothing so the cool-down still elapses.
 	}
+}
+
+// tripLocked records one →open transition. Caller holds b.mu.
+func (b *Breaker) tripLocked() {
+	telemetry.M.Counter(telemetry.CtrBreakerTrips).Add(1)
+	telemetry.F.Record(telemetry.FlightEvent{
+		Kind: telemetry.FlightBreakerOpen, Peer: b.peer, Count: b.failures, Outcome: "error",
+	})
 }
 
 // State returns the breaker's current position (resolving an elapsed

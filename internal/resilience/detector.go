@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"confaudit/internal/telemetry"
 	"confaudit/internal/transport"
 )
 
@@ -229,6 +230,14 @@ func (d *Detector) publish(trs []Transition) {
 	subs := append([]chan Transition(nil), d.subs...)
 	d.mu.Unlock()
 	for _, tr := range trs {
+		// Dead declarations and recoveries from dead are flight events;
+		// the alive↔suspect flapping in between is routine silence.
+		switch {
+		case tr.To == StatusDead:
+			telemetry.F.Record(telemetry.FlightEvent{Kind: telemetry.FlightPeerDead, Node: d.mb.ID(), Peer: tr.Peer})
+		case tr.From == StatusDead:
+			telemetry.F.Record(telemetry.FlightEvent{Kind: telemetry.FlightPeerAlive, Node: d.mb.ID(), Peer: tr.Peer, Outcome: "ok"})
+		}
 		for _, ch := range subs {
 			select {
 			case ch <- tr:

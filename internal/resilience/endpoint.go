@@ -66,7 +66,7 @@ func (r *ReliableEndpoint) breaker(peer string) *Breaker {
 	defer r.mu.Unlock()
 	br, ok := r.breakers[peer]
 	if !ok {
-		br = NewBreaker(r.policy.FailureThreshold, r.policy.OpenFor)
+		br = NewPeerBreaker(peer, r.policy.FailureThreshold, r.policy.OpenFor)
 		r.breakers[peer] = br
 	}
 	return br

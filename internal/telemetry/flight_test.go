@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightFIFOEviction(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightEvent{Kind: FlightOverload, Count: i})
+	}
+	snap := f.Snapshot()
+	if snap.Capacity != 4 {
+		t.Fatalf("capacity = %d, want 4", snap.Capacity)
+	}
+	if snap.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", snap.Dropped)
+	}
+	if len(snap.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap.Events))
+	}
+	// The survivors are the newest four, oldest first, seq-stamped in
+	// record order.
+	for i, e := range snap.Events {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (order %+v)", i, e.Seq, want, snap.Events)
+		}
+		if want := 6 + i; e.Count != want {
+			t.Fatalf("event %d count = %d, want %d", i, e.Count, want)
+		}
+	}
+}
+
+func TestFlightConcurrentRecord(t *testing.T) {
+	const workers, per = 8, 200
+	f := NewFlight(64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record(FlightEvent{Kind: FlightResend})
+			}
+		}()
+	}
+	wg.Wait()
+	snap := f.Snapshot()
+	if len(snap.Events) != 64 {
+		t.Fatalf("retained %d events, want capacity 64", len(snap.Events))
+	}
+	if snap.Dropped != workers*per-64 {
+		t.Fatalf("dropped = %d, want %d", snap.Dropped, workers*per-64)
+	}
+	// Sequence numbers must stay strictly increasing through the ring.
+	for i := 1; i < len(snap.Events); i++ {
+		if snap.Events[i].Seq <= snap.Events[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %d then %d", i, snap.Events[i-1].Seq, snap.Events[i].Seq)
+		}
+	}
+}
+
+func TestFlightSnapshotSince(t *testing.T) {
+	f := NewFlight(8)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	now := base
+	f.SetClock(func() time.Time { return now })
+	for i := 0; i < 3; i++ {
+		now = base.Add(time.Duration(i) * time.Minute)
+		f.Record(FlightEvent{Kind: FlightFsyncStall, Count: i})
+	}
+	// Strictly after: an event stamped exactly at the cutoff is excluded.
+	snap := f.SnapshotSince(base.Add(time.Minute))
+	if len(snap.Events) != 1 || snap.Events[0].Count != 2 {
+		t.Fatalf("SnapshotSince(+1m) = %+v, want only the +2m event", snap.Events)
+	}
+	if all := f.SnapshotSince(time.Time{}); len(all.Events) != 3 {
+		t.Fatalf("zero cutoff returned %d events, want 3", len(all.Events))
+	}
+}
+
+func TestFlightDefaultNode(t *testing.T) {
+	f := NewFlight(4)
+	f.SetDefaultNode("P1")
+	f.Record(FlightEvent{Kind: FlightJournalPoison})
+	f.Record(FlightEvent{Kind: FlightPeerDead, Node: "P2"})
+	snap := f.Snapshot()
+	if snap.Events[0].Node != "P1" {
+		t.Fatalf("default node not stamped: %+v", snap.Events[0])
+	}
+	if snap.Events[1].Node != "P2" {
+		t.Fatalf("explicit node overridden: %+v", snap.Events[1])
+	}
+}
+
+// TestFlightHandlerSince drives the HTTP surface: the since query
+// parameter filters server-side, and a malformed cutoff is a 400, not
+// an unfiltered dump.
+func TestFlightHandlerSince(t *testing.T) {
+	F.Reset()
+	t.Cleanup(F.Reset)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	now := base
+	F.SetClock(func() time.Time { return now })
+	t.Cleanup(func() { F.SetClock(time.Now) })
+	for i := 0; i < 3; i++ {
+		now = base.Add(time.Duration(i) * time.Minute)
+		F.Record(FlightEvent{Kind: FlightBreakerOpen, Peer: "P3", Count: i})
+	}
+	h := FlightHandler()
+
+	get := func(query string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/dla/flight"+query, nil))
+		return rr
+	}
+
+	rr := get("")
+	var snap FlightSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decoding unfiltered snapshot: %v", err)
+	}
+	if len(snap.Events) != 3 {
+		t.Fatalf("unfiltered snapshot has %d events, want 3", len(snap.Events))
+	}
+
+	cutoff := url.QueryEscape(base.Add(time.Minute).Format(time.RFC3339Nano))
+	rr = get("?since=" + cutoff)
+	snap = FlightSnapshot{}
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decoding filtered snapshot: %v", err)
+	}
+	if len(snap.Events) != 1 || snap.Events[0].Count != 2 {
+		t.Fatalf("since filter returned %+v, want only the +2m event", snap.Events)
+	}
+
+	if rr := get("?since=yesterday"); rr.Code != 400 {
+		t.Fatalf("malformed since = HTTP %d, want 400", rr.Code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Debug HTTP surface. dlad mounts these on its -pprof server:
@@ -16,6 +17,7 @@ import (
 //	GET /debug/dla/leaks            -> LedgerSnapshot JSON (per-querier ledgers)
 //	GET /debug/dla/conf             -> ConfSnapshot JSON (rolling C_DLA)
 //	GET /debug/dla/prom             -> Prometheus text exposition
+//	GET /debug/dla/flight           -> FlightSnapshot JSON (?since=RFC3339)
 //
 // The handlers serve only snapshot types, so the zero-plaintext
 // guarantee of the recording schema carries through to the wire.
@@ -74,6 +76,23 @@ func PromHandler() http.Handler {
 	})
 }
 
+// FlightHandler serves the default flight recorder as JSON. An
+// optional since query parameter (RFC 3339, fractional seconds
+// allowed) restricts the snapshot to events recorded after it.
+func FlightHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var since time.Time
+		if s := r.URL.Query().Get("since"); s != "" {
+			var err error
+			if since, err = time.Parse(time.RFC3339Nano, s); err != nil {
+				http.Error(w, "telemetry: bad since parameter (want RFC 3339)", http.StatusBadRequest)
+				return
+			}
+		}
+		writeJSON(w, F.SnapshotSince(since))
+	})
+}
+
 // Mount registers the /debug/dla/* endpoints on mux and publishes the
 // metrics snapshot as the expvar "dla_metrics", so plain expvar
 // consumers see the same numbers as /debug/dla/metrics.
@@ -83,6 +102,7 @@ func Mount(mux *http.ServeMux) {
 	mux.Handle("/debug/dla/leaks", LeaksHandler())
 	mux.Handle("/debug/dla/conf", ConfHandler())
 	mux.Handle("/debug/dla/prom", PromHandler())
+	mux.Handle("/debug/dla/flight", FlightHandler())
 	publishExpvar()
 }
 

@@ -15,6 +15,11 @@ import (
 // charset, label values are the fixed "le" bucket bounds — no free-form
 // string from the data path can reach the output.
 
+// PromName returns the exposition name for a registry metric name —
+// the key a scrape consumer (dlactl top) uses to find a metric parsed
+// back out of /debug/dla/prom.
+func PromName(name string) string { return promName(name) }
+
 // promName sanitizes a registry metric name into the Prometheus
 // charset ([a-zA-Z0-9_:]) under the dla_ namespace.
 func promName(name string) string {

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parser for the text exposition this package emits — the read half of
+// prom.go, used by `dlactl top` to merge /debug/dla/prom scrapes from
+// several nodes into one live table without a client-library
+// dependency. It understands exactly the subset WritePrometheus
+// produces: unlabeled counter/gauge samples, and histogram series with
+// a single "le" label.
+
+// PromBucket is one cumulative histogram bucket.
+type PromBucket struct {
+	LE  float64 // upper bound in milliseconds (+Inf for the last)
+	Cum float64 // cumulative observation count at or under LE
+}
+
+// PromScrape is one parsed exposition, keyed by the emitted
+// (sanitized, dla_-prefixed) metric names.
+type PromScrape struct {
+	Counters map[string]float64      // dla_<name>_total samples
+	Gauges   map[string]float64      // unlabeled gauge samples
+	Buckets  map[string][]PromBucket // histogram buckets, ascending LE
+	Sums     map[string]float64      // histogram _sum (milliseconds)
+	Counts   map[string]float64      // histogram _count
+}
+
+// Counter returns the named counter sample (0 if absent). The _total
+// suffix may be omitted.
+func (s *PromScrape) Counter(name string) float64 {
+	if v, ok := s.Counters[name]; ok {
+		return v
+	}
+	return s.Counters[name+"_total"]
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of a histogram in
+// milliseconds as the upper bound of the bucket the quantile falls in
+// — the usual coarse bucket estimate. Returns NaN when the histogram
+// is absent or empty; a quantile landing in the +Inf bucket returns
+// the last finite bound (the distribution's tail exceeded the range).
+func (s *PromScrape) Quantile(hist string, q float64) float64 {
+	buckets := s.Buckets[hist]
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Cum
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	lastFinite := math.NaN()
+	for _, b := range buckets {
+		if !math.IsInf(b.LE, 1) {
+			lastFinite = b.LE
+		}
+		if b.Cum >= rank {
+			if math.IsInf(b.LE, 1) {
+				return lastFinite
+			}
+			return b.LE
+		}
+	}
+	return lastFinite
+}
+
+// ParsePrometheus parses a text exposition produced by
+// WritePrometheus/WritePrometheusConf.
+func ParsePrometheus(r io.Reader) (*PromScrape, error) {
+	s := &PromScrape{
+		Counters: make(map[string]float64),
+		Gauges:   make(map[string]float64),
+		Buckets:  make(map[string][]PromBucket),
+		Sums:     make(map[string]float64),
+		Counts:   make(map[string]float64),
+	}
+	types := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				if parts := strings.Fields(rest); len(parts) == 2 {
+					types[parts[0]] = parts[1]
+				}
+			}
+			continue
+		}
+		name, le, val, err := parsePromSample(line)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case le != "":
+			base := strings.TrimSuffix(name, "_bucket")
+			bound, err := strconv.ParseFloat(strings.Replace(le, "+Inf", "Inf", 1), 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: bad le %q in %q", le, line)
+			}
+			s.Buckets[base] = append(s.Buckets[base], PromBucket{LE: bound, Cum: val})
+		case strings.HasSuffix(name, "_sum") && types[strings.TrimSuffix(name, "_sum")] == "histogram":
+			s.Sums[strings.TrimSuffix(name, "_sum")] = val
+		case strings.HasSuffix(name, "_count") && types[strings.TrimSuffix(name, "_count")] == "histogram":
+			s.Counts[strings.TrimSuffix(name, "_count")] = val
+		case types[name] == "counter":
+			s.Counters[name] = val
+		default:
+			s.Gauges[name] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, buckets := range s.Buckets {
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i].LE < buckets[j].LE })
+	}
+	return s, nil
+}
+
+// parsePromSample splits `name value` or `name{le="bound"} value`.
+func parsePromSample(line string) (name, le string, val float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("telemetry: malformed sample %q", line)
+		}
+		label := line[i+1 : j]
+		if cut, ok := strings.CutPrefix(label, `le="`); ok {
+			le = strings.TrimSuffix(cut, `"`)
+		}
+		rest = name + line[j+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return "", "", 0, fmt.Errorf("telemetry: malformed sample %q", line)
+	}
+	name = fields[0]
+	val, err = strconv.ParseFloat(strings.Replace(fields[1], "+Inf", "Inf", 1), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("telemetry: bad value in %q: %v", line, err)
+	}
+	return name, le, val, nil
+}

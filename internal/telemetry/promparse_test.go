@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParsePrometheusRoundTrip feeds the parser the exposition the
+// registry itself writes — the exact bytes `dlactl top` scrapes — and
+// checks counters, gauges, and histogram buckets survive the trip.
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(CtrStoreRecords).Add(42)
+	r.Gauge(GaugeGLSNDurable).Set(1234)
+	h := r.Histogram(HistWALFsync)
+	h.Observe(30 * time.Microsecond)  // le_50us bucket on the µs ladder
+	h.Observe(700 * time.Microsecond) // le_1ms
+	h.Observe(800 * time.Millisecond) // le_1000ms (the ladder's top finite bound)
+	h.Observe(2 * time.Second)        // +Inf
+
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	s, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Counter(PromName(CtrStoreRecords)); got != 42 {
+		t.Errorf("counter round-trip = %v, want 42", got)
+	}
+	if got := s.Gauges[PromName(GaugeGLSNDurable)]; got != 1234 {
+		t.Errorf("gauge round-trip = %v, want 1234", got)
+	}
+	hist := PromName(HistWALFsync)
+	if got := s.Counts[hist]; got != 4 {
+		t.Errorf("histogram count = %v, want 4", got)
+	}
+	// Bucket-estimated quantiles: the p50 sample sits in the 1ms bucket,
+	// the top sample beyond every finite bound (reported as the last
+	// emitted finite bound, 1000ms here).
+	if q := s.Quantile(hist, 0.5); q != 1 {
+		t.Errorf("p50 = %v ms, want 1", q)
+	}
+	if q := s.Quantile(hist, 0.99); q != 1000 {
+		t.Errorf("p99 = %v ms, want last finite bound 1000", q)
+	}
+	if q := s.Quantile("dla_no_such_histogram", 0.5); !math.IsNaN(q) {
+		t.Errorf("quantile of absent histogram = %v, want NaN", q)
+	}
+}

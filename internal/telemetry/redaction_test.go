@@ -136,6 +136,44 @@ func TestRedactionFullQuery(t *testing.T) {
 	// so pin their names onto the surface here.
 	telemetry.M.Counter(telemetry.CtrIngestFanout).Add(0)
 	telemetry.M.Counter(telemetry.CtrWALBinaryRecords).Add(0)
+	// Stage histograms and watermark gauges (PR 10). The WAL-phase and
+	// appender-side stages fire only on durable deployments and the
+	// streaming path; pin every name so the sweep proves the whole stage
+	// vocabulary — including per-peer store_rtt series — carries nothing
+	// but bucket labels and numbers.
+	for _, h := range []string{
+		telemetry.HistIngestSealWait,
+		telemetry.HistIngestReserve,
+		telemetry.HistIngestStoreRTT,
+		telemetry.HistIngestStoreRTT + ".N0",
+		telemetry.HistIngestDecode,
+		telemetry.HistIngestAckTurn,
+		telemetry.HistWALEncode,
+		telemetry.HistWALStage,
+		telemetry.HistWALFsync,
+	} {
+		telemetry.M.Histogram(h).Observe(0)
+	}
+	for _, g := range []string{
+		telemetry.GaugeGLSNReserved,
+		telemetry.GaugeGLSNDurable,
+		telemetry.GaugeGLSNAcked,
+	} {
+		// Max, not Set: the write path above already ratcheted these and
+		// the assertions below want the real watermarks.
+		telemetry.M.Gauge(g).Max(0)
+	}
+	telemetry.M.Counter(telemetry.CtrStoreRecords).Add(0)
+	// One synthetic flight event per schema field, outcome reduced with
+	// ErrClass exactly as recording sites must; the /debug/dla/flight
+	// body joins the sweep below.
+	telemetry.F.Reset()
+	defer telemetry.F.Reset()
+	telemetry.F.Record(telemetry.FlightEvent{
+		Kind: telemetry.FlightFsyncStall, Node: "N0", Peer: "N1",
+		GLSN: 0x139aef78, Count: 3, DurMS: 123.5,
+		Outcome: telemetry.ErrClass(context.DeadlineExceeded),
+	})
 
 	// Gather the complete observability surface: the metrics snapshot,
 	// every stored trace as JSON, and every rendered tree.
@@ -199,6 +237,19 @@ func TestRedactionFullQuery(t *testing.T) {
 			t.Errorf("ingest-plane counter %s missing from the snapshot", ctr)
 		}
 	}
+	// The node-side stages fire on every store round, so this in-memory
+	// deployment must have recorded real observations, not just the
+	// pinned names.
+	for _, h := range []string{telemetry.HistIngestDecode, telemetry.HistIngestAckTurn} {
+		if hs, ok := snap.Histograms[h]; !ok || hs.Count < 1 {
+			t.Errorf("stage histogram %s recorded nothing for a batched write", h)
+		}
+	}
+	for _, g := range []string{telemetry.GaugeGLSNReserved, telemetry.GaugeGLSNDurable} {
+		if snap.Gauges[g] == 0 {
+			t.Errorf("watermark gauge %s still zero after a batched write", g)
+		}
+	}
 	sessions := telemetry.T.Sessions()
 	if len(sessions) == 0 {
 		t.Fatal("no trace sessions recorded")
@@ -236,7 +287,7 @@ func TestRedactionFullQuery(t *testing.T) {
 	telemetry.Mount(mux)
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
-	for _, path := range []string{"/debug/dla/leaks", "/debug/dla/conf", "/debug/dla/prom", "/debug/dla/metrics"} {
+	for _, path := range []string{"/debug/dla/leaks", "/debug/dla/conf", "/debug/dla/prom", "/debug/dla/metrics", "/debug/dla/flight"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)

@@ -29,6 +29,7 @@ package telemetry
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,12 +48,16 @@ func SetEnabled(on bool) { enabled.Store(on) }
 // Enabled reports whether recording is on.
 func Enabled() bool { return enabled.Load() }
 
-// bucketBounds are the histogram upper bounds in milliseconds,
+// defaultBounds are the default histogram upper bounds in milliseconds,
 // roughly exponential from sub-millisecond protocol rounds to the
 // multi-second quorum timeouts. The last bucket is +Inf.
-var bucketBounds = [numBounds]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+var defaultBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
-const numBounds = 17
+// microBounds serve the write-pipeline stage histograms: fsync, seal
+// wait, and per-phase group-commit timings land in single-digit
+// microseconds on fast hardware, where the default ms-tuned bounds
+// would collapse everything into the bottom bucket. 5µs up to 1s.
+var microBounds = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
 
 // Counter is a monotonically increasing count.
 type Counter struct {
@@ -105,12 +110,34 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// Histogram is a latency distribution with fixed exponential buckets.
+// Max ratchets the gauge up to v, never down — the watermark write.
+// Concurrent batches complete out of glsn order, so a plain Set would
+// let a straggler drag the high-water mark backwards.
+func (g *Gauge) Max(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Histogram is a latency distribution with exponential buckets. Bounds
+// are fixed at construction: defaultBounds unless the name is claimed
+// by a µs-scale stage histogram (see boundsFor).
 type Histogram struct {
 	count   atomic.Int64
 	sumUS   atomic.Int64 // microseconds, to keep Add integral
 	maxUS   atomic.Int64
-	buckets [numBounds + 1]atomic.Int64
+	bounds  []float64 // upper bounds in ms, ascending
+	buckets []atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
 }
 
 // Observe records one duration.
@@ -128,13 +155,13 @@ func (h *Histogram) Observe(d time.Duration) {
 		}
 	}
 	ms := float64(us) / 1000
-	for i, bound := range bucketBounds {
+	for i, bound := range h.bounds {
 		if ms <= bound {
 			h.buckets[i].Add(1)
 			return
 		}
 	}
-	h.buckets[len(bucketBounds)].Add(1)
+	h.buckets[len(h.bounds)].Add(1)
 }
 
 // Since observes the elapsed time from start; the usual defer pattern:
@@ -160,13 +187,13 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	if s.Count > 0 {
 		s.MeanMS = s.SumMS / float64(s.Count)
 	}
-	s.Buckets = make(map[string]int64, len(bucketBounds)+1)
-	for i, bound := range bucketBounds {
+	s.Buckets = make(map[string]int64, len(h.bounds)+1)
+	for i, bound := range h.bounds {
 		if n := h.buckets[i].Load(); n > 0 {
 			s.Buckets["le_"+formatBound(bound)] = n
 		}
 	}
-	if n := h.buckets[len(bucketBounds)].Load(); n > 0 {
+	if n := h.buckets[len(h.bounds)].Load(); n > 0 {
 		s.Buckets["le_inf"] = n
 	}
 	return s
@@ -236,6 +263,30 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// microHists names the histograms that get µs-scale bounds. The
+// per-peer store-round histograms derive from HistIngestStoreRTT by
+// suffixing the peer node ID, so boundsFor also matches that prefix.
+var microHists = map[string]bool{
+	HistWALFlush:       true,
+	HistWALEncode:      true,
+	HistWALStage:       true,
+	HistWALFsync:       true,
+	HistGrantWait:      true,
+	HistIngestSealWait: true,
+	HistIngestReserve:  true,
+	HistIngestStoreRTT: true,
+	HistIngestDecode:   true,
+	HistIngestAckTurn:  true,
+}
+
+// boundsFor picks the bucket bounds for a histogram name at creation.
+func boundsFor(name string) []float64 {
+	if microHists[name] || strings.HasPrefix(name, HistIngestStoreRTT+".") {
+		return microBounds
+	}
+	return defaultBounds
+}
+
 // Histogram returns (creating if needed) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.RLock()
@@ -249,7 +300,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if h, ok = r.hists[name]; ok {
 		return h
 	}
-	h = &Histogram{}
+	h = newHistogram(boundsFor(name))
 	r.hists[name] = h
 	return h
 }
@@ -416,6 +467,41 @@ const (
 	// refused at the admission boundary. Queue-depth gauges expose the
 	// staged/inflight levels. Counts and sizes only — Definition 1
 	// secondary information; record contents never reach a metric.
+	// Write-pipeline stage histograms (µs-scale bounds, see microHists).
+	// Each names one stage of a record's journey from Append to ack:
+	// seal wait (staging open → batch sealed), glsn-range reservation
+	// round, store-round RTT (aggregate plus per-peer via the
+	// ".<node>" suffix — node IDs are Definition 1 peer identities),
+	// node-side fan-out decode of a bin3 store-batch frame, node ack
+	// turnaround (frame receipt → ack sent), and the WAL group-commit
+	// phases: record encode, in-order stage, and the fsync itself.
+	HistIngestSealWait = "ingest.seal_wait"
+	HistIngestReserve  = "ingest.reserve_range"
+	HistIngestStoreRTT = "ingest.store_rtt"
+	HistIngestDecode   = "ingest.fanout_decode"
+	HistIngestAckTurn  = "ingest.ack_turnaround"
+	HistWALEncode      = "wal.encode"
+	HistWALStage       = "wal.stage"
+	HistWALFsync       = "wal.fsync"
+
+	// Ingest watermarks: highest glsn reserved by the sequencer grant
+	// path, highest glsn journaled durable, highest glsn acked back to
+	// an appender. reserved ≥ durable ≥ acked at every instant; the
+	// reserved−durable gap is the pipeline's in-flight lag. Ratcheted
+	// with Gauge.Max, values are glsn positions — counts only.
+	GaugeGLSNReserved = "ingest.glsn_reserved"
+	GaugeGLSNDurable  = "ingest.glsn_durable"
+	GaugeGLSNAcked    = "ingest.glsn_acked"
+
+	// Node-side stored-record count (store_batches counts frames; this
+	// counts the records inside them, the numerator for ingest rate).
+	CtrStoreRecords = "cluster.node.store_records"
+
+	// Flight recorder (flight.go): anomaly events recorded and events
+	// evicted from the bounded ring before being read.
+	CtrFlightEvents  = "flight.events"
+	CtrFlightDropped = "flight.dropped"
+
 	CtrIngestAppends     = "ingest.appends"
 	CtrIngestAcks        = "ingest.acks"
 	CtrIngestBatches     = "ingest.batches"

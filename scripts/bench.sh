@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR9.json.
+# bench.sh — run the PR's acceptance benchmarks and emit BENCH_PR10.json.
 #
 # Usage: scripts/bench.sh [benchtime] [profile-dir]
 #   benchtime defaults to 3s; pass e.g. 1x for a smoke run.
@@ -58,9 +58,9 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
 PROFILE_DIR="${2:-}"
-BASE_REF="${BASE_REF:-eea19b3}"
+BASE_REF="${BASE_REF:-342e763}"
 BENCHCOUNT="${BENCHCOUNT:-3}"
-OUT="BENCH_PR9.json"
+OUT="BENCH_PR10.json"
 BENCHES='BenchmarkFigure2DLAQuery|BenchmarkClusterLogThroughput|BenchmarkAppenderThroughput|BenchmarkQueryShapes|BenchmarkTelemetryOverhead|BenchmarkWitnessMaintain'
 
 # parse_rows turns `go test -bench -count=N` output into JSON row
@@ -130,13 +130,34 @@ AFTER_ROWS="$(printf '%s\n' "$AFTER_RAW" | parse_rows)"
 
 # Ingest knee of curve: a dlaload burst sweep (paced points plus the
 # unpaced right-hand end, with the synchronous per-event baseline in the
-# same run) and a crash-scenario run auditing acked-record loss.
-echo "bench.sh: ingest knee sweep (dlaload burst, head tree)" >&2
-INGEST_JSON="$(go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
-    -records 2000 -rates 2000,6000,0 -json)"
-echo "bench.sh: ingest knee sweep (dlaload burst, $BASE_REF worktree)" >&2
-INGEST_BASE_JSON="$(cd "$BASE_DIR" && go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
-    -records 2000 -rates 2000,6000,0 -json)"
+# same run) and a crash-scenario run auditing acked-record loss. The
+# knee gets the same interleaved best-of-N treatment as the ns/op rows:
+# a single dlaload run swings +/-15% with the box's minute-scale drift,
+# so each side keeps the run with the highest achieved knee.
+knee_of() {
+    printf '%s' "$1" | grep -o '"achieved_rps": *[0-9.]*' | \
+        awk -F': *' 'BEGIN{m=0} {if ($2+0 > m) m=$2+0} END{print m}'
+}
+INGEST_JSON=""
+INGEST_BASE_JSON=""
+i=1
+while [ "$i" -le "$BENCHCOUNT" ]; do
+    echo "bench.sh: pass $i/$BENCHCOUNT ingest knee sweep (dlaload burst, head tree)" >&2
+    RUN="$(go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
+        -records 2000 -rates 2000,6000,0 -json)"
+    if [ -z "$INGEST_JSON" ] || \
+       [ "$(knee_of "$RUN" | cut -d. -f1)" -gt "$(knee_of "$INGEST_JSON" | cut -d. -f1)" ]; then
+        INGEST_JSON="$RUN"
+    fi
+    echo "bench.sh: pass $i/$BENCHCOUNT ingest knee sweep (dlaload burst, $BASE_REF worktree)" >&2
+    RUN="$(cd "$BASE_DIR" && go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
+        -records 2000 -rates 2000,6000,0 -json)"
+    if [ -z "$INGEST_BASE_JSON" ] || \
+       [ "$(knee_of "$RUN" | cut -d. -f1)" -gt "$(knee_of "$INGEST_BASE_JSON" | cut -d. -f1)" ]; then
+        INGEST_BASE_JSON="$RUN"
+    fi
+    i=$((i + 1))
+done
 echo "bench.sh: ingest scaling rows (unpaced burst, GOMAXPROCS=1 and =4)" >&2
 INGEST_GOMAX1_JSON="$(GOMAXPROCS=1 go run ./cmd/dlaload -scenario burst -nodes 3 -producers 2 \
     -records 2000 -rates 0 -json)"
